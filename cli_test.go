@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a temp dir once per
+// test run.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// End-to-end CLI pipeline: imagegen renders a scene to PGM, mcmcimg
+// detects its artifacts and writes CSV + overlay.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	imagegen := buildTool(t, "imagegen")
+	mcmcimg := buildTool(t, "mcmcimg")
+
+	pgm := filepath.Join(dir, "scene.pgm")
+	gen := exec.Command(imagegen,
+		"-w", "128", "-h", "128", "-count", "5", "-radius", "8",
+		"-noise", "0.05", "-seed", "4", "-out", pgm)
+	genOut, err := gen.Output()
+	if err != nil {
+		t.Fatalf("imagegen: %v", err)
+	}
+	truthLines := strings.Count(strings.TrimSpace(string(genOut)), "\n")
+	if truthLines < 3 { // header + >=3 artifacts
+		t.Fatalf("imagegen CSV too short:\n%s", genOut)
+	}
+	if fi, err := os.Stat(pgm); err != nil || fi.Size() == 0 {
+		t.Fatalf("PGM not written: %v", err)
+	}
+
+	overlay := filepath.Join(dir, "overlay.png")
+	det := exec.Command(mcmcimg,
+		"-in", pgm, "-radius", "8", "-strategy", "blind",
+		"-iters", "30000", "-seed", "2", "-overlay", overlay)
+	detOut, err := det.Output()
+	if err != nil {
+		t.Fatalf("mcmcimg: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(detOut)), "\n")
+	if lines[0] != "x,y,r" {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+	found := len(lines) - 1
+	if found < 3 || found > 8 {
+		t.Fatalf("mcmcimg found %d artifacts for a 5-artifact scene", found)
+	}
+	if fi, err := os.Stat(overlay); err != nil || fi.Size() == 0 {
+		t.Fatalf("overlay not written: %v", err)
+	}
+}
+
+// The experiments binary must list its registry and run a quick
+// experiment by ID.
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "experiments")
+
+	list, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := strings.Fields(string(list))
+	if len(ids) != 8 || ids[0] != "fig1" {
+		t.Fatalf("experiment list = %v", ids)
+	}
+
+	out, err := exec.Command(bin, "-run", "fig1", "-quick").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "== fig1:") {
+		t.Fatalf("fig1 output missing header:\n%s", out)
+	}
+
+	// Unknown ID must fail with a useful message.
+	bad := exec.Command(bin, "-run", "nope")
+	if err := bad.Run(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// mcmcimg must reject missing required flags.
+func TestCLIMcmcimgUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "mcmcimg")
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("no-args invocation succeeded")
+	}
+	if err := exec.Command(bin, "-in", "nonexistent.pgm", "-radius", "8").Run(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

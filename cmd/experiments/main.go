@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons).
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -run fig2,arch  # selected experiments
+//	experiments -quick          # shrunken workloads (seconds, not minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		quick   = flag.Bool("quick", false, "use shrunken workloads")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 2010, "RNG seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Quick = *quick
+	opts.Seed = *seed
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner := experiments.Lookup(id)
+		if runner == nil {
+			log.Fatalf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		res, err := runner(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		if err := res.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

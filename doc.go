@@ -1,0 +1,11 @@
+// Package repro reproduces Byrd, Jarvis & Bhalerao, "On the
+// Parallelisation of MCMC-based Image Processing" (IEEE IPDPS workshops,
+// 2010): reversible-jump MCMC detection of circular artifacts in images,
+// parallelised by periodic partitioning (§V), speculative moves,
+// intelligent and blind image partitioning (§VIII), with (MC)³ as the
+// related-work baseline.
+//
+// Use the public API in pkg/parmcmc; the repository-root benchmarks
+// (bench_test.go) regenerate every table and figure of the paper's
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

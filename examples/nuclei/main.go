@@ -1,0 +1,98 @@
+// Nuclei: the §III case study end-to-end with the lower-level internal
+// API — filter an image to emphasise the stain colour, set up the
+// Bayesian model, run periodic partitioning with speculative global
+// phases (eqs. 2–3 composed), watch the posterior trace converge, and
+// write a detection overlay PNG.
+//
+//	go run ./examples/nuclei [output-dir]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	outDir := "."
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+
+	// A synthetic stained-tissue image: 100 nuclei of radius ~10 on a
+	// 512x512 frame (a quarter of the paper's §VII workload).
+	scene := imaging.Synthesize(imaging.SceneSpec{
+		W: 512, H: 512, Count: 100, MeanRadius: 10, RadiusStdDev: 1.2,
+		Noise: 0.08, MinSeparation: 1.05,
+	}, rng.New(7))
+
+	// §III: "first the input image is filtered to emphasise the colour
+	// of interest". Our grayscale equivalent boosts intensities near the
+	// nucleus stain level.
+	filtered := scene.Image.Emphasize(0.9, 0.25)
+
+	// eq. 5 supplies the count prior from the filtered image itself.
+	lambda := filtered.EstimateCount(0.5, 10)
+	fmt.Printf("eq.5 estimates %.1f nuclei (truth: %d)\n", lambda, len(scene.Truth))
+
+	params := model.DefaultParams(lambda, 10)
+	state, err := model.NewState(filtered, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := mcmc.MustNew(state, rng.New(99), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(10))
+	tr := mcmc.NewTrace(2000)
+	engine.AttachTrace(tr)
+
+	timer := trace.NewPhaseTimer()
+	periodic, err := core.NewEngine(engine, core.Options{
+		LocalPhaseIters: 600,
+		GridXM:          260, GridYM: 260, // ~2x2 cells with random offsets
+		Workers:   4,
+		SpecWidth: 4, // speculative global phases (eq. 3)
+		Timer:     timer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const total = 400000
+	periodic.Run(total)
+
+	fmt.Printf("\nposterior trace (every %d iterations):\n", tr.Every*20)
+	for i := 0; i < len(tr.LogPost); i += 20 {
+		fmt.Printf("  iter %8d  logpost %12.1f  count %d\n",
+			tr.Iters[i], tr.LogPost[i], tr.Count[i])
+	}
+
+	found := state.Cfg.Circles()
+	m := stats.MatchCircles(found, scene.Truth, 5)
+	fmt.Printf("\nfound %d nuclei: precision %.3f, recall %.3f, F1 %.3f\n",
+		len(found), m.Precision(), m.Recall(), m.F1())
+	pgr, plr := engine.Stats.GlobalLocalRates()
+	fmt.Printf("rejection rates: global %.2f, local %.2f\n", pgr, plr)
+	fmt.Printf("phase time: global %v over %d phases, local %v over %d phases (%d barriers)\n",
+		timer.Total("global").Round(1e6), timer.Count("global"),
+		timer.Total("local").Round(1e6), timer.Count("local"), periodic.Barriers)
+
+	overlay := filepath.Join(outDir, "nuclei_overlay.png")
+	f, err := os.Create(overlay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := scene.Image.WriteOverlayPNG(f, found); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", overlay)
+}

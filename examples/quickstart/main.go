@@ -1,0 +1,38 @@
+// Quickstart: synthesise a scene, detect its artifacts with periodic
+// partitioning (the paper's statistically exact parallelisation), and
+// score the result against ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/parmcmc"
+)
+
+func main() {
+	// A 256x256 micrograph with 12 bright nuclei of radius ~9 px.
+	pix, truth := parmcmc.GenerateScene(parmcmc.SceneSpec{
+		W: 256, H: 256, Count: 12, MeanRadius: 9, Noise: 0.05, Seed: 42,
+	})
+
+	res, err := parmcmc.Detect(pix, 256, 256, parmcmc.Options{
+		Strategy:   parmcmc.Periodic,
+		MeanRadius: 9,
+		Iterations: 80000,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d artifacts (truth: %d) in %v using %q\n",
+		len(res.Circles), len(truth), res.Elapsed.Round(1e6), res.Strategy)
+	for _, c := range res.Circles {
+		fmt.Printf("  circle at (%6.1f, %6.1f) radius %.1f\n", c.X, c.Y, c.R)
+	}
+	precision, recall, f1 := parmcmc.MatchScore(res.Circles, truth, 4)
+	fmt.Printf("precision %.2f, recall %.2f, F1 %.2f\n", precision, recall, f1)
+}

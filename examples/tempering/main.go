@@ -1,0 +1,93 @@
+// Tempering: the §IV related-work method, (MC)³, on a deliberately
+// multimodal scene. Pairs of strongly overlapping discs admit two
+// interpretations — "one big artifact" or "two overlapping artifacts" —
+// and a plain chain that commits to the wrong one early can stay stuck.
+// Heated chains cross between the modes freely and hand better states to
+// the cold chain through swaps.
+//
+//	go run ./examples/tempering
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mc3"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the ambiguous scene: 5 overlapping pairs.
+	im := imaging.New(256, 256)
+	im.Fill(0.1)
+	r := rng.New(3)
+	var truth []geom.Circle
+	const meanR = 8.0
+	for len(truth) < 10 {
+		cx, cy := r.Uniform(40, 216), r.Uniform(40, 216)
+		clear := true
+		for _, p := range truth {
+			if (geom.Circle{X: cx, Y: cy}).Dist(p) < 5*meanR {
+				clear = false
+				break
+			}
+		}
+		if !clear {
+			continue
+		}
+		truth = append(truth,
+			geom.Circle{X: cx - 0.55*meanR, Y: cy, R: meanR},
+			geom.Circle{X: cx + 0.55*meanR, Y: cy, R: meanR})
+	}
+	for _, c := range truth {
+		imaging.RenderDisc(im, c, 0.9)
+	}
+	noise := rng.New(4)
+	for i := range im.Pix {
+		im.Pix[i] += noise.NormalAt(0, 0.04)
+	}
+	im.Clamp()
+
+	params := model.DefaultParams(float64(len(truth)), meanR)
+	params.OverlapPenalty = 0.15
+	weights := mcmc.DefaultWeights()
+	steps := mcmc.DefaultStepSizes(meanR)
+	const iters = 100000
+
+	// Plain chain.
+	st, err := model.NewState(im, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := mcmc.MustNew(st, rng.New(21), weights, steps)
+	plain.RunN(iters)
+
+	// (MC)³ with 4 chains.
+	opt := mc3.DefaultOptions()
+	opt.Workers = runtime.GOMAXPROCS(0)
+	sampler, err := mc3.New(im, params, weights, steps, opt, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampler.Run(iters)
+
+	mPlain := stats.MatchCircles(st.Cfg.Circles(), truth, meanR*0.6)
+	mCold := stats.MatchCircles(sampler.Cold().Cfg.Circles(), truth, meanR*0.6)
+	fmt.Printf("scene: %d artifacts arranged as %d overlapping pairs\n\n", len(truth), len(truth)/2)
+	fmt.Printf("plain chain:      logpost %10.1f  found %2d  TP %2d  F1 %.3f\n",
+		st.LogPost(), st.Cfg.Len(), mPlain.TP, mPlain.F1())
+	fmt.Printf("(MC)^3 cold:      logpost %10.1f  found %2d  TP %2d  F1 %.3f\n",
+		sampler.Cold().LogPost(), sampler.Cold().Cfg.Len(), mCold.TP, mCold.F1())
+	fmt.Printf("\nswap rate: %.2f over %d proposals; heat ladder β = %v\n",
+		sampler.SwapRate(), sampler.SwapProposed, sampler.Betas)
+	fmt.Println("\nnote: (MC)^3 spends processors on convergence rate; periodic")
+	fmt.Println("partitioning spends them on workload — the methods compose.")
+}

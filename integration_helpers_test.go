@@ -1,0 +1,25 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// lookupExperiment adapts the experiments registry for root tests.
+func lookupExperiment(t *testing.T, id string) func(*testing.T) string {
+	t.Helper()
+	runner := experiments.Lookup(id)
+	if runner == nil {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	return func(t *testing.T) string {
+		opts := experiments.DefaultOptions()
+		opts.Quick = true
+		res, err := runner(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Body
+	}
+}

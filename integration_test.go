@@ -1,0 +1,151 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/rng"
+	"repro/pkg/parmcmc"
+)
+
+// All strategies must agree on the same scene: every one of them should
+// recover (almost) the same artifact set, because they sample (or
+// approximate) the same posterior.
+func TestCrossStrategyAgreement(t *testing.T) {
+	pix, truth := parmcmc.GenerateScene(parmcmc.SceneSpec{
+		W: 160, H: 160, Count: 7, MeanRadius: 8, Noise: 0.05, Seed: 99,
+	})
+	var counts []int
+	for _, s := range parmcmc.Strategies() {
+		res, err := parmcmc.Detect(pix, 160, 160, parmcmc.Options{
+			Strategy: s, MeanRadius: 8, Iterations: 40000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		_, recall, _ := parmcmc.MatchScore(res.Circles, truth, 4)
+		if recall < 0.8 {
+			t.Errorf("%v: recall %.2f", s, recall)
+		}
+		counts = append(counts, len(res.Circles))
+	}
+	// Strategies should agree on the count within a small band.
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 3 {
+		t.Errorf("strategies disagree on count: %v", counts)
+	}
+}
+
+// End-to-end file pipeline: render scene -> PGM on disk -> read back ->
+// detect -> overlay PNG on disk.
+func TestPGMPipeline(t *testing.T) {
+	dir := t.TempDir()
+	scene := imaging.Synthesize(imaging.SceneSpec{
+		W: 128, H: 128, Count: 5, MeanRadius: 8, Noise: 0.05, MinSeparation: 1.1,
+	}, rng.New(3))
+
+	pgmPath := filepath.Join(dir, "scene.pgm")
+	f, err := os.Create(pgmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scene.Image.WritePGM(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, err := os.Open(pgmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := imaging.ReadPGM(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := parmcmc.Detect(img.Pix, img.W, img.H, parmcmc.Options{
+		Strategy: parmcmc.Periodic, MeanRadius: 8, Iterations: 40000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(len(res.Circles))-float64(len(scene.Truth))) > 1 {
+		t.Fatalf("found %d circles from PGM roundtrip, truth %d",
+			len(res.Circles), len(scene.Truth))
+	}
+
+	var buf bytes.Buffer
+	if err := img.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty PNG")
+	}
+}
+
+// Degenerate inputs must degrade gracefully across the public API.
+func TestDegenerateImages(t *testing.T) {
+	// All-background: should find ~nothing.
+	pix := make([]float64, 64*64)
+	for i := range pix {
+		pix[i] = 0.1
+	}
+	res, err := parmcmc.Detect(pix, 64, 64, parmcmc.Options{
+		Strategy: parmcmc.Sequential, MeanRadius: 6, Iterations: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Circles) > 1 {
+		t.Fatalf("found %d circles in empty image", len(res.Circles))
+	}
+	// All-foreground: must not crash; detector will tile the frame.
+	for i := range pix {
+		pix[i] = 0.9
+	}
+	if _, err := parmcmc.Detect(pix, 64, 64, parmcmc.Options{
+		Strategy: parmcmc.Blind, MeanRadius: 6, Iterations: 15000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Intelligent partitioning on an empty image: no regions, no crash.
+	for i := range pix {
+		pix[i] = 0.1
+	}
+	out, err := parmcmc.Detect(pix, 64, 64, parmcmc.Options{
+		Strategy: parmcmc.Intelligent, MeanRadius: 6, Iterations: 15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Circles) != 0 {
+		t.Fatalf("intelligent found %d circles in empty image", len(out.Circles))
+	}
+}
+
+// The experiments harness's quick mode must keep working through the
+// public registry (this is what the per-figure benchmarks execute).
+func TestExperimentRegistryFromRoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment")
+	}
+	// fig1 is pure theory and instantaneous.
+	runFig1 := lookupExperiment(t, "fig1")
+	res := runFig1(t)
+	if res == "" {
+		t.Fatal("fig1 produced no output")
+	}
+}

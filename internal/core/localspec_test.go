@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Local speculative batches (eq. 4's per-machine threads) must keep the
+// iteration accounting exact and the caches consistent.
+func TestLocalSpecExactCountAndConsistency(t *testing.T) {
+	host, _ := testHost(t, 20, 96, 96, 6)
+	opts := defaultOpts(96, 96)
+	opts.LocalSpecWidth = 4
+	pe, err := NewEngine(host, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.Run(12000)
+	if host.Iter != 12000 {
+		t.Fatalf("Iter = %d, want exactly 12000", host.Iter)
+	}
+	likErr, priorErr, coverOK := host.S.CheckConsistency()
+	if likErr > 1e-6 || priorErr > 1e-6 || !coverOK {
+		t.Fatalf("local speculation corrupted state: %v %v %v", likErr, priorErr, coverOK)
+	}
+}
+
+// The chain law must be preserved: prior recovery through local
+// speculative batches.
+func TestLocalSpecPriorRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	p := model.DefaultParams(5, 8)
+	p.OverlapPenalty = 0
+	im := imaging.New(128, 128)
+	im.Fill((p.Foreground + p.Background) / 2)
+	s, err := model.NewState(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := mcmc.MustNew(s, rng.New(929), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(8))
+	pe, err := NewEngine(host, Options{
+		LocalPhaseIters: 120, GridXM: 64, GridYM: 64, Workers: 2, LocalSpecWidth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.Run(20000)
+	sum := 0.0
+	const samples = 2000
+	for i := 0; i < samples; i++ {
+		pe.Run(60)
+		sum += float64(s.Cfg.Len())
+	}
+	if mean := sum / samples; math.Abs(mean-5) > 0.55 {
+		t.Fatalf("local-spec prior count mean = %v, want ~5", mean)
+	}
+}
+
+// Detection quality must be unaffected by local speculation.
+func TestLocalSpecFindsCircles(t *testing.T) {
+	host, scene := testHost(t, 21, 128, 128, 6)
+	opts := defaultOpts(128, 128)
+	opts.LocalSpecWidth = 4
+	pe, err := NewEngine(host, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.Run(50000)
+	found := host.S.Cfg.Circles()
+	matched := 0
+	for _, truth := range scene.Truth {
+		for _, f := range found {
+			if truth.Dist(f) < 4 {
+				matched++
+				break
+			}
+		}
+	}
+	if matched < len(scene.Truth)-1 {
+		t.Fatalf("matched %d/%d circles", matched, len(scene.Truth))
+	}
+}
+
+// The simulated-parallel credit must reflect the batches/evals ratio:
+// with SimulateParallel and LocalSpecWidth, the accumulated simulated
+// time must be strictly below a plain SimulateParallel run's (the chain
+// consumes the same iterations but each batch's evaluations overlap).
+func TestLocalSpecSimulatedCredit(t *testing.T) {
+	run := func(specWidth int) float64 {
+		host, _ := testHost(t, 22, 128, 128, 10)
+		opts := defaultOpts(128, 128)
+		opts.SimulateParallel = true
+		opts.LocalSpecWidth = specWidth
+		pe, err := NewEngine(host, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Burn in sequentially first so rejection rates are high and
+		// speculation has something to recover.
+		host.RunN(20000)
+		pe.Run(30000)
+		return pe.SimLocalSeconds
+	}
+	plain := run(0)
+	withSpec := run(4)
+	if withSpec >= plain {
+		t.Fatalf("local speculation did not reduce simulated time: %v >= %v", withSpec, plain)
+	}
+}
+
+func TestLocalSpecWidthValidation(t *testing.T) {
+	opts := defaultOpts(64, 64)
+	opts.LocalSpecWidth = -1
+	if err := opts.Validate(); err == nil {
+		t.Fatal("negative LocalSpecWidth accepted")
+	}
+}

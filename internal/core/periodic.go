@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mcmc"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Options configures a periodic-partitioning engine.
+type Options struct {
+	// LocalPhaseIters is i, the number of M_l iterations performed per
+	// local phase (spread across all partitions). The matching global
+	// phase length i·q_g/(1−q_g) keeps the long-run move mixture equal
+	// to the sequential sampler's (§V).
+	LocalPhaseIters int
+
+	// GridXM / GridYM are the partition grid spacings x_m, y_m. Values
+	// larger than the image give the four-quadrant single-point layout
+	// of the fig. 2 experiment.
+	GridXM, GridYM float64
+
+	// Workers bounds the goroutines used for a local phase. Partitions
+	// beyond Workers are dynamically load-balanced (§VI's task
+	// scheduler).
+	Workers int
+
+	// SpecWidth > 1 enables speculative moves during global phases with
+	// that many concurrent proposal evaluations (eq. 3).
+	SpecWidth int
+
+	// LocalSpecWidth > 1 additionally runs speculative batches *inside*
+	// each partition worker (the §VI suggestion for spare threads,
+	// eq. 4). With SimulateParallel the per-cell cost is credited with
+	// the measured batches/evaluations ratio.
+	LocalSpecWidth int
+
+	// Timer, when non-nil, receives per-phase wall-clock measurements
+	// under the names "global" and "local".
+	Timer *trace.PhaseTimer
+
+	// SimulateParallel runs the local-phase cells sequentially, times
+	// each cell, and accumulates the *makespan* a Workers-way machine
+	// would achieve into Engine.SimLocalSeconds. Use it to evaluate
+	// parallel runtimes on hosts with fewer cores than the experiment
+	// models (this container has one CPU; see DESIGN.md §7). Chain
+	// results are identical either way — scheduling never affects the
+	// arithmetic.
+	SimulateParallel bool
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.LocalPhaseIters < 1 {
+		return fmt.Errorf("core: LocalPhaseIters must be >= 1")
+	}
+	if o.GridXM <= 0 || o.GridYM <= 0 {
+		return fmt.Errorf("core: grid spacings must be positive")
+	}
+	if o.Workers < 1 {
+		return fmt.Errorf("core: Workers must be >= 1")
+	}
+	if o.SpecWidth < 0 {
+		return fmt.Errorf("core: SpecWidth must be >= 0")
+	}
+	if o.LocalSpecWidth < 0 {
+		return fmt.Errorf("core: LocalSpecWidth must be >= 0")
+	}
+	return nil
+}
+
+// Engine drives a host mcmc.Engine with the periodic-partitioning
+// schedule of §V: alternating sequential global phases and partition-
+// parallel local phases over a freshly offset grid.
+type Engine struct {
+	E   *mcmc.Engine
+	Opt Options
+
+	// Barriers counts completed local phases (fork/join cycles); the
+	// architecture profiles charge their communication overhead per
+	// barrier.
+	Barriers int64
+
+	// SimLocalSeconds accumulates the simulated parallel wall-clock of
+	// the local phases when Options.SimulateParallel is set: the LPT
+	// makespan of the measured per-cell serial times on Workers bins.
+	SimLocalSeconds float64
+
+	qg          float64
+	globalMoves []mcmc.Move
+	exec        *spec.Executor
+	margin      float64
+}
+
+// NewEngine wraps the host engine. The host's move weights determine q_g
+// and the per-phase move mixtures.
+func NewEngine(host *mcmc.Engine, opt Options) (*Engine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	qg := host.W.QGlobal()
+	if qg >= 1 {
+		return nil, fmt.Errorf("core: all moves are global (q_g = 1); periodic partitioning needs local moves")
+	}
+	wNorm := host.W.Normalised()
+	var globals []mcmc.Move
+	for m := mcmc.Move(0); m < mcmc.NumMoves; m++ {
+		if m.IsGlobal() && wNorm[m] > 0 {
+			globals = append(globals, m)
+		}
+	}
+	pe := &Engine{
+		E:           host,
+		Opt:         opt,
+		qg:          qg,
+		globalMoves: globals,
+		margin:      host.S.P.LocalityMargin(),
+	}
+	if opt.SpecWidth > 1 && len(globals) > 0 {
+		pe.exec = spec.NewExecutor(host, opt.SpecWidth, globals)
+	}
+	return pe, nil
+}
+
+// QGlobal returns the chain's global-move probability q_g.
+func (pe *Engine) QGlobal() float64 { return pe.qg }
+
+// GlobalPhaseIters returns the global phase length paired with the
+// configured local phase length: round(i·q_g/(1−q_g)).
+func (pe *Engine) GlobalPhaseIters() int {
+	return int(math.Round(float64(pe.Opt.LocalPhaseIters) * pe.qg / (1 - pe.qg)))
+}
+
+// Run advances the chain by total iterations using the alternating
+// schedule, clamping the final phases so the count is exact.
+func (pe *Engine) Run(total int) {
+	g := pe.GlobalPhaseIters()
+	remaining := total
+	for remaining > 0 {
+		n := minI(g, remaining)
+		if n > 0 && len(pe.globalMoves) > 0 {
+			pe.globalPhase(n)
+			remaining -= n
+		}
+		if remaining <= 0 {
+			break
+		}
+		n = minI(pe.Opt.LocalPhaseIters, remaining)
+		pe.localPhase(n)
+		remaining -= n
+		if g == 0 && len(pe.globalMoves) > 0 {
+			// Degenerate pairing (q_g rounds to zero global iterations):
+			// still alternate so the schedule cannot starve.
+			g = 1
+		}
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// globalPhase performs n sequential (or speculative) global-move
+// iterations on the full image.
+func (pe *Engine) globalPhase(n int) {
+	start := time.Now()
+	if pe.exec != nil {
+		pe.exec.RunN(n)
+	} else {
+		weights := make([]float64, len(pe.globalMoves))
+		for i, m := range pe.globalMoves {
+			weights[i] = pe.E.W[m]
+		}
+		for i := 0; i < n; i++ {
+			m := pe.globalMoves[pe.E.R.Pick(weights)]
+			pe.E.Decide(pe.E.Propose(m))
+		}
+	}
+	if pe.Opt.Timer != nil {
+		pe.Opt.Timer.Add("global", time.Since(start))
+	}
+}
+
+// localPhase partitions the image with a freshly offset grid and runs n
+// local iterations spread over the partitions in parallel.
+func (pe *Engine) localPhase(n int) {
+	start := time.Now()
+	s := pe.E.S
+	grid := geom.NewGrid(
+		s.Bounds(), pe.Opt.GridXM, pe.Opt.GridYM,
+		pe.E.R.Uniform(0, pe.Opt.GridXM), pe.E.R.Uniform(0, pe.Opt.GridYM),
+	)
+	cells := grid.Cells()
+	workers := make([]*cellWorker, len(cells))
+	wNorm := pe.E.W.Normalised()
+	for i, cell := range cells {
+		workers[i] = &cellWorker{
+			s: s, cell: cell, margin: pe.margin, steps: pe.E.Steps,
+			specWidth:    pe.Opt.LocalSpecWidth,
+			localWeights: [2]float64{wNorm[mcmc.Shift], wNorm[mcmc.Resize]},
+		}
+	}
+
+	// Assign ownership and read-only neighbour snapshots. A circle is
+	// owned by the cell containing its centre iff it is modifiable there
+	// (fully inside with the locality margin); every other (cell,
+	// circle) pair whose regions could interact gets a frozen copy.
+	s.Cfg.ForEach(func(id int, c geom.Circle) {
+		ownerCell := -1
+		if cell, ok := grid.CellAt(c.X, c.Y); ok && cell.ContainsCircle(c, pe.margin) {
+			for i := range cells {
+				if cells[i] == cell {
+					ownerCell = i
+					break
+				}
+			}
+		}
+		reach := c.Bounds().Expand(s.P.MaxRadius)
+		for i := range cells {
+			switch {
+			case i == ownerCell:
+				workers[i].addOwned(id, c)
+			case cells[i].IntersectsRect(reach):
+				workers[i].addNeighbour(id, c)
+			}
+		}
+	})
+
+	// Allocate iterations proportionally to each cell's modifiable
+	// feature count (§V), using largest-remainder rounding so the total
+	// is exact.
+	counts := make([]int, len(cells))
+	totalModifiable := 0
+	for i, w := range workers {
+		counts[i] = len(w.ownedAt)
+		totalModifiable += counts[i]
+	}
+	if totalModifiable == 0 {
+		// No modifiable features anywhere: the sequential chain would
+		// record n unproposable local iterations.
+		workers[0].iters = n
+		workers[0].run()
+		pe.mergeWorkers(workers[:1])
+		pe.finishLocal(start)
+		return
+	}
+	assignLargestRemainder(n, counts, workers)
+
+	// Deterministic per-cell RNG streams, independent of scheduling.
+	for _, w := range workers {
+		w.rng = pe.E.R.Split()
+	}
+
+	// Run the non-empty cells on the worker pool ("more partitions than
+	// processors" is reclaimed by the shared-queue scheduler, §VI).
+	active := workers[:0:0]
+	for _, w := range workers {
+		if w.iters > 0 {
+			active = append(active, w)
+		}
+	}
+	if pe.Opt.SimulateParallel {
+		// Sequential execution with per-cell timing; the parallel wall
+		// clock is the scheduler's makespan over the measured costs.
+		costs := make([]float64, len(active))
+		for i, w := range active {
+			t0 := time.Now()
+			w.run()
+			costs[i] = time.Since(t0).Seconds()
+			if w.evals > 0 {
+				// Speculative batches: a LocalSpecWidth-thread machine
+				// overlaps each batch's evaluations.
+				costs[i] *= float64(w.batches) / float64(w.evals)
+			}
+		}
+		pe.SimLocalSeconds += sched.Makespan(costs, sched.LPTAssign(costs, pe.Opt.Workers))
+	} else {
+		sched.ForEach(len(active), pe.Opt.Workers, func(i int) { active[i].run() })
+	}
+
+	pe.mergeWorkers(active)
+	pe.finishLocal(start)
+}
+
+func (pe *Engine) finishLocal(start time.Time) {
+	pe.Barriers++
+	if pe.Opt.Timer != nil {
+		pe.Opt.Timer.Add("local", time.Since(start))
+	}
+}
+
+// assignLargestRemainder distributes n iterations over workers in
+// proportion to counts (largest-remainder rounding; ties break by index
+// for determinism).
+func assignLargestRemainder(n int, counts []int, workers []*cellWorker) {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	rems := make([]float64, len(counts))
+	assigned := 0
+	for i, c := range counts {
+		exact := float64(n) * float64(c) / float64(total)
+		base := int(exact)
+		workers[i].iters = base
+		assigned += base
+		rems[i] = exact - float64(base)
+	}
+	for assigned < n {
+		best := 0
+		for j := 1; j < len(rems); j++ {
+			if rems[j] > rems[best] {
+				best = j
+			}
+		}
+		workers[best].iters++
+		rems[best] = -1
+		assigned++
+	}
+}
+
+// mergeWorkers folds every worker's results back into the shared state:
+// circle positions, spatial index, cached posterior and statistics.
+func (pe *Engine) mergeWorkers(workers []*cellWorker) {
+	for _, w := range workers {
+		for _, e := range w.changed() {
+			pe.E.S.CommitMoved(e.id, e.c)
+		}
+		pe.E.S.AddDeltas(w.dLik, w.dPrior)
+		pe.E.Stats.Add(w.stats)
+		pe.E.Iter += int64(w.iters)
+	}
+	pe.E.NotifyExternalIterations()
+}

@@ -1,0 +1,67 @@
+// Package core implements the paper's primary contribution: periodic
+// partitioning (§V) — alternating phases of sequential global moves and
+// partition-parallel local moves over a randomly offset grid — together
+// with the runtime model of §VI (eqs. 2–4).
+package core
+
+import "repro/internal/spec"
+
+// PredictedRuntime evaluates eq. 2: the time to perform N iterations with
+// s partitions in the M_l phase,
+//
+//	T = N·q_g·τ_g + N·(1−q_g)·τ_l / s,
+//
+// assuming negligible parallelisation overhead. τ_g and τ_l are the mean
+// seconds per global and local move.
+func PredictedRuntime(n float64, qg, taug, taul float64, s int) float64 {
+	if s < 1 {
+		s = 1
+	}
+	return n*qg*taug + n*(1-qg)*taul/float64(s)
+}
+
+// PredictedRuntimeFraction returns eq. 2 normalised by the sequential
+// runtime N·(q_g·τ_g + (1−q_g)·τ_l) — the y-axis of fig. 1.
+func PredictedRuntimeFraction(qg, taug, taul float64, s int) float64 {
+	seq := qg*taug + (1-qg)*taul
+	if seq == 0 {
+		return 0
+	}
+	return PredictedRuntime(1, qg, taug, taul, s) / seq
+}
+
+// PredictedRuntimeSpec evaluates eq. 3: periodic partitioning with
+// speculative execution of the global phases on n cores,
+//
+//	T = N·q_g·τ_g · (1−p_gr)/(1−p_gr^n) + N·(1−q_g)·τ_l / s,
+//
+// where p_gr is the probability a global move is rejected.
+func PredictedRuntimeSpec(n float64, qg, taug, taul, pgr float64, s, nspec int) float64 {
+	if s < 1 {
+		s = 1
+	}
+	return n*qg*taug/spec.Speedup(pgr, nspec) + n*(1-qg)*taul/float64(s)
+}
+
+// PredictedRuntimeCluster evaluates eq. 4: a cluster of s machines, each
+// with t threads, running speculative moves inside both phases,
+//
+//	T = N·q_g·τ_g·(1−p_gr)/(1−p_gr^t) + N·(1−q_g)·τ_l·(1−p_lr)/(s·(1−p_lr^t)).
+func PredictedRuntimeCluster(n float64, qg, taug, taul, pgr, plr float64, s, t int) float64 {
+	if s < 1 {
+		s = 1
+	}
+	return n*qg*taug/spec.Speedup(pgr, t) +
+		n*(1-qg)*taul/(float64(s)*spec.Speedup(plr, t))
+}
+
+// Fig1Series generates one curve of fig. 1: predicted runtime fraction
+// versus q_g for s processes, with τ_g = τ_l as in the figure. Points are
+// sampled at the given q_g values.
+func Fig1Series(s int, qgs []float64) []float64 {
+	out := make([]float64, len(qgs))
+	for i, qg := range qgs {
+		out[i] = PredictedRuntimeFraction(qg, 1, 1, s)
+	}
+	return out
+}

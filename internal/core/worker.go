@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// cellWorker performs the M_l moves allocated to one partition cell
+// during a parallel local phase. Safety model (§V):
+//
+//   - The worker may modify only its *owned* features: circles fully
+//     inside the cell with a margin of at least Params.LocalityMargin().
+//     Proposals that would move a feature out of that eligibility region
+//     are rejected outright ("no feature may be created or moved such
+//     that any part of it or its considered area intersects with its
+//     partition's boundary").
+//   - Owned circles therefore touch only pixels strictly inside the
+//     cell, so concurrent workers mutate disjoint regions of the shared
+//     coverage buffer and read disjoint pixel gains.
+//   - Circles of other cells are visible only as read-only snapshot
+//     copies taken at the phase barrier; the margin guarantees they can
+//     never overlap an owned circle during the phase, so the overlap-
+//     penalty terms computed from the snapshot stay exact.
+//
+// The worker accumulates its log-posterior deltas locally; the engine
+// folds them into the shared state at the merge barrier.
+//
+// With specWidth > 1 the worker additionally applies the speculative-
+// moves technique of [11] *inside* its cell (the §VI suggestion "we may
+// therefore choose to use speculative moves during the M_l phase"):
+// batches of proposals are evaluated against the frozen cell state and
+// the first acceptable one is applied, preserving the chain law while a
+// t-thread machine could overlap the evaluations (eq. 4).
+type cellWorker struct {
+	s      *model.State
+	cell   geom.Rect
+	margin float64
+	steps  mcmc.StepSizes
+	rng    *rng.RNG
+	iters  int
+
+	// specWidth > 1 enables speculative local batches.
+	specWidth int
+	// batches and evals measure speculative efficiency: a t-thread
+	// machine's wall-clock is ~ serial-eval-time × batches/evals.
+	batches, evals int64
+
+	// entries holds private copies of every circle that can interact
+	// with this cell; owned entries may be mutated, the rest are frozen.
+	entries []workerEntry
+	ownedAt []int // indices into entries of owned circles
+
+	// localWeights[0] is the shift mass, [1] the resize mass.
+	localWeights [2]float64
+
+	dLik, dPrior float64
+	stats        mcmc.Stats
+}
+
+type workerEntry struct {
+	id       int
+	c        geom.Circle
+	original geom.Circle
+	owned    bool
+}
+
+// addOwned registers an owned circle.
+func (w *cellWorker) addOwned(id int, c geom.Circle) {
+	w.ownedAt = append(w.ownedAt, len(w.entries))
+	w.entries = append(w.entries, workerEntry{id: id, c: c, original: c, owned: true})
+}
+
+// addNeighbour registers a read-only circle from outside the cell's
+// ownership.
+func (w *cellWorker) addNeighbour(id int, c geom.Circle) {
+	w.entries = append(w.entries, workerEntry{id: id, c: c, original: c})
+}
+
+// overlapSum returns Σ overlapArea(c, other) over every entry except the
+// one at index self.
+func (w *cellWorker) overlapSum(c geom.Circle, self int) float64 {
+	total := 0.0
+	for i := range w.entries {
+		if i != self {
+			total += c.OverlapArea(w.entries[i].c)
+		}
+	}
+	return total
+}
+
+// localProposal is one evaluated (but unapplied) local move.
+type localProposal struct {
+	move   mcmc.Move
+	idx    int // entries index of the target circle
+	newC   geom.Circle
+	valid  bool
+	dLik   float64
+	dPrior float64
+}
+
+// propose draws and evaluates one local move against the worker's
+// current private state, read-only.
+func (w *cellWorker) propose() localProposal {
+	move := mcmc.Shift
+	if w.rng.Pick(w.localWeights[:]) == 1 {
+		move = mcmc.Resize
+	}
+	idx := w.ownedAt[w.rng.Intn(len(w.ownedAt))]
+	oldC := w.entries[idx].c
+	var newC geom.Circle
+	if move == mcmc.Shift {
+		newC = geom.Circle{
+			X: oldC.X + w.rng.NormalAt(0, w.steps.ShiftStd),
+			Y: oldC.Y + w.rng.NormalAt(0, w.steps.ShiftStd),
+			R: oldC.R,
+		}
+	} else {
+		newC = geom.Circle{
+			X: oldC.X, Y: oldC.Y,
+			R: oldC.R + w.rng.NormalAt(0, w.steps.ResizeStd),
+		}
+	}
+	p := localProposal{move: move, idx: idx, newC: newC}
+
+	// Partition-boundary rule and prior support.
+	if !w.cell.ContainsCircle(newC, w.margin) ||
+		newC.R < w.s.P.MinRadius || newC.R > w.s.P.MaxRadius {
+		return p
+	}
+	p.valid = true
+	p.dPrior = w.s.P.LogRadiusPDF(newC.R) - w.s.P.LogRadiusPDF(oldC.R)
+	p.dPrior -= w.s.P.OverlapPenalty *
+		(w.overlapSum(newC, idx) - w.overlapSum(oldC, idx))
+	p.dLik = model.LikDeltaMove(w.s.Gain, w.s.Cover, w.s.W, w.s.H, w.entries[idx].c, newC)
+	return p
+}
+
+// accepts applies the Metropolis test to an evaluated proposal.
+func (w *cellWorker) accepts(p localProposal) bool {
+	if !p.valid {
+		return false
+	}
+	logAlpha := p.dLik + p.dPrior
+	return logAlpha >= 0 || math.Log(w.rng.Positive()) < logAlpha
+}
+
+// apply commits an accepted proposal to the shared coverage buffer and
+// the worker's private circle copies.
+func (w *cellWorker) apply(p localProposal) {
+	entry := &w.entries[p.idx]
+	model.CoverMove(w.s.Cover, w.s.W, w.s.H, entry.c, p.newC)
+	entry.c = p.newC
+	w.dLik += p.dLik
+	w.dPrior += p.dPrior
+	w.stats.Accepted[p.move]++
+}
+
+// run performs the allocated iterations.
+func (w *cellWorker) run() {
+	if len(w.ownedAt) == 0 {
+		// Nothing modifiable: every allocated iteration is an invalid
+		// (auto-rejected) local proposal, as the sequential chain would
+		// record for unproposable moves.
+		w.stats.Proposed[mcmc.Shift] += int64(w.iters)
+		w.stats.Invalid[mcmc.Shift] += int64(w.iters)
+		return
+	}
+	if w.specWidth > 1 {
+		w.runSpeculative()
+		return
+	}
+	for it := 0; it < w.iters; it++ {
+		p := w.propose()
+		w.stats.Proposed[p.move]++
+		if !p.valid {
+			w.stats.Invalid[p.move]++
+			continue
+		}
+		if w.accepts(p) {
+			w.apply(p)
+		}
+	}
+}
+
+// runSpeculative consumes the allocated iterations in speculative
+// batches: all proposals of a batch are evaluated against the frozen
+// state, then tested in order; at most the first acceptable one is
+// applied and the batch consumed up to that point.
+func (w *cellWorker) runSpeculative() {
+	props := make([]localProposal, 0, w.specWidth)
+	consumed := 0
+	for consumed < w.iters {
+		width := w.specWidth
+		if rem := w.iters - consumed; rem < width {
+			width = rem
+		}
+		props = props[:0]
+		for i := 0; i < width; i++ {
+			props = append(props, w.propose())
+		}
+		w.batches++
+		w.evals += int64(width)
+		for _, p := range props {
+			w.stats.Proposed[p.move]++
+			consumed++
+			if !p.valid {
+				w.stats.Invalid[p.move]++
+				continue
+			}
+			if w.accepts(p) {
+				w.apply(p)
+				break
+			}
+		}
+	}
+}
+
+// changed returns the owned circles whose value differs from the phase-
+// start snapshot, as (id, new circle) pairs.
+func (w *cellWorker) changed() []workerEntry {
+	var out []workerEntry
+	for _, i := range w.ownedAt {
+		e := w.entries[i]
+		if e.c != e.original {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Anomaly quantifies the §II motivation: naively bisecting an image and
+// processing the halves separately "will not yield the same results as
+// processing the entire image at once" — artifacts on partition
+// boundaries are duplicated, misplaced or missed. The experiment plants
+// artifacts exactly on the naive grid lines and scores naive, blind and
+// periodic processing against ground truth.
+func Anomaly(o Options) (*Result, error) {
+	w, h := 320, 320
+	if o.Quick {
+		w, h = 200, 200
+	}
+	im := imaging.New(w, h)
+	im.Fill(0.1)
+	fw, fh := float64(w), float64(h)
+	meanR := 8.0
+	// Half the artifacts sit on the 2x2 boundary cross, half elsewhere.
+	truth := []geom.Circle{
+		{X: fw / 2, Y: fh * 0.18, R: meanR},
+		{X: fw / 2, Y: fh * 0.70, R: meanR},
+		{X: fw * 0.30, Y: fh / 2, R: meanR},
+		{X: fw * 0.82, Y: fh / 2, R: meanR},
+		{X: fw * 0.22, Y: fh * 0.25, R: meanR},
+		{X: fw * 0.75, Y: fh * 0.20, R: meanR},
+		{X: fw * 0.25, Y: fh * 0.80, R: meanR},
+		{X: fw * 0.78, Y: fh * 0.77, R: meanR},
+	}
+	for _, c := range truth {
+		imaging.RenderDisc(im, c, 0.9)
+	}
+	noise := rng.New(o.Seed + 300)
+	for i := range im.Pix {
+		im.Pix[i] += noise.NormalAt(0, 0.04)
+	}
+	im.Clamp()
+
+	cfg := partition.DefaultConfig(meanR, o.Seed+301)
+	cfg.MaxIters = 40000
+
+	naive, err := partition.RunNaive(im, cfg, 2, 2, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	blind, err := partition.RunBlind(im, cfg, partition.BlindOptions{
+		NX: 2, NY: 2, Margin: 1.1 * meanR, MergeRadius: 5, KeepDisputed: true,
+	}, o.workers())
+	if err != nil {
+		return nil, err
+	}
+
+	// Periodic partitioning on the same scene (statistically valid
+	// parallelism for contrast).
+	params := model.DefaultParams(float64(len(truth)), meanR)
+	st, err := model.NewState(im, params)
+	if err != nil {
+		return nil, err
+	}
+	e, err := mcmc.New(st, rng.New(o.Seed+302), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR))
+	if err != nil {
+		return nil, err
+	}
+	pe, err := core.NewEngine(e, core.Options{
+		LocalPhaseIters: 300,
+		GridXM:          fw * 0.75, GridYM: fh * 0.75,
+		Workers: o.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pe.Run(cfg.MaxIters)
+	periodicSecs := time.Since(start).Seconds()
+	periodicCircles := st.Cfg.Circles()
+
+	xs, ys := partition.BoundaryLines(im.Bounds(), 2, 2)
+	score := func(name string, found []geom.Circle) []any {
+		m := stats.MatchCircles(found, truth, meanR/2)
+		return []any{
+			name, len(found), m.TP, m.FP, m.FN,
+			stats.DuplicatePairs(found, meanR),
+			stats.NearLine(found, xs, ys, meanR*1.5) - stats.NearLine(truth, xs, ys, meanR*1.5),
+			m.F1(),
+		}
+	}
+	tb := &trace.Table{Header: []string{
+		"method", "found", "TP", "FP", "FN", "dup_pairs", "excess_near_boundary", "F1",
+	}}
+	tb.Add(score("naive", naive.Circles)...)
+	tb.Add(score("blind", blind.Circles)...)
+	tb.Add(score("periodic", periodicCircles)...)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:    "anomaly",
+		Title: "Boundary anomalies: naive vs blind vs periodic partitioning (§II/§V)",
+		Body:  sb.String(),
+		Notes: []string{
+			fmt.Sprintf("%d of %d truth artifacts sit exactly on the naive 2x2 grid lines", 4, len(truth)),
+			fmt.Sprintf("periodic run: %d iterations in %.3fs (statistically exact)", cfg.MaxIters, periodicSecs),
+			"paper shape: naive splitting duplicates or loses the boundary artifacts;",
+			"blind partitioning's overlap+merge and periodic partitioning do not.",
+		},
+	}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Arch regenerates the §VII architecture comparison: the runtime
+// reduction achieved by periodic parallelisation at the fig. 2 sweet
+// spot (a ~20ms global phase) on the three machine profiles. The paper
+// reports reductions of ~29% (Q6600), 23% (Xeon) and 38% (Pentium-D) and
+// attributes the differences to inter-thread communication overhead.
+func Arch(o Options) (*Result, error) {
+	w, err := newCellWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	meanR := 10.0
+	seqDur, err := w.runSequentialBaseline(o, meanR)
+	if err != nil {
+		return nil, err
+	}
+	tauIter := seqDur.Seconds() / float64(w.totalIters)
+	// The sweet spot: a global phase worth ~20ms of sequential work.
+	gIters := int(0.020 / tauIter)
+	if gIters < 10 {
+		gIters = 10
+	}
+	localIters := int(float64(gIters) * 0.6 / 0.4)
+
+	tb := &trace.Table{Header: []string{
+		"machine", "threads", "barrier_ms", "periodic_secs", "sequential_secs", "reduction_pct",
+	}}
+	var notes []string
+	for _, arch := range trace.Profiles() {
+		// Finer grid (up to 9 partitions) with load balancing — the
+		// §VII recommendation for when partitions outnumber processors.
+		dur, barriers, err := w.runPeriodicGrid(o, meanR, localIters, arch.Threads, 0, 2)
+		if err != nil {
+			return nil, err
+		}
+		reported := dur + arch.Charge(barriers)
+		reduction := 100 * (1 - reported.Seconds()/seqDur.Seconds())
+		tb.Add(arch.Name, arch.Threads, arch.BarrierOverhead.Seconds()*1e3,
+			reported.Seconds(), seqDur.Seconds(), reduction)
+	}
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		return nil, err
+	}
+	notes = append(notes,
+		fmt.Sprintf("global phase: %d iterations (~%.1fms sequential work), local phase %d iterations",
+			gIters, float64(gIters)*tauIter*1e3, localIters),
+		"grid: image/2 spacing -> up to 9 partitions, LPT load-balanced onto the",
+		"machine's threads (the finer-grid recommendation closing §VII).",
+		"paper values: Q6600 ~29%, Xeon 23%, Pentium-D 38% reduction;",
+		"shape to match: every profile beats sequential and the high-overhead",
+		"dual-socket Xeon benefits least. The Pentium-D's paper-reported 38%",
+		"exceeds the eq. 2 two-processor bound (30%); see EXPERIMENTS.md.",
+	)
+	return &Result{
+		ID:    "arch",
+		Title: "Periodic parallelisation across architecture profiles (§VII)",
+		Body:  sb.String(),
+		Notes: notes,
+	}, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	return o
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "arch", "table1", "fig4", "spec", "anomaly", "mc3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if Lookup("fig1") == nil || Lookup("nope") != nil {
+		t.Fatal("Lookup broken")
+	}
+}
+
+func TestFig1Content(t *testing.T) {
+	res, err := Fig1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Body, "s=16") {
+		t.Fatalf("missing series:\n%s", res.Body)
+	}
+	// q_g = 0 row must show 1/s values.
+	lines := strings.Split(res.Body, "\n")
+	var row0 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "0 ") {
+			row0 = l
+			break
+		}
+	}
+	if row0 == "" || !strings.Contains(row0, "0.5") || !strings.Contains(row0, "0.0625") {
+		t.Fatalf("q_g=0 row wrong: %q", row0)
+	}
+}
+
+func TestResultWrite(t *testing.T) {
+	res, err := Fig1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== fig1:") {
+		t.Fatalf("rendered result missing header:\n%s", buf.String())
+	}
+}
+
+// Each experiment must run end-to-end in quick mode and produce a body.
+// fig2/arch/spec/table1/fig4/anomaly/mc3 are exercised one by one so a
+// failure names its experiment.
+func TestQuickRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q, want %q", res.ID, e.ID)
+			}
+			if len(res.Body) == 0 {
+				t.Fatalf("%s produced empty body", e.ID)
+			}
+		})
+	}
+}
+
+func TestBeadSceneShape(t *testing.T) {
+	scene, clusters := beadScene(quickOpts())
+	if len(scene.Truth) != 48 {
+		t.Fatalf("bead scene has %d artifacts, want 48 (6+38+4)", len(scene.Truth))
+	}
+	if len(clusters[0]) != 6 || len(clusters[1]) != 38 || len(clusters[2]) != 4 {
+		t.Fatalf("cluster sizes %d/%d/%d, want 6/38/4",
+			len(clusters[0]), len(clusters[1]), len(clusters[2]))
+	}
+}
+
+func TestCellSceneQuickVsFull(t *testing.T) {
+	q := cellScene(quickOpts())
+	if q.Image.W != 256 || len(q.Truth) == 0 {
+		t.Fatalf("quick cell scene wrong: %dx%d, %d artifacts",
+			q.Image.W, q.Image.H, len(q.Truth))
+	}
+}
+
+func TestSortByArea(t *testing.T) {
+	order := sortByArea([]float64{1, 5, 3})
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mc3"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// MC3 exercises the §IV related-work baseline: Metropolis-coupled MCMC
+// on an ambiguous scene (pairs of strongly overlapping discs that a
+// greedy chain tends to explain as single large artifacts). It compares
+// a plain chain against the cold chain of an (MC)³ sampler given the
+// same per-chain iteration budget.
+func MC3(o Options) (*Result, error) {
+	w, h := 256, 256
+	iters := 120000
+	if o.Quick {
+		w, h, iters = 160, 160, 40000
+	}
+	im := imaging.New(w, h)
+	im.Fill(0.1)
+	meanR := 8.0
+	r := rng.New(o.Seed + 400)
+
+	// Overlapping pairs: each pair is two discs at ~1.1R separation —
+	// locally a single larger disc explains them almost as well, which
+	// creates the multi-modality (MC)³ is designed to escape.
+	var truth []geom.Circle
+	pairs := 6
+	if o.Quick {
+		pairs = 3
+	}
+	for len(truth) < 2*pairs {
+		cx := r.Uniform(40, float64(w)-40)
+		cy := r.Uniform(40, float64(h)-40)
+		ok := true
+		for _, p := range truth {
+			if (geom.Circle{X: cx, Y: cy}).Dist(p) < 5*meanR {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		dx := 0.55 * meanR
+		truth = append(truth,
+			geom.Circle{X: cx - dx, Y: cy, R: meanR},
+			geom.Circle{X: cx + dx, Y: cy, R: meanR},
+		)
+	}
+	for _, c := range truth {
+		imaging.RenderDisc(im, c, 0.9)
+	}
+	noise := rng.New(o.Seed + 401)
+	for i := range im.Pix {
+		im.Pix[i] += noise.NormalAt(0, 0.04)
+	}
+	im.Clamp()
+
+	params := model.DefaultParams(float64(len(truth)), meanR)
+	params.OverlapPenalty = 0.15 // tolerate the true overlaps
+
+	// Plain chain.
+	st, err := model.NewState(im, params)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := mcmc.New(st, rng.New(o.Seed+402), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR))
+	if err != nil {
+		return nil, err
+	}
+	plain.RunN(iters)
+
+	// (MC)³ with the same per-chain budget.
+	opt := mc3.DefaultOptions()
+	opt.Workers = o.workers()
+	sampler, err := mc3.New(im, params, mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR), opt, o.Seed+403)
+	if err != nil {
+		return nil, err
+	}
+	sampler.Run(iters)
+
+	mPlain := stats.MatchCircles(st.Cfg.Circles(), truth, meanR*0.6)
+	mCold := stats.MatchCircles(sampler.Cold().Cfg.Circles(), truth, meanR*0.6)
+	tb := &trace.Table{Header: []string{
+		"sampler", "logpost", "found", "TP", "FN", "F1",
+	}}
+	tb.Add("plain chain", st.LogPost(), st.Cfg.Len(), mPlain.TP, mPlain.FN, mPlain.F1())
+	tb.Add("(MC)^3 cold chain", sampler.Cold().LogPost(), sampler.Cold().Cfg.Len(),
+		mCold.TP, mCold.FN, mCold.F1())
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:    "mc3",
+		Title: "(MC)^3 vs a single chain on an ambiguous overlapping-pair scene (§IV)",
+		Body:  sb.String(),
+		Notes: []string{
+			fmt.Sprintf("%d chains, heat step %.2f, swap every %d iterations, swap rate %.2f",
+				opt.Chains, opt.HeatStep, opt.SwapEvery, sampler.SwapRate()),
+			"related-work shape: heated chains hop between 'one big disc' and",
+			"'two overlapping discs' interpretations and feed the better mode to",
+			"the cold chain; (MC)^3 improves convergence rate, not workload spread.",
+		},
+	}, nil
+}

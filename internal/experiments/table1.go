@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// beadConfig returns the detector configuration for the bead image.
+func beadConfig(o Options, meanRadius float64) partition.Config {
+	cfg := partition.DefaultConfig(meanRadius, o.Seed+100)
+	if o.Quick {
+		cfg.MaxIters = 25000
+	} else {
+		cfg.MaxIters = 120000
+	}
+	return cfg
+}
+
+// Table1 regenerates Table I: intelligent partitioning of the clumped
+// bead image of fig. 3. For the whole image and each discovered
+// partition it reports area, relative area, the visual (= ground truth)
+// object count, the uniform-density estimate, the eq. 5 threshold
+// estimate, mean time per iteration, iterations to converge, runtime and
+// relative runtime.
+func Table1(o Options) (*Result, error) {
+	scene, _ := beadScene(o)
+	meanR := scene.Truth[0].R
+	cfg := beadConfig(o, meanR)
+
+	// Whole-image baseline run.
+	whole, err := partition.RunSequential(scene.Image, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Intelligent partitioning; minGap slightly above one artifact
+	// diameter so cuts cannot bisect a bead.
+	minGap := int(2.2 * meanR)
+	res, err := partition.RunIntelligent(scene.Image, cfg, minGap, o.workers())
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-partition truth counts for the "# obj. (visual)" row.
+	truthIn := func(r partition.RegionResult) int {
+		n := 0
+		for _, c := range scene.Truth {
+			if r.Region.ContainsPoint(c.X, c.Y) {
+				n++
+			}
+		}
+		return n
+	}
+
+	areas := make([]float64, len(res.Regions))
+	for i, r := range res.Regions {
+		areas[i] = r.Area
+	}
+	order := sortByArea(areas)
+
+	tb := &trace.Table{Header: []string{
+		"partition", "area_px2", "rel_area", "obj_visual", "obj_density",
+		"obj_thresh", "time_per_iter_us", "iters_converge", "runtime_s", "rel_runtime",
+	}}
+	tb.Add("whole", whole.Area, 1.0, len(scene.Truth), "-",
+		whole.Lambda, whole.TimePerIter()*1e6, whole.Iters,
+		whole.Seconds, 1.0)
+	names := []string{"B", "A", "C", "D", "E", "F"} // largest first, like Table I's B
+	for rank, i := range order {
+		r := res.Regions[i]
+		relArea := r.Area / whole.Area
+		name := fmt.Sprintf("P%d", rank)
+		if rank < len(names) {
+			name = names[rank]
+		}
+		tb.Add(name, r.Area, relArea, truthIn(r),
+			float64(len(scene.Truth))*relArea, // uniform-density assumption
+			r.Lambda, r.TimePerIter()*1e6, r.Iters, r.Seconds,
+			r.Seconds/whole.Seconds)
+	}
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		return nil, err
+	}
+
+	m := stats.MatchCircles(res.Circles, scene.Truth, meanR/2)
+	makespan3 := partition.Makespan(res.Regions, 3)
+	makespan2 := partition.Makespan(res.Regions, 2)
+	notes := []string{
+		fmt.Sprintf("%d partitions discovered; detection F1 vs ground truth = %.3f (TP=%d FP=%d FN=%d)",
+			len(res.Regions), m.F1(), m.TP, m.FP, m.FN),
+		fmt.Sprintf("intelligent-partitioning runtime: %.3fs on >=3 processors (longest partition), %.3fs on 2 (LPT)",
+			makespan3, makespan2),
+		fmt.Sprintf("relative runtime vs sequential: %.3f", makespan3/whole.Seconds),
+		"paper shape: the dominant partition (B, ~0.62 of the area, ~38 of 48 objects)",
+		"costs ~0.90 of the sequential runtime, so intelligent partitioning only",
+		"shaves ~10% here; eq. 5 estimates track the visual counts.",
+	}
+	return &Result{
+		ID:    "table1",
+		Title: "Intelligent partitioning of the bead image (Table I / fig. 3)",
+		Body:  sb.String(),
+		Notes: notes,
+	}, nil
+}

@@ -1,0 +1,53 @@
+package imaging
+
+// Integral is a summed-area table over an image, giving O(1) rectangular
+// sums. The likelihood pre-computations and the intelligent-partitioning
+// scan use it to answer "is this band empty?" and "how much intensity is
+// in this region?" without rescanning pixels.
+type Integral struct {
+	W, H int
+	// sum[(y+1)*(W+1)+(x+1)] is the sum of pixels in [0,x] × [0,y].
+	sum []float64
+}
+
+// NewIntegral builds the summed-area table of im in one pass.
+func NewIntegral(im *Image) *Integral {
+	it := &Integral{W: im.W, H: im.H, sum: make([]float64, (im.W+1)*(im.H+1))}
+	stride := im.W + 1
+	for y := 0; y < im.H; y++ {
+		rowSum := 0.0
+		for x := 0; x < im.W; x++ {
+			rowSum += im.At(x, y)
+			it.sum[(y+1)*stride+x+1] = it.sum[y*stride+x+1] + rowSum
+		}
+	}
+	return it
+}
+
+// Sum returns the sum of pixels with x in [x0, x1) and y in [y0, y1),
+// clipped to the image. An empty or inverted range sums to zero.
+func (it *Integral) Sum(x0, y0, x1, y1 int) float64 {
+	x0 = clampInt(x0, 0, it.W)
+	y0 = clampInt(y0, 0, it.H)
+	x1 = clampInt(x1, 0, it.W)
+	y1 = clampInt(y1, 0, it.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	stride := it.W + 1
+	return it.sum[y1*stride+x1] - it.sum[y0*stride+x1] -
+		it.sum[y1*stride+x0] + it.sum[y0*stride+x0]
+}
+
+// Mean returns the mean over the same rectangle, or 0 if it is empty.
+func (it *Integral) Mean(x0, y0, x1, y1 int) float64 {
+	x0c := clampInt(x0, 0, it.W)
+	y0c := clampInt(y0, 0, it.H)
+	x1c := clampInt(x1, 0, it.W)
+	y1c := clampInt(y1, 0, it.H)
+	n := (x1c - x0c) * (y1c - y0c)
+	if n <= 0 {
+		return 0
+	}
+	return it.Sum(x0, y0, x1, y1) / float64(n)
+}

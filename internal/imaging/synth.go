@@ -1,0 +1,226 @@
+package imaging
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// SceneSpec describes a synthetic micrograph: bright circular artifacts
+// (cell nuclei / latex beads) on a dark background. It substitutes for the
+// paper's stained-tissue images while preserving the statistical structure
+// the algorithms consume: discs of high intensity with known ground truth.
+type SceneSpec struct {
+	W, H int
+
+	// Count is the number of artifacts to place. If Clusters > 0 the
+	// artifacts are grouped into that many clumps (the latex-bead layout
+	// of fig. 3); otherwise they are spread uniformly.
+	Count    int
+	Clusters int
+	// ClusterSpread is the standard deviation of artifact positions
+	// around their cluster centre, in units of mean radius. Ignored when
+	// Clusters == 0. A zero value defaults to 3.
+	ClusterSpread float64
+
+	// MeanRadius and RadiusStdDev describe the artifact size
+	// distribution; radii are truncated to [MinRadius, MaxRadius]
+	// (defaults: 0.5×/1.5× the mean).
+	MeanRadius   float64
+	RadiusStdDev float64
+	MinRadius    float64
+	MaxRadius    float64
+
+	// Foreground and Background are the disc and backdrop intensities
+	// (defaults 0.9 and 0.1). Noise is the Gaussian pixel-noise stddev.
+	Foreground float64
+	Background float64
+	Noise      float64
+
+	// MinSeparation, when positive, forbids placing two artifact centres
+	// closer than this multiple of the sum of their radii (1.0 means
+	// "no overlap"). Zero allows arbitrary overlap.
+	MinSeparation float64
+
+	// Margin keeps artifact centres at least this many pixels from the
+	// image border (default: MeanRadius).
+	Margin float64
+}
+
+func (s *SceneSpec) withDefaults() SceneSpec {
+	sp := *s
+	if sp.MeanRadius <= 0 {
+		sp.MeanRadius = 10
+	}
+	if sp.MinRadius <= 0 {
+		sp.MinRadius = sp.MeanRadius * 0.5
+	}
+	if sp.MaxRadius <= 0 {
+		sp.MaxRadius = sp.MeanRadius * 1.5
+	}
+	if sp.Foreground == 0 {
+		sp.Foreground = 0.9
+	}
+	if sp.Background == 0 {
+		sp.Background = 0.1
+	}
+	if sp.Margin == 0 {
+		sp.Margin = sp.MeanRadius
+	}
+	if sp.ClusterSpread == 0 {
+		sp.ClusterSpread = 3
+	}
+	return sp
+}
+
+// Scene is a generated image together with its ground truth.
+type Scene struct {
+	Image *Image
+	Truth []geom.Circle
+	Spec  SceneSpec
+}
+
+// Synthesize renders a scene according to spec using the supplied
+// generator. Rendering is deterministic for a given (spec, RNG state).
+func Synthesize(spec SceneSpec, r *rng.RNG) *Scene {
+	sp := spec.withDefaults()
+	im := New(sp.W, sp.H)
+	im.Fill(sp.Background)
+
+	truth := placeArtifacts(sp, r)
+	for _, c := range truth {
+		RenderDisc(im, c, sp.Foreground)
+	}
+	if sp.Noise > 0 {
+		for i := range im.Pix {
+			im.Pix[i] += r.NormalAt(0, sp.Noise)
+		}
+	}
+	im.Clamp()
+	return &Scene{Image: im, Truth: truth, Spec: sp}
+}
+
+func placeArtifacts(sp SceneSpec, r *rng.RNG) []geom.Circle {
+	var centres [][2]float64
+	w, h := float64(sp.W), float64(sp.H)
+	m := sp.Margin
+	if sp.Clusters > 0 {
+		// Cluster centres themselves keep a generous margin so the clump
+		// fits inside the frame.
+		clusterMargin := math.Min(math.Min(w, h)/4, m+sp.ClusterSpread*sp.MeanRadius)
+		var hubs [][2]float64
+		for i := 0; i < sp.Clusters; i++ {
+			hubs = append(hubs, [2]float64{
+				r.Uniform(clusterMargin, w-clusterMargin),
+				r.Uniform(clusterMargin, h-clusterMargin),
+			})
+		}
+		for i := 0; i < sp.Count; i++ {
+			hub := hubs[i%sp.Clusters]
+			sd := sp.ClusterSpread * sp.MeanRadius
+			centres = append(centres, [2]float64{
+				clampF(hub[0]+r.NormalAt(0, sd), m, w-m),
+				clampF(hub[1]+r.NormalAt(0, sd), m, h-m),
+			})
+		}
+	} else {
+		for i := 0; i < sp.Count; i++ {
+			centres = append(centres, [2]float64{
+				r.Uniform(m, w-m), r.Uniform(m, h-m),
+			})
+		}
+	}
+
+	truth := make([]geom.Circle, 0, sp.Count)
+	for _, ctr := range centres {
+		c := geom.Circle{
+			X: ctr[0], Y: ctr[1],
+			R: r.TruncNormal(sp.MeanRadius, sp.RadiusStdDev, sp.MinRadius, sp.MaxRadius),
+		}
+		if sp.MinSeparation > 0 {
+			ok := true
+			for _, prev := range truth {
+				if c.Dist(prev) < sp.MinSeparation*(c.R+prev.R) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// Retry a bounded number of times at a fresh uniform
+				// position; give up (skip) if the scene is too crowded.
+				placed := false
+				for try := 0; try < 64; try++ {
+					c.X, c.Y = r.Uniform(m, w-m), r.Uniform(m, h-m)
+					clear := true
+					for _, prev := range truth {
+						if c.Dist(prev) < sp.MinSeparation*(c.R+prev.R) {
+							clear = false
+							break
+						}
+					}
+					if clear {
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					continue
+				}
+			}
+		}
+		truth = append(truth, c)
+	}
+	return truth
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// RenderDisc draws an antialiased disc of the given intensity onto im,
+// blending by pixel coverage (4×4 supersampling on boundary pixels).
+func RenderDisc(im *Image, c geom.Circle, intensity float64) {
+	x0 := clampInt(int(math.Floor(c.X-c.R-1)), 0, im.W)
+	y0 := clampInt(int(math.Floor(c.Y-c.R-1)), 0, im.H)
+	x1 := clampInt(int(math.Ceil(c.X+c.R+1)), 0, im.W)
+	y1 := clampInt(int(math.Ceil(c.Y+c.R+1)), 0, im.H)
+	r2 := c.R * c.R
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			cx, cy := float64(x)+0.5, float64(y)+0.5
+			dx, dy := cx-c.X, cy-c.Y
+			d2 := dx*dx + dy*dy
+			inner := c.R - 0.71 // fully inside if centre is this deep
+			outer := c.R + 0.71
+			switch {
+			case d2 <= inner*inner && inner > 0:
+				im.Pix[y*im.W+x] = intensity
+			case d2 >= outer*outer:
+				// untouched
+			default:
+				// Boundary pixel: supersample coverage.
+				cov := 0.0
+				for sy := 0; sy < 4; sy++ {
+					for sx := 0; sx < 4; sx++ {
+						px := float64(x) + (float64(sx)+0.5)/4
+						py := float64(y) + (float64(sy)+0.5)/4
+						ddx, ddy := px-c.X, py-c.Y
+						if ddx*ddx+ddy*ddy <= r2 {
+							cov++
+						}
+					}
+				}
+				cov /= 16
+				idx := y*im.W + x
+				im.Pix[idx] = im.Pix[idx]*(1-cov) + intensity*cov
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package mc3
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func beadScene(t *testing.T, seed uint64) *imaging.Scene {
+	t.Helper()
+	return imaging.Synthesize(imaging.SceneSpec{
+		W: 128, H: 128, Count: 5, MeanRadius: 8, RadiusStdDev: 1,
+		Noise: 0.06, MinSeparation: 1.1,
+	}, rng.New(seed))
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{Chains: 1, HeatStep: 0.3, SwapEvery: 10, Workers: 1},
+		{Chains: 4, HeatStep: 0, SwapEvery: 10, Workers: 1},
+		{Chains: 4, HeatStep: 0.3, SwapEvery: 0, Workers: 1},
+		{Chains: 4, HeatStep: 0.3, SwapEvery: 10, Workers: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLadder(t *testing.T) {
+	scene := beadScene(t, 1)
+	s, err := New(scene.Image, model.DefaultParams(5, 8), mcmc.DefaultWeights(),
+		mcmc.DefaultStepSizes(8), DefaultOptions(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Betas[0] != 1 {
+		t.Fatalf("cold chain beta = %v", s.Betas[0])
+	}
+	for k := 1; k < len(s.Betas); k++ {
+		if s.Betas[k] >= s.Betas[k-1] {
+			t.Fatalf("ladder not decreasing: %v", s.Betas)
+		}
+		want := 1 / (1 + 0.3*float64(k))
+		if math.Abs(s.Betas[k]-want) > 1e-12 {
+			t.Fatalf("beta[%d] = %v, want %v", k, s.Betas[k], want)
+		}
+	}
+}
+
+func TestRunFindsCirclesAndSwaps(t *testing.T) {
+	scene := beadScene(t, 2)
+	opt := DefaultOptions()
+	opt.SwapEvery = 100
+	s, err := New(scene.Image, model.DefaultParams(5, 8), mcmc.DefaultWeights(),
+		mcmc.DefaultStepSizes(8), opt, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30000)
+	if s.Engines[0].Iter != 30000 {
+		t.Fatalf("cold chain ran %d iterations", s.Engines[0].Iter)
+	}
+	if s.SwapProposed == 0 {
+		t.Fatal("no swaps proposed")
+	}
+	if s.SwapAccepted == 0 {
+		t.Fatal("no swaps accepted in 300 attempts — coupling is broken")
+	}
+	m := stats.MatchCircles(s.Cold().Cfg.Circles(), scene.Truth, 4)
+	if m.F1() < 0.8 {
+		t.Fatalf("cold chain F1 = %v", m.F1())
+	}
+	// Every chain's caches must remain exact (swaps move whole states).
+	for k, e := range s.Engines {
+		likErr, priorErr, coverOK := e.S.CheckConsistency()
+		if likErr > 1e-6 || priorErr > 1e-6 || !coverOK {
+			t.Fatalf("chain %d inconsistent after swaps", k)
+		}
+	}
+}
+
+// A heated chain must accept more proposals than the cold one on the
+// same posterior — that is the whole point of heating.
+func TestHeatedChainsAcceptMore(t *testing.T) {
+	scene := beadScene(t, 3)
+	opt := Options{Chains: 3, HeatStep: 1.5, SwapEvery: 1 << 30, Workers: 1}
+	s, err := New(scene.Image, model.DefaultParams(5, 8), mcmc.DefaultWeights(),
+		mcmc.DefaultStepSizes(8), opt, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance chains independently (SwapEvery effectively infinite).
+	for _, e := range s.Engines {
+		e.RunN(15000)
+	}
+	cold := 1 - s.Engines[0].Stats.RejectionRate()
+	hot := 1 - s.Engines[2].Stats.RejectionRate()
+	if hot <= cold {
+		t.Fatalf("hot chain acceptance %v not above cold %v", hot, cold)
+	}
+}
+
+func TestSwapPreservesPosteriorValues(t *testing.T) {
+	scene := beadScene(t, 4)
+	opt := Options{Chains: 2, HeatStep: 0.5, SwapEvery: 50, Workers: 2}
+	s, err := New(scene.Image, model.DefaultParams(5, 8), mcmc.DefaultWeights(),
+		mcmc.DefaultStepSizes(8), opt, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2000)
+	// States must be distinct objects and both self-consistent.
+	if s.Engines[0].S == s.Engines[1].S {
+		t.Fatal("chains share a state")
+	}
+	if s.SwapRate() < 0 || s.SwapRate() > 1 {
+		t.Fatalf("swap rate = %v", s.SwapRate())
+	}
+}
+
+func TestNewRejectsBadState(t *testing.T) {
+	if _, err := New(imaging.New(0, 0), model.DefaultParams(5, 8),
+		mcmc.DefaultWeights(), mcmc.DefaultStepSizes(8), DefaultOptions(), 1); err == nil {
+		t.Fatal("empty image accepted")
+	}
+	scene := beadScene(t, 5)
+	if _, err := New(scene.Image, model.DefaultParams(5, 8),
+		mcmc.DefaultWeights(), mcmc.DefaultStepSizes(8), Options{}, 1); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}

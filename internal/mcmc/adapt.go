@@ -1,0 +1,82 @@
+package mcmc
+
+import "math"
+
+// Adapter tunes the local-move step sizes during burn-in using a
+// Robbins–Monro scheme: after every Every iterations the shift and
+// resize scales are multiplied by exp(γ_k · (acc − Target)) with a
+// decaying gain γ_k = Gain/√k, pushing the per-move acceptance rates
+// toward Target. Adaptation must stop before samples are collected
+// (diminishing adaptation alone preserves ergodicity only
+// asymptotically); RunAdaptive therefore adapts for exactly the
+// iterations it is given and leaves the engine's step sizes frozen
+// afterwards.
+//
+// The target default of 0.30 sits in the standard efficient range for
+// low-dimensional random-walk updates (0.234–0.44).
+type Adapter struct {
+	// Target acceptance rate (default 0.30).
+	Target float64
+	// Every is the adaptation interval in iterations (default 500).
+	Every int
+	// Gain is the base step of the Robbins–Monro recursion (default 0.5).
+	Gain float64
+	// MinScale / MaxScale clamp the step sizes as multiples of their
+	// initial values (defaults 0.05 and 20).
+	MinScale, MaxScale float64
+}
+
+func (a Adapter) withDefaults() Adapter {
+	if a.Target == 0 {
+		a.Target = 0.30
+	}
+	if a.Every == 0 {
+		a.Every = 500
+	}
+	if a.Gain == 0 {
+		a.Gain = 0.5
+	}
+	if a.MinScale == 0 {
+		a.MinScale = 0.05
+	}
+	if a.MaxScale == 0 {
+		a.MaxScale = 20
+	}
+	return a
+}
+
+// RunAdaptive advances the chain n iterations while tuning ShiftStd and
+// ResizeStd, and returns the final step sizes. The engine continues with
+// the tuned (now frozen) sizes.
+func (e *Engine) RunAdaptive(n int, a Adapter) StepSizes {
+	a = a.withDefaults()
+	shift0, resize0 := e.Steps.ShiftStd, e.Steps.ResizeStd
+	clamp := func(v, v0 float64) float64 {
+		return math.Min(math.Max(v, v0*a.MinScale), v0*a.MaxScale)
+	}
+	done := 0
+	k := 0
+	for done < n {
+		chunk := a.Every
+		if rem := n - done; rem < chunk {
+			chunk = rem
+		}
+		beforeShiftP := e.Stats.Proposed[Shift]
+		beforeShiftA := e.Stats.Accepted[Shift]
+		beforeResizeP := e.Stats.Proposed[Resize]
+		beforeResizeA := e.Stats.Accepted[Resize]
+		e.RunN(chunk)
+		done += chunk
+		k++
+		gamma := a.Gain / math.Sqrt(float64(k))
+		if dp := e.Stats.Proposed[Shift] - beforeShiftP; dp > 0 {
+			acc := float64(e.Stats.Accepted[Shift]-beforeShiftA) / float64(dp)
+			e.Steps.ShiftStd = clamp(e.Steps.ShiftStd*math.Exp(gamma*(acc-a.Target)), shift0)
+		}
+		if dp := e.Stats.Proposed[Resize] - beforeResizeP; dp > 0 {
+			acc := float64(e.Stats.Accepted[Resize]-beforeResizeA) / float64(dp)
+			e.Steps.ResizeStd = clamp(e.Steps.ResizeStd*math.Exp(gamma*(acc-a.Target)), resize0)
+		}
+	}
+	return e.Steps
+}

@@ -1,0 +1,125 @@
+package mcmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunAdaptiveReachesTarget(t *testing.T) {
+	s, _ := sceneState(t, 40, 6)
+	e := MustNew(s, rng.New(101), DefaultWeights(), DefaultStepSizes(9))
+	// Deliberately mis-tuned, far too large: acceptance will start near
+	// zero and the adapter must shrink the steps.
+	e.Steps.ShiftStd = 40
+	e.Steps.ResizeStd = 15
+	e.RunN(15000) // settle near the posterior mode first
+	preShift := e.Steps.ShiftStd
+
+	e.RunAdaptive(60000, Adapter{Target: 0.3, Gain: 2, MinScale: 0.001})
+	if e.Steps.ShiftStd >= preShift {
+		t.Fatalf("adapter did not shrink oversized shift step: %v -> %v", preShift, e.Steps.ShiftStd)
+	}
+	// Acceptance with the tuned (frozen) steps should be near the target.
+	before := e.Stats
+	e.RunN(15000)
+	prop := e.Stats.Proposed[Shift] - before.Proposed[Shift]
+	acc := e.Stats.Accepted[Shift] - before.Accepted[Shift]
+	rate := float64(acc) / float64(prop)
+	if rate < 0.1 || rate > 0.6 {
+		t.Fatalf("post-adaptation shift acceptance %.3f (step %.3f), want near 0.3",
+			rate, e.Steps.ShiftStd)
+	}
+}
+
+func TestRunAdaptiveClamps(t *testing.T) {
+	s, _ := sceneState(t, 41, 3)
+	e := MustNew(s, rng.New(102), DefaultWeights(), DefaultStepSizes(9))
+	shift0 := e.Steps.ShiftStd
+	e.RunAdaptive(5000, Adapter{Target: 0.999, Gain: 50, MinScale: 0.5, MaxScale: 2})
+	if e.Steps.ShiftStd > shift0*2+1e-9 || e.Steps.ShiftStd < shift0*0.5-1e-9 {
+		t.Fatalf("step escaped clamp: %v (base %v)", e.Steps.ShiftStd, shift0)
+	}
+	if e.Iter != 5000 {
+		t.Fatalf("Iter = %d", e.Iter)
+	}
+}
+
+func TestGewekeZBasics(t *testing.T) {
+	r := rng.New(103)
+	// Stationary iid noise: |z| should usually be small.
+	small := 0
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = r.NormalAt(10, 1)
+		}
+		if math.Abs(GewekeZ(xs, 0.25, 0.5)) < 2 {
+			small++
+		}
+	}
+	if small < 40 {
+		t.Fatalf("stationary series flagged too often: %d/50 ok", small)
+	}
+	// Strong trend: |z| must be large.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i) + r.NormalAt(0, 0.5)
+	}
+	if z := GewekeZ(xs, 0.25, 0.5); math.Abs(z) < 5 {
+		t.Fatalf("trending series z = %v, want large", z)
+	}
+	// Degenerate inputs.
+	if z := GewekeZ([]float64{1, 2}, 0.25, 0.5); !math.IsInf(z, 1) {
+		t.Fatalf("short series z = %v", z)
+	}
+	constSeries := []float64{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}
+	if z := GewekeZ(constSeries, 0.25, 0.5); z != 0 {
+		t.Fatalf("constant series z = %v", z)
+	}
+}
+
+func TestGewekeDetector(t *testing.T) {
+	r := rng.New(104)
+	tr := &Trace{Every: 1}
+	// Rising for 100 observations, then stationary for 100.
+	for i := 0; i < 200; i++ {
+		v := 100.0
+		if i < 100 {
+			v = float64(i)
+		}
+		tr.LogPost = append(tr.LogPost, v+r.NormalAt(0, 0.8))
+		tr.Iters = append(tr.Iters, int64(i+1))
+	}
+	d := GewekeDetector{Window: 60, ZThreshold: 2}
+	it, ok := d.Converged(tr)
+	if !ok {
+		t.Fatal("stationary tail not detected")
+	}
+	if it < 100 {
+		t.Fatalf("converged during the rise, at observation %d", it)
+	}
+	// MinIters gate.
+	d.MinIters = 1000
+	if _, ok := d.Converged(tr); ok {
+		t.Fatal("MinIters ignored")
+	}
+	// Too-short window.
+	if _, ok := (GewekeDetector{Window: 4, ZThreshold: 2}).Converged(tr); ok {
+		t.Fatal("window < 8 should never converge")
+	}
+}
+
+// The Geweke detector must also work end-to-end as a burn-in criterion.
+func TestGewekeEndToEnd(t *testing.T) {
+	s, _ := sceneState(t, 42, 4)
+	e := MustNew(s, rng.New(105), DefaultWeights(), DefaultStepSizes(9))
+	tr := NewTrace(200)
+	e.AttachTrace(tr)
+	e.RunN(60000)
+	d := GewekeDetector{Window: 40, ZThreshold: 2, MinIters: 5000}
+	if _, ok := d.Converged(tr); !ok {
+		t.Fatal("chain did not pass Geweke after 60k iterations")
+	}
+}

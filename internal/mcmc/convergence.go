@@ -1,0 +1,195 @@
+package mcmc
+
+import "math"
+
+// Trace records the chain's trajectory at a fixed iteration stride:
+// log-posterior and configuration size. The convergence detector and the
+// experiment harness both consume it.
+type Trace struct {
+	// Every is the sampling stride in iterations (>= 1).
+	Every int
+
+	Iters   []int64
+	LogPost []float64
+	Count   []int
+
+	next int64 // iteration threshold for the next observation
+}
+
+// NewTrace returns a trace sampling every `every` iterations.
+func NewTrace(every int) *Trace {
+	if every < 1 {
+		every = 1
+	}
+	return &Trace{Every: every}
+}
+
+func (t *Trace) observe(e *Engine) {
+	// Threshold-based rather than modulo-based: the periodic engine
+	// advances Iter in bulk when merging parallel local phases, which
+	// would skip exact multiples.
+	if t.next == 0 {
+		t.next = int64(t.Every)
+	}
+	if e.Iter < t.next {
+		return
+	}
+	t.Iters = append(t.Iters, e.Iter)
+	t.LogPost = append(t.LogPost, e.S.LogPost())
+	t.Count = append(t.Count, e.S.Cfg.Len())
+	for t.next <= e.Iter {
+		t.next += int64(t.Every)
+	}
+}
+
+// AttachTrace registers t to receive a sample after every Every-th
+// iteration. Passing nil detaches.
+func (e *Engine) AttachTrace(t *Trace) { e.trace = t }
+
+// Trace returns the attached trace, or nil.
+func (e *Engine) Trace() *Trace { return e.trace }
+
+// PlateauDetector declares convergence when the best log-posterior seen
+// in the most recent window improves on the previous window's best by
+// less than Tol. This is the pragmatic burn-in criterion the paper's
+// "iterations to converge" measurements imply (convergence *diagnosis*
+// being explicitly out of the paper's scope).
+type PlateauDetector struct {
+	// Window is the comparison window length in observations.
+	Window int
+	// Tol is the minimum improvement that still counts as progress.
+	Tol float64
+	// MinIters, when positive, suppresses convergence before that many
+	// iterations. Birth proposals hit an artifact only every ~1/(q_B·a)
+	// iterations (a = artifact area fraction), so early lulls between
+	// births masquerade as plateaus without a floor.
+	MinIters int64
+	// MinCount, when positive, suppresses convergence while the
+	// configuration holds fewer than this many artifacts. Detectors use
+	// the eq. 5 estimate: burn-in cannot be over while most expected
+	// artifacts are still missing.
+	MinCount int
+}
+
+// Converged scans the trace and returns the first iteration index at
+// which the plateau criterion held, or (0, false).
+func (d PlateauDetector) Converged(tr *Trace) (int64, bool) {
+	w := d.Window
+	if w < 1 || len(tr.LogPost) < 2*w {
+		return 0, false
+	}
+	for end := 2 * w; end <= len(tr.LogPost); end++ {
+		if tr.Iters[end-1] < d.MinIters {
+			continue
+		}
+		if d.MinCount > 0 && tr.Count[end-1] < d.MinCount {
+			continue
+		}
+		prevBest := math.Inf(-1)
+		for _, v := range tr.LogPost[end-2*w : end-w] {
+			prevBest = math.Max(prevBest, v)
+		}
+		curBest := math.Inf(-1)
+		for _, v := range tr.LogPost[end-w : end] {
+			curBest = math.Max(curBest, v)
+		}
+		if curBest-prevBest < d.Tol {
+			return tr.Iters[end-1], true
+		}
+	}
+	return 0, false
+}
+
+// RunUntilConverged advances the engine until the detector fires or
+// maxIter iterations have been performed, whichever comes first. It
+// returns the iterations consumed and whether convergence was declared.
+// A fresh trace is attached if none is present.
+func (e *Engine) RunUntilConverged(maxIter int, d PlateauDetector) (int64, bool) {
+	if e.trace == nil {
+		e.AttachTrace(NewTrace(maxIter/1000 + 1))
+	}
+	start := e.Iter
+	checkEvery := (2*d.Window + 1) * e.trace.Every
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	for e.Iter-start < int64(maxIter) {
+		n := checkEvery
+		if rem := int64(maxIter) - (e.Iter - start); rem < int64(n) {
+			n = int(rem)
+		}
+		e.RunN(n)
+		if it, ok := d.Converged(e.trace); ok {
+			return it - start, true
+		}
+	}
+	return e.Iter - start, false
+}
+
+// GewekeZ computes the Geweke (1992) convergence z-score of a series:
+// the standardised difference between the mean of the first fracA of the
+// samples and the mean of the last fracB. |z| ≲ 2 is consistent with the
+// two segments sharing a stationary mean. Variance estimation here is
+// the naive iid form — adequate for the thinned traces the detectors
+// consume, where autocorrelation is weak.
+func GewekeZ(xs []float64, fracA, fracB float64) float64 {
+	n := len(xs)
+	na := int(fracA * float64(n))
+	nb := int(fracB * float64(n))
+	if na < 2 || nb < 2 || na+nb > n {
+		return math.Inf(1)
+	}
+	meanVar := func(seg []float64) (m, v float64) {
+		for _, x := range seg {
+			m += x
+		}
+		m /= float64(len(seg))
+		for _, x := range seg {
+			d := x - m
+			v += d * d
+		}
+		v /= float64(len(seg) - 1)
+		return
+	}
+	ma, va := meanVar(xs[:na])
+	mb, vb := meanVar(xs[n-nb:])
+	denom := math.Sqrt(va/float64(na) + vb/float64(nb))
+	if denom == 0 {
+		if ma == mb {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (ma - mb) / denom
+}
+
+// GewekeDetector declares convergence when the Geweke z-score of the
+// most recent Window trace observations (first 25% vs last 50%, the
+// conventional split) falls below ZThreshold in magnitude.
+type GewekeDetector struct {
+	// Window is the number of trailing observations tested (>= 8).
+	Window int
+	// ZThreshold is the |z| acceptance bound (default-style value: 2).
+	ZThreshold float64
+	// MinIters suppresses convergence before that many iterations.
+	MinIters int64
+}
+
+// Converged scans the trace and returns the first iteration at which the
+// criterion held, or (0, false).
+func (d GewekeDetector) Converged(tr *Trace) (int64, bool) {
+	w := d.Window
+	if w < 8 || len(tr.LogPost) < w {
+		return 0, false
+	}
+	for end := w; end <= len(tr.LogPost); end++ {
+		if tr.Iters[end-1] < d.MinIters {
+			continue
+		}
+		z := GewekeZ(tr.LogPost[end-w:end], 0.25, 0.5)
+		if math.Abs(z) < d.ZThreshold {
+			return tr.Iters[end-1], true
+		}
+	}
+	return 0, false
+}

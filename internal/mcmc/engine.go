@@ -1,0 +1,480 @@
+package mcmc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Proposal is one evaluated but not yet applied move. Proposals are
+// produced by Engine.Propose without mutating the state, so several can
+// be evaluated concurrently (speculative moves); Apply commits one.
+type Proposal struct {
+	Move Move
+	// Valid is false when the move could not be constructed (death on an
+	// empty configuration, merge with no partners, ...). Invalid
+	// proposals still consume an iteration and count as rejections, as
+	// in a standard RJ-MCMC implementation.
+	Valid bool
+	// LogAlpha is the log Metropolis–Hastings–Green acceptance ratio at
+	// temperature 1: DPost + LogHastings.
+	LogAlpha float64
+	// DPost is the relative log-posterior change of the move; heated
+	// chains ((MC)³, package mc3) temper exactly this term.
+	DPost float64
+	// LogHastings collects everything else in the acceptance ratio:
+	// proposal density corrections and, for dimension changes, the
+	// Jacobian. It is not tempered.
+	LogHastings float64
+
+	apply func(e *Engine)
+}
+
+// Stats accumulates per-move acceptance bookkeeping. The rejection rates
+// it exposes parameterise the speculative-move runtime model (eqs. 3–4).
+type Stats struct {
+	Proposed [NumMoves]int64
+	Accepted [NumMoves]int64
+	Invalid  [NumMoves]int64
+}
+
+// RejectionRate returns the overall fraction of proposals rejected, or 0
+// if nothing has been proposed yet.
+func (st *Stats) RejectionRate() float64 {
+	var prop, acc int64
+	for m := Move(0); m < NumMoves; m++ {
+		prop += st.Proposed[m]
+		acc += st.Accepted[m]
+	}
+	if prop == 0 {
+		return 0
+	}
+	return 1 - float64(acc)/float64(prop)
+}
+
+// RejectionRateOf returns the rejection rate restricted to one move kind.
+func (st *Stats) RejectionRateOf(m Move) float64 {
+	if st.Proposed[m] == 0 {
+		return 0
+	}
+	return 1 - float64(st.Accepted[m])/float64(st.Proposed[m])
+}
+
+// GlobalLocalRates returns the rejection rates over M_g and M_l
+// separately (p_gr and p_lr in eq. 4).
+func (st *Stats) GlobalLocalRates() (pgr, plr float64) {
+	var gp, ga, lp, la int64
+	for m := Move(0); m < NumMoves; m++ {
+		if m.IsGlobal() {
+			gp += st.Proposed[m]
+			ga += st.Accepted[m]
+		} else {
+			lp += st.Proposed[m]
+			la += st.Accepted[m]
+		}
+	}
+	if gp > 0 {
+		pgr = 1 - float64(ga)/float64(gp)
+	}
+	if lp > 0 {
+		plr = 1 - float64(la)/float64(lp)
+	}
+	return
+}
+
+// Add folds other into st (used when merging per-partition statistics).
+func (st *Stats) Add(other Stats) {
+	for m := Move(0); m < NumMoves; m++ {
+		st.Proposed[m] += other.Proposed[m]
+		st.Accepted[m] += other.Accepted[m]
+		st.Invalid[m] += other.Invalid[m]
+	}
+}
+
+// Engine is a sequential reversible-jump Metropolis–Hastings sampler over
+// a model.State.
+type Engine struct {
+	S     *model.State
+	R     *rng.RNG
+	W     Weights
+	Steps StepSizes
+	Stats Stats
+
+	// Iter counts completed iterations (accepted or not).
+	Iter int64
+
+	// Beta is the inverse temperature applied to the posterior term of
+	// every acceptance test. 1 samples the posterior itself; (MC)³
+	// heated chains use Beta < 1. Proposal-density and Jacobian terms
+	// are never tempered.
+	Beta float64
+
+	wNorm  Weights
+	trace  *Trace
+	accum  *PosteriorAccumulator
+	births *DataDrivenBirth
+}
+
+// New constructs an engine. It validates the weights and step sizes.
+func New(s *model.State, r *rng.RNG, w Weights, steps StepSizes) (*Engine, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := steps.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{S: s, R: r, W: w, Steps: steps, Beta: 1, wNorm: w.Normalised()}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(s *model.State, r *rng.RNG, w Weights, steps StepSizes) *Engine {
+	e, err := New(s, r, w, steps)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// PickMove draws a move kind from the proposal mixture.
+func (e *Engine) PickMove() Move {
+	return Move(e.R.Pick(e.wNorm[:]))
+}
+
+// Step performs one MCMC iteration: draw a kind, propose, decide. It
+// returns whether the proposal was accepted.
+func (e *Engine) Step() bool {
+	p := e.Propose(e.PickMove())
+	return e.Decide(p)
+}
+
+// RunN performs n iterations and returns the number accepted.
+func (e *Engine) RunN(n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		if e.Step() {
+			acc++
+		}
+	}
+	return acc
+}
+
+// logAccept returns the tempered log acceptance ratio of p.
+func (e *Engine) logAccept(p Proposal) float64 {
+	if e.Beta == 1 {
+		return p.LogAlpha
+	}
+	return e.Beta*p.DPost + p.LogHastings
+}
+
+// Decide applies the accept/reject test to p, commits it when accepted,
+// and updates statistics and the iteration counter.
+func (e *Engine) Decide(p Proposal) bool {
+	e.Stats.Proposed[p.Move]++
+	e.Iter++
+	accepted := false
+	if p.Valid {
+		if la := e.logAccept(p); la >= 0 || math.Log(e.R.Positive()) < la {
+			p.apply(e)
+			e.Stats.Accepted[p.Move]++
+			accepted = true
+		}
+	} else {
+		e.Stats.Invalid[p.Move]++
+	}
+	e.observers()
+	return accepted
+}
+
+// NotifyExternalIterations informs the attached observers (trace,
+// posterior accumulator) that Iter advanced outside Decide/Commit — the
+// periodic engine calls it after folding a parallel local phase in.
+func (e *Engine) NotifyExternalIterations() { e.observers() }
+
+// observers notifies the attached trace and accumulator after an
+// iteration completes.
+func (e *Engine) observers() {
+	if e.trace != nil {
+		e.trace.observe(e)
+	}
+	if e.accum != nil {
+		e.accum.observe(e)
+	}
+}
+
+// Accepts applies the acceptance test only (no state mutation, no stats);
+// the speculative executor uses it to test pre-evaluated proposals in
+// order.
+func (e *Engine) Accepts(p Proposal) bool {
+	if !p.Valid {
+		return false
+	}
+	la := e.logAccept(p)
+	return la >= 0 || math.Log(e.R.Positive()) < la
+}
+
+// Commit applies a previously evaluated proposal without re-testing it
+// and updates statistics as an accepted iteration.
+func (e *Engine) Commit(p Proposal) {
+	if !p.Valid {
+		panic("mcmc: Commit of invalid proposal")
+	}
+	p.apply(e)
+	e.Stats.Proposed[p.Move]++
+	e.Stats.Accepted[p.Move]++
+	e.Iter++
+	e.observers()
+}
+
+// RecordRejected updates statistics for a proposal that was evaluated
+// (possibly speculatively) and rejected.
+func (e *Engine) RecordRejected(p Proposal) {
+	e.Stats.Proposed[p.Move]++
+	if !p.Valid {
+		e.Stats.Invalid[p.Move]++
+	}
+	e.Iter++
+	e.observers()
+}
+
+// Propose constructs a read-only evaluated proposal of the given kind.
+func (e *Engine) Propose(m Move) Proposal {
+	switch m {
+	case Birth:
+		return e.proposeBirth()
+	case Death:
+		return e.proposeDeath()
+	case Split:
+		return e.proposeSplit()
+	case Merge:
+		return e.proposeMerge()
+	case Replace:
+		return e.proposeReplace()
+	case Shift:
+		return e.proposeShift()
+	case Resize:
+		return e.proposeResize()
+	default:
+		panic(fmt.Sprintf("mcmc: unknown move %v", m))
+	}
+}
+
+// drawPriorCircle samples a circle from the position×radius prior — the
+// proposal distribution of birth and replace, chosen so the prior density
+// terms cancel in the acceptance ratio.
+func (e *Engine) drawPriorCircle() geom.Circle {
+	b := e.S.Bounds()
+	p := e.S.P
+	return geom.Circle{
+		X: e.R.Uniform(b.X0, b.X1),
+		Y: e.R.Uniform(b.Y0, b.Y1),
+		R: e.R.TruncNormal(p.MeanRadius, p.RadiusStdDev, p.MinRadius, p.MaxRadius),
+	}
+}
+
+func (e *Engine) proposeBirth() Proposal {
+	c := e.drawPriorCircle()
+	logPos := -e.S.LogAreaTerm() // uniform position proposal density
+	if e.births != nil {
+		c.X, c.Y = e.births.Sample(e.R)
+		logPos = e.births.LogDensity(c.X, c.Y)
+	}
+	dLik, dPrior := e.S.EvalAdd(c)
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Birth, Valid: false}
+	}
+	n := float64(e.S.Cfg.Len())
+	// q_fwd = w_B · q_pos(c) · pr(R);   q_rev = w_D · 1/(n+1).
+	// dPrior contains log λ − log A + log pr(R) − γΔo; with the uniform
+	// proposal (q_pos = 1/A) the position and radius densities cancel
+	// against the prior, leaving the textbook
+	// α = lik-ratio · e^{−γΔo} · λ/(n+1) · w_D/w_B. A data-driven
+	// q_pos enters explicitly instead.
+	hastings := (math.Log(e.wNorm[Death]) - math.Log(n+1)) -
+		(math.Log(e.wNorm[Birth]) + logPos + e.S.P.LogRadiusPDF(c.R))
+	dPost := dLik + dPrior
+	return Proposal{
+		Move: Birth, Valid: true,
+		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
+		apply: func(e *Engine) { e.S.ApplyAdd(c, dLik, dPrior) },
+	}
+}
+
+func (e *Engine) proposeDeath() Proposal {
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: Death, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	c := e.S.Cfg.Get(id)
+	dLik, dPrior := e.S.EvalRemove(id)
+	logPos := -e.S.LogAreaTerm()
+	if e.births != nil {
+		logPos = e.births.LogDensity(c.X, c.Y)
+	}
+	// q_fwd = w_D · 1/n;   q_rev = w_B · q_pos(c) · pr(R).
+	hastings := (math.Log(e.wNorm[Birth]) + logPos + e.S.P.LogRadiusPDF(c.R)) -
+		(math.Log(e.wNorm[Death]) - math.Log(float64(n)))
+	dPost := dLik + dPrior
+	return Proposal{
+		Move: Death, Valid: true,
+		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
+		apply: func(e *Engine) { e.S.ApplyRemove(id, dLik, dPrior) },
+	}
+}
+
+func (e *Engine) proposeReplace() Proposal {
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: Replace, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	oldC := e.S.Cfg.Get(id)
+	newC := e.drawPriorCircle()
+	dLik, dPrior := e.S.EvalMove(id, newC)
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Replace, Valid: false}
+	}
+	// Proposal densities: both directions pick 1/n and draw from the
+	// prior, so only the radius density asymmetry survives; it cancels
+	// against the radius prior ratio inside dPrior.
+	hastings := e.S.P.LogRadiusPDF(oldC.R) - e.S.P.LogRadiusPDF(newC.R)
+	dPost := dLik + dPrior
+	return Proposal{
+		Move: Replace, Valid: true,
+		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
+		apply: func(e *Engine) { e.S.ApplyMove(id, newC, dLik, dPrior) },
+	}
+}
+
+func (e *Engine) proposeShift() Proposal {
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: Shift, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	oldC := e.S.Cfg.Get(id)
+	newC := geom.Circle{
+		X: oldC.X + e.R.NormalAt(0, e.Steps.ShiftStd),
+		Y: oldC.Y + e.R.NormalAt(0, e.Steps.ShiftStd),
+		R: oldC.R,
+	}
+	dLik, dPrior := e.S.EvalMove(id, newC)
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Shift, Valid: false}
+	}
+	// Symmetric Gaussian kernel: proposal densities cancel.
+	return Proposal{
+		Move: Shift, Valid: true,
+		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
+		apply: func(e *Engine) { e.S.ApplyMove(id, newC, dLik, dPrior) },
+	}
+}
+
+func (e *Engine) proposeResize() Proposal {
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: Resize, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	oldC := e.S.Cfg.Get(id)
+	newC := geom.Circle{
+		X: oldC.X, Y: oldC.Y,
+		R: oldC.R + e.R.NormalAt(0, e.Steps.ResizeStd),
+	}
+	dLik, dPrior := e.S.EvalMove(id, newC)
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Resize, Valid: false}
+	}
+	return Proposal{
+		Move: Resize, Valid: true,
+		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
+		apply: func(e *Engine) { e.S.ApplyMove(id, newC, dLik, dPrior) },
+	}
+}
+
+func (e *Engine) proposeSplit() Proposal {
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: Split, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	c := e.S.Cfg.Get(id)
+	u := e.R.Positive()
+	theta := e.R.Uniform(0, 2*math.Pi)
+	delta := e.R.Positive() * e.Steps.MergeDist
+	x1, y1, r1, x2, y2, r2 := splitMap(c.X, c.Y, c.R, u, theta, delta)
+	c1 := geom.Circle{X: x1, Y: y1, R: r1}
+	c2 := geom.Circle{X: x2, Y: y2, R: r2}
+	dLik, dPrior := e.S.EvalExchange([]int{id}, []geom.Circle{c1, c2})
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Split, Valid: false}
+	}
+	// Reverse merge must pick i=c1 (1/(n+1)) then j=c2 among c1's
+	// partners. Partner count in the post-split configuration: circles
+	// near c1 excluding the removed id, plus c2 itself (δ < MergeDist by
+	// construction).
+	m1 := e.S.CountNear(c1.X, c1.Y, e.Steps.MergeDist, id) + 1
+	logQfwd := math.Log(e.wNorm[Split]) - math.Log(float64(n)) -
+		math.Log(2*math.Pi) - math.Log(e.Steps.MergeDist)
+	logQrev := math.Log(e.wNorm[Merge]) - math.Log(float64(n+1)) -
+		math.Log(float64(m1))
+	hastings := logQrev - logQfwd + logSplitJacobian(c.R, u, delta)
+	dPost := dLik + dPrior
+	return Proposal{
+		Move: Split, Valid: true,
+		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
+		apply: func(e *Engine) {
+			e.S.ApplyExchange([]int{id}, []geom.Circle{c1, c2}, dLik, dPrior)
+		},
+	}
+}
+
+func (e *Engine) proposeMerge() Proposal {
+	n := e.S.Cfg.Len()
+	if n < 2 {
+		return Proposal{Move: Merge, Valid: false}
+	}
+	i := e.S.Cfg.IDAt(e.R.Intn(n))
+	ci := e.S.Cfg.Get(i)
+	partners := e.S.PartnersNear(ci.X, ci.Y, e.Steps.MergeDist, i)
+	if len(partners) == 0 {
+		return Proposal{Move: Merge, Valid: false}
+	}
+	j := partners[e.R.Intn(len(partners))]
+	return e.evalMergePair(i, j, len(partners))
+}
+
+// evalMergePair builds the merge proposal for the ordered pair (i, j),
+// where mi is the number of merge partners of i (the proposal picked j
+// uniformly among them). Split tests use it to check the split/merge
+// inverse identity.
+func (e *Engine) evalMergePair(i, j, mi int) Proposal {
+	n := e.S.Cfg.Len()
+	ci, cj := e.S.Cfg.Get(i), e.S.Cfg.Get(j)
+	x, y, r, u, _, delta := mergeMap(ci.X, ci.Y, ci.R, cj.X, cj.Y, cj.R)
+	merged := geom.Circle{X: x, Y: y, R: r}
+	dLik, dPrior := e.S.EvalExchange([]int{i, j}, []geom.Circle{merged})
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Merge, Valid: false}
+	}
+	// q_fwd = w_M · (1/n) · (1/m_i);  the reverse split of `merged` must
+	// regenerate the ordered pair (c1=ci, c2=cj) with the matching
+	// (u, θ, δ) — density w_S · (1/(n−1)) · (1/2π) · (1/MergeDist),
+	// times 1/|J| of the split map.
+	logQfwd := math.Log(e.wNorm[Merge]) - math.Log(float64(n)) -
+		math.Log(float64(mi))
+	logQrev := math.Log(e.wNorm[Split]) - math.Log(float64(n-1)) -
+		math.Log(2*math.Pi) - math.Log(e.Steps.MergeDist)
+	hastings := logQrev - logQfwd - logSplitJacobian(r, u, delta)
+	dPost := dLik + dPrior
+	return Proposal{
+		Move: Merge, Valid: true,
+		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
+		apply: func(e *Engine) {
+			e.S.ApplyExchange([]int{i, j}, []geom.Circle{merged}, dLik, dPrior)
+		},
+	}
+}

@@ -1,0 +1,115 @@
+package mcmc
+
+import "repro/internal/imaging"
+
+// PosteriorAccumulator estimates posterior summaries from post-burn-in
+// samples of the chain — the pay-off §I promises for MCMC over greedy
+// segmentation: "identifying similar but distinct solutions and giving
+// the relative probabilities of these different interpretations".
+//
+// It accumulates, at a fixed iteration stride,
+//
+//   - a per-pixel coverage probability map P(pixel is inside some
+//     artifact | data), and
+//   - the posterior histogram of the artifact count.
+//
+// Attach with Engine.AttachAccumulator and run the chain as usual.
+type PosteriorAccumulator struct {
+	// Every is the sampling stride in iterations.
+	Every int
+
+	samples int64
+	sum     []float64 // per-pixel hit counts
+	w, h    int
+	counts  map[int]int64
+	next    int64
+}
+
+// NewPosteriorAccumulator creates an accumulator for a w×h image
+// sampling every `every` iterations.
+func NewPosteriorAccumulator(w, h, every int) *PosteriorAccumulator {
+	if every < 1 {
+		every = 1
+	}
+	return &PosteriorAccumulator{
+		Every:  every,
+		sum:    make([]float64, w*h),
+		w:      w,
+		h:      h,
+		counts: make(map[int]int64),
+	}
+}
+
+func (p *PosteriorAccumulator) observe(e *Engine) {
+	if p.next == 0 {
+		p.next = int64(p.Every)
+	}
+	if e.Iter < p.next {
+		return
+	}
+	for p.next <= e.Iter {
+		p.next += int64(p.Every)
+	}
+	p.samples++
+	for i, c := range e.S.Cover {
+		if c > 0 {
+			p.sum[i]++
+		}
+	}
+	p.counts[e.S.Cfg.Len()]++
+}
+
+// Samples returns the number of accumulated samples.
+func (p *PosteriorAccumulator) Samples() int64 { return p.samples }
+
+// ProbabilityMap returns the per-pixel posterior coverage probability as
+// an image in [0, 1]. It returns an all-zero map before any sample.
+func (p *PosteriorAccumulator) ProbabilityMap() *imaging.Image {
+	out := imaging.New(p.w, p.h)
+	if p.samples == 0 {
+		return out
+	}
+	inv := 1 / float64(p.samples)
+	for i, v := range p.sum {
+		out.Pix[i] = v * inv
+	}
+	return out
+}
+
+// CountPosterior returns the sampled posterior distribution of the
+// artifact count as (count, probability) pairs in ascending count order.
+func (p *PosteriorAccumulator) CountPosterior() (counts []int, probs []float64) {
+	if p.samples == 0 {
+		return nil, nil
+	}
+	maxN := 0
+	for n := range p.counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	inv := 1 / float64(p.samples)
+	for n := 0; n <= maxN; n++ {
+		if c, ok := p.counts[n]; ok {
+			counts = append(counts, n)
+			probs = append(probs, float64(c)*inv)
+		}
+	}
+	return counts, probs
+}
+
+// MAPCount returns the maximum a-posteriori artifact count (the mode of
+// the sampled count distribution) and its probability.
+func (p *PosteriorAccumulator) MAPCount() (count int, prob float64) {
+	counts, probs := p.CountPosterior()
+	for i := range counts {
+		if probs[i] > prob {
+			count, prob = counts[i], probs[i]
+		}
+	}
+	return
+}
+
+// AttachAccumulator registers acc to sample the chain; pass nil to
+// detach. It coexists with an attached Trace.
+func (e *Engine) AttachAccumulator(acc *PosteriorAccumulator) { e.accum = acc }

@@ -1,0 +1,89 @@
+package mcmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPosteriorAccumulatorBasics(t *testing.T) {
+	s, scene := sceneState(t, 50, 5)
+	e := MustNew(s, rng.New(201), DefaultWeights(), DefaultStepSizes(9))
+	e.RunN(20000) // burn-in
+	acc := NewPosteriorAccumulator(s.W, s.H, 100)
+	e.AttachAccumulator(acc)
+	e.RunN(30000)
+	if acc.Samples() < 250 {
+		t.Fatalf("only %d samples accumulated", acc.Samples())
+	}
+
+	pm := acc.ProbabilityMap()
+	// Probabilities must be valid and high at true artifact centres,
+	// low far away.
+	for _, v := range pm.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", v)
+		}
+	}
+	for _, c := range scene.Truth {
+		if p := pm.At(int(c.X), int(c.Y)); p < 0.9 {
+			t.Errorf("P(covered) at true centre (%v,%v) = %v", c.X, c.Y, p)
+		}
+	}
+	if p := pm.At(1, 1); p > 0.2 {
+		t.Errorf("P(covered) at empty corner = %v", p)
+	}
+
+	counts, probs := acc.CountPosterior()
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("count posterior sums to %v", total)
+	}
+	if len(counts) == 0 {
+		t.Fatal("empty count posterior")
+	}
+	mapCount, prob := acc.MAPCount()
+	if math.Abs(float64(mapCount-len(scene.Truth))) > 1 {
+		t.Fatalf("MAP count %d (p=%.2f), truth %d", mapCount, prob, len(scene.Truth))
+	}
+	if prob <= 0 || prob > 1 {
+		t.Fatalf("MAP probability %v", prob)
+	}
+}
+
+func TestPosteriorAccumulatorEmpty(t *testing.T) {
+	acc := NewPosteriorAccumulator(8, 8, 10)
+	if acc.Samples() != 0 {
+		t.Fatal("fresh accumulator has samples")
+	}
+	pm := acc.ProbabilityMap()
+	for _, v := range pm.Pix {
+		if v != 0 {
+			t.Fatal("empty accumulator map nonzero")
+		}
+	}
+	if c, p := acc.CountPosterior(); c != nil || p != nil {
+		t.Fatal("empty accumulator posterior nonzero")
+	}
+	if n, p := acc.MAPCount(); n != 0 || p != 0 {
+		t.Fatalf("empty MAP = %d, %v", n, p)
+	}
+}
+
+func TestAccumulatorDetach(t *testing.T) {
+	s, _ := sceneState(t, 51, 3)
+	e := MustNew(s, rng.New(202), DefaultWeights(), DefaultStepSizes(9))
+	acc := NewPosteriorAccumulator(s.W, s.H, 1)
+	e.AttachAccumulator(acc)
+	e.RunN(100)
+	got := acc.Samples()
+	e.AttachAccumulator(nil)
+	e.RunN(100)
+	if acc.Samples() != got {
+		t.Fatal("detached accumulator kept sampling")
+	}
+}

@@ -1,0 +1,117 @@
+package model
+
+import "repro/internal/geom"
+
+// Config is a set of circles with stable integer IDs, O(1) uniform random
+// selection, and O(1) insert/delete. IDs are recycled via a free list, so
+// they stay small and can index side tables.
+type Config struct {
+	items []item
+	// dense holds the IDs of live circles in arbitrary order; pos[id]
+	// is the index of id within dense (or -1 when dead).
+	dense []int
+	pos   []int
+	free  []int
+}
+
+type item struct {
+	c     geom.Circle
+	alive bool
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config { return &Config{} }
+
+// Len returns the number of live circles.
+func (cf *Config) Len() int { return len(cf.dense) }
+
+// Add inserts a circle and returns its ID.
+func (cf *Config) Add(c geom.Circle) int {
+	var id int
+	if n := len(cf.free); n > 0 {
+		id = cf.free[n-1]
+		cf.free = cf.free[:n-1]
+		cf.items[id] = item{c: c, alive: true}
+	} else {
+		id = len(cf.items)
+		cf.items = append(cf.items, item{c: c, alive: true})
+		cf.pos = append(cf.pos, -1)
+	}
+	cf.pos[id] = len(cf.dense)
+	cf.dense = append(cf.dense, id)
+	return id
+}
+
+// Remove deletes the circle with the given ID. It panics on a dead or
+// unknown ID — callers hold the ID they were given by Add, so a miss is a
+// logic error, not an input error.
+func (cf *Config) Remove(id int) {
+	cf.mustAlive(id)
+	// Swap-delete from the dense list.
+	p := cf.pos[id]
+	last := len(cf.dense) - 1
+	moved := cf.dense[last]
+	cf.dense[p] = moved
+	cf.pos[moved] = p
+	cf.dense = cf.dense[:last]
+	cf.pos[id] = -1
+	cf.items[id].alive = false
+	cf.free = append(cf.free, id)
+}
+
+// Get returns the circle with the given ID.
+func (cf *Config) Get(id int) geom.Circle {
+	cf.mustAlive(id)
+	return cf.items[id].c
+}
+
+// Update replaces the circle stored under id.
+func (cf *Config) Update(id int, c geom.Circle) {
+	cf.mustAlive(id)
+	cf.items[id].c = c
+}
+
+// Alive reports whether id refers to a live circle.
+func (cf *Config) Alive(id int) bool {
+	return id >= 0 && id < len(cf.items) && cf.items[id].alive
+}
+
+func (cf *Config) mustAlive(id int) {
+	if !cf.Alive(id) {
+		panic("model: access to dead or unknown circle ID")
+	}
+}
+
+// IDAt returns the ID stored at position i of the dense list; combined
+// with Len it supports uniform random selection:
+//
+//	id := cfg.IDAt(rng.Intn(cfg.Len()))
+func (cf *Config) IDAt(i int) int { return cf.dense[i] }
+
+// ForEach calls fn for every live circle. The callback must not add or
+// remove circles.
+func (cf *Config) ForEach(fn func(id int, c geom.Circle)) {
+	for _, id := range cf.dense {
+		fn(id, cf.items[id].c)
+	}
+}
+
+// Circles returns a copy of all live circles in unspecified order.
+func (cf *Config) Circles() []geom.Circle {
+	out := make([]geom.Circle, 0, len(cf.dense))
+	for _, id := range cf.dense {
+		out = append(out, cf.items[id].c)
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no storage with the original.
+func (cf *Config) Clone() *Config {
+	out := &Config{
+		items: append([]item(nil), cf.items...),
+		dense: append([]int(nil), cf.dense...),
+		pos:   append([]int(nil), cf.pos...),
+		free:  append([]int(nil), cf.free...),
+	}
+	return out
+}

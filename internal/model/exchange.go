@@ -1,0 +1,194 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// LikDeltaMulti returns the relative log-likelihood change from removing
+// the circles in removed and adding those in added, in one read-only pass
+// over the union of their bounding boxes. It generalises LikDeltaAdd /
+// LikDeltaRemove / LikDeltaMove to arbitrary exchanges (split, merge).
+func LikDeltaMulti(gain []float64, cover []int32, w, h int, removed, added []geom.Circle) float64 {
+	if len(removed) == 0 && len(added) == 0 {
+		return 0
+	}
+	// Union bounding box.
+	x0, y0, x1, y1 := w, h, 0, 0
+	span := func(c geom.Circle) {
+		cx0, cy0, cx1, cy1 := discSpan(w, h, c)
+		x0, y0 = minInt(x0, cx0), minInt(y0, cy0)
+		x1, y1 = maxInt(x1, cx1), maxInt(y1, cy1)
+	}
+	for _, c := range removed {
+		span(c)
+	}
+	for _, c := range added {
+		span(c)
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	delta := 0.0
+	for y := y0; y < y1; y++ {
+		cy := float64(y) + 0.5
+		row := y * w
+		for x := x0; x < x1; x++ {
+			cx := float64(x) + 0.5
+			var dRem, dAdd int32
+			for _, c := range removed {
+				dx, dy := cx-c.X, cy-c.Y
+				if dx*dx+dy*dy <= c.R*c.R {
+					dRem++
+				}
+			}
+			for _, c := range added {
+				dx, dy := cx-c.X, cy-c.Y
+				if dx*dx+dy*dy <= c.R*c.R {
+					dAdd++
+				}
+			}
+			if dRem == 0 && dAdd == 0 {
+				continue
+			}
+			oldCovered := cover[row+x] > 0
+			newCovered := cover[row+x]-dRem+dAdd > 0
+			switch {
+			case newCovered && !oldCovered:
+				delta += gain[row+x]
+			case oldCovered && !newCovered:
+				delta -= gain[row+x]
+			}
+		}
+	}
+	return delta
+}
+
+// EvalExchange returns the posterior delta of atomically removing the
+// circles with the given IDs and adding the circles in added. Read-only.
+// It returns dPrior = -Inf when any added circle violates the prior
+// support (position outside the image or radius outside the truncation
+// range).
+func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrior float64) {
+	removed := make([]geom.Circle, len(removedIDs))
+	for i, id := range removedIDs {
+		removed[i] = s.Cfg.Get(id)
+	}
+
+	// Support checks first: an invalid proposal needs no likelihood work.
+	for _, c := range added {
+		if !s.validPosition(c) || c.R < s.P.MinRadius || c.R > s.P.MaxRadius {
+			return 0, math.Inf(-1)
+		}
+	}
+
+	m := len(added) - len(removedIDs)
+	// Count term (unordered-configuration density, see state.go): λ^m.
+	dPrior = float64(m) * math.Log(s.P.Lambda)
+	// Position term: each circle carries density 1/A.
+	dPrior -= float64(m) * s.logArea
+	// Radius terms.
+	for _, c := range added {
+		dPrior += s.P.LogRadiusPDF(c.R)
+	}
+	for _, c := range removed {
+		dPrior -= s.P.LogRadiusPDF(c.R)
+	}
+
+	// Overlap delta. Terms involving only untouched circles cancel.
+	isRemoved := func(id int) bool {
+		for _, rid := range removedIDs {
+			if rid == id {
+				return true
+			}
+		}
+		return false
+	}
+	dOverlap := 0.0
+	for _, c := range added {
+		s.Index.QueryCircle(c, func(id int) bool {
+			if !isRemoved(id) {
+				dOverlap += c.OverlapArea(s.Cfg.Get(id))
+			}
+			return true
+		})
+	}
+	for i, a := range added {
+		for _, b := range added[i+1:] {
+			dOverlap += a.OverlapArea(b)
+		}
+	}
+	for i, c := range removed {
+		s.Index.QueryCircle(c, func(id int) bool {
+			if !isRemoved(id) {
+				dOverlap -= c.OverlapArea(s.Cfg.Get(id))
+			}
+			return true
+		})
+		for _, b := range removed[i+1:] {
+			dOverlap -= c.OverlapArea(b)
+		}
+	}
+	dPrior -= s.P.OverlapPenalty * dOverlap
+
+	dLik = LikDeltaMulti(s.Gain, s.Cover, s.W, s.H, removed, added)
+	return dLik, dPrior
+}
+
+// ApplyExchange performs the exchange evaluated by EvalExchange and
+// returns the IDs of the added circles.
+func (s *State) ApplyExchange(removedIDs []int, added []geom.Circle, dLik, dPrior float64) []int {
+	for _, id := range removedIDs {
+		c := s.Cfg.Get(id)
+		CoverAdd(s.Cover, s.W, s.H, c, -1)
+		s.Index.Remove(id, c.X, c.Y)
+		s.Cfg.Remove(id)
+	}
+	ids := make([]int, len(added))
+	for i, c := range added {
+		CoverAdd(s.Cover, s.W, s.H, c, +1)
+		ids[i] = s.Cfg.Add(c)
+		s.Index.Insert(ids[i], c.X, c.Y)
+	}
+	s.logLik += dLik
+	s.logPrior += dPrior
+	return ids
+}
+
+// CountNear returns the number of live circles other than exclude whose
+// centre lies within dist of (x, y). The merge move uses it for partner
+// counts in its proposal densities.
+func (s *State) CountNear(x, y, dist float64, exclude int) int {
+	n := 0
+	s.Index.QueryRect(geom.Rect{
+		X0: x - dist, Y0: y - dist, X1: x + dist, Y1: y + dist,
+	}, func(id int) bool {
+		if id != exclude {
+			c := s.Cfg.Get(id)
+			if math.Hypot(c.X-x, c.Y-y) < dist {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// PartnersNear returns the IDs of live circles other than exclude whose
+// centres lie within dist of (x, y).
+func (s *State) PartnersNear(x, y, dist float64, exclude int) []int {
+	var ids []int
+	s.Index.QueryRect(geom.Rect{
+		X0: x - dist, Y0: y - dist, X1: x + dist, Y1: y + dist,
+	}, func(id int) bool {
+		if id != exclude {
+			c := s.Cfg.Get(id)
+			if math.Hypot(c.X-x, c.Y-y) < dist {
+				ids = append(ids, id)
+			}
+		}
+		return true
+	})
+	return ids
+}

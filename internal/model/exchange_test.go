@@ -1,0 +1,195 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// randCircle draws a circle inside the image with a prior-supported
+// radius.
+func randCircle(r *rng.RNG, s *State) geom.Circle {
+	return geom.Circle{
+		X: r.Uniform(0, float64(s.W)),
+		Y: r.Uniform(0, float64(s.H)),
+		R: r.Uniform(s.P.MinRadius, s.P.MaxRadius),
+	}
+}
+
+func seedCircles(t *testing.T, s *State, r *rng.RNG, n int) []int {
+	t.Helper()
+	ids := make([]int, 0, n)
+	for len(ids) < n {
+		c := randCircle(r, s)
+		dl, dp := s.EvalAdd(c)
+		if math.IsInf(dp, -1) {
+			continue
+		}
+		ids = append(ids, s.ApplyAdd(c, dl, dp))
+	}
+	return ids
+}
+
+// EvalExchange of a single addition must agree with EvalAdd, and of a
+// single removal with EvalRemove.
+func TestExchangeAgreesWithSingleOps(t *testing.T) {
+	s := newTestState(t, 96, 96, 31)
+	r := rng.New(5)
+	seedCircles(t, s, r, 6)
+	for trial := 0; trial < 200; trial++ {
+		c := randCircle(r, s)
+		aLik, aPrior := s.EvalAdd(c)
+		xLik, xPrior := s.EvalExchange(nil, []geom.Circle{c})
+		if math.Abs(aLik-xLik) > 1e-9 || math.Abs(aPrior-xPrior) > 1e-9 {
+			t.Fatalf("add vs exchange mismatch: (%v,%v) vs (%v,%v)", aLik, aPrior, xLik, xPrior)
+		}
+		id := s.Cfg.IDAt(r.Intn(s.Cfg.Len()))
+		rLik, rPrior := s.EvalRemove(id)
+		xLik, xPrior = s.EvalExchange([]int{id}, nil)
+		if math.Abs(rLik-xLik) > 1e-9 || math.Abs(rPrior-xPrior) > 1e-9 {
+			t.Fatalf("remove vs exchange mismatch: (%v,%v) vs (%v,%v)", rLik, rPrior, xLik, xPrior)
+		}
+	}
+}
+
+// Applying an exchange and then the exact reverse exchange must restore
+// the posterior and keep every cache consistent.
+func TestExchangeRoundTrip(t *testing.T) {
+	s := newTestState(t, 96, 96, 32)
+	r := rng.New(6)
+	seedCircles(t, s, r, 8)
+	for trial := 0; trial < 100; trial++ {
+		before := s.LogPost()
+		// Replace two random circles with one, then undo.
+		i := s.Cfg.IDAt(r.Intn(s.Cfg.Len()))
+		j := i
+		for j == i {
+			j = s.Cfg.IDAt(r.Intn(s.Cfg.Len()))
+		}
+		ci, cj := s.Cfg.Get(i), s.Cfg.Get(j)
+		merged := randCircle(r, s)
+		dl, dp := s.EvalExchange([]int{i, j}, []geom.Circle{merged})
+		if math.IsInf(dp, -1) {
+			continue
+		}
+		newIDs := s.ApplyExchange([]int{i, j}, []geom.Circle{merged}, dl, dp)
+		if len(newIDs) != 1 {
+			t.Fatalf("got %d new IDs", len(newIDs))
+		}
+		rl, rp := s.EvalExchange(newIDs, []geom.Circle{ci, cj})
+		if math.Abs(dl+rl) > 1e-6 || math.Abs(dp+rp) > 1e-6 {
+			t.Fatalf("exchange deltas not inverse: %v+%v, %v+%v", dl, rl, dp, rp)
+		}
+		s.ApplyExchange(newIDs, []geom.Circle{ci, cj}, rl, rp)
+		if math.Abs(s.LogPost()-before) > 1e-6 {
+			t.Fatalf("posterior not restored: %v vs %v", s.LogPost(), before)
+		}
+	}
+	likErr, priorErr, coverOK := s.CheckConsistency()
+	if likErr > 1e-6 || priorErr > 1e-6 || !coverOK {
+		t.Fatalf("inconsistent after exchange roundtrips: %v %v %v", likErr, priorErr, coverOK)
+	}
+}
+
+// LikDeltaMulti must agree with sequentially composed single-circle
+// operations actually applied to a scratch state.
+func TestLikDeltaMultiMatchesComposition(t *testing.T) {
+	s := newTestState(t, 96, 96, 33)
+	r := rng.New(7)
+	ids := seedCircles(t, s, r, 6)
+	for trial := 0; trial < 100; trial++ {
+		// Random exchange: remove up to 2, add up to 2.
+		nRem := 1 + r.Intn(2)
+		nAdd := 1 + r.Intn(2)
+		remIDs := make([]int, 0, nRem)
+		for _, k := range r.Perm(len(ids))[:nRem] {
+			remIDs = append(remIDs, ids[k])
+		}
+		var added []geom.Circle
+		for i := 0; i < nAdd; i++ {
+			added = append(added, randCircle(r, s))
+		}
+		got := LikDeltaMulti(s.Gain, s.Cover, s.W, s.H, circlesOf(s, remIDs), added)
+
+		// Compose on scratch copies of the cover buffer.
+		cover := append([]int32(nil), s.Cover...)
+		want := 0.0
+		for _, id := range remIDs {
+			c := s.Cfg.Get(id)
+			want += LikDeltaRemove(s.Gain, cover, s.W, s.H, c)
+			CoverAdd(cover, s.W, s.H, c, -1)
+		}
+		for _, c := range added {
+			want += LikDeltaAdd(s.Gain, cover, s.W, s.H, c)
+			CoverAdd(cover, s.W, s.H, c, +1)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("LikDeltaMulti = %v, composed = %v", got, want)
+		}
+	}
+}
+
+func circlesOf(s *State, ids []int) []geom.Circle {
+	out := make([]geom.Circle, len(ids))
+	for i, id := range ids {
+		out[i] = s.Cfg.Get(id)
+	}
+	return out
+}
+
+// Disjoint-box moves (the replace fix) must agree with the general path
+// and stay O(discs): verify delta correctness for far-apart relocations.
+func TestLikDeltaMoveDisjointBoxes(t *testing.T) {
+	s := newTestState(t, 128, 128, 34)
+	r := rng.New(8)
+	seedCircles(t, s, r, 4)
+	for trial := 0; trial < 200; trial++ {
+		id := s.Cfg.IDAt(r.Intn(s.Cfg.Len()))
+		oldC := s.Cfg.Get(id)
+		// Far corner relocation: bounding boxes disjoint.
+		newC := geom.Circle{
+			X: math.Mod(oldC.X+64, 128), Y: math.Mod(oldC.Y+64, 128),
+			R: r.Uniform(s.P.MinRadius, s.P.MaxRadius),
+		}
+		got := LikDeltaMove(s.Gain, s.Cover, s.W, s.H, oldC, newC)
+		// Compose remove+add on a scratch buffer.
+		cover := append([]int32(nil), s.Cover...)
+		want := LikDeltaRemove(s.Gain, cover, s.W, s.H, oldC)
+		CoverAdd(cover, s.W, s.H, oldC, -1)
+		want += LikDeltaAdd(s.Gain, cover, s.W, s.H, newC)
+		CoverAdd(cover, s.W, s.H, newC, +1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("disjoint move delta %v, composed %v", got, want)
+		}
+		// And CoverMove must equal the composition.
+		cm := append([]int32(nil), s.Cover...)
+		CoverMove(cm, s.W, s.H, oldC, newC)
+		for k := range cm {
+			if cm[k] != cover[k] {
+				t.Fatal("CoverMove disagrees with remove+add composition")
+			}
+		}
+	}
+}
+
+func TestCountNearAndPartners(t *testing.T) {
+	s := newTestState(t, 96, 96, 35)
+	for _, c := range []geom.Circle{
+		{X: 30, Y: 30, R: 6}, {X: 36, Y: 30, R: 6}, {X: 80, Y: 80, R: 6},
+	} {
+		dl, dp := s.EvalAdd(c)
+		s.ApplyAdd(c, dl, dp)
+	}
+	first := s.Cfg.IDAt(0)
+	c := s.Cfg.Get(first)
+	got := s.CountNear(c.X, c.Y, 15, first)
+	want := len(s.PartnersNear(c.X, c.Y, 15, first))
+	if got != want {
+		t.Fatalf("CountNear %d != len(PartnersNear) %d", got, want)
+	}
+	if n := s.CountNear(5, 5, 3, -1); n != 0 {
+		t.Fatalf("empty neighbourhood count = %d", n)
+	}
+}

@@ -1,0 +1,133 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// BucketIndex is a uniform-bucket spatial index over circle centres. It
+// answers "which circles could overlap this region?" in O(buckets touched)
+// and is the structure behind merge-candidate search and overlap-penalty
+// neighbour scans.
+//
+// Entries are stored by centre only; queries must therefore expand their
+// rectangle by the maximum circle radius to be conservative. QueryCircle
+// does this automatically.
+type BucketIndex struct {
+	bounds    geom.Rect
+	cell      float64
+	nx, ny    int
+	buckets   [][]int
+	maxRadius float64
+}
+
+// NewBucketIndex creates an index over bounds for circles with radii up to
+// maxRadius. The bucket size is derived from maxRadius so neighbour
+// queries touch a small constant number of buckets.
+func NewBucketIndex(bounds geom.Rect, maxRadius float64) *BucketIndex {
+	if bounds.Empty() {
+		panic("model: index over empty bounds")
+	}
+	if maxRadius <= 0 {
+		panic("model: index needs positive maxRadius")
+	}
+	cell := math.Max(2*maxRadius, 4)
+	nx := int(math.Ceil(bounds.W()/cell)) + 1
+	ny := int(math.Ceil(bounds.H()/cell)) + 1
+	return &BucketIndex{
+		bounds:    bounds,
+		cell:      cell,
+		nx:        nx,
+		ny:        ny,
+		buckets:   make([][]int, nx*ny),
+		maxRadius: maxRadius,
+	}
+}
+
+func (ix *BucketIndex) bucketOf(x, y float64) int {
+	bx := int((x - ix.bounds.X0) / ix.cell)
+	by := int((y - ix.bounds.Y0) / ix.cell)
+	bx = clampIdx(bx, 0, ix.nx-1)
+	by = clampIdx(by, 0, ix.ny-1)
+	return by*ix.nx + bx
+}
+
+func clampIdx(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Insert adds id at centre (x, y).
+func (ix *BucketIndex) Insert(id int, x, y float64) {
+	b := ix.bucketOf(x, y)
+	ix.buckets[b] = append(ix.buckets[b], id)
+}
+
+// Remove deletes id, which must have been inserted at centre (x, y). It
+// panics if the entry is missing — that indicates corrupted bookkeeping.
+func (ix *BucketIndex) Remove(id int, x, y float64) {
+	b := ix.bucketOf(x, y)
+	lst := ix.buckets[b]
+	for i, v := range lst {
+		if v == id {
+			lst[i] = lst[len(lst)-1]
+			ix.buckets[b] = lst[:len(lst)-1]
+			return
+		}
+	}
+	panic("model: BucketIndex.Remove of absent entry")
+}
+
+// Move relocates id from the old centre to the new one.
+func (ix *BucketIndex) Move(id int, oldX, oldY, newX, newY float64) {
+	ob, nb := ix.bucketOf(oldX, oldY), ix.bucketOf(newX, newY)
+	if ob == nb {
+		return
+	}
+	ix.Remove(id, oldX, oldY)
+	ix.Insert(id, newX, newY)
+}
+
+// QueryRect calls fn for every indexed ID whose centre might lie in rect.
+// Duplicates are impossible (each ID lives in exactly one bucket); false
+// positives are possible, so callers must re-filter by exact geometry.
+// Iteration stops early if fn returns false.
+func (ix *BucketIndex) QueryRect(rect geom.Rect, fn func(id int) bool) {
+	x0 := clampIdx(int((rect.X0-ix.bounds.X0)/ix.cell), 0, ix.nx-1)
+	y0 := clampIdx(int((rect.Y0-ix.bounds.Y0)/ix.cell), 0, ix.ny-1)
+	x1 := clampIdx(int((rect.X1-ix.bounds.X0)/ix.cell), 0, ix.nx-1)
+	y1 := clampIdx(int((rect.Y1-ix.bounds.Y0)/ix.cell), 0, ix.ny-1)
+	for by := y0; by <= y1; by++ {
+		for bx := x0; bx <= x1; bx++ {
+			for _, id := range ix.buckets[by*ix.nx+bx] {
+				if !fn(id) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// QueryCircle calls fn for every ID whose circle could intersect c,
+// assuming all indexed circles have radius <= maxRadius.
+func (ix *BucketIndex) QueryCircle(c geom.Circle, fn func(id int) bool) {
+	pad := c.R + ix.maxRadius
+	ix.QueryRect(geom.Rect{
+		X0: c.X - pad, Y0: c.Y - pad, X1: c.X + pad, Y1: c.Y + pad,
+	}, fn)
+}
+
+// Len returns the number of indexed entries (for tests).
+func (ix *BucketIndex) Len() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}

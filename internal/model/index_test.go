@@ -1,0 +1,135 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestIndexInsertQuery(t *testing.T) {
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 10)
+	ix.Insert(1, 50, 50)
+	ix.Insert(2, 10, 10)
+	found := map[int]bool{}
+	ix.QueryRect(geom.Rect{X0: 40, Y0: 40, X1: 60, Y1: 60}, func(id int) bool {
+		found[id] = true
+		return true
+	})
+	if !found[1] {
+		t.Fatal("entry at (50,50) not found")
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 10)
+	ix.Insert(1, 50, 50)
+	ix.Remove(1, 50, 50)
+	if ix.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestIndexRemoveAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 10)
+	ix.Remove(7, 50, 50)
+}
+
+func TestIndexQueryCircleBruteForce(t *testing.T) {
+	const maxR = 8
+	bounds := geom.Rect{X1: 200, Y1: 150}
+	ix := NewBucketIndex(bounds, maxR)
+	r := rng.New(2)
+	var circles []geom.Circle
+	for i := 0; i < 200; i++ {
+		c := geom.Circle{
+			X: r.Uniform(0, 200), Y: r.Uniform(0, 150),
+			R: r.Uniform(1, maxR),
+		}
+		circles = append(circles, c)
+		ix.Insert(i, c.X, c.Y)
+	}
+	for trial := 0; trial < 500; trial++ {
+		q := geom.Circle{X: r.Uniform(0, 200), Y: r.Uniform(0, 150), R: r.Uniform(1, maxR)}
+		got := map[int]bool{}
+		ix.QueryCircle(q, func(id int) bool { got[id] = true; return true })
+		// Every circle that truly intersects q must be returned (no
+		// false negatives; false positives are allowed).
+		for i, c := range circles {
+			if q.Intersects(c) && !got[i] {
+				t.Fatalf("missed intersecting circle %d: q=%+v c=%+v", i, q, c)
+			}
+		}
+	}
+}
+
+func TestIndexMove(t *testing.T) {
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 5)
+	ix.Insert(1, 10, 10)
+	ix.Move(1, 10, 10, 90, 90)
+	found := false
+	ix.QueryRect(geom.Rect{X0: 85, Y0: 85, X1: 95, Y1: 95}, func(id int) bool {
+		found = id == 1
+		return true
+	})
+	if !found {
+		t.Fatal("moved entry not found at new location")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after move", ix.Len())
+	}
+}
+
+func TestIndexMoveWithinBucket(t *testing.T) {
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 10)
+	ix.Insert(1, 10, 10)
+	ix.Move(1, 10, 10, 11, 11) // same bucket
+	if ix.Len() != 1 {
+		t.Fatal("within-bucket move corrupted index")
+	}
+}
+
+func TestIndexEarlyStop(t *testing.T) {
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 50)
+	for i := 0; i < 10; i++ {
+		ix.Insert(i, 50, 50)
+	}
+	calls := 0
+	ix.QueryRect(geom.Rect{X1: 100, Y1: 100}, func(id int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestIndexEdgeCoordinates(t *testing.T) {
+	ix := NewBucketIndex(geom.Rect{X1: 100, Y1: 100}, 10)
+	// Coordinates on/past the boundary must clamp, not panic.
+	ix.Insert(1, 100, 100)
+	ix.Insert(2, -5, -5)
+	ix.Remove(1, 100, 100)
+	ix.Remove(2, -5, -5)
+}
+
+func TestIndexPanicsOnBadConstruction(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty bounds": func() { NewBucketIndex(geom.Rect{}, 5) },
+		"zero radius":  func() { NewBucketIndex(geom.Rect{X1: 1, Y1: 1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,200 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// The likelihood primitives below operate on two flat buffers shared by
+// all engines:
+//
+//   - gain: per-pixel log-likelihood gain of being covered (Params.
+//     PixelGain applied to the filtered image), immutable after setup;
+//   - cover: per-pixel count of circles covering the pixel, mutated as
+//     circles are added, removed or moved.
+//
+// A pixel contributes its gain exactly when cover > 0, so the relative
+// log-likelihood is Σ_{cover>0} gain. All functions touch only pixels
+// inside the bounding box of the circle(s) involved, which is what makes
+// local moves partition-parallel: workers whose circles live in disjoint
+// regions mutate disjoint slices of cover.
+//
+// A pixel (x, y) is covered by circle c when its centre (x+0.5, y+0.5)
+// lies inside c. This matches the renderer's definition closely enough
+// that the likelihood is sharp at the true configuration.
+
+// discSpan returns the clipped integer pixel range of c's bounding box.
+func discSpan(w, h int, c geom.Circle) (x0, y0, x1, y1 int) {
+	x0 = clampIdx(int(math.Floor(c.X-c.R-0.5)), 0, w)
+	y0 = clampIdx(int(math.Floor(c.Y-c.R-0.5)), 0, h)
+	x1 = clampIdx(int(math.Ceil(c.X+c.R+0.5)), 0, w)
+	y1 = clampIdx(int(math.Ceil(c.Y+c.R+0.5)), 0, h)
+	return
+}
+
+// LikDeltaAdd returns the change in relative log-likelihood from adding
+// circle c, given the current coverage. Read-only.
+func LikDeltaAdd(gain []float64, cover []int32, w, h int, c geom.Circle) float64 {
+	x0, y0, x1, y1 := discSpan(w, h, c)
+	r2 := c.R * c.R
+	delta := 0.0
+	for y := y0; y < y1; y++ {
+		dy := float64(y) + 0.5 - c.Y
+		dy2 := dy * dy
+		row := y * w
+		for x := x0; x < x1; x++ {
+			dx := float64(x) + 0.5 - c.X
+			if dx*dx+dy2 <= r2 && cover[row+x] == 0 {
+				delta += gain[row+x]
+			}
+		}
+	}
+	return delta
+}
+
+// LikDeltaRemove returns the change in relative log-likelihood from
+// removing circle c (which must currently be part of the coverage).
+func LikDeltaRemove(gain []float64, cover []int32, w, h int, c geom.Circle) float64 {
+	x0, y0, x1, y1 := discSpan(w, h, c)
+	r2 := c.R * c.R
+	delta := 0.0
+	for y := y0; y < y1; y++ {
+		dy := float64(y) + 0.5 - c.Y
+		dy2 := dy * dy
+		row := y * w
+		for x := x0; x < x1; x++ {
+			dx := float64(x) + 0.5 - c.X
+			if dx*dx+dy2 <= r2 && cover[row+x] == 1 {
+				delta -= gain[row+x]
+			}
+		}
+	}
+	return delta
+}
+
+// LikDeltaMove returns the change in relative log-likelihood from
+// replacing old with new (old must be covered). Overlapping bounding
+// boxes are visited once as a union; disjoint boxes (the replace move
+// relocates circles across the whole image) are processed separately so
+// the cost is O(area of the two discs), never O(image).
+func LikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.Circle) float64 {
+	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
+	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
+	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
+		// Disjoint pixel regions: the removal and addition cannot
+		// interact, so evaluate them separately. LikDeltaAdd must see
+		// the coverage without oldC's contribution, but oldC's disc
+		// does not reach newC's box, so the buffers agree there.
+		return LikDeltaRemove(gain, cover, w, h, oldC) +
+			LikDeltaAdd(gain, cover, w, h, newC)
+	}
+	x0, y0 := minInt(ox0, nx0), minInt(oy0, ny0)
+	x1, y1 := maxInt(ox1, nx1), maxInt(oy1, ny1)
+	or2 := oldC.R * oldC.R
+	nr2 := newC.R * newC.R
+	delta := 0.0
+	for y := y0; y < y1; y++ {
+		cy := float64(y) + 0.5
+		ody := cy - oldC.Y
+		ndy := cy - newC.Y
+		ody2, ndy2 := ody*ody, ndy*ndy
+		row := y * w
+		for x := x0; x < x1; x++ {
+			cx := float64(x) + 0.5
+			odx := cx - oldC.X
+			ndx := cx - newC.X
+			inOld := odx*odx+ody2 <= or2
+			inNew := ndx*ndx+ndy2 <= nr2
+			switch {
+			case inOld == inNew:
+				// Coverage by this circle unchanged.
+			case inNew: // gained
+				if cover[row+x] == 0 {
+					delta += gain[row+x]
+				}
+			default: // lost
+				if cover[row+x] == 1 {
+					delta -= gain[row+x]
+				}
+			}
+		}
+	}
+	return delta
+}
+
+// CoverAdd adjusts the coverage counts for circle c by d (+1 to add the
+// circle, -1 to remove it). It panics if a count would go negative — that
+// means the caller's bookkeeping desynchronised.
+func CoverAdd(cover []int32, w, h int, c geom.Circle, d int32) {
+	x0, y0, x1, y1 := discSpan(w, h, c)
+	r2 := c.R * c.R
+	for y := y0; y < y1; y++ {
+		dy := float64(y) + 0.5 - c.Y
+		dy2 := dy * dy
+		row := y * w
+		for x := x0; x < x1; x++ {
+			dx := float64(x) + 0.5 - c.X
+			if dx*dx+dy2 <= r2 {
+				cover[row+x] += d
+				if cover[row+x] < 0 {
+					panic("model: negative coverage count")
+				}
+			}
+		}
+	}
+}
+
+// CoverMove updates the coverage for a move from old to new in one pass
+// over the union bounding box, or two passes when the boxes are disjoint
+// (so relocation moves never scan the space between the discs).
+func CoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
+	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
+	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
+	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
+		CoverAdd(cover, w, h, oldC, -1)
+		CoverAdd(cover, w, h, newC, +1)
+		return
+	}
+	x0, y0 := minInt(ox0, nx0), minInt(oy0, ny0)
+	x1, y1 := maxInt(ox1, nx1), maxInt(oy1, ny1)
+	or2 := oldC.R * oldC.R
+	nr2 := newC.R * newC.R
+	for y := y0; y < y1; y++ {
+		cy := float64(y) + 0.5
+		ody := cy - oldC.Y
+		ndy := cy - newC.Y
+		ody2, ndy2 := ody*ody, ndy*ndy
+		row := y * w
+		for x := x0; x < x1; x++ {
+			cx := float64(x) + 0.5
+			odx := cx - oldC.X
+			ndx := cx - newC.X
+			inOld := odx*odx+ody2 <= or2
+			inNew := ndx*ndx+ndy2 <= nr2
+			switch {
+			case inOld && !inNew:
+				cover[row+x]--
+				if cover[row+x] < 0 {
+					panic("model: negative coverage count")
+				}
+			case inNew && !inOld:
+				cover[row+x]++
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+// Package model implements the case-study posterior of §III: a marked
+// point process of circles over a filtered grayscale image, with a Poisson
+// count prior, truncated-Normal radius prior, pairwise overlap penalty and
+// a two-level Gaussian pixel likelihood.
+//
+// The package exposes two layers:
+//
+//   - Primitive delta evaluators (LikDeltaAdd, LikDeltaMove, CoverAdd, ...)
+//     that operate on raw gain/coverage buffers. The parallel engines call
+//     these directly from partition workers, which own disjoint pixel
+//     regions of the shared buffers.
+//   - State, a cached full configuration (circles + coverage + running
+//     log-posterior + spatial index) used by the sequential engine and as
+//     the merge target for parallel phases. State.Recompute provides the
+//     ground truth that every incremental path is tested against.
+package model
+
+import (
+	"math"
+)
+
+// Params collects the prior and likelihood hyper-parameters of the
+// posterior. The zero value is not usable; call Validate (or construct via
+// DefaultParams) before use.
+type Params struct {
+	// Lambda is the expected artifact count (Poisson prior). The paper
+	// obtains it from prior knowledge or from the eq. 5 estimate.
+	Lambda float64
+
+	// Radius prior: TruncNormal(MeanRadius, RadiusStdDev) on
+	// [MinRadius, MaxRadius].
+	MeanRadius   float64
+	RadiusStdDev float64
+	MinRadius    float64
+	MaxRadius    float64
+
+	// OverlapPenalty is γ in the prior term exp(-γ · Σ pairwise overlap
+	// area): the "degree to which overlap is tolerated" (§III).
+	OverlapPenalty float64
+
+	// Likelihood: pixels are N(Foreground, Noise²) where covered and
+	// N(Background, Noise²) elsewhere.
+	Foreground float64
+	Background float64
+	Noise      float64
+}
+
+// DefaultParams returns parameters matching the synthetic scenes of
+// imaging.SceneSpec with the given expected count and mean radius.
+func DefaultParams(lambda, meanRadius float64) Params {
+	return Params{
+		Lambda:         lambda,
+		MeanRadius:     meanRadius,
+		RadiusStdDev:   meanRadius * 0.15,
+		MinRadius:      meanRadius * 0.4,
+		MaxRadius:      meanRadius * 1.8,
+		OverlapPenalty: 0.5,
+		Foreground:     0.9,
+		Background:     0.1,
+		Noise:          0.15,
+	}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.Lambda <= 0:
+		return errParams("Lambda must be positive")
+	case p.MeanRadius <= 0:
+		return errParams("MeanRadius must be positive")
+	case p.RadiusStdDev <= 0:
+		return errParams("RadiusStdDev must be positive")
+	case p.MinRadius <= 0 || p.MaxRadius <= p.MinRadius:
+		return errParams("need 0 < MinRadius < MaxRadius")
+	case p.Noise <= 0:
+		return errParams("Noise must be positive")
+	case p.OverlapPenalty < 0:
+		return errParams("OverlapPenalty must be non-negative")
+	case p.Foreground <= p.Background:
+		return errParams("Foreground must exceed Background")
+	}
+	return nil
+}
+
+type errParams string
+
+func (e errParams) Error() string { return "model: invalid params: " + string(e) }
+
+// LogRadiusPDF returns the log density of the truncated-Normal radius
+// prior at r, including normalisation (needed for dimension-changing
+// moves, where the constants do not cancel). It returns -Inf outside
+// [MinRadius, MaxRadius].
+func (p Params) LogRadiusPDF(r float64) float64 {
+	if r < p.MinRadius || r > p.MaxRadius {
+		return math.Inf(-1)
+	}
+	z := (r - p.MeanRadius) / p.RadiusStdDev
+	logNorm := -0.5*math.Log(2*math.Pi) - math.Log(p.RadiusStdDev)
+	// Truncation mass Φ(b)-Φ(a).
+	a := (p.MinRadius - p.MeanRadius) / p.RadiusStdDev
+	b := (p.MaxRadius - p.MeanRadius) / p.RadiusStdDev
+	mass := 0.5 * (math.Erf(b/math.Sqrt2) - math.Erf(a/math.Sqrt2))
+	if mass <= 0 {
+		return math.Inf(-1)
+	}
+	return -0.5*z*z + logNorm - math.Log(mass)
+}
+
+// PixelGain returns the log-likelihood gain from covering a pixel of
+// intensity v:
+//
+//	log N(v; fg, σ) − log N(v; bg, σ) = [(v−bg)² − (v−fg)²] / (2σ²).
+//
+// The total (relative) log-likelihood of a configuration is the sum of
+// PixelGain over covered pixels; everything else is an additive constant.
+func (p Params) PixelGain(v float64) float64 {
+	db := v - p.Background
+	df := v - p.Foreground
+	return (db*db - df*df) / (2 * p.Noise * p.Noise)
+}
+
+// LocalityMargin returns the halo distance (in pixels) beyond a circle's
+// radius within which its prior/likelihood evaluation can depend on other
+// image content: MaxRadius for the pairwise overlap term plus one pixel of
+// antialiasing slack. §V uses this to decide which features a partition
+// worker may modify.
+func (p Params) LocalityMargin() float64 { return p.MaxRadius + 1 }

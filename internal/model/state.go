@@ -1,0 +1,281 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+)
+
+// State is a full posterior evaluation context: the filtered image's gain
+// buffer, the live configuration, per-pixel coverage counts, a spatial
+// index, and cached relative log-likelihood / log-prior. All Eval*
+// methods are read-only; the corresponding Apply* methods mutate the
+// state and keep every cache consistent.
+//
+// The cached values are *relative*: additive constants that are identical
+// for every configuration (per-pixel Gaussian normalisers, the Poisson
+// −λ term) are dropped. Ratios between configurations — all MCMC ever
+// needs — are unaffected.
+type State struct {
+	W, H int
+	P    Params
+
+	// Gain is the per-pixel log-likelihood gain of coverage; immutable
+	// after construction.
+	Gain []float64
+	// Cover holds per-pixel coverage counts. Partition workers mutate
+	// disjoint regions of this buffer during parallel local phases.
+	Cover []int32
+
+	Cfg   *Config
+	Index *BucketIndex
+
+	logLik   float64
+	logPrior float64
+	logArea  float64
+}
+
+// NewState builds a state over the filtered image with the given
+// parameters and an empty configuration.
+func NewState(img *imaging.Image, p Params) (*State, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if img.W == 0 || img.H == 0 {
+		return nil, errParams("empty image")
+	}
+	s := &State{
+		W:       img.W,
+		H:       img.H,
+		P:       p,
+		Gain:    make([]float64, img.W*img.H),
+		Cover:   make([]int32, img.W*img.H),
+		Cfg:     NewConfig(),
+		Index:   NewBucketIndex(img.Bounds(), p.MaxRadius),
+		logArea: math.Log(float64(img.W) * float64(img.H)),
+	}
+	for i, v := range img.Pix {
+		s.Gain[i] = p.PixelGain(v)
+	}
+	// Empty configuration: lik 0 (relative), prior = count term for n=0.
+	s.logPrior = 0 // 0·logλ − lgamma(1) − 0·logA = 0
+	return s, nil
+}
+
+// Bounds returns the image rectangle.
+func (s *State) Bounds() geom.Rect {
+	return geom.Rect{X1: float64(s.W), Y1: float64(s.H)}
+}
+
+// LogLik returns the cached relative log-likelihood.
+func (s *State) LogLik() float64 { return s.logLik }
+
+// LogPrior returns the cached relative log-prior.
+func (s *State) LogPrior() float64 { return s.logPrior }
+
+// LogPost returns the cached relative log-posterior.
+func (s *State) LogPost() float64 { return s.logLik + s.logPrior }
+
+// LogAreaTerm returns log(W·H), the log image area appearing in the
+// uniform position prior and in birth/death proposal densities.
+func (s *State) LogAreaTerm() float64 { return s.logArea }
+
+// AddDeltas folds externally computed deltas into the cached values. The
+// periodic engine calls this once per partition when merging a parallel
+// local phase.
+func (s *State) AddDeltas(dLik, dPrior float64) {
+	s.logLik += dLik
+	s.logPrior += dPrior
+}
+
+// validPosition reports whether the centre lies inside the image (the
+// support of the uniform position prior).
+func (s *State) validPosition(c geom.Circle) bool {
+	return c.X >= 0 && c.X < float64(s.W) && c.Y >= 0 && c.Y < float64(s.H)
+}
+
+// OverlapSum returns Σ_j overlapArea(c, j) over live circles j ≠ exclude.
+// Pass exclude = -1 to include everything.
+func (s *State) OverlapSum(c geom.Circle, exclude int) float64 {
+	total := 0.0
+	s.Index.QueryCircle(c, func(id int) bool {
+		if id != exclude {
+			total += c.OverlapArea(s.Cfg.Get(id))
+		}
+		return true
+	})
+	return total
+}
+
+// The prior is expressed as a density over *unordered* configurations
+// with respect to the measure that absorbs the 1/n! of the Poisson count
+// law (the standard convention for spatial point processes, cf. Geyer &
+// Møller):
+//
+//	log prior(θ) = n·log λ − n·log A + Σᵢ log pr(rᵢ) − γ·Σᵢ<ⱼ overlap(i,j)
+//
+// Acceptance ratios in the MCMC engine pair this with the matching
+// proposal conventions (death picks one of n circles with mass 1/n, birth
+// draws a new point with density (1/A)·pr(r)); mixing the labelled
+// density (with the lgamma term) with those conventions would break
+// detailed balance.
+
+// priorDeltaAdd returns the change in relative log-prior from adding c.
+func (s *State) priorDeltaAdd(c geom.Circle) float64 {
+	if !s.validPosition(c) {
+		return math.Inf(-1)
+	}
+	d := math.Log(s.P.Lambda)  // count term λ^{n+1}/λ^n
+	d -= s.logArea             // position term
+	d += s.P.LogRadiusPDF(c.R) // radius term
+	d -= s.P.OverlapPenalty * s.OverlapSum(c, -1)
+	return d
+}
+
+// priorDeltaRemove returns the change in relative log-prior from removing
+// circle id.
+func (s *State) priorDeltaRemove(id int) float64 {
+	c := s.Cfg.Get(id)
+	d := -math.Log(s.P.Lambda)
+	d += s.logArea
+	d -= s.P.LogRadiusPDF(c.R)
+	d += s.P.OverlapPenalty * s.OverlapSum(c, id)
+	return d
+}
+
+// EvalAdd returns the posterior delta (Δlik, Δprior) of adding c, without
+// mutating anything.
+func (s *State) EvalAdd(c geom.Circle) (dLik, dPrior float64) {
+	dPrior = s.priorDeltaAdd(c)
+	if math.IsInf(dPrior, -1) {
+		return 0, dPrior
+	}
+	dLik = LikDeltaAdd(s.Gain, s.Cover, s.W, s.H, c)
+	return dLik, dPrior
+}
+
+// ApplyAdd inserts c and updates every cache; it returns the new ID.
+// The deltas must come from a matching EvalAdd on the unchanged state.
+func (s *State) ApplyAdd(c geom.Circle, dLik, dPrior float64) int {
+	CoverAdd(s.Cover, s.W, s.H, c, +1)
+	id := s.Cfg.Add(c)
+	s.Index.Insert(id, c.X, c.Y)
+	s.logLik += dLik
+	s.logPrior += dPrior
+	return id
+}
+
+// EvalRemove returns the posterior delta of removing circle id.
+func (s *State) EvalRemove(id int) (dLik, dPrior float64) {
+	c := s.Cfg.Get(id)
+	dPrior = s.priorDeltaRemove(id)
+	dLik = LikDeltaRemove(s.Gain, s.Cover, s.W, s.H, c)
+	return dLik, dPrior
+}
+
+// ApplyRemove deletes circle id and updates every cache.
+func (s *State) ApplyRemove(id int, dLik, dPrior float64) {
+	c := s.Cfg.Get(id)
+	CoverAdd(s.Cover, s.W, s.H, c, -1)
+	s.Index.Remove(id, c.X, c.Y)
+	s.Cfg.Remove(id)
+	s.logLik += dLik
+	s.logPrior += dPrior
+}
+
+// EvalMove returns the posterior delta of replacing circle id with newC
+// (a shift and/or resize).
+func (s *State) EvalMove(id int, newC geom.Circle) (dLik, dPrior float64) {
+	oldC := s.Cfg.Get(id)
+	if !s.validPosition(newC) {
+		return 0, math.Inf(-1)
+	}
+	dPrior = s.P.LogRadiusPDF(newC.R) - s.P.LogRadiusPDF(oldC.R)
+	if math.IsInf(dPrior, -1) {
+		return 0, dPrior
+	}
+	dPrior -= s.P.OverlapPenalty * (s.OverlapSum(newC, id) - s.OverlapSum(oldC, id))
+	dLik = LikDeltaMove(s.Gain, s.Cover, s.W, s.H, oldC, newC)
+	return dLik, dPrior
+}
+
+// ApplyMove replaces circle id with newC and updates every cache.
+func (s *State) ApplyMove(id int, newC geom.Circle, dLik, dPrior float64) {
+	oldC := s.Cfg.Get(id)
+	CoverMove(s.Cover, s.W, s.H, oldC, newC)
+	s.Index.Move(id, oldC.X, oldC.Y, newC.X, newC.Y)
+	s.Cfg.Update(id, newC)
+	s.logLik += dLik
+	s.logPrior += dPrior
+}
+
+// CommitMoved records that circle id was already moved externally — its
+// coverage updates were applied directly to Cover by a partition worker —
+// and refreshes the configuration and index only. Cached totals are
+// folded in separately via AddDeltas.
+func (s *State) CommitMoved(id int, newC geom.Circle) {
+	oldC := s.Cfg.Get(id)
+	s.Index.Move(id, oldC.X, oldC.Y, newC.X, newC.Y)
+	s.Cfg.Update(id, newC)
+}
+
+// Recompute recalculates the relative log-likelihood and log-prior from
+// scratch, without touching the caches. Tests compare it against the
+// cached values to validate every incremental path.
+func (s *State) Recompute() (logLik, logPrior float64) {
+	for i, cv := range s.Cover {
+		if cv > 0 {
+			logLik += s.Gain[i]
+		}
+	}
+	n := s.Cfg.Len()
+	logPrior = float64(n)*math.Log(s.P.Lambda) - float64(n)*s.logArea
+	overlap := 0.0
+	circles := s.Cfg.Circles()
+	for i, c := range circles {
+		if !s.validPosition(c) {
+			return logLik, math.Inf(-1)
+		}
+		logPrior += s.P.LogRadiusPDF(c.R)
+		for _, o := range circles[i+1:] {
+			overlap += c.OverlapArea(o)
+		}
+	}
+	logPrior -= s.P.OverlapPenalty * overlap
+	return logLik, logPrior
+}
+
+// RecomputeCover rebuilds a coverage buffer from the configuration alone;
+// tests compare it with the incrementally maintained Cover.
+func (s *State) RecomputeCover() []int32 {
+	cover := make([]int32, len(s.Cover))
+	s.Cfg.ForEach(func(_ int, c geom.Circle) {
+		CoverAdd(cover, s.W, s.H, c, +1)
+	})
+	return cover
+}
+
+// CheckConsistency recomputes everything and reports the maximum absolute
+// cache error; tests assert it stays at floating-point noise.
+func (s *State) CheckConsistency() (likErr, priorErr float64, coverOK bool) {
+	lik, prior := s.Recompute()
+	likErr = math.Abs(lik - s.logLik)
+	priorErr = math.Abs(prior - s.logPrior)
+	coverOK = true
+	for i, v := range s.RecomputeCover() {
+		if v != s.Cover[i] {
+			coverOK = false
+			break
+		}
+	}
+	return
+}
+
+// SnapshotCircles returns a deep copy of the configuration's circles
+// keyed by ID, used by parallel workers to build private views.
+func (s *State) SnapshotCircles() map[int]geom.Circle {
+	out := make(map[int]geom.Circle, s.Cfg.Len())
+	s.Cfg.ForEach(func(id int, c geom.Circle) { out[id] = c })
+	return out
+}

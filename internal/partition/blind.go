@@ -1,0 +1,153 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+)
+
+// BlindOptions configures blind partitioning (§VIII, fig. 4).
+type BlindOptions struct {
+	// NX, NY define the simple grid ("the image is first split into
+	// four equal sized areas" uses 2×2).
+	NX, NY int
+	// Margin is the overlap extension in pixels; the paper uses 1.1×
+	// the expected artifact radius so "the largest expected artifact
+	// will fit inside".
+	Margin float64
+	// MergeRadius is the centre distance ("say 5 pixels") below which
+	// overlap-area detections from different partitions are merged by
+	// averaging.
+	MergeRadius float64
+	// KeepDisputed controls artifacts in an overlap area with no
+	// counterpart: true accepts them (avoid missing artifacts), false
+	// discards them (avoid false positives).
+	KeepDisputed bool
+}
+
+// Validate reports whether the options are usable.
+func (o BlindOptions) Validate() error {
+	if o.NX < 1 || o.NY < 1 {
+		return fmt.Errorf("partition: blind grid must be at least 1x1")
+	}
+	if o.Margin < 0 {
+		return fmt.Errorf("partition: negative overlap margin")
+	}
+	if o.MergeRadius <= 0 {
+		return fmt.Errorf("partition: MergeRadius must be positive")
+	}
+	return nil
+}
+
+// BlindResult is the outcome of a blind-partitioning run.
+type BlindResult struct {
+	// Cores are the non-overlapping grid cells; Expanded the overlap-
+	// extended regions actually processed.
+	Cores    []geom.Rect
+	Expanded []geom.Rect
+	Regions  []RegionResult
+
+	// Circles is the merged final model.
+	Circles []geom.Circle
+	// Merged counts cross-partition pairs averaged together; Disputed
+	// counts overlap-area artifacts without a counterpart.
+	Merged   int
+	Disputed int
+}
+
+// RunBlind partitions img into an overlapping grid, runs an independent
+// chain per expanded cell, then merges per the paper's procedure:
+// delete detections whose centre falls outside their own core cell, take
+// the union, and average close cross-partition pairs in the overlap
+// areas.
+func RunBlind(img *imaging.Image, cfg Config, opt BlindOptions, workers int) (BlindResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return BlindResult{}, err
+	}
+	if err := opt.Validate(); err != nil {
+		return BlindResult{}, err
+	}
+	bounds := img.Bounds()
+	cores := geom.UniformSplit(bounds, opt.NX, opt.NY)
+	expanded := make([]geom.Rect, len(cores))
+	for i, c := range cores {
+		expanded[i] = c.Expand(opt.Margin).Clip(bounds)
+	}
+	results, err := runRegions(img, expanded, cfg, workers)
+	if err != nil {
+		return BlindResult{}, err
+	}
+	res := BlindResult{Cores: cores, Expanded: expanded, Regions: results}
+
+	// Keep only detections whose centre lies in the partition's own core
+	// ("beads whose centre is not inside the dotted line ... are
+	// deleted").
+	type candidate struct {
+		c    geom.Circle
+		part int
+	}
+	var cands []candidate
+	for i, r := range results {
+		for _, c := range r.Circles {
+			if cores[i].ContainsPoint(c.X, c.Y) {
+				cands = append(cands, candidate{c: c, part: i})
+			}
+		}
+	}
+
+	// A detection is "in the overlap area" when more than one expanded
+	// region contains its centre.
+	inOverlap := func(c geom.Circle) bool {
+		n := 0
+		for _, e := range expanded {
+			if e.ContainsPoint(c.X, c.Y) {
+				n++
+			}
+		}
+		return n > 1
+	}
+
+	used := make([]bool, len(cands))
+	for i := range cands {
+		if used[i] {
+			continue
+		}
+		ci := cands[i]
+		if !inOverlap(ci.c) {
+			// Automatically accepted.
+			res.Circles = append(res.Circles, ci.c)
+			used[i] = true
+			continue
+		}
+		// Look for a counterpart from another partition.
+		mate := -1
+		for j := i + 1; j < len(cands); j++ {
+			if used[j] || cands[j].part == ci.part {
+				continue
+			}
+			if ci.c.Dist(cands[j].c) < opt.MergeRadius {
+				mate = j
+				break
+			}
+		}
+		if mate >= 0 {
+			cj := cands[mate]
+			res.Circles = append(res.Circles, geom.Circle{
+				X: (ci.c.X + cj.c.X) / 2,
+				Y: (ci.c.Y + cj.c.Y) / 2,
+				R: (ci.c.R + cj.c.R) / 2,
+			})
+			used[i], used[mate] = true, true
+			res.Merged++
+			continue
+		}
+		// Disputable artifact.
+		res.Disputed++
+		if opt.KeepDisputed {
+			res.Circles = append(res.Circles, ci.c)
+		}
+		used[i] = true
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+// Package partition implements the aggressive parallelisation methods of
+// §VIII — *intelligent partitioning* (a pre-processor cuts the image
+// along artifact-free bands, each piece is processed by an independent
+// chain) and *blind partitioning* (an arbitrary grid with overlap margins
+// and a heuristic post-merge) — plus the *naive* splitting baseline whose
+// boundary anomalies motivate the whole paper (§II).
+//
+// Unlike core (periodic partitioning), nothing here preserves the
+// statistical guarantees of MCMC; the package trades them for independent
+// per-partition chains that need no synchronisation at all.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Config drives the per-partition detector runs.
+type Config struct {
+	// Theta is the threshold used by the eq. 5 object-count estimator
+	// that assigns each partition its prior knowledge.
+	Theta float64
+
+	// BaseParams supplies every prior hyper-parameter except Lambda,
+	// which is re-estimated per partition via eq. 5.
+	BaseParams model.Params
+
+	Weights mcmc.Weights
+	Steps   mcmc.StepSizes
+
+	// MaxIters caps each partition's chain; Plateau declares burn-in
+	// convergence (the "# itr to converge" of Table I).
+	MaxIters int
+	Plateau  mcmc.PlateauDetector
+
+	// Seed derives the deterministic per-partition RNG streams.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.BaseParams.Validate(); err != nil {
+		return err
+	}
+	if err := c.Weights.Validate(); err != nil {
+		return err
+	}
+	if err := c.Steps.Validate(); err != nil {
+		return err
+	}
+	if c.MaxIters < 1 {
+		return fmt.Errorf("partition: MaxIters must be >= 1")
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		return fmt.Errorf("partition: Theta must be in (0,1)")
+	}
+	return nil
+}
+
+// DefaultConfig returns a configuration matching the bead experiment.
+func DefaultConfig(meanRadius float64, seed uint64) Config {
+	return Config{
+		Theta:      0.5,
+		BaseParams: model.DefaultParams(1, meanRadius), // Lambda re-estimated
+		Weights:    mcmc.DefaultWeights(),
+		Steps:      mcmc.DefaultStepSizes(meanRadius),
+		MaxIters:   60000,
+		Plateau:    mcmc.PlateauDetector{Window: 12, Tol: 0.5, MinIters: 1500},
+		Seed:       seed,
+	}
+}
+
+// RegionResult is the outcome of one partition's chain, mapped back to
+// the parent image's coordinates. Its fields mirror Table I's rows.
+type RegionResult struct {
+	Region    geom.Rect // partition rectangle in parent coordinates
+	Area      float64   // pixels²
+	Lambda    float64   // eq. 5 estimate ("# obj. (density/thresh.)")
+	Circles   []geom.Circle
+	Iters     int64 // iterations until convergence (or the cap)
+	Converged bool
+	Seconds   float64 // wall-clock seconds for this partition's chain
+}
+
+// TimePerIter returns mean seconds per iteration.
+func (r RegionResult) TimePerIter() float64 {
+	if r.Iters == 0 {
+		return 0
+	}
+	return r.Seconds / float64(r.Iters)
+}
+
+// runRegion crops region out of img, estimates its prior via eq. 5, runs
+// an independent chain to convergence and maps the result back.
+func runRegion(img *imaging.Image, region geom.Rect, cfg Config, r *rng.RNG) (RegionResult, error) {
+	crop, off := img.SubImage(region)
+	res := RegionResult{Region: region, Area: region.Area()}
+	if crop.W == 0 || crop.H == 0 {
+		return res, nil
+	}
+	params := cfg.BaseParams
+	lambda := crop.EstimateCount(cfg.Theta, params.MeanRadius)
+	res.Lambda = lambda
+	// The Poisson prior needs positive mass even for apparently empty
+	// partitions; a small floor keeps births possible.
+	params.Lambda = math.Max(lambda, 0.5)
+
+	start := time.Now()
+	s, err := model.NewState(crop, params)
+	if err != nil {
+		return res, err
+	}
+	e, err := mcmc.New(s, r, cfg.Weights, cfg.Steps)
+	if err != nil {
+		return res, err
+	}
+	e.AttachTrace(mcmc.NewTrace(cfg.MaxIters/400 + 1))
+	detector := cfg.Plateau
+	if detector.MinCount == 0 {
+		// Burn-in cannot be over while well under the eq. 5 estimate.
+		detector.MinCount = int(math.Ceil(0.6 * lambda))
+	}
+	iters, converged := e.RunUntilConverged(cfg.MaxIters, detector)
+	res.Seconds = time.Since(start).Seconds()
+	res.Iters = iters
+	res.Converged = converged
+	for _, c := range s.Cfg.Circles() {
+		res.Circles = append(res.Circles, c.Translate(float64(off[0]), float64(off[1])))
+	}
+	return res, nil
+}
+
+// runRegions executes the given regions on up to `workers` goroutines
+// with deterministic per-region RNG streams, returning results in region
+// order.
+func runRegions(img *imaging.Image, regions []geom.Rect, cfg Config, workers int) ([]RegionResult, error) {
+	master := rng.New(cfg.Seed)
+	rngs := make([]*rng.RNG, len(regions))
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	results := make([]RegionResult, len(regions))
+	errs := make([]error, len(regions))
+	sched.ForEach(len(regions), workers, func(i int) {
+		results[i], errs[i] = runRegion(img, regions[i], cfg, rngs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunSequential processes the whole image as a single region — the
+// baseline row of Table I.
+func RunSequential(img *imaging.Image, cfg Config) (RegionResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return RegionResult{}, err
+	}
+	return runRegion(img, img.Bounds(), cfg, rng.New(cfg.Seed))
+}
+
+// Makespan returns the runtime of a result set on p processors: the
+// paper's rule that "the runtime is the longest time taken to process
+// any of the partitions" when processors suffice, with LPT load
+// balancing otherwise (§IX).
+func Makespan(results []RegionResult, processors int) float64 {
+	costs := make([]float64, len(results))
+	for i, r := range results {
+		costs[i] = r.Seconds
+	}
+	if processors < 1 {
+		processors = 1
+	}
+	return sched.Makespan(costs, sched.LPTAssign(costs, processors))
+}

@@ -1,0 +1,366 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// clusteredScene builds a bead-like image with three well-separated
+// clusters, mimicking fig. 3.
+func clusteredScene(t *testing.T) *imaging.Scene {
+	t.Helper()
+	im := imaging.New(220, 160)
+	im.Fill(0.1)
+	var truth []geom.Circle
+	place := func(cx, cy float64, n int, seed uint64) {
+		r := rng.New(seed)
+		for i := 0; i < n; i++ {
+			c := geom.Circle{
+				X: cx + r.NormalAt(0, 9),
+				Y: cy + r.NormalAt(0, 9),
+				R: 6,
+			}
+			// Keep beads separated so counts are unambiguous.
+			ok := true
+			for _, p := range truth {
+				if c.Dist(p) < c.R+p.R+2 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				truth = append(truth, c)
+				imaging.RenderDisc(im, c, 0.9)
+			}
+		}
+	}
+	place(40, 40, 4, 1)
+	place(160, 50, 7, 2)
+	place(60, 125, 3, 3)
+	noise := rng.New(9)
+	for i := range im.Pix {
+		im.Pix[i] += noise.NormalAt(0, 0.04)
+	}
+	im.Clamp()
+	return &imaging.Scene{Image: im, Truth: truth}
+}
+
+func testConfig(seed uint64) Config {
+	cfg := DefaultConfig(6, seed)
+	cfg.MaxIters = 20000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig(1)
+	bad.MaxIters = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MaxIters=0 accepted")
+	}
+	bad = testConfig(1)
+	bad.Theta = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Theta=0 accepted")
+	}
+	bad = testConfig(1)
+	bad.BaseParams = model.Params{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestIntelligentRegionsSeparatesClusters(t *testing.T) {
+	scene := clusteredScene(t)
+	regions := IntelligentRegions(scene.Image, 0.5, 14, 2)
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions, want 3 (one per cluster): %+v", len(regions), regions)
+	}
+	// Disjoint regions covering every truth circle's centre.
+	for i, a := range regions {
+		for _, b := range regions[i+1:] {
+			if a.IntersectsRect(b) {
+				t.Fatalf("regions overlap: %+v %+v", a, b)
+			}
+		}
+	}
+	for _, c := range scene.Truth {
+		inside := false
+		for _, r := range regions {
+			if r.ContainsPoint(c.X, c.Y) {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("truth circle %+v not covered by any region", c)
+		}
+	}
+}
+
+func TestIntelligentRegionsEmptyImage(t *testing.T) {
+	im := imaging.New(64, 64)
+	im.Fill(0.1)
+	if regions := IntelligentRegions(im, 0.5, 10, 2); len(regions) != 0 {
+		t.Fatalf("empty image produced %d regions", len(regions))
+	}
+}
+
+func TestIntelligentRegionsSingleBlob(t *testing.T) {
+	im := imaging.New(64, 64)
+	im.Fill(0.1)
+	imaging.RenderDisc(im, geom.Circle{X: 32, Y: 32, R: 10}, 0.9)
+	regions := IntelligentRegions(im, 0.5, 12, 2)
+	if len(regions) != 1 {
+		t.Fatalf("single blob produced %d regions", len(regions))
+	}
+	// The region must hug the blob (crop to content + pad).
+	r := regions[0]
+	if r.W() > 28 || r.H() > 28 {
+		t.Fatalf("region not cropped to content: %+v", r)
+	}
+}
+
+func TestIntelligentRegionsNeverSplitsArtifacts(t *testing.T) {
+	scene := clusteredScene(t)
+	regions := IntelligentRegions(scene.Image, 0.5, 14, 2)
+	for _, c := range scene.Truth {
+		for _, r := range regions {
+			if r.ContainsPoint(c.X, c.Y) {
+				if !r.ContainsCircle(c, -0.5) {
+					t.Fatalf("region %+v cuts through artifact %+v", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunIntelligentEndToEnd(t *testing.T) {
+	scene := clusteredScene(t)
+	res, err := RunIntelligent(scene.Image, testConfig(42), 14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 3 {
+		t.Fatalf("processed %d regions", len(res.Regions))
+	}
+	m := stats.MatchCircles(res.Circles, scene.Truth, 4)
+	if m.F1() < 0.85 {
+		t.Fatalf("intelligent partitioning F1 = %v (TP=%d FP=%d FN=%d)",
+			m.F1(), m.TP, m.FP, m.FN)
+	}
+	// Lambda estimates should roughly match per-cluster truth counts.
+	totalLambda := 0.0
+	for _, r := range res.Regions {
+		totalLambda += r.Lambda
+	}
+	if math.Abs(totalLambda-float64(len(scene.Truth))) > float64(len(scene.Truth))/2 {
+		t.Fatalf("eq.5 total estimate %v for %d artifacts", totalLambda, len(scene.Truth))
+	}
+	for _, r := range res.Regions {
+		if r.Iters == 0 || r.Seconds <= 0 {
+			t.Fatalf("region missing measurements: %+v", r)
+		}
+	}
+}
+
+func TestRunBlindEndToEnd(t *testing.T) {
+	scene := clusteredScene(t)
+	cfg := testConfig(43)
+	opt := BlindOptions{NX: 2, NY: 2, Margin: 1.1 * 6, MergeRadius: 5, KeepDisputed: true}
+	res, err := RunBlind(scene.Image, cfg, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 4 {
+		t.Fatalf("processed %d regions", len(res.Regions))
+	}
+	m := stats.MatchCircles(res.Circles, scene.Truth, 4)
+	if m.F1() < 0.85 {
+		t.Fatalf("blind partitioning F1 = %v (TP=%d FP=%d FN=%d)",
+			m.F1(), m.TP, m.FP, m.FN)
+	}
+	// The merge must not leave near-coincident duplicates.
+	if d := stats.DuplicatePairs(res.Circles, 5); d != 0 {
+		t.Fatalf("%d duplicate pairs survived the blind merge", d)
+	}
+}
+
+func TestRunBlindValidates(t *testing.T) {
+	scene := clusteredScene(t)
+	if _, err := RunBlind(scene.Image, testConfig(1), BlindOptions{}, 1); err == nil {
+		t.Fatal("zero options accepted")
+	}
+	bad := BlindOptions{NX: 2, NY: 2, Margin: -1, MergeRadius: 5}
+	if _, err := RunBlind(scene.Image, testConfig(1), bad, 1); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+}
+
+// An artifact sitting exactly on the naive boundary demonstrates the
+// §II anomaly; blind partitioning's overlap + merge fixes it.
+func TestNaiveAnomalyVsBlind(t *testing.T) {
+	im := imaging.New(160, 160)
+	im.Fill(0.1)
+	truth := []geom.Circle{
+		{X: 80, Y: 40, R: 7},  // dead on the vertical midline
+		{X: 80, Y: 110, R: 7}, // dead on the vertical midline
+		{X: 40, Y: 80, R: 7},  // dead on the horizontal midline
+		{X: 30, Y: 30, R: 7},
+		{X: 125, Y: 125, R: 7},
+	}
+	for _, c := range truth {
+		imaging.RenderDisc(im, c, 0.9)
+	}
+	noise := rng.New(5)
+	for i := range im.Pix {
+		im.Pix[i] += noise.NormalAt(0, 0.04)
+	}
+	im.Clamp()
+
+	cfg := testConfig(44)
+	naive, err := RunNaive(im, cfg, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := RunBlind(im, cfg, BlindOptions{
+		NX: 2, NY: 2, Margin: 1.1 * 7, MergeRadius: 5, KeepDisputed: true,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mN := stats.MatchCircles(naive.Circles, truth, 4)
+	mB := stats.MatchCircles(blind.Circles, truth, 4)
+	if mB.F1() < 0.85 {
+		t.Fatalf("blind F1 = %v on boundary scene", mB.F1())
+	}
+	// Naive must be visibly worse: either duplicates near boundaries or
+	// missed/false detections.
+	anomaliesN := stats.DuplicatePairs(naive.Circles, 8) + mN.FP + mN.FN
+	anomaliesB := stats.DuplicatePairs(blind.Circles, 8) + mB.FP + mB.FN
+	if anomaliesN <= anomaliesB {
+		t.Fatalf("naive (%d anomalies) not worse than blind (%d)", anomaliesN, anomaliesB)
+	}
+}
+
+func TestBoundaryLines(t *testing.T) {
+	xs, ys := BoundaryLines(geom.Rect{X1: 100, Y1: 60}, 2, 3)
+	if len(xs) != 1 || xs[0] != 50 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if len(ys) != 2 || ys[0] != 20 || ys[1] != 40 {
+		t.Fatalf("ys = %v", ys)
+	}
+}
+
+func TestMakespanUsesLPT(t *testing.T) {
+	results := []RegionResult{
+		{Seconds: 0.9}, {Seconds: 0.07}, {Seconds: 0.02},
+	}
+	// With 3 processors: longest partition dominates.
+	if got := Makespan(results, 3); got != 0.9 {
+		t.Fatalf("3 procs makespan = %v", got)
+	}
+	// With 2 processors LPT packs 0.07+0.02 on the second: still 0.9 —
+	// the paper's exact observation ("0.07 + 0.02 < 0.97").
+	if got := Makespan(results, 2); got != 0.9 {
+		t.Fatalf("2 procs makespan = %v", got)
+	}
+	// One processor: sequential sum.
+	if got := Makespan(results, 1); math.Abs(got-0.99) > 1e-12 {
+		t.Fatalf("1 proc makespan = %v", got)
+	}
+	if got := Makespan(results, 0); math.Abs(got-0.99) > 1e-12 {
+		t.Fatalf("0 procs not clamped: %v", got)
+	}
+}
+
+func TestRunSequentialWholeImage(t *testing.T) {
+	scene := clusteredScene(t)
+	cfg := testConfig(45)
+	cfg.MaxIters = 30000
+	res, err := RunSequential(scene.Image, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stats.MatchCircles(res.Circles, scene.Truth, 4)
+	if m.F1() < 0.85 {
+		t.Fatalf("sequential F1 = %v", m.F1())
+	}
+	if res.Area != scene.Image.Bounds().Area() {
+		t.Fatalf("area = %v", res.Area)
+	}
+}
+
+func TestRunRegionEmptyRegion(t *testing.T) {
+	im := imaging.New(64, 64)
+	im.Fill(0.1)
+	res, err := runRegion(im, geom.Rect{}, testConfig(1), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Circles) != 0 || res.Iters != 0 {
+		t.Fatalf("empty region produced %+v", res)
+	}
+	if res.TimePerIter() != 0 {
+		t.Fatal("TimePerIter on empty region")
+	}
+}
+
+func TestBlindDisputedPolicy(t *testing.T) {
+	// Construct candidates manually through a full run on a scene with a
+	// boundary artifact; with KeepDisputed=false the disputed count must
+	// not add circles.
+	im := imaging.New(120, 120)
+	im.Fill(0.1)
+	truth := []geom.Circle{{X: 60, Y: 60, R: 7}, {X: 25, Y: 25, R: 7}}
+	for _, c := range truth {
+		imaging.RenderDisc(im, c, 0.9)
+	}
+	cfg := testConfig(46)
+	keep, err := RunBlind(im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := RunBlind(im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: false}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drop.Circles) > len(keep.Circles) {
+		t.Fatalf("dropping disputed produced more circles (%d > %d)",
+			len(drop.Circles), len(keep.Circles))
+	}
+}
+
+// Determinism: identical config and seed give identical detections.
+func TestPartitionDeterminism(t *testing.T) {
+	scene := clusteredScene(t)
+	cfg := testConfig(47)
+	a, err := RunIntelligent(scene.Image, cfg, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIntelligent(scene.Image, cfg, 14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Circles) != len(b.Circles) {
+		t.Fatalf("worker count changed results: %d vs %d circles", len(a.Circles), len(b.Circles))
+	}
+	for i := range a.Circles {
+		if a.Circles[i] != b.Circles[i] {
+			t.Fatalf("circle %d differs: %+v vs %+v", i, a.Circles[i], b.Circles[i])
+		}
+	}
+}
+
+var _ = mcmc.DefaultWeights // keep import when tests are trimmed

@@ -1,0 +1,406 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		t.Fatal("all-zero state from seed 0")
+	}
+	// Must produce varied output.
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d frequency %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	const n = 300000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalAt(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormalAt(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.02 {
+		t.Fatalf("NormalAt(10,2) mean = %v", mean)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 50000; i++ {
+		v := r.TruncNormal(5, 3, 4, 6)
+		if v < 4 || v > 6 {
+			t.Fatalf("TruncNormal escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalDegenerate(t *testing.T) {
+	r := New(8)
+	if v := r.TruncNormal(0, 1, 3, 3); v != 3 {
+		t.Fatalf("TruncNormal with lo==hi = %v, want 3", v)
+	}
+	// Interval far in the tail: the uniform fallback must still respect
+	// the bounds.
+	for i := 0; i < 100; i++ {
+		v := r.TruncNormal(0, 0.1, 50, 51)
+		if v < 50 || v > 51 {
+			t.Fatalf("tail TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for lo > hi")
+		}
+	}()
+	New(1).TruncNormal(0, 1, 2, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 12, 80, 400} {
+		r := New(uint64(lambda*1000) + 1)
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		tol := 4 * math.Sqrt(lambda/float64(n)) * 3 // ~3 sigma, inflated
+		if math.Abs(mean-lambda) > tol+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > lambda*0.1+0.1 {
+			t.Errorf("Poisson(%v) variance = %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	r := New(1)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d", v)
+	}
+	if v := r.Poisson(-5); v != 0 {
+		t.Fatalf("Poisson(-5) = %d", v)
+	}
+}
+
+func TestJumpDisjoint(t *testing.T) {
+	// Two streams separated by a Jump must not produce overlapping
+	// windows of output within any practical horizon. We check a weaker
+	// but fast property: no collisions across 10k draws each.
+	a := New(42)
+	b := NewFrom(a)
+	b.Jump()
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[a.Uint64()] = true
+	}
+	for i := 0; i < 10000; i++ {
+		if seen[b.Uint64()] {
+			t.Fatalf("jumped stream collided with base stream at step %d", i)
+		}
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	master := New(99)
+	a := master.Split()
+	b := master.Split()
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			t.Fatalf("split streams matched at step %d", i)
+		}
+	}
+}
+
+func TestLongJumpDiffersFromJump(t *testing.T) {
+	a := New(13)
+	b := New(13)
+	a.Jump()
+	b.LongJump()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("Jump and LongJump produced identical next value")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(21)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(22)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+	same := true
+	for i := range xs {
+		if xs[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("shuffle produced identity permutation (possible but unlikely)")
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	r := New(33)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("picked zero-weight index %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Fatalf("weight-1 index frequency %v, want ~0.25", frac0)
+	}
+}
+
+func TestPickPanicsOnZeroWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for all-zero weights")
+		}
+	}()
+	New(1).Pick([]float64{0, 0})
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(44)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(55)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform(-2,3) = %v", v)
+		}
+	}
+}
+
+func TestPositiveNeverZero(t *testing.T) {
+	r := New(66)
+	for i := 0; i < 100000; i++ {
+		if r.Positive() <= 0 {
+			t.Fatal("Positive returned non-positive value")
+		}
+	}
+}
+
+// Property: mul64 agrees with big-integer multiplication on the low and
+// high halves.
+func TestMul64Property(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify using 32-bit limb arithmetic independently.
+		a0, a1 := a&0xffffffff, a>>32
+		b0, b1 := b&0xffffffff, b>>32
+		p00 := a0 * b0
+		p01 := a0 * b1
+		p10 := a1 * b0
+		p11 := a1 * b1
+		mid := p00>>32 + p10&0xffffffff + p01&0xffffffff
+		wantLo := a * b
+		wantHi := p11 + p10>>32 + p01>>32 + mid>>32
+		return lo == wantLo && hi == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn(n) stays within bounds for arbitrary positive n.
+func TestIntnProperty(t *testing.T) {
+	r := New(77)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Normal()
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Poisson(150)
+	}
+	_ = sink
+}

@@ -1,0 +1,99 @@
+package sched
+
+import "sync"
+
+// StealingRunner executes tasks from per-worker deques with work
+// stealing: each worker pops from the tail of its own deque and, when
+// empty, steals from the head of a victim's. Compared with the shared
+// queue of ForEach it keeps hot tasks local to the worker that spawned
+// them, which matters when partition workers enqueue follow-up work.
+type StealingRunner struct {
+	deques []*deque
+}
+
+type deque struct {
+	mu    sync.Mutex
+	items []func()
+}
+
+func (d *deque) pushTail(fn func()) {
+	d.mu.Lock()
+	d.items = append(d.items, fn)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	fn := d.items[n-1]
+	d.items = d.items[:n-1]
+	return fn, true
+}
+
+func (d *deque) stealHead() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	fn := d.items[0]
+	d.items = d.items[1:]
+	return fn, true
+}
+
+// NewStealingRunner creates a runner with one deque per worker.
+func NewStealingRunner(workers int) *StealingRunner {
+	if workers < 1 {
+		panic("sched: NewStealingRunner needs at least one worker")
+	}
+	r := &StealingRunner{deques: make([]*deque, workers)}
+	for i := range r.deques {
+		r.deques[i] = &deque{}
+	}
+	return r
+}
+
+// Workers returns the number of worker deques.
+func (r *StealingRunner) Workers() int { return len(r.deques) }
+
+// Submit enqueues a task on the given worker's deque. It must be called
+// before Run; Run drains all deques.
+func (r *StealingRunner) Submit(worker int, fn func()) {
+	r.deques[worker%len(r.deques)].pushTail(fn)
+}
+
+// Run executes every submitted task and blocks until all are done.
+// Workers exhaust their own deque first, then sweep the others.
+func (r *StealingRunner) Run() {
+	var wg sync.WaitGroup
+	n := len(r.deques)
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(self int) {
+			defer wg.Done()
+			for {
+				if fn, ok := r.deques[self].popTail(); ok {
+					fn()
+					continue
+				}
+				stolen := false
+				for off := 1; off < n; off++ {
+					victim := (self + off) % n
+					if fn, ok := r.deques[victim].stealHead(); ok {
+						fn()
+						stolen = true
+						break
+					}
+				}
+				if !stolen {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

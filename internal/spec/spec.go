@@ -1,0 +1,167 @@
+// Package spec implements the speculative-moves parallelisation of the
+// authors' companion paper [11] (Byrd, Jarvis & Bhalerao, IPDPS 2008),
+// which §IV and §VI of the reproduced paper compose with periodic
+// partitioning.
+//
+// The idea: MCMC iterations are serially dependent only through *state
+// changes*, and most proposals are rejected. So k independent proposals
+// from the current state are evaluated concurrently; scanning them in
+// order, the first accepted one is applied and the rest are discarded. If
+// proposal j is the first accepted, the batch consumed j+1 iterations of
+// the chain — exactly the iterations a sequential sampler would have
+// spent — so the chain's law is untouched while wall-clock time shrinks
+// toward 1 iteration per batch. Under a rejection rate p_r the expected
+// speedup is (1 − p_r^n)/(1 − p_r) (eq. 3's correction term).
+package spec
+
+import (
+	"math"
+
+	"repro/internal/mcmc"
+	"repro/internal/sched"
+)
+
+// Executor evaluates proposals speculatively against a host engine.
+type Executor struct {
+	host *mcmc.Engine
+	// shadows are per-slot engine copies sharing the host's state but
+	// owning disjoint RNG streams, so Propose can run concurrently.
+	shadows []*mcmc.Engine
+	// moves restricts the kinds drawn (nil = the host's full mixture).
+	moves   []mcmc.Move
+	weights []float64
+
+	// Batches and Consumed accumulate how many speculative rounds ran
+	// and how many chain iterations they covered; their ratio is the
+	// measured per-iteration speedup.
+	Batches  int64
+	Consumed int64
+}
+
+// NewExecutor builds an executor of the given speculation width over the
+// host engine. If moves is non-nil, proposals are drawn only from that
+// subset (the periodic engine passes M_g here), with probabilities
+// proportional to the host's weights restricted to the subset.
+func NewExecutor(host *mcmc.Engine, width int, moves []mcmc.Move) *Executor {
+	if width < 1 {
+		panic("spec: width must be >= 1")
+	}
+	x := &Executor{host: host, moves: moves}
+	if moves != nil {
+		if len(moves) == 0 {
+			panic("spec: empty move restriction")
+		}
+		x.weights = make([]float64, len(moves))
+		for i, m := range moves {
+			x.weights[i] = host.W[m]
+		}
+	}
+	x.shadows = make([]*mcmc.Engine, width)
+	for i := range x.shadows {
+		shadow := *host
+		shadow.R = host.R.Split()
+		x.shadows[i] = &shadow
+	}
+	return x
+}
+
+// Width returns the speculation width.
+func (x *Executor) Width() int { return len(x.shadows) }
+
+// pickMove draws a move kind honouring the restriction.
+func (x *Executor) pickMove() mcmc.Move {
+	if x.moves == nil {
+		return x.host.PickMove()
+	}
+	return x.moves[x.host.R.Pick(x.weights)]
+}
+
+// StepBatch runs one speculative round of up to `width` proposals and
+// returns how many chain iterations it consumed (1..width) and whether a
+// proposal was applied. Proposal kinds and acceptance randomness come
+// from the host RNG in iteration order, so the chain's law matches the
+// sequential sampler's.
+func (x *Executor) StepBatch(width int) (consumed int, applied bool) {
+	if width > len(x.shadows) {
+		width = len(x.shadows)
+	}
+	if width < 1 {
+		width = 1
+	}
+	// Draw kinds serially from the host stream (cheap), then evaluate
+	// the expensive likelihood deltas concurrently on the frozen state.
+	kinds := make([]mcmc.Move, width)
+	for i := range kinds {
+		kinds[i] = x.pickMove()
+	}
+	props := make([]mcmc.Proposal, width)
+	sched.ForEach(width, width, func(i int) {
+		props[i] = x.shadows[i].Propose(kinds[i])
+	})
+	// Apply the acceptance tests in order; at most one state change.
+	x.Batches++
+	for i := 0; i < width; i++ {
+		if x.host.Accepts(props[i]) {
+			x.host.Commit(props[i])
+			x.Consumed += int64(i + 1)
+			return i + 1, true
+		}
+		x.host.RecordRejected(props[i])
+	}
+	x.Consumed += int64(width)
+	return width, false
+}
+
+// RunN advances the chain by exactly n iterations using speculative
+// batches, clamping the final batch so the count is exact.
+func (x *Executor) RunN(n int) {
+	done := 0
+	for done < n {
+		width := len(x.shadows)
+		if rem := n - done; rem < width {
+			width = rem
+		}
+		consumed, _ := x.StepBatch(width)
+		done += consumed
+	}
+}
+
+// MeasuredIterationsPerBatch returns the average iterations covered per
+// speculative round so far (1 means speculation never helped, Width
+// means every batch was fully consumed).
+func (x *Executor) MeasuredIterationsPerBatch() float64 {
+	if x.Batches == 0 {
+		return 0
+	}
+	return float64(x.Consumed) / float64(x.Batches)
+}
+
+// ExpectedIterationsPerBatch returns the model value E[consumed] for a
+// rejection rate pr and width n: the first acceptance index is geometric,
+// truncated at n.
+func ExpectedIterationsPerBatch(pr float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	e := 0.0
+	for i := 1; i < n; i++ {
+		e += float64(i) * math.Pow(pr, float64(i-1)) * (1 - pr)
+	}
+	e += float64(n) * math.Pow(pr, float64(n-1))
+	return e
+}
+
+// Speedup returns the ideal speedup factor of [11]: with rejection rate
+// pr and n processors, runtime falls to (1−pr)/(1−pr^n) of sequential,
+// i.e. the chain advances (1−pr^n)/(1−pr) iterations per unit time. It
+// equals ExpectedIterationsPerBatch in closed form (tested). pr = 0 or
+// n = 1 gives 1 (no gain).
+func Speedup(pr float64, n int) float64 {
+	if n <= 1 || pr <= 0 {
+		return 1
+	}
+	if pr >= 1 {
+		return float64(n)
+	}
+	return (1 - math.Pow(pr, float64(n))) / (1 - pr)
+}

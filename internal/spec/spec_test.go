@@ -1,0 +1,182 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func testEngine(t *testing.T, seed uint64) *mcmc.Engine {
+	t.Helper()
+	r := rng.New(seed)
+	scene := imaging.Synthesize(imaging.SceneSpec{
+		W: 96, H: 96, Count: 5, MeanRadius: 8, RadiusStdDev: 1, Noise: 0.06,
+	}, r)
+	s, err := model.NewState(scene.Image, model.DefaultParams(5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mcmc.MustNew(s, rng.New(seed+1), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(8))
+}
+
+func TestSpeedupFormula(t *testing.T) {
+	if Speedup(0.75, 1) != 1 {
+		t.Fatal("n=1 must give 1")
+	}
+	if Speedup(0, 8) != 1 {
+		t.Fatal("pr=0 must give 1")
+	}
+	// pr=0.75, n=4: (1-0.75^4)/(1-0.75) = 2.734375
+	if got := Speedup(0.75, 4); math.Abs(got-2.734375) > 1e-12 {
+		t.Fatalf("Speedup(0.75,4) = %v", got)
+	}
+	if got := Speedup(1, 8); got != 8 {
+		t.Fatalf("Speedup(1,8) = %v", got)
+	}
+}
+
+// The closed form and the truncated-geometric sum must agree.
+func TestSpeedupEqualsExpectedIterations(t *testing.T) {
+	for _, pr := range []float64{0.1, 0.5, 0.75, 0.9, 0.99} {
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			a := Speedup(pr, n)
+			b := ExpectedIterationsPerBatch(pr, n)
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("pr=%v n=%d: closed form %v != sum %v", pr, n, a, b)
+			}
+		}
+	}
+}
+
+func TestSpeedupMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 32; n *= 2 {
+		s := Speedup(0.75, n)
+		if s < prev {
+			t.Fatalf("speedup decreased at n=%d", n)
+		}
+		prev = s
+	}
+	// Saturates at 1/(1-pr) = 4.
+	if s := Speedup(0.75, 1000); math.Abs(s-4) > 1e-6 {
+		t.Fatalf("saturation = %v, want 4", s)
+	}
+}
+
+func TestExecutorRunNExactCount(t *testing.T) {
+	e := testEngine(t, 1)
+	x := NewExecutor(e, 4, nil)
+	x.RunN(1000)
+	if e.Iter != 1000 {
+		t.Fatalf("Iter = %d, want exactly 1000", e.Iter)
+	}
+	if x.MeasuredIterationsPerBatch() <= 0 {
+		t.Fatal("no batches measured")
+	}
+}
+
+func TestExecutorStateConsistency(t *testing.T) {
+	e := testEngine(t, 2)
+	x := NewExecutor(e, 8, nil)
+	x.RunN(5000)
+	likErr, priorErr, coverOK := e.S.CheckConsistency()
+	if likErr > 1e-6 || priorErr > 1e-6 || !coverOK {
+		t.Fatalf("speculative run corrupted caches: %v %v %v", likErr, priorErr, coverOK)
+	}
+}
+
+func TestExecutorWidthOne(t *testing.T) {
+	e := testEngine(t, 3)
+	x := NewExecutor(e, 1, nil)
+	consumed, _ := x.StepBatch(1)
+	if consumed != 1 {
+		t.Fatalf("width-1 batch consumed %d", consumed)
+	}
+}
+
+func TestExecutorRestrictedMoves(t *testing.T) {
+	e := testEngine(t, 4)
+	globals := []mcmc.Move{mcmc.Birth, mcmc.Death, mcmc.Split, mcmc.Merge, mcmc.Replace}
+	x := NewExecutor(e, 4, globals)
+	x.RunN(2000)
+	if e.Stats.Proposed[mcmc.Shift] != 0 || e.Stats.Proposed[mcmc.Resize] != 0 {
+		t.Fatal("restricted executor proposed local moves")
+	}
+	var total int64
+	for _, m := range globals {
+		total += e.Stats.Proposed[m]
+	}
+	if total != 2000 {
+		t.Fatalf("proposed %d global moves, want 2000", total)
+	}
+}
+
+func TestExecutorPanicsOnBadArgs(t *testing.T) {
+	e := testEngine(t, 5)
+	for name, fn := range map[string]func(){
+		"zero width":  func() { NewExecutor(e, 0, nil) },
+		"empty moves": func() { NewExecutor(e, 2, []mcmc.Move{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Speculative execution must preserve the chain's law: sampling the prior
+// (flat image) through a speculative executor recovers the Poisson count
+// mean, like the sequential sampler does.
+func TestSpeculativePriorRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	p := model.DefaultParams(5, 8)
+	p.OverlapPenalty = 0
+	im := imaging.New(128, 128)
+	im.Fill((p.Foreground + p.Background) / 2)
+	s, err := model.NewState(im, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mcmc.MustNew(s, rng.New(777), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(8))
+	x := NewExecutor(e, 4, nil)
+	x.RunN(20000)
+	sum := 0.0
+	const samples = 3000
+	for i := 0; i < samples; i++ {
+		x.RunN(50)
+		sum += float64(s.Cfg.Len())
+	}
+	mean := sum / samples
+	if math.Abs(mean-5) > 0.5 {
+		t.Fatalf("speculative prior count mean = %v, want ~5", mean)
+	}
+}
+
+// Measured iterations per batch should approach the model prediction for
+// the observed rejection rate.
+func TestMeasuredMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	e := testEngine(t, 6)
+	// Burn in sequentially so the rejection rate stabilises.
+	e.RunN(20000)
+	pr := e.Stats.RejectionRate()
+	x := NewExecutor(e, 4, nil)
+	x.RunN(30000)
+	got := x.MeasuredIterationsPerBatch()
+	want := ExpectedIterationsPerBatch(pr, 4)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("iterations/batch = %v, model predicts %v (pr=%v)", got, want, pr)
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestMatchCirclesPerfect(t *testing.T) {
+	truth := []geom.Circle{{X: 10, Y: 10, R: 5}, {X: 40, Y: 40, R: 6}}
+	res := MatchCircles(truth, truth, 3)
+	if res.TP != 2 || res.FP != 0 || res.FN != 0 {
+		t.Fatalf("perfect match scored %+v", res)
+	}
+	if res.F1() != 1 || res.Precision() != 1 || res.Recall() != 1 {
+		t.Fatal("perfect F1 != 1")
+	}
+	if res.MeanCenterErr != 0 || res.MeanRadiusErr != 0 {
+		t.Fatal("errors nonzero on identical sets")
+	}
+}
+
+func TestMatchCirclesPartial(t *testing.T) {
+	truth := []geom.Circle{{X: 10, Y: 10, R: 5}, {X: 40, Y: 40, R: 6}}
+	found := []geom.Circle{
+		{X: 11, Y: 10, R: 5}, // matches truth[0]
+		{X: 80, Y: 80, R: 5}, // false positive
+	}
+	res := MatchCircles(found, truth, 3)
+	if res.TP != 1 || res.FP != 1 || res.FN != 1 {
+		t.Fatalf("scored %+v", res)
+	}
+	if math.Abs(res.Precision()-0.5) > 1e-12 || math.Abs(res.Recall()-0.5) > 1e-12 {
+		t.Fatalf("P=%v R=%v", res.Precision(), res.Recall())
+	}
+	if math.Abs(res.MeanCenterErr-1) > 1e-12 {
+		t.Fatalf("center err = %v", res.MeanCenterErr)
+	}
+}
+
+func TestMatchCirclesGreedyPrefersClosest(t *testing.T) {
+	truth := []geom.Circle{{X: 10, Y: 10, R: 5}}
+	found := []geom.Circle{
+		{X: 12, Y: 10, R: 5},   // distance 2
+		{X: 10.5, Y: 10, R: 5}, // distance 0.5 — must win
+	}
+	res := MatchCircles(found, truth, 5)
+	if res.TP != 1 || res.Pairs[0][0] != 1 {
+		t.Fatalf("greedy chose pairs %v", res.Pairs)
+	}
+}
+
+func TestMatchCirclesNoDoubleUse(t *testing.T) {
+	truth := []geom.Circle{{X: 10, Y: 10, R: 5}, {X: 12, Y: 10, R: 5}}
+	found := []geom.Circle{{X: 11, Y: 10, R: 5}}
+	res := MatchCircles(found, truth, 5)
+	if res.TP != 1 || res.FN != 1 {
+		t.Fatalf("scored %+v", res)
+	}
+}
+
+func TestMatchEmptySets(t *testing.T) {
+	res := MatchCircles(nil, nil, 5)
+	if res.F1() != 0 || res.Precision() != 0 || res.Recall() != 0 {
+		t.Fatal("empty sets should score 0")
+	}
+}
+
+// Property: TP+FP = |found|, TP+FN = |truth|, and F1 ∈ [0,1].
+func TestMatchInvariantsProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(nf, nt uint8) bool {
+		found := make([]geom.Circle, nf%12)
+		truth := make([]geom.Circle, nt%12)
+		for i := range found {
+			found[i] = geom.Circle{X: r.Uniform(0, 50), Y: r.Uniform(0, 50), R: 3}
+		}
+		for i := range truth {
+			truth[i] = geom.Circle{X: r.Uniform(0, 50), Y: r.Uniform(0, 50), R: 3}
+		}
+		res := MatchCircles(found, truth, 6)
+		if res.TP+res.FP != len(found) || res.TP+res.FN != len(truth) {
+			return false
+		}
+		f1 := res.F1()
+		return f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePairs(t *testing.T) {
+	circles := []geom.Circle{
+		{X: 10, Y: 10}, {X: 11, Y: 10}, // pair
+		{X: 50, Y: 50},
+	}
+	if n := DuplicatePairs(circles, 3); n != 1 {
+		t.Fatalf("duplicates = %d", n)
+	}
+	if n := DuplicatePairs(circles, 0.5); n != 0 {
+		t.Fatalf("tight duplicates = %d", n)
+	}
+}
+
+func TestNearLine(t *testing.T) {
+	circles := []geom.Circle{{X: 49, Y: 10}, {X: 10, Y: 51}, {X: 25, Y: 25}}
+	if n := NearLine(circles, []float64{50}, []float64{50}, 3); n != 2 {
+		t.Fatalf("near-line count = %d", n)
+	}
+	if n := NearLine(circles, nil, nil, 3); n != 0 {
+		t.Fatal("no lines should count 0")
+	}
+}
+
+func TestOnlineMatchesDirect(t *testing.T) {
+	r := rng.New(2)
+	var o Online
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := r.NormalAt(3, 2)
+		o.Add(x)
+		xs = append(xs, x)
+	}
+	s := Summarize(xs)
+	if math.Abs(o.Mean()-s.Mean) > 1e-9 {
+		t.Fatalf("online mean %v vs %v", o.Mean(), s.Mean)
+	}
+	if math.Abs(o.Std()-s.Std) > 1e-9 {
+		t.Fatalf("online std %v vs %v", o.Std(), s.Std)
+	}
+	if o.N() != 1000 {
+		t.Fatalf("N = %d", o.N())
+	}
+}
+
+func TestOnlineEdge(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 {
+		t.Fatal("empty accumulator nonzero")
+	}
+	o.Add(5)
+	if o.Var() != 0 {
+		t.Fatal("single observation has variance 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Median != 2 || math.Abs(s.Mean-2) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Fatalf("even median = %v", even.Median)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhaseTimerAccumulates(t *testing.T) {
+	pt := NewPhaseTimer()
+	pt.Add("global", 10*time.Millisecond)
+	pt.Add("global", 5*time.Millisecond)
+	pt.Add("local", 2*time.Millisecond)
+	if got := pt.Total("global"); got != 15*time.Millisecond {
+		t.Fatalf("global total = %v", got)
+	}
+	if got := pt.Count("global"); got != 2 {
+		t.Fatalf("global count = %d", got)
+	}
+	if got := pt.Total("absent"); got != 0 {
+		t.Fatalf("absent total = %v", got)
+	}
+	phases := pt.Phases()
+	if len(phases) != 2 || phases[0] != "global" || phases[1] != "local" {
+		t.Fatalf("Phases = %v", phases)
+	}
+}
+
+func TestPhaseTimerTime(t *testing.T) {
+	pt := NewPhaseTimer()
+	pt.Time("work", func() { time.Sleep(time.Millisecond) })
+	if pt.Total("work") < time.Millisecond {
+		t.Fatalf("Time recorded %v", pt.Total("work"))
+	}
+}
+
+func TestPhaseTimerConcurrent(t *testing.T) {
+	pt := NewPhaseTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				pt.Add("p", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if pt.Count("p") != 3200 {
+		t.Fatalf("count = %d", pt.Count("p"))
+	}
+}
+
+func TestArchProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	// The paper's overhead ordering.
+	if !(PentiumD.BarrierOverhead < Q6600.BarrierOverhead &&
+		Q6600.BarrierOverhead < Xeon.BarrierOverhead) {
+		t.Fatal("profile overhead ordering violates §VII")
+	}
+	if Q6600.Threads != 4 || PentiumD.Threads != 2 || Xeon.Threads != 2 {
+		t.Fatal("profile thread counts wrong")
+	}
+	if got := Q6600.Charge(100); got != 100*Q6600.BarrierOverhead {
+		t.Fatalf("Charge = %v", got)
+	}
+}
+
+func TestTableWrite(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("alpha", 1.5)
+	tb.Add("b", 0.5000)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Fatalf("row missing: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "0.5") || strings.Contains(lines[3], "0.5000") {
+		t.Fatalf("float not trimmed: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add(1, 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", buf.String())
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2:      "2",
+		0.1234: "0.1234",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

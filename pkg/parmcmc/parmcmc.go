@@ -1,0 +1,348 @@
+// Package parmcmc is the public API of this repository: MCMC-based
+// detection of circular artifacts (stained cell nuclei, latex beads) in
+// grayscale images, with the parallelisation strategies of Byrd, Jarvis
+// & Bhalerao, "On the Parallelisation of MCMC-based Image Processing"
+// (IEEE IPDPS workshops, 2010):
+//
+//   - Sequential: the plain reversible-jump sampler (baseline).
+//   - Periodic: periodic partitioning (§V) — statistically exact
+//     parallelism over a randomly offset grid.
+//   - PeriodicSpeculative: Periodic plus speculative global moves
+//     (eq. 3, from the authors' IPDPS'08 paper).
+//   - Intelligent: pre-processor cuts along artifact-free bands, then
+//     independent chains (§VIII; fast but not statistically exact).
+//   - Blind: overlapping grid plus heuristic merge (§VIII).
+//   - Tempered: Metropolis-coupled MCMC, the §IV related-work method.
+//
+// The package deliberately exposes plain float64 pixel buffers and a
+// tiny Circle type; the heavy machinery lives in internal packages.
+package parmcmc
+
+import (
+	"fmt"
+	"image"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mc3"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Circle is a detected (or ground-truth) artifact.
+type Circle struct {
+	X, Y, R float64
+}
+
+// Strategy selects the parallelisation method.
+type Strategy int
+
+const (
+	Sequential Strategy = iota
+	Periodic
+	PeriodicSpeculative
+	Intelligent
+	Blind
+	Tempered
+)
+
+var strategyNames = map[Strategy]string{
+	Sequential:          "sequential",
+	Periodic:            "periodic",
+	PeriodicSpeculative: "periodic+spec",
+	Intelligent:         "intelligent",
+	Blind:               "blind",
+	Tempered:            "mc3",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a name (as printed by String) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("parmcmc: unknown strategy %q", name)
+}
+
+// Strategies lists all selectable strategies in order.
+func Strategies() []Strategy {
+	return []Strategy{Sequential, Periodic, PeriodicSpeculative, Intelligent, Blind, Tempered}
+}
+
+// Options configures a detection run. MeanRadius is required; everything
+// else has sensible defaults.
+type Options struct {
+	Strategy Strategy
+
+	// MeanRadius is the expected artifact radius in pixels (required).
+	MeanRadius float64
+	// ExpectedCount is the prior artifact count λ; 0 estimates it from
+	// the image via eq. 5.
+	ExpectedCount float64
+	// Threshold is the intensity threshold of the eq. 5 estimator
+	// (default 0.5).
+	Threshold float64
+
+	// Iterations is the chain length for Sequential / Periodic /
+	// Tempered runs (default 200 000). Partitioned strategies run each
+	// partition to convergence, capped at Iterations.
+	Iterations int
+	// Workers bounds goroutine parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed fixes the run's randomness (default 1).
+	Seed uint64
+
+	// LocalPhaseIters sets the periodic engine's local phase length
+	// (default 300); PartitionGrid the number of grid cells per axis for
+	// Periodic and Blind (default 2).
+	LocalPhaseIters int
+	PartitionGrid   int
+	// SpecWidth is the speculation width for PeriodicSpeculative
+	// (default 4).
+	SpecWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 200000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.LocalPhaseIters == 0 {
+		o.LocalPhaseIters = 300
+	}
+	if o.PartitionGrid == 0 {
+		o.PartitionGrid = 2
+	}
+	if o.SpecWidth == 0 {
+		o.SpecWidth = 4
+	}
+	return o
+}
+
+// Result is the outcome of a detection run.
+type Result struct {
+	Strategy   Strategy
+	Circles    []Circle
+	LogPost    float64 // relative log-posterior (whole-image strategies)
+	Iterations int64   // total chain iterations across all partitions
+	Elapsed    time.Duration
+	// Partitions is the number of regions processed (1 for whole-image
+	// strategies).
+	Partitions int
+}
+
+// Detect runs artifact detection over a grayscale pixel buffer with
+// intensities in [0, 1], stored row-major with the given width and
+// height.
+func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
+	if w <= 0 || h <= 0 || len(pix) != w*h {
+		return nil, fmt.Errorf("parmcmc: bad image dimensions %dx%d for %d pixels", w, h, len(pix))
+	}
+	if opt.MeanRadius <= 0 {
+		return nil, fmt.Errorf("parmcmc: MeanRadius is required")
+	}
+	o := opt.withDefaults()
+	im := &imaging.Image{W: w, H: h, Pix: append([]float64(nil), pix...)}
+	im.Clamp()
+
+	lambda := o.ExpectedCount
+	if lambda <= 0 {
+		lambda = math.Max(im.EstimateCount(o.Threshold, o.MeanRadius), 0.5)
+	}
+	params := model.DefaultParams(lambda, o.MeanRadius)
+	weights := mcmc.DefaultWeights()
+	steps := mcmc.DefaultStepSizes(o.MeanRadius)
+
+	start := time.Now()
+	res := &Result{Strategy: o.Strategy, Partitions: 1}
+	switch o.Strategy {
+	case Sequential:
+		s, err := model.NewState(im, params)
+		if err != nil {
+			return nil, err
+		}
+		e, err := mcmc.New(s, rng.New(o.Seed), weights, steps)
+		if err != nil {
+			return nil, err
+		}
+		e.RunN(o.Iterations)
+		fill(res, s.Cfg.Circles(), s.LogPost(), e.Iter)
+
+	case Periodic, PeriodicSpeculative:
+		s, err := model.NewState(im, params)
+		if err != nil {
+			return nil, err
+		}
+		e, err := mcmc.New(s, rng.New(o.Seed), weights, steps)
+		if err != nil {
+			return nil, err
+		}
+		copt := core.Options{
+			LocalPhaseIters: o.LocalPhaseIters,
+			GridXM:          float64(w) / float64(o.PartitionGrid) * 1.01,
+			GridYM:          float64(h) / float64(o.PartitionGrid) * 1.01,
+			Workers:         o.Workers,
+		}
+		if o.Strategy == PeriodicSpeculative {
+			copt.SpecWidth = o.SpecWidth
+		}
+		pe, err := core.NewEngine(e, copt)
+		if err != nil {
+			return nil, err
+		}
+		pe.Run(o.Iterations)
+		fill(res, s.Cfg.Circles(), s.LogPost(), e.Iter)
+		res.Partitions = o.PartitionGrid * o.PartitionGrid
+
+	case Intelligent:
+		cfg := partitionConfig(o, params, weights, steps)
+		out, err := partition.RunIntelligent(im, cfg, int(2.2*o.MeanRadius), o.Workers)
+		if err != nil {
+			return nil, err
+		}
+		var iters int64
+		for _, r := range out.Regions {
+			iters += r.Iters
+		}
+		fill(res, out.Circles, math.NaN(), iters)
+		res.Partitions = len(out.Regions)
+
+	case Blind:
+		cfg := partitionConfig(o, params, weights, steps)
+		out, err := partition.RunBlind(im, cfg, partition.BlindOptions{
+			NX: o.PartitionGrid, NY: o.PartitionGrid,
+			Margin:       1.1 * o.MeanRadius,
+			MergeRadius:  5,
+			KeepDisputed: true,
+		}, o.Workers)
+		if err != nil {
+			return nil, err
+		}
+		var iters int64
+		for _, r := range out.Regions {
+			iters += r.Iters
+		}
+		fill(res, out.Circles, math.NaN(), iters)
+		res.Partitions = len(out.Regions)
+
+	case Tempered:
+		mopt := mc3.DefaultOptions()
+		mopt.Workers = o.Workers
+		sampler, err := mc3.New(im, params, weights, steps, mopt, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sampler.Run(o.Iterations)
+		cold := sampler.Cold()
+		fill(res, cold.Cfg.Circles(), cold.LogPost(), int64(o.Iterations))
+		res.Partitions = mopt.Chains
+
+	default:
+		return nil, fmt.Errorf("parmcmc: unknown strategy %v", o.Strategy)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func partitionConfig(o Options, params model.Params, w mcmc.Weights, st mcmc.StepSizes) partition.Config {
+	return partition.Config{
+		Theta:      o.Threshold,
+		BaseParams: params,
+		Weights:    w,
+		Steps:      st,
+		MaxIters:   o.Iterations,
+		Plateau:    mcmc.PlateauDetector{Window: 12, Tol: 0.5, MinIters: 1500},
+		Seed:       o.Seed,
+	}
+}
+
+func fill(res *Result, circles []geom.Circle, logPost float64, iters int64) {
+	res.Circles = make([]Circle, len(circles))
+	for i, c := range circles {
+		res.Circles[i] = Circle{X: c.X, Y: c.Y, R: c.R}
+	}
+	res.LogPost = logPost
+	res.Iterations = iters
+}
+
+// DetectImage converts any image.Image to grayscale and runs Detect.
+func DetectImage(img image.Image, opt Options) (*Result, error) {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	pix := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			// Rec. 601 luma from 16-bit channels.
+			pix[y*w+x] = (0.299*float64(r) + 0.587*float64(g) + 0.114*float64(bb)) / 65535
+		}
+	}
+	return Detect(pix, w, h, opt)
+}
+
+// SceneSpec configures a synthetic test scene.
+type SceneSpec struct {
+	W, H       int
+	Count      int
+	MeanRadius float64
+	Noise      float64
+	// Clusters > 0 clumps the artifacts (the bead layout); 0 spreads
+	// them uniformly.
+	Clusters int
+	Seed     uint64
+}
+
+// GenerateScene renders a synthetic micrograph (bright discs on noisy
+// background) and returns its pixels plus the ground-truth circles —
+// convenient for demos, tests and benchmarking against a known answer.
+func GenerateScene(spec SceneSpec) (pix []float64, truth []Circle) {
+	scene := imaging.Synthesize(imaging.SceneSpec{
+		W: spec.W, H: spec.H, Count: spec.Count,
+		MeanRadius: spec.MeanRadius, RadiusStdDev: spec.MeanRadius * 0.1,
+		Noise: spec.Noise, Clusters: spec.Clusters,
+		MinSeparation: 1.05,
+	}, rng.New(spec.Seed+1))
+	truth = make([]Circle, len(scene.Truth))
+	for i, c := range scene.Truth {
+		truth[i] = Circle{X: c.X, Y: c.Y, R: c.R}
+	}
+	return scene.Image.Pix, truth
+}
+
+// MatchScore scores detections against ground truth and returns
+// (precision, recall, F1) with matches allowed up to maxDist pixels.
+func MatchScore(found, truth []Circle, maxDist float64) (precision, recall, f1 float64) {
+	fs := make([]geom.Circle, len(found))
+	for i, c := range found {
+		fs[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+	}
+	ts := make([]geom.Circle, len(truth))
+	for i, c := range truth {
+		ts[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+	}
+	m := stats.MatchCircles(fs, ts, maxDist)
+	return m.Precision(), m.Recall(), m.F1()
+}

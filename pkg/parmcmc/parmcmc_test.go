@@ -1,0 +1,141 @@
+package parmcmc
+
+import (
+	"image"
+	"image/color"
+	"math"
+	"testing"
+)
+
+func testScene(t *testing.T) ([]float64, []Circle, int, int) {
+	t.Helper()
+	pix, truth := GenerateScene(SceneSpec{
+		W: 128, H: 128, Count: 5, MeanRadius: 8, Noise: 0.05, Seed: 7,
+	})
+	return pix, truth, 128, 128
+}
+
+func TestDetectValidation(t *testing.T) {
+	if _, err := Detect(nil, 0, 0, Options{MeanRadius: 5}); err == nil {
+		t.Fatal("empty image accepted")
+	}
+	if _, err := Detect(make([]float64, 10), 5, 3, Options{MeanRadius: 5}); err == nil {
+		t.Fatal("mismatched length accepted")
+	}
+	if _, err := Detect(make([]float64, 15), 5, 3, Options{}); err == nil {
+		t.Fatal("missing MeanRadius accepted")
+	}
+}
+
+func TestDetectDoesNotMutateInput(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	orig := append([]float64(nil), pix...)
+	_, err := Detect(pix, w, h, Options{MeanRadius: 8, Iterations: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pix {
+		if pix[i] != orig[i] {
+			t.Fatal("Detect mutated the caller's pixels")
+		}
+	}
+}
+
+func TestAllStrategiesDetect(t *testing.T) {
+	pix, truth, w, h := testScene(t)
+	for _, s := range Strategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			res, err := Detect(pix, w, h, Options{
+				Strategy: s, MeanRadius: 8, Iterations: 30000, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Strategy != s {
+				t.Fatalf("result strategy %v", res.Strategy)
+			}
+			_, recall, f1 := MatchScore(res.Circles, truth, 4)
+			if recall < 0.8 {
+				t.Fatalf("%v recall = %v (found %d of %d)", s, recall, len(res.Circles), len(truth))
+			}
+			if f1 < 0.7 {
+				t.Fatalf("%v F1 = %v", s, f1)
+			}
+			if res.Iterations == 0 || res.Elapsed <= 0 {
+				t.Fatalf("missing run metadata: %+v", res)
+			}
+		})
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for _, s := range Strategies() {
+		parsed, err := ParseStrategy(s.String())
+		if err != nil || parsed != s {
+			t.Fatalf("roundtrip failed for %v", s)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy parsed")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy has empty name")
+	}
+}
+
+func TestExpectedCountEstimation(t *testing.T) {
+	pix, truth, w, h := testScene(t)
+	// With ExpectedCount unset, eq. 5 should land near the truth count
+	// and detection still works.
+	res, err := Detect(pix, w, h, Options{
+		Strategy: Sequential, MeanRadius: 8, Iterations: 30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(len(res.Circles))-float64(len(truth))) > 2 {
+		t.Fatalf("found %d circles, truth %d", len(res.Circles), len(truth))
+	}
+}
+
+func TestDetectImage(t *testing.T) {
+	pix, truth, w, h := testScene(t)
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetGray(x, y, color.Gray{Y: uint8(pix[y*w+x]*255 + 0.5)})
+		}
+	}
+	res, err := DetectImage(img, Options{
+		Strategy: Sequential, MeanRadius: 8, Iterations: 30000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recall, _ := MatchScore(res.Circles, truth, 4)
+	if recall < 0.8 {
+		t.Fatalf("DetectImage recall = %v", recall)
+	}
+}
+
+func TestGenerateSceneDeterministic(t *testing.T) {
+	a, ta := GenerateScene(SceneSpec{W: 64, H: 64, Count: 3, MeanRadius: 6, Seed: 1})
+	b, tb := GenerateScene(SceneSpec{W: 64, H: 64, Count: 3, MeanRadius: 6, Seed: 1})
+	if len(ta) != len(tb) {
+		t.Fatal("truth differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pixels differ")
+		}
+	}
+}
+
+func TestMatchScorePerfect(t *testing.T) {
+	truth := []Circle{{X: 10, Y: 10, R: 5}}
+	p, r, f1 := MatchScore(truth, truth, 2)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("perfect score = %v %v %v", p, r, f1)
+	}
+}
