@@ -1,0 +1,47 @@
+# Task entry points — CI runs exactly these targets (see
+# .github/workflows/ci.yml), so a green `make ci` locally means a green
+# pipeline.
+
+GO ?= go
+
+.PHONY: all build fmt fmt-check vet test test-short race ci bench experiments-quick experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Fast failure: the short suite skips the long chain runs.
+test-short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (the Runner tests exercise >1
+# worker, so this is the concurrency gate).
+race:
+	$(GO) test -race ./...
+
+ci: fmt-check vet build test-short race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Reproduce every paper figure through the Runner (quick ≈ seconds,
+# full ≈ minutes).
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+experiments:
+	$(GO) run ./cmd/experiments

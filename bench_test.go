@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -31,7 +32,7 @@ func runExperiment(b *testing.B, id string) {
 	opts.Quick = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := runner(opts); err != nil {
+		if _, err := runner(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,9 @@
 // Command experiments regenerates the paper's tables and figures (see
 // DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
-// paper-vs-measured comparisons).
+// paper-vs-measured comparisons). Every figure's MCMC work is
+// orchestrated through the pkg/parmcmc Runner, so an interrupt (ctrl-C)
+// cancels the in-flight batch at its next checkpoint instead of killing
+// chains mid-measurement.
 //
 // Usage:
 //
@@ -10,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -39,6 +45,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.DefaultOptions()
 	opts.Quick = *quick
 	opts.Seed = *seed
@@ -57,7 +66,7 @@ func main() {
 			log.Fatalf("unknown experiment %q (use -list)", id)
 		}
 		start := time.Now()
-		res, err := runner(opts)
+		res, err := runner(ctx, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}

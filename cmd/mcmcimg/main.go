@@ -1,4 +1,4 @@
-// Command mcmcimg detects circular artifacts in a PGM image using any of
+// Command mcmcimg detects circular artifacts in PGM images using any of
 // the parallelisation strategies of the paper. It prints the detections
 // as CSV and, with -overlay, writes a PNG with the detections outlined.
 //
@@ -7,14 +7,24 @@
 //	mcmcimg -in cells.pgm -radius 10 [-strategy periodic] [-iters 200000]
 //	        [-count 150] [-workers 4] [-seed 1] [-overlay out.png]
 //
+// Both -in and -strategy accept comma-separated lists; every image ×
+// strategy combination becomes one job of a parmcmc.Runner batch,
+// -parallel of which run concurrently. Batches of more than one job
+// print a "# job: <name>" line before each CSV block, and ctrl-C cancels
+// outstanding jobs at their next checkpoint.
+//
 // Strategies: sequential, periodic, periodic+spec, intelligent, blind, mc3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro/internal/geom"
 	"repro/internal/imaging"
@@ -25,65 +35,114 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mcmcimg: ")
 	var (
-		in       = flag.String("in", "", "input PGM image (required)")
+		in       = flag.String("in", "", "input PGM image(s), comma-separated (required)")
 		radius   = flag.Float64("radius", 0, "expected artifact radius in pixels (required)")
-		strategy = flag.String("strategy", "periodic", "detection strategy")
+		strategy = flag.String("strategy", "periodic", "detection strategy or comma-separated list")
 		iters    = flag.Int("iters", 200000, "chain iterations (cap for partitioned strategies)")
 		count    = flag.Float64("count", 0, "expected artifact count (0 = estimate via eq. 5)")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker goroutines per job (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 1, "concurrent jobs in a batch")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
-		overlay  = flag.String("overlay", "", "optional PNG path for a detection overlay")
+		overlay  = flag.String("overlay", "", "optional PNG path for a detection overlay (single-job runs only)")
 	)
 	flag.Parse()
 	if *in == "" || *radius <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	strat, err := parmcmc.ParseStrategy(*strategy)
-	if err != nil {
-		log.Fatal(err)
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	img, err := imaging.ReadPGM(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+
+	var strategies []parmcmc.Strategy
+	for _, name := range strings.Split(*strategy, ",") {
+		strat, err := parmcmc.ParseStrategy(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		strategies = append(strategies, strat)
 	}
 
-	res, err := parmcmc.Detect(img.Pix, img.W, img.H, parmcmc.Options{
-		Strategy:      strat,
-		MeanRadius:    *radius,
-		ExpectedCount: *count,
-		Iterations:    *iters,
-		Workers:       *workers,
-		Seed:          *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
+	type input struct {
+		path string
+		img  *imaging.Image
+	}
+	var inputs []input
+	for _, path := range strings.Split(*in, ",") {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img, err := imaging.ReadPGM(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		inputs = append(inputs, input{path: path, img: img})
 	}
 
-	fmt.Println("x,y,r")
-	for _, c := range res.Circles {
-		fmt.Printf("%.3f,%.3f,%.3f\n", c.X, c.Y, c.R)
+	var jobs []parmcmc.Job
+	for _, inp := range inputs {
+		for _, strat := range strategies {
+			name := inp.path
+			if len(strategies) > 1 {
+				name += "/" + strat.String()
+			}
+			jobs = append(jobs, parmcmc.Job{
+				Name: name,
+				Pix:  inp.img.Pix, W: inp.img.W, H: inp.img.H,
+				Opt: parmcmc.Options{
+					Strategy:      strat,
+					MeanRadius:    *radius,
+					ExpectedCount: *count,
+					Iterations:    *iters,
+					Workers:       *workers,
+					Seed:          *seed,
+				},
+			})
+		}
 	}
-	fmt.Fprintf(os.Stderr,
-		"%s: %d artifacts in %v (%d iterations, %d partitions)\n",
-		res.Strategy, len(res.Circles), res.Elapsed.Round(1e6),
-		res.Iterations, res.Partitions)
+	if *overlay != "" && len(jobs) > 1 {
+		log.Fatal("-overlay needs a single image and strategy")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := parmcmc.NewRunner(*parallel)
+	results, _ := runner.Run(ctx, jobs)
+	failed := false
+	for _, jr := range results {
+		if jr.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Name, jr.Err)
+			continue
+		}
+		res := jr.Result
+		if len(jobs) > 1 {
+			fmt.Printf("# job: %s\n", jr.Name)
+		}
+		fmt.Println("x,y,r")
+		for _, c := range res.Circles {
+			fmt.Printf("%.3f,%.3f,%.3f\n", c.X, c.Y, c.R)
+		}
+		fmt.Fprintf(os.Stderr,
+			"%s: %d artifacts in %v (%d iterations, %d partitions)\n",
+			res.Strategy, len(res.Circles), res.Elapsed.Round(1e6),
+			res.Iterations, res.Partitions)
+	}
+	if failed {
+		os.Exit(1)
+	}
 
 	if *overlay != "" {
-		circles := make([]geom.Circle, len(res.Circles))
-		for i, c := range res.Circles {
+		circles := make([]geom.Circle, len(results[0].Result.Circles))
+		for i, c := range results[0].Result.Circles {
 			circles[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
 		}
 		of, err := os.Create(*overlay)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := img.WriteOverlayPNG(of, circles); err != nil {
+		if err := inputs[0].img.WriteOverlayPNG(of, circles); err != nil {
 			log.Fatal(err)
 		}
 		if err := of.Close(); err != nil {

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -16,7 +17,7 @@ func lookupExperiment(t *testing.T, id string) func(*testing.T) string {
 	return func(t *testing.T) string {
 		opts := experiments.DefaultOptions()
 		opts.Quick = true
-		res, err := runner(opts)
+		res, err := runner(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,6 +16,9 @@ import (
 // recover (almost) the same artifact set, because they sample (or
 // approximate) the same posterior.
 func TestCrossStrategyAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every strategy at full length")
+	}
 	pix, truth := parmcmc.GenerateScene(parmcmc.SceneSpec{
 		W: 160, H: 160, Count: 7, MeanRadius: 8, Noise: 0.05, Seed: 99,
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -21,8 +22,10 @@ import (
 // processing the entire image at once" — artifacts on partition
 // boundaries are duplicated, misplaced or missed. The experiment plants
 // artifacts exactly on the naive grid lines and scores naive, blind and
-// periodic processing against ground truth.
-func Anomaly(o Options) (*Result, error) {
+// periodic processing against ground truth. The naive baseline needs
+// partition internals the public API deliberately does not expose, so
+// this experiment alone stays off the Runner.
+func Anomaly(ctx context.Context, o Options) (*Result, error) {
 	w, h := 320, 320
 	if o.Quick {
 		w, h = 200, 200

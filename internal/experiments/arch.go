@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/trace"
+	"repro/pkg/parmcmc"
 )
 
 // Arch regenerates the §VII architecture comparison: the runtime
@@ -12,17 +14,30 @@ import (
 // spot (a ~20ms global phase) on the three machine profiles. The paper
 // reports reductions of ~29% (Q6600), 23% (Xeon) and 38% (Pentium-D) and
 // attributes the differences to inter-thread communication overhead.
-func Arch(o Options) (*Result, error) {
-	w, err := newCellWorkload(o)
-	if err != nil {
-		return nil, err
-	}
+// Two Runner batches: a timed sequential baseline (which calibrates the
+// sweet spot), then a Sweep over the profiles' thread counts.
+func Arch(ctx context.Context, o Options) (*Result, error) {
+	scene := cellScene(o)
+	im := scene.Image
+	total := cellTotalIters(o)
 	meanR := 10.0
-	seqDur, err := w.runSequentialBaseline(o, meanR)
+
+	base := parmcmc.Options{
+		MeanRadius:    meanR,
+		ExpectedCount: float64(len(scene.Truth)),
+		Iterations:    total,
+	}
+	seq := base
+	seq.Strategy = parmcmc.Sequential
+	seq.Seed = o.Seed + 77
+	out, err := runBatch(ctx, o, true, []parmcmc.Job{
+		{Name: "arch/sequential", Pix: im.Pix, W: im.W, H: im.H, Opt: seq},
+	})
 	if err != nil {
 		return nil, err
 	}
-	tauIter := seqDur.Seconds() / float64(w.totalIters)
+	seqDur := out[0].Result.Elapsed
+	tauIter := seqDur.Seconds() / float64(total)
 	// The sweet spot: a global phase worth ~20ms of sequential work.
 	gIters := int(0.020 / tauIter)
 	if gIters < 10 {
@@ -30,18 +45,35 @@ func Arch(o Options) (*Result, error) {
 	}
 	localIters := int(float64(gIters) * 0.6 / 0.4)
 
+	per := base
+	per.Strategy = parmcmc.Periodic
+	per.Seed = o.Seed + 78
+	// Finer grid (up to 9 partitions) with load balancing — the §VII
+	// recommendation for when partitions outnumber processors.
+	per.PartitionGrid = 2
+	per.GridSlack = 1.0
+	per.SimulateParallel = true
+	per.LocalPhaseIters = localIters
+	profiles := trace.Profiles()
+	threads := make([]int, len(profiles))
+	for i, a := range profiles {
+		threads[i] = a.Threads
+	}
+	runs, err := runBatch(ctx, o, true, parmcmc.Sweep{
+		Name: "arch/periodic",
+		Pix:  im.Pix, W: im.W, H: im.H,
+		Base:    per,
+		Workers: threads,
+	}.Jobs())
+	if err != nil {
+		return nil, err
+	}
+
 	tb := &trace.Table{Header: []string{
 		"machine", "threads", "barrier_ms", "periodic_secs", "sequential_secs", "reduction_pct",
 	}}
-	var notes []string
-	for _, arch := range trace.Profiles() {
-		// Finer grid (up to 9 partitions) with load balancing — the
-		// §VII recommendation for when partitions outnumber processors.
-		dur, barriers, err := w.runPeriodicGrid(o, meanR, localIters, arch.Threads, 0, 2)
-		if err != nil {
-			return nil, err
-		}
-		reported := dur + arch.Charge(barriers)
+	for i, arch := range profiles {
+		reported := periodicReported(runs[i].Result, arch)
 		reduction := 100 * (1 - reported.Seconds()/seqDur.Seconds())
 		tb.Add(arch.Name, arch.Threads, arch.BarrierOverhead.Seconds()*1e3,
 			reported.Seconds(), seqDur.Seconds(), reduction)
@@ -50,7 +82,7 @@ func Arch(o Options) (*Result, error) {
 	if err := tb.Write(&sb); err != nil {
 		return nil, err
 	}
-	notes = append(notes,
+	notes := []string{
 		fmt.Sprintf("global phase: %d iterations (~%.1fms sequential work), local phase %d iterations",
 			gIters, float64(gIters)*tauIter*1e3, localIters),
 		"grid: image/2 spacing -> up to 9 partitions, LPT load-balanced onto the",
@@ -59,7 +91,7 @@ func Arch(o Options) (*Result, error) {
 		"shape to match: every profile beats sequential and the high-overhead",
 		"dual-socket Xeon benefits least. The Pentium-D's paper-reported 38%",
 		"exceeds the eq. 2 two-processor bound (30%); see EXPERIMENTS.md.",
-	)
+	}
 	return &Result{
 		ID:    "arch",
 		Title: "Periodic parallelisation across architecture profiles (§VII)",

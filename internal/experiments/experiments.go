@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -14,6 +15,8 @@ import (
 	"repro/internal/geom"
 	"repro/internal/imaging"
 	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/pkg/parmcmc"
 )
 
 // Options configures an experiment run.
@@ -61,17 +64,18 @@ func (r *Result) Write(w io.Writer) error {
 	return err
 }
 
-// Runner executes one experiment.
-type Runner func(Options) (*Result, error)
+// RunFunc executes one experiment. Cancelling ctx aborts the
+// experiment's orchestrated runs at their next cancellation check.
+type RunFunc func(context.Context, Options) (*Result, error)
 
 // Registry maps experiment IDs to runners, in the paper's order.
 func Registry() []struct {
 	ID  string
-	Run Runner
+	Run RunFunc
 } {
 	return []struct {
 		ID  string
-		Run Runner
+		Run RunFunc
 	}{
 		{"fig1", Fig1},
 		{"fig2", Fig2},
@@ -85,7 +89,7 @@ func Registry() []struct {
 }
 
 // Lookup returns the runner for id, or nil.
-func Lookup(id string) Runner {
+func Lookup(id string) RunFunc {
 	for _, e := range Registry() {
 		if e.ID == id {
 			return e.Run
@@ -177,6 +181,54 @@ func beadScene(o Options) (*imaging.Scene, [3][]geom.Circle) {
 	}
 	im.Clamp()
 	return &imaging.Scene{Image: im, Truth: all}, clusters
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration: every MCMC execution in this package flows through one
+// parmcmc.Runner batch, so each figure is "one sweep + one reducer".
+
+// runBatch routes jobs through a parmcmc.Runner. Timed batches run one
+// job at a time with a GC between jobs so wall-clock measurements stay
+// clean; untimed batches fan out across o.workers() concurrent jobs.
+// The first job error aborts the whole figure.
+func runBatch(ctx context.Context, o Options, timed bool, jobs []parmcmc.Job) ([]parmcmc.JobResult, error) {
+	conc := o.workers()
+	if timed {
+		conc = 1
+	}
+	r := parmcmc.NewRunner(conc)
+	r.BaseSeed = o.Seed
+	r.GCBetween = timed
+	out, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, jr := range out {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("%s: %w", jr.Name, jr.Err)
+		}
+	}
+	return out, nil
+}
+
+// lptMakespan returns the wall-clock an n-processor machine achieves on
+// the regions' measured chain times under LPT assignment.
+func lptMakespan(regions []parmcmc.RegionInfo, procs int) float64 {
+	costs := make([]float64, len(regions))
+	for i, r := range regions {
+		costs[i] = r.Seconds
+	}
+	return sched.Makespan(costs, sched.LPTAssign(costs, procs))
+}
+
+// toGeom converts public API circles back to the internal geometry type
+// for scoring against ground truth.
+func toGeom(cs []parmcmc.Circle) []geom.Circle {
+	out := make([]geom.Circle, len(cs))
+	for i, c := range cs {
+		out[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+	}
+	return out
 }
 
 // sortRegionsByArea orders region indices by descending area so tables

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestFig1Content(t *testing.T) {
-	res, err := Fig1(quickOpts())
+	res, err := Fig1(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestFig1Content(t *testing.T) {
 }
 
 func TestResultWrite(t *testing.T) {
-	res, err := Fig1(quickOpts())
+	res, err := Fig1(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestQuickRuns(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, err := e.Run(quickOpts())
+			res, err := e.Run(context.Background(), quickOpts())
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}

@@ -1,159 +1,105 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/mcmc"
-	"repro/internal/model"
-	"repro/internal/rng"
-	"repro/internal/spec"
 	"repro/internal/trace"
+	"repro/pkg/parmcmc"
 )
 
-// fig2Workload bundles the §VII case-study configuration.
-type fig2Workload struct {
-	scene      *sceneHandle
-	totalIters int
-}
-
-type sceneHandle struct {
-	state func() *model.State // fresh state per run
-}
-
-// newCellWorkload builds the fig. 2 workload: the cell scene, λ = truth
-// count, q_g = 0.4 mixture, and the paper's 500 000 iterations (60 000 in
-// quick mode).
-func newCellWorkload(o Options) (*fig2Workload, error) {
-	scene := cellScene(o)
-	params := model.DefaultParams(float64(len(scene.Truth)), scene.Spec.MeanRadius)
-	var buildErr error
-	handle := &sceneHandle{state: func() *model.State {
-		s, err := model.NewState(scene.Image, params)
-		if err != nil {
-			buildErr = err
-		}
-		return s
-	}}
-	total := 500000
+// cellTotalIters returns the chain length of the §VII case study: the
+// paper's 500 000 iterations, 60 000 in quick mode.
+func cellTotalIters(o Options) int {
 	if o.Quick {
-		total = 60000
+		return 60000
 	}
-	// Build one state eagerly to surface configuration errors.
-	if handle.state(); buildErr != nil {
-		return nil, buildErr
-	}
-	return &fig2Workload{scene: handle, totalIters: total}, nil
+	return 500000
 }
 
-func (w *fig2Workload) meanRadius() float64 { return 10 }
-
-// runSequentialBaseline measures the plain sampler on the workload.
-func (w *fig2Workload) runSequentialBaseline(o Options, meanR float64) (time.Duration, error) {
-	s := w.scene.state()
-	e, err := mcmc.New(s, rng.New(o.Seed+77), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR))
-	if err != nil {
-		return 0, err
+// fig2Locals maps the swept global phase lengths to the local phase
+// lengths that keep the move mixture at q_g = 0.4.
+func fig2Locals(sweep []int) []int {
+	locals := make([]int, len(sweep))
+	for i, g := range sweep {
+		local := int(float64(g) * (1 - 0.4) / 0.4)
+		if local < 1 {
+			local = 1
+		}
+		locals[i] = local
 	}
-	runtime.GC() // keep earlier runs' garbage out of this measurement
-	start := time.Now()
-	e.RunN(w.totalIters)
-	return time.Since(start), nil
+	return locals
 }
 
-// runPeriodic measures a periodic run with the given local phase length
-// and returns the *simulated* parallel duration (measured serial global
-// phases + the makespan a `workers`-way machine achieves on the measured
-// local-phase cells; see core.Options.SimulateParallel) plus the barrier
-// count. Speculative global phases, when requested, are credited with
-// the eq. 3 model speedup at the measured global rejection rate.
-func (w *fig2Workload) runPeriodic(o Options, meanR float64, localIters, workers, specWidth int) (time.Duration, int64, error) {
-	return w.runPeriodicGrid(o, meanR, localIters, workers, specWidth, 1)
-}
-
-// runPeriodicGrid is runPeriodic with a grid divisor: gridDiv = 1 gives
-// the paper's four-quadrant single-point layout; gridDiv = 2 the finer
-// grid (up to 9 cells) §VII recommends together with load balancing when
-// partitions outnumber processors.
-func (w *fig2Workload) runPeriodicGrid(o Options, meanR float64, localIters, workers, specWidth, gridDiv int) (time.Duration, int64, error) {
-	return w.runPeriodicFull(o, meanR, localIters, workers, specWidth, gridDiv, 0)
-}
-
-// runPeriodicFull additionally enables speculative batches inside the
-// partition workers (eq. 4's per-machine threads).
-func (w *fig2Workload) runPeriodicFull(o Options, meanR float64, localIters, workers, specWidth, gridDiv, localSpec int) (time.Duration, int64, error) {
-	s := w.scene.state()
-	e, err := mcmc.New(s, rng.New(o.Seed+78), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR))
-	if err != nil {
-		return 0, 0, err
-	}
-	bounds := s.Bounds()
-	timer := trace.NewPhaseTimer()
-	pe, err := core.NewEngine(e, core.Options{
-		LocalPhaseIters: localIters,
-		// Spacing equal to the image size: every random offset puts
-		// exactly one grid crossing inside the image — the paper's
-		// "four rectangular partitions using a single coordinate where
-		// all partitions meet".
-		GridXM: bounds.W() / float64(gridDiv), GridYM: bounds.H() / float64(gridDiv),
-		Workers:          workers,
-		LocalSpecWidth:   localSpec,
-		Timer:            timer,
-		SimulateParallel: true,
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	runtime.GC() // keep earlier runs' garbage out of this measurement
-	pe.Run(w.totalIters)
-	globalSecs := timer.Total("global").Seconds()
-	if specWidth > 1 {
-		pgr, _ := e.Stats.GlobalLocalRates()
-		globalSecs /= spec.Speedup(pgr, specWidth)
-	}
-	total := globalSecs + pe.SimLocalSeconds
-	return time.Duration(total * float64(time.Second)), pe.Barriers, nil
+// periodicReported combines a simulated periodic run's measured global
+// phases, the simulated Workers-way local-phase makespan and the
+// profile's per-barrier charge into the runtime the figure reports.
+func periodicReported(r *parmcmc.Result, arch trace.ArchProfile) time.Duration {
+	dur := time.Duration((r.GlobalSeconds + r.SimLocalSeconds) * float64(time.Second))
+	return dur + arch.Charge(r.Barriers)
 }
 
 // Fig2 regenerates fig. 2: total runtime versus time spent per global
 // phase, on the Q6600 profile, with the sequential runtime as baseline.
 // Short global phases repartition too often and the per-barrier overhead
-// dominates; beyond the sweet spot the curve flattens.
-func Fig2(o Options) (*Result, error) {
-	w, err := newCellWorkload(o)
-	if err != nil {
-		return nil, err
-	}
+// dominates; beyond the sweet spot the curve flattens. The whole figure
+// is one Runner batch — a sequential baseline plus a Sweep over local
+// phase lengths — and one reducer over its structured results.
+func Fig2(ctx context.Context, o Options) (*Result, error) {
+	scene := cellScene(o)
+	im := scene.Image
+	total := cellTotalIters(o)
 	meanR := 10.0
-	seqDur, err := w.runSequentialBaseline(o, meanR)
-	if err != nil {
-		return nil, err
-	}
-	tauIter := seqDur.Seconds() / float64(w.totalIters)
 
 	arch := trace.Q6600
 	// SimulateParallel models the profile's thread count regardless of
 	// how many cores this host actually has.
 	workers := arch.Threads
+	// Sweep the global phase length; the local phase follows from q_g.
+	sweep := []int{6, 12, 25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200}
+
+	base := parmcmc.Options{
+		MeanRadius:    meanR,
+		ExpectedCount: float64(len(scene.Truth)),
+		Iterations:    total,
+	}
+	seq := base
+	seq.Strategy = parmcmc.Sequential
+	seq.Seed = o.Seed + 77
+	jobs := []parmcmc.Job{{Name: "fig2/sequential", Pix: im.Pix, W: im.W, H: im.H, Opt: seq}}
+
+	per := base
+	per.Strategy = parmcmc.Periodic
+	per.Seed = o.Seed + 78
+	per.Workers = workers
+	// Spacing equal to the image size: every random offset puts exactly
+	// one grid crossing inside the image — the paper's "four rectangular
+	// partitions using a single coordinate where all partitions meet".
+	per.PartitionGrid = 1
+	per.GridSlack = 1.0
+	per.SimulateParallel = true
+	jobs = append(jobs, parmcmc.Sweep{
+		Name: "fig2/periodic",
+		Pix:  im.Pix, W: im.W, H: im.H,
+		Base:            per,
+		LocalPhaseIters: fig2Locals(sweep),
+	}.Jobs()...)
+
+	out, err := runBatch(ctx, o, true, jobs)
+	if err != nil {
+		return nil, err
+	}
+	seqDur := out[0].Result.Elapsed
+	tauIter := seqDur.Seconds() / float64(total)
+
 	tb := &trace.Table{Header: []string{
 		"global_phase_iters", "global_phase_ms", "periodic_secs", "sequential_secs",
 	}}
-	// Sweep the global phase length; the local phase follows from q_g.
-	sweep := []int{6, 12, 25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200}
 	knee := ""
-	for _, g := range sweep {
-		local := int(float64(g) * (1 - 0.4) / 0.4)
-		if local < 1 {
-			local = 1
-		}
-		dur, barriers, err := w.runPeriodic(o, meanR, local, workers, 0)
-		if err != nil {
-			return nil, err
-		}
-		reported := dur + arch.Charge(barriers)
+	for i, g := range sweep {
+		reported := periodicReported(out[1+i].Result, arch)
 		gPhaseSecs := float64(g) * tauIter
 		tb.Add(g, gPhaseSecs*1e3, reported.Seconds(), seqDur.Seconds())
 		if knee == "" && reported < seqDur {
@@ -167,7 +113,7 @@ func Fig2(o Options) (*Result, error) {
 	}
 	notes := []string{
 		fmt.Sprintf("sequential baseline: %.3fs for %d iterations (τ = %.2fµs/iter)",
-			seqDur.Seconds(), w.totalIters, tauIter*1e6),
+			seqDur.Seconds(), total, tauIter*1e6),
 		fmt.Sprintf("architecture profile %s charges %.1fms per repartition barrier (see trace.ArchProfile)",
 			arch.Name, arch.BarrierOverhead.Seconds()*1e3),
 	}

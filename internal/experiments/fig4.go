@@ -1,57 +1,62 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/pkg/parmcmc"
 )
 
 // Fig4 regenerates the blind-partitioning experiment of §IX / fig. 4:
 // the bead image is split into four equal quadrants expanded by 1.1×
 // the expected radius, each processed independently, then merged. The
 // paper reports quadrant relative runtimes of 0.12 / 0.08 / 0.27 / 0.11
-// and a total runtime of ~27% of sequential, with no anomalies.
-func Fig4(o Options) (*Result, error) {
+// and a total runtime of ~27% of sequential, with no anomalies. One
+// timed Runner batch (whole-image baseline + blind run), one reducer.
+func Fig4(ctx context.Context, o Options) (*Result, error) {
 	scene, _ := beadScene(o)
+	im := scene.Image
 	meanR := scene.Truth[0].R
-	cfg := beadConfig(o, meanR)
 
-	whole, err := partition.RunSequential(scene.Image, cfg)
+	whole := beadBase(o, meanR)
+	whole.Strategy = parmcmc.Sequential
+	whole.Converge = true
+	blind := beadBase(o, meanR)
+	blind.Strategy = parmcmc.Blind
+	blind.PartitionGrid = 2
+	blind.Workers = o.workers()
+	out, err := runBatch(ctx, o, true, []parmcmc.Job{
+		{Name: "fig4/whole", Pix: im.Pix, W: im.W, H: im.H, Opt: whole},
+		{Name: "fig4/blind", Pix: im.Pix, W: im.W, H: im.H, Opt: blind},
+	})
 	if err != nil {
 		return nil, err
 	}
-	opt := partition.BlindOptions{
-		NX: 2, NY: 2,
-		Margin:       1.1 * meanR,
-		MergeRadius:  5,
-		KeepDisputed: true,
-	}
-	res, err := partition.RunBlind(scene.Image, cfg, opt, o.workers())
-	if err != nil {
-		return nil, err
-	}
+	wr := out[0].Result.Regions[0]
+	res := out[1].Result
 
 	tb := &trace.Table{Header: []string{
 		"quadrant", "obj_thresh", "iters_converge", "runtime_s", "rel_runtime",
 	}}
 	quadNames := []string{"top-left", "top-right", "bottom-left", "bottom-right"}
 	for i, r := range res.Regions {
-		tb.Add(quadNames[i], r.Lambda, r.Iters, r.Seconds, r.Seconds/whole.Seconds)
+		tb.Add(quadNames[i], r.Lambda, r.Iters, r.Seconds, r.Seconds/wr.Seconds)
 	}
 	var sb strings.Builder
 	if err := tb.Write(&sb); err != nil {
 		return nil, err
 	}
 
-	m := stats.MatchCircles(res.Circles, scene.Truth, meanR/2)
-	makespan := partition.Makespan(res.Regions, 4)
-	dup := stats.DuplicatePairs(res.Circles, meanR/2)
+	found := toGeom(res.Circles)
+	m := stats.MatchCircles(found, scene.Truth, meanR/2)
+	makespan := lptMakespan(res.Regions, 4)
+	dup := stats.DuplicatePairs(found, meanR/2)
 	notes := []string{
 		fmt.Sprintf("sequential baseline: %.3fs; blind-partitioning runtime on 4 processors: %.3fs (relative %.3f)",
-			whole.Seconds, makespan, makespan/whole.Seconds),
+			wr.Seconds, makespan, makespan/wr.Seconds),
 		fmt.Sprintf("merged cross-partition pairs: %d, disputed artifacts: %d, near-duplicates remaining: %d",
 			res.Merged, res.Disputed, dup),
 		fmt.Sprintf("detection F1 vs ground truth = %.3f (TP=%d FP=%d FN=%d)", m.F1(), m.TP, m.FP, m.FN),

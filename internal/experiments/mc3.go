@@ -1,25 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/imaging"
 	"repro/internal/mc3"
-	"repro/internal/mcmc"
-	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/pkg/parmcmc"
 )
 
 // MC3 exercises the §IV related-work baseline: Metropolis-coupled MCMC
 // on an ambiguous scene (pairs of strongly overlapping discs that a
 // greedy chain tends to explain as single large artifacts). It compares
 // a plain chain against the cold chain of an (MC)³ sampler given the
-// same per-chain iteration budget.
-func MC3(o Options) (*Result, error) {
+// same per-chain iteration budget — one untimed Runner batch of two
+// jobs that fan out concurrently.
+func MC3(ctx context.Context, o Options) (*Result, error) {
 	w, h := 256, 256
 	iters := 120000
 	if o.Quick {
@@ -66,48 +67,48 @@ func MC3(o Options) (*Result, error) {
 	}
 	im.Clamp()
 
-	params := model.DefaultParams(float64(len(truth)), meanR)
-	params.OverlapPenalty = 0.15 // tolerate the true overlaps
-
-	// Plain chain.
-	st, err := model.NewState(im, params)
+	base := parmcmc.Options{
+		MeanRadius:     meanR,
+		ExpectedCount:  float64(len(truth)),
+		Iterations:     iters,
+		OverlapPenalty: 0.15, // tolerate the true overlaps
+	}
+	plain := base
+	plain.Strategy = parmcmc.Sequential
+	plain.Seed = o.Seed + 402
+	temp := base
+	temp.Strategy = parmcmc.Tempered
+	temp.Seed = o.Seed + 403
+	temp.Workers = o.workers()
+	out, err := runBatch(ctx, o, false, []parmcmc.Job{
+		{Name: "mc3/plain", Pix: im.Pix, W: w, H: h, Opt: plain},
+		{Name: "mc3/cold", Pix: im.Pix, W: w, H: h, Opt: temp},
+	})
 	if err != nil {
 		return nil, err
 	}
-	plain, err := mcmc.New(st, rng.New(o.Seed+402), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR))
-	if err != nil {
-		return nil, err
-	}
-	plain.RunN(iters)
+	pr, cr := out[0].Result, out[1].Result
 
-	// (MC)³ with the same per-chain budget.
-	opt := mc3.DefaultOptions()
-	opt.Workers = o.workers()
-	sampler, err := mc3.New(im, params, mcmc.DefaultWeights(), mcmc.DefaultStepSizes(meanR), opt, o.Seed+403)
-	if err != nil {
-		return nil, err
-	}
-	sampler.Run(iters)
-
-	mPlain := stats.MatchCircles(st.Cfg.Circles(), truth, meanR*0.6)
-	mCold := stats.MatchCircles(sampler.Cold().Cfg.Circles(), truth, meanR*0.6)
+	mPlain := stats.MatchCircles(toGeom(pr.Circles), truth, meanR*0.6)
+	mCold := stats.MatchCircles(toGeom(cr.Circles), truth, meanR*0.6)
 	tb := &trace.Table{Header: []string{
 		"sampler", "logpost", "found", "TP", "FN", "F1",
 	}}
-	tb.Add("plain chain", st.LogPost(), st.Cfg.Len(), mPlain.TP, mPlain.FN, mPlain.F1())
-	tb.Add("(MC)^3 cold chain", sampler.Cold().LogPost(), sampler.Cold().Cfg.Len(),
+	tb.Add("plain chain", pr.LogPost, len(pr.Circles), mPlain.TP, mPlain.FN, mPlain.F1())
+	tb.Add("(MC)^3 cold chain", cr.LogPost, len(cr.Circles),
 		mCold.TP, mCold.FN, mCold.F1())
 	var sb strings.Builder
 	if err := tb.Write(&sb); err != nil {
 		return nil, err
 	}
+	opt := mc3.DefaultOptions()
 	return &Result{
 		ID:    "mc3",
 		Title: "(MC)^3 vs a single chain on an ambiguous overlapping-pair scene (§IV)",
 		Body:  sb.String(),
 		Notes: []string{
 			fmt.Sprintf("%d chains, heat step %.2f, swap every %d iterations, swap rate %.2f",
-				opt.Chains, opt.HeatStep, opt.SwapEvery, sampler.SwapRate()),
+				cr.Partitions, opt.HeatStep, opt.SwapEvery, cr.SwapRate),
 			"related-work shape: heated chains hop between 'one big disc' and",
 			"'two overlapping discs' interpretations and feed the better mode to",
 			"the cold chain; (MC)^3 improves convergence rate, not workload spread.",

@@ -1,23 +1,33 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/pkg/parmcmc"
 )
 
-// beadConfig returns the detector configuration for the bead image.
-func beadConfig(o Options, meanRadius float64) partition.Config {
-	cfg := partition.DefaultConfig(meanRadius, o.Seed+100)
+// beadMaxIters caps each bead-image chain.
+func beadMaxIters(o Options) int {
 	if o.Quick {
-		cfg.MaxIters = 25000
-	} else {
-		cfg.MaxIters = 120000
+		return 25000
 	}
-	return cfg
+	return 120000
+}
+
+// beadBase returns the Options shared by every run on the bead image:
+// eq. 5 per-partition priors, the Table I convergence detector (both
+// supplied by the partition engine) and the bead experiment's seed.
+func beadBase(o Options, meanR float64) parmcmc.Options {
+	return parmcmc.Options{
+		MeanRadius:    meanR,
+		ExpectedCount: 1, // re-estimated per partition via eq. 5
+		Iterations:    beadMaxIters(o),
+		Seed:          o.Seed + 100,
+	}
 }
 
 // Table1 regenerates Table I: intelligent partitioning of the clumped
@@ -25,39 +35,43 @@ func beadConfig(o Options, meanRadius float64) partition.Config {
 // partition it reports area, relative area, the visual (= ground truth)
 // object count, the uniform-density estimate, the eq. 5 threshold
 // estimate, mean time per iteration, iterations to converge, runtime and
-// relative runtime.
-func Table1(o Options) (*Result, error) {
+// relative runtime. One timed Runner batch — the convergent whole-image
+// baseline plus the intelligent run — and one reducer over the
+// per-region results.
+func Table1(ctx context.Context, o Options) (*Result, error) {
 	scene, _ := beadScene(o)
+	im := scene.Image
 	meanR := scene.Truth[0].R
-	cfg := beadConfig(o, meanR)
 
-	// Whole-image baseline run.
-	whole, err := partition.RunSequential(scene.Image, cfg)
+	whole := beadBase(o, meanR)
+	whole.Strategy = parmcmc.Sequential
+	whole.Converge = true
+	intel := beadBase(o, meanR)
+	intel.Strategy = parmcmc.Intelligent
+	intel.Workers = o.workers()
+	out, err := runBatch(ctx, o, true, []parmcmc.Job{
+		{Name: "table1/whole", Pix: im.Pix, W: im.W, H: im.H, Opt: whole},
+		{Name: "table1/intelligent", Pix: im.Pix, W: im.W, H: im.H, Opt: intel},
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Intelligent partitioning; minGap slightly above one artifact
-	// diameter so cuts cannot bisect a bead.
-	minGap := int(2.2 * meanR)
-	res, err := partition.RunIntelligent(scene.Image, cfg, minGap, o.workers())
-	if err != nil {
-		return nil, err
-	}
+	wr := out[0].Result.Regions[0]
+	regions := out[1].Result.Regions
 
 	// Per-partition truth counts for the "# obj. (visual)" row.
-	truthIn := func(r partition.RegionResult) int {
+	truthIn := func(r parmcmc.RegionInfo) int {
 		n := 0
 		for _, c := range scene.Truth {
-			if r.Region.ContainsPoint(c.X, c.Y) {
+			if r.Contains(c.X, c.Y) {
 				n++
 			}
 		}
 		return n
 	}
 
-	areas := make([]float64, len(res.Regions))
-	for i, r := range res.Regions {
+	areas := make([]float64, len(regions))
+	for i, r := range regions {
 		areas[i] = r.Area
 	}
 	order := sortByArea(areas)
@@ -66,13 +80,13 @@ func Table1(o Options) (*Result, error) {
 		"partition", "area_px2", "rel_area", "obj_visual", "obj_density",
 		"obj_thresh", "time_per_iter_us", "iters_converge", "runtime_s", "rel_runtime",
 	}}
-	tb.Add("whole", whole.Area, 1.0, len(scene.Truth), "-",
-		whole.Lambda, whole.TimePerIter()*1e6, whole.Iters,
-		whole.Seconds, 1.0)
+	tb.Add("whole", wr.Area, 1.0, len(scene.Truth), "-",
+		wr.Lambda, wr.TimePerIter()*1e6, wr.Iters,
+		wr.Seconds, 1.0)
 	names := []string{"B", "A", "C", "D", "E", "F"} // largest first, like Table I's B
 	for rank, i := range order {
-		r := res.Regions[i]
-		relArea := r.Area / whole.Area
+		r := regions[i]
+		relArea := r.Area / wr.Area
 		name := fmt.Sprintf("P%d", rank)
 		if rank < len(names) {
 			name = names[rank]
@@ -80,22 +94,22 @@ func Table1(o Options) (*Result, error) {
 		tb.Add(name, r.Area, relArea, truthIn(r),
 			float64(len(scene.Truth))*relArea, // uniform-density assumption
 			r.Lambda, r.TimePerIter()*1e6, r.Iters, r.Seconds,
-			r.Seconds/whole.Seconds)
+			r.Seconds/wr.Seconds)
 	}
 	var sb strings.Builder
 	if err := tb.Write(&sb); err != nil {
 		return nil, err
 	}
 
-	m := stats.MatchCircles(res.Circles, scene.Truth, meanR/2)
-	makespan3 := partition.Makespan(res.Regions, 3)
-	makespan2 := partition.Makespan(res.Regions, 2)
+	m := stats.MatchCircles(toGeom(out[1].Result.Circles), scene.Truth, meanR/2)
+	makespan3 := lptMakespan(regions, 3)
+	makespan2 := lptMakespan(regions, 2)
 	notes := []string{
 		fmt.Sprintf("%d partitions discovered; detection F1 vs ground truth = %.3f (TP=%d FP=%d FN=%d)",
-			len(res.Regions), m.F1(), m.TP, m.FP, m.FN),
+			len(regions), m.F1(), m.TP, m.FP, m.FN),
 		fmt.Sprintf("intelligent-partitioning runtime: %.3fs on >=3 processors (longest partition), %.3fs on 2 (LPT)",
 			makespan3, makespan2),
-		fmt.Sprintf("relative runtime vs sequential: %.3f", makespan3/whole.Seconds),
+		fmt.Sprintf("relative runtime vs sequential: %.3f", makespan3/wr.Seconds),
 		"paper shape: the dominant partition (B, ~0.62 of the area, ~38 of 48 objects)",
 		"costs ~0.90 of the sequential runtime, so intelligent partitioning only",
 		"shaves ~10% here; eq. 5 estimates track the visual counts.",

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+)
+
+// Pool is a bounded, context-aware worker pool. Unlike ForEach, whose
+// workers live only for one call, a Pool's capacity is shared by every
+// orchestrator holding a reference to it — submitting more work than
+// there are slots queues the excess, so concurrent batches cannot
+// oversubscribe the machine. The zero Pool is not usable; construct with
+// NewPool.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting at most `workers` concurrent tasks.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: NewPool needs at least one worker, got %d", workers))
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case. Every successful Acquire must be paired with
+// exactly one Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	// Prefer the cancellation branch when both are ready.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot obtained by Acquire.
+func (p *Pool) Release() {
+	select {
+	case <-p.sem:
+	default:
+		panic("sched: Release without matching Acquire")
+	}
+}

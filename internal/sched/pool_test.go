@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// A pool must never admit more concurrent holders than its size.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	var inFlight, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Release()
+			n := atomic.AddInt32(&inFlight, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+					break
+				}
+			}
+			atomic.AddInt32(&inFlight, -1)
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&peak); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size", got)
+	}
+}
+
+func TestPoolAcquireCancelled(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolAcquireBlocksUntilRelease(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A second Acquire must block while the slot is held; use a cancelled
+	// context to observe the block without hanging the test.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	p.Release()
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+func TestPoolReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPool(1).Release()
+}
+
+func TestNewPoolPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPool(0)
+}

@@ -19,6 +19,7 @@
 package parmcmc
 
 import (
+	"context"
 	"fmt"
 	"image"
 	"math"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Circle is a detected (or ground-truth) artifact.
@@ -115,6 +117,35 @@ type Options struct {
 	// SpecWidth is the speculation width for PeriodicSpeculative
 	// (default 4).
 	SpecWidth int
+	// LocalSpecWidth > 1 additionally runs speculative batches inside
+	// each periodic partition worker (eq. 4's per-machine threads).
+	LocalSpecWidth int
+	// GridSlack scales the periodic grid spacing (default 1.01, i.e.
+	// slightly wider than image/PartitionGrid). Set 1.0 for the exact
+	// image/PartitionGrid spacing the paper's fig. 2 layout uses.
+	GridSlack float64
+	// SimulateParallel times periodic local-phase cells individually and
+	// reports the makespan a Workers-way machine would achieve in
+	// Result.SimLocalSeconds — the DESIGN.md §7 device for evaluating
+	// parallel runtimes on hosts with fewer cores than the experiment
+	// models. Chain results are unaffected.
+	SimulateParallel bool
+
+	// Converge makes a Sequential run terminate at plateau convergence
+	// (capped at Iterations) and report per-region convergence metadata,
+	// like the partitioned strategies do. Ignored by other strategies,
+	// which already run each partition to convergence.
+	Converge bool
+	// OverlapPenalty overrides the prior's pairwise-overlap penalty γ
+	// when positive (default: the model's standard value).
+	OverlapPenalty float64
+
+	// Chains, HeatStep and SwapEvery configure the Tempered strategy's
+	// (MC)³ ladder; zero values take mc3's defaults (4 chains, Δ = 0.3,
+	// swap every 200 iterations).
+	Chains    int
+	HeatStep  float64
+	SwapEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -139,7 +170,36 @@ func (o Options) withDefaults() Options {
 	if o.SpecWidth == 0 {
 		o.SpecWidth = 4
 	}
+	if o.GridSlack == 0 {
+		o.GridSlack = 1.01
+	}
 	return o
+}
+
+// RegionInfo describes one partition of a partitioned (or convergent
+// sequential) run, in parent-image pixel coordinates. Its fields mirror
+// the rows of the paper's Table I.
+type RegionInfo struct {
+	X0, Y0, X1, Y1 float64
+	Area           float64 // pixels²
+	Lambda         float64 // eq. 5 object-count estimate for the region
+	Circles        int     // artifacts detected inside the region
+	Iters          int64   // iterations until convergence (or the cap)
+	Converged      bool
+	Seconds        float64 // wall-clock seconds of the region's chain
+}
+
+// TimePerIter returns the region's mean seconds per iteration.
+func (r RegionInfo) TimePerIter() float64 {
+	if r.Iters == 0 {
+		return 0
+	}
+	return r.Seconds / float64(r.Iters)
+}
+
+// Contains reports whether (x, y) lies in [X0, X1) × [Y0, Y1).
+func (r RegionInfo) Contains(x, y float64) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
 }
 
 // Result is the outcome of a detection run.
@@ -152,17 +212,64 @@ type Result struct {
 	// Partitions is the number of regions processed (1 for whole-image
 	// strategies).
 	Partitions int
+
+	// Acceptance bookkeeping (whole-image strategies; the cold chain for
+	// Tempered). GlobalRejectRate and LocalRejectRate are p_gr and p_lr
+	// of eq. 4.
+	AcceptRate       float64
+	GlobalRejectRate float64
+	LocalRejectRate  float64
+
+	// Periodic-engine metadata: completed fork/join cycles, measured
+	// wall-clock of the global and local phases, and — with
+	// Options.SimulateParallel — the simulated Workers-way local-phase
+	// makespan.
+	Barriers        int64
+	GlobalSeconds   float64
+	LocalSeconds    float64
+	SimLocalSeconds float64
+
+	// Tempered metadata: fraction of chain-swap proposals accepted.
+	SwapRate float64
+
+	// Blind-merge metadata: cross-partition pairs averaged together and
+	// overlap-area artifacts kept without a counterpart.
+	Merged   int
+	Disputed int
+
+	// Regions carries per-partition convergence detail for Intelligent,
+	// Blind and Converge-mode Sequential runs.
+	Regions []RegionInfo
 }
 
 // Detect runs artifact detection over a grayscale pixel buffer with
 // intensities in [0, 1], stored row-major with the given width and
 // height.
 func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
+	return DetectContext(context.Background(), pix, w, h, opt)
+}
+
+// ctxCheckIters is the approximate number of chain iterations between
+// cancellation checks — a few milliseconds of work at typical per-
+// iteration costs.
+const ctxCheckIters = 5000
+
+// DetectContext is Detect with cooperative cancellation: whole-image
+// fixed-length strategies (Sequential, Periodic, Tempered) check ctx
+// every few thousand iterations in phase-aligned chunks, so chain
+// results are bit-identical to an uninterrupted run. Convergence-driven
+// runs (Intelligent, Blind, and Sequential with Converge set) check ctx
+// at entry and run their chains to convergence once started. On
+// cancellation it returns ctx's error.
+func DetectContext(ctx context.Context, pix []float64, w, h int, opt Options) (*Result, error) {
 	if w <= 0 || h <= 0 || len(pix) != w*h {
 		return nil, fmt.Errorf("parmcmc: bad image dimensions %dx%d for %d pixels", w, h, len(pix))
 	}
 	if opt.MeanRadius <= 0 {
 		return nil, fmt.Errorf("parmcmc: MeanRadius is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	o := opt.withDefaults()
 	im := &imaging.Image{W: w, H: h, Pix: append([]float64(nil), pix...)}
@@ -173,6 +280,9 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 		lambda = math.Max(im.EstimateCount(o.Threshold, o.MeanRadius), 0.5)
 	}
 	params := model.DefaultParams(lambda, o.MeanRadius)
+	if o.OverlapPenalty > 0 {
+		params.OverlapPenalty = o.OverlapPenalty
+	}
 	weights := mcmc.DefaultWeights()
 	steps := mcmc.DefaultStepSizes(o.MeanRadius)
 
@@ -180,6 +290,15 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 	res := &Result{Strategy: o.Strategy, Partitions: 1}
 	switch o.Strategy {
 	case Sequential:
+		if o.Converge {
+			out, err := partition.RunSequential(im, partitionConfig(o, params, weights, steps))
+			if err != nil {
+				return nil, err
+			}
+			fill(res, out.Circles, math.NaN(), out.Iters)
+			res.Regions = []RegionInfo{regionInfo(out)}
+			break
+		}
 		s, err := model.NewState(im, params)
 		if err != nil {
 			return nil, err
@@ -188,8 +307,11 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.RunN(o.Iterations)
+		if err := runChunked(ctx, o.Iterations, ctxCheckIters, func(n int) { e.RunN(n) }); err != nil {
+			return nil, err
+		}
 		fill(res, s.Cfg.Circles(), s.LogPost(), e.Iter)
+		fillEngineStats(res, &e.Stats)
 
 	case Periodic, PeriodicSpeculative:
 		s, err := model.NewState(im, params)
@@ -200,11 +322,15 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		timer := trace.NewPhaseTimer()
 		copt := core.Options{
-			LocalPhaseIters: o.LocalPhaseIters,
-			GridXM:          float64(w) / float64(o.PartitionGrid) * 1.01,
-			GridYM:          float64(h) / float64(o.PartitionGrid) * 1.01,
-			Workers:         o.Workers,
+			LocalPhaseIters:  o.LocalPhaseIters,
+			GridXM:           float64(w) / float64(o.PartitionGrid) * o.GridSlack,
+			GridYM:           float64(h) / float64(o.PartitionGrid) * o.GridSlack,
+			Workers:          o.Workers,
+			LocalSpecWidth:   o.LocalSpecWidth,
+			Timer:            timer,
+			SimulateParallel: o.SimulateParallel,
 		}
 		if o.Strategy == PeriodicSpeculative {
 			copt.SpecWidth = o.SpecWidth
@@ -213,9 +339,23 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pe.Run(o.Iterations)
+		// Chunks that are whole multiples of the global+local cycle keep
+		// the alternating schedule identical to a single Run call.
+		chunk := o.Iterations
+		if g := pe.GlobalPhaseIters(); g > 0 {
+			cycle := g + o.LocalPhaseIters
+			chunk = cycle * (1 + ctxCheckIters/cycle)
+		}
+		if err := runChunked(ctx, o.Iterations, chunk, pe.Run); err != nil {
+			return nil, err
+		}
 		fill(res, s.Cfg.Circles(), s.LogPost(), e.Iter)
+		fillEngineStats(res, &e.Stats)
 		res.Partitions = o.PartitionGrid * o.PartitionGrid
+		res.Barriers = pe.Barriers
+		res.GlobalSeconds = timer.Total("global").Seconds()
+		res.LocalSeconds = timer.Total("local").Seconds()
+		res.SimLocalSeconds = pe.SimLocalSeconds
 
 	case Intelligent:
 		cfg := partitionConfig(o, params, weights, steps)
@@ -226,6 +366,7 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 		var iters int64
 		for _, r := range out.Regions {
 			iters += r.Iters
+			res.Regions = append(res.Regions, regionInfo(r))
 		}
 		fill(res, out.Circles, math.NaN(), iters)
 		res.Partitions = len(out.Regions)
@@ -244,27 +385,79 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 		var iters int64
 		for _, r := range out.Regions {
 			iters += r.Iters
+			res.Regions = append(res.Regions, regionInfo(r))
 		}
 		fill(res, out.Circles, math.NaN(), iters)
 		res.Partitions = len(out.Regions)
+		res.Merged = out.Merged
+		res.Disputed = out.Disputed
 
 	case Tempered:
 		mopt := mc3.DefaultOptions()
 		mopt.Workers = o.Workers
+		if o.Chains > 0 {
+			mopt.Chains = o.Chains
+		}
+		if o.HeatStep > 0 {
+			mopt.HeatStep = o.HeatStep
+		}
+		if o.SwapEvery > 0 {
+			mopt.SwapEvery = o.SwapEvery
+		}
 		sampler, err := mc3.New(im, params, weights, steps, mopt, o.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sampler.Run(o.Iterations)
+		// Chunks that are whole multiples of SwapEvery keep the swap
+		// cadence identical to a single Run call.
+		chunk := mopt.SwapEvery * (1 + ctxCheckIters/mopt.SwapEvery)
+		if err := runChunked(ctx, o.Iterations, chunk, sampler.Run); err != nil {
+			return nil, err
+		}
 		cold := sampler.Cold()
 		fill(res, cold.Cfg.Circles(), cold.LogPost(), int64(o.Iterations))
+		fillEngineStats(res, &sampler.Engines[0].Stats)
 		res.Partitions = mopt.Chains
+		res.SwapRate = sampler.SwapRate()
 
 	default:
 		return nil, fmt.Errorf("parmcmc: unknown strategy %v", o.Strategy)
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// runChunked advances a resumable sampler by total iterations in chunks,
+// checking ctx between chunks.
+func runChunked(ctx context.Context, total, chunk int, run func(n int)) error {
+	if chunk < 1 {
+		chunk = total
+	}
+	for remaining := total; remaining > 0; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := chunk
+		if remaining < n {
+			n = remaining
+		}
+		run(n)
+		remaining -= n
+	}
+	return ctx.Err()
+}
+
+func fillEngineStats(res *Result, st *mcmc.Stats) {
+	res.AcceptRate = 1 - st.RejectionRate()
+	res.GlobalRejectRate, res.LocalRejectRate = st.GlobalLocalRates()
+}
+
+func regionInfo(r partition.RegionResult) RegionInfo {
+	return RegionInfo{
+		X0: r.Region.X0, Y0: r.Region.Y0, X1: r.Region.X1, Y1: r.Region.Y1,
+		Area: r.Area, Lambda: r.Lambda, Circles: len(r.Circles),
+		Iters: r.Iters, Converged: r.Converged, Seconds: r.Seconds,
+	}
 }
 
 func partitionConfig(o Options, params model.Params, w mcmc.Weights, st mcmc.StepSizes) partition.Config {

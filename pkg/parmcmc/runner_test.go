@@ -1,0 +1,292 @@
+package parmcmc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// runnerJobs builds a small heterogeneous batch over the shared test
+// scene: several strategies, fixed seeds, single inner worker so the
+// comparison across runner concurrency levels is exact.
+func runnerJobs(t *testing.T) []Job {
+	t.Helper()
+	pix, _, w, h := testScene(t)
+	var jobs []Job
+	for i, s := range []Strategy{Sequential, Periodic, Tempered, Sequential, Blind} {
+		jobs = append(jobs, Job{
+			Name: fmt.Sprintf("job%d/%s", i, s),
+			Pix:  pix, W: w, H: h,
+			Opt: Options{
+				Strategy: s, MeanRadius: 8, Iterations: 5000,
+				Seed: uint64(i + 1), Workers: 1,
+			},
+		})
+	}
+	return jobs
+}
+
+func resultsEqual(t *testing.T, a, b []JobResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if ra.Index != i || rb.Index != i {
+			t.Fatalf("results not in job order at %d: %d/%d", i, ra.Index, rb.Index)
+		}
+		if ra.Name != rb.Name || ra.Seed != rb.Seed {
+			t.Fatalf("metadata differs at %d: %+v vs %+v", i, ra, rb)
+		}
+		if (ra.Err == nil) != (rb.Err == nil) {
+			t.Fatalf("error mismatch at %d: %v vs %v", i, ra.Err, rb.Err)
+		}
+		x, y := ra.Result, rb.Result
+		if len(x.Circles) != len(y.Circles) {
+			t.Fatalf("%s: circle counts differ: %d vs %d", ra.Name, len(x.Circles), len(y.Circles))
+		}
+		for j := range x.Circles {
+			if x.Circles[j] != y.Circles[j] {
+				t.Fatalf("%s: circle %d differs: %+v vs %+v", ra.Name, j, x.Circles[j], y.Circles[j])
+			}
+		}
+		if x.Iterations != y.Iterations {
+			t.Fatalf("%s: iterations differ: %d vs %d", ra.Name, x.Iterations, y.Iterations)
+		}
+		if !math.IsNaN(x.LogPost) && x.LogPost != y.LogPost {
+			t.Fatalf("%s: logpost differs: %v vs %v", ra.Name, x.LogPost, y.LogPost)
+		}
+	}
+}
+
+// Results must be bit-identical for fixed seeds no matter how many jobs
+// run concurrently.
+func TestRunnerDeterministicAcrossConcurrency(t *testing.T) {
+	jobs := runnerJobs(t)
+	base, err := NewRunner(1).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []int{2, 4} {
+		got, err := NewRunner(conc).Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, base, got)
+	}
+}
+
+func TestRunnerStreamDeliversAll(t *testing.T) {
+	jobs := runnerJobs(t)
+	seen := make(map[int]bool)
+	for jr := range NewRunner(2).Stream(context.Background(), jobs) {
+		if jr.Err != nil {
+			t.Fatalf("%s: %v", jr.Name, jr.Err)
+		}
+		if seen[jr.Index] {
+			t.Fatalf("job %d delivered twice", jr.Index)
+		}
+		seen[jr.Index] = true
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("delivered %d of %d jobs", len(seen), len(jobs))
+	}
+}
+
+// Cancelling mid-batch must stop undispatched jobs with ctx's error and
+// interrupt long-running chains at their next checkpoint, while jobs
+// that finished keep their results.
+func TestRunnerCancellationMidBatch(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("long%d", i),
+			Pix:  pix, W: w, H: h,
+			Opt: Options{
+				Strategy: Sequential, MeanRadius: 8,
+				Iterations: 50_000_000, // hours if not cancelled
+				Seed:       uint64(i + 1), Workers: 1,
+			},
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	stream := NewRunner(2).Stream(ctx, jobs)
+	cancel()
+	var results []JobResult
+	for jr := range stream {
+		results = append(results, jr)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("accounted for %d of %d jobs", len(results), len(jobs))
+	}
+	cancelled := 0
+	for _, jr := range results {
+		if jr.Err != nil {
+			if !errors.Is(jr.Err, context.Canceled) {
+				t.Fatalf("%s: unexpected error %v", jr.Name, jr.Err)
+			}
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job observed the cancellation")
+	}
+}
+
+func TestDetectContextCancelled(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DetectContext(ctx, pix, w, h, Options{MeanRadius: 8, Iterations: 1000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Jobs that leave Seed zero get deterministic, distinct, per-index seeds.
+func TestRunnerSeedDerivation(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	jobs := make([]Job, 3)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("auto%d", i),
+			Pix:  pix, W: w, H: h,
+			Opt: Options{Strategy: Sequential, MeanRadius: 8, Iterations: 500, Workers: 1},
+		}
+	}
+	r := NewRunner(1)
+	a, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(3).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[uint64]bool{}
+	for i := range a {
+		if a[i].Seed == 0 {
+			t.Fatalf("job %d ran with zero seed", i)
+		}
+		if a[i].Seed != b[i].Seed {
+			t.Fatalf("seed derivation unstable at %d: %d vs %d", i, a[i].Seed, b[i].Seed)
+		}
+		seeds[a[i].Seed] = true
+	}
+	if len(seeds) != len(jobs) {
+		t.Fatalf("derived seeds collide: %v", seeds)
+	}
+	resultsEqual(t, a, b)
+}
+
+func TestRunnerFuncJobs(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Name: "ok", Func: func(context.Context) (any, error) { return 42, nil }},
+		{Name: "fail", Func: func(context.Context) (any, error) { return nil, boom }},
+	}
+	out, err := NewRunner(2).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out[0].Value.(int); !ok || v != 42 {
+		t.Fatalf("value = %v", out[0].Value)
+	}
+	if !errors.Is(out[1].Err, boom) {
+		t.Fatalf("err = %v", out[1].Err)
+	}
+}
+
+// Sweep enumeration must be deterministic with axes nesting in field
+// order (Strategies outermost, Seeds innermost) and axis values named
+// in the job labels.
+func TestSweepEnumerationOrder(t *testing.T) {
+	s := Sweep{
+		Name:       "t",
+		Base:       Options{MeanRadius: 8, Iterations: 100},
+		Strategies: []Strategy{Sequential, Periodic},
+		Workers:    []int{1, 2},
+		Seeds:      []uint64{7, 9},
+	}
+	jobs := s.Jobs()
+	want := []string{
+		"t/sequential/workers=1/seed=7",
+		"t/sequential/workers=1/seed=9",
+		"t/sequential/workers=2/seed=7",
+		"t/sequential/workers=2/seed=9",
+		"t/periodic/workers=1/seed=7",
+		"t/periodic/workers=1/seed=9",
+		"t/periodic/workers=2/seed=7",
+		"t/periodic/workers=2/seed=9",
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("enumerated %d jobs, want %d", len(jobs), len(want))
+	}
+	for i, j := range jobs {
+		if j.Name != want[i] {
+			t.Fatalf("job %d = %q, want %q", i, j.Name, want[i])
+		}
+	}
+	if jobs[3].Opt.Strategy != Sequential || jobs[3].Opt.Workers != 2 || jobs[3].Opt.Seed != 9 {
+		t.Fatalf("job 3 options wrong: %+v", jobs[3].Opt)
+	}
+	if jobs[4].Opt.Strategy != Periodic {
+		t.Fatalf("job 4 options wrong: %+v", jobs[4].Opt)
+	}
+	// Unswept axes keep Base values and stay out of the names.
+	if jobs[0].Opt.Iterations != 100 || jobs[0].Opt.MeanRadius != 8 {
+		t.Fatalf("base options not carried: %+v", jobs[0].Opt)
+	}
+}
+
+// A sweep run through the Runner is itself deterministic.
+func TestSweepThroughRunner(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	sweep := Sweep{
+		Name: "scene",
+		Pix:  pix, W: w, H: h,
+		Base:       Options{MeanRadius: 8, Iterations: 2000, Workers: 1},
+		Strategies: []Strategy{Sequential, Periodic},
+		Seeds:      []uint64{3, 5},
+	}
+	a, err := NewRunner(1).Run(context.Background(), sweep.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(4).Run(context.Background(), sweep.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, a, b)
+}
+
+// Converge-mode sequential runs report per-region convergence metadata.
+func TestDetectConvergeRegions(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	res, err := Detect(pix, w, h, Options{
+		Strategy: Sequential, Converge: true, MeanRadius: 8,
+		Iterations: 20000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 1 {
+		t.Fatalf("regions = %d", len(res.Regions))
+	}
+	r := res.Regions[0]
+	if r.X1 != float64(w) || r.Y1 != float64(h) || r.Iters == 0 || r.Seconds <= 0 {
+		t.Fatalf("region metadata wrong: %+v", r)
+	}
+	if r.TimePerIter() <= 0 {
+		t.Fatal("TimePerIter not positive")
+	}
+}
