@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test test-short race ci bench experiments-quick experiments
+.PHONY: all build fmt fmt-check vet test test-short race ci bench bench-json experiments-quick experiments
 
 all: build
 
@@ -35,8 +35,15 @@ race:
 
 ci: fmt-check vet build test-short race
 
+# Benchmark smoke run: every benchmark in the module once, with
+# allocation counts. CI runs this so benchmarks can never bit-rot.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
+
+# Machine-readable perf snapshot: writes BENCH_<date>.json at the repo
+# root (see cmd/benchjson). Compare against BENCH_baseline.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 1x
 
 # Reproduce every paper figure through the Runner (quick ≈ seconds,
 # full ≈ minutes).

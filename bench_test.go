@@ -88,6 +88,7 @@ func BenchmarkSequentialIteration(b *testing.B) {
 	s := benchState(b, 512, 512, 40)
 	e := mcmc.MustNew(s, rng.New(1), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(10))
 	e.RunN(20000) // reach equilibrium so costs are steady-state
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.RunN(b.N)
 }
@@ -101,6 +102,7 @@ func BenchmarkMoveKinds(b *testing.B) {
 			s := benchState(b, 512, 512, 40)
 			e := mcmc.MustNew(s, rng.New(1), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(10))
 			e.RunN(20000)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.Decide(e.Propose(m))
@@ -163,7 +165,7 @@ func BenchmarkLikelihoodDelta(b *testing.B) {
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sink += model.LikDeltaAdd(s.Gain, s.Cover, s.W, s.H, c)
+		sink += model.LikDeltaAdd(s.Gain, s.GainSum, s.Cover, s.W, s.H, c)
 	}
 	_ = sink
 }

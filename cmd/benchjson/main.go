@@ -1,0 +1,169 @@
+// Command benchjson runs the repository's Go benchmarks and writes a
+// JSON summary — ns/op, B/op, allocs/op and any custom metrics per
+// benchmark — so every performance PR leaves a machine-readable point on
+// the perf trajectory (BENCH_<date>.json at the repo root; the committed
+// BENCH_baseline.json is the reference point for this optimisation
+// round).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                      # all benchmarks, 1 iteration each
+//	go run ./cmd/benchjson -bench 'LikDelta' -benchtime 0.5s -o BENCH_kernels.json
+//
+// It shells out to `go test -bench` and parses the standard benchmark
+// output lines, so it works with every benchmark in the module.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file schema.
+type Report struct {
+	Date      string      `json:"date"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPU       string      `json:"cpu,omitempty"`
+	Bench     string      `json:"bench_regexp"`
+	BenchTime string      `json:"benchtime"`
+	Packages  string      `json:"packages"`
+	Notes     string      `json:"notes,omitempty"`
+	Results   []Benchmark `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "value for -benchtime")
+		pkgs      = flag.String("pkg", "./...", "package pattern to benchmark")
+		count     = flag.Int("count", 1, "value for -count")
+		out       = flag.String("o", "", "output path (default BENCH_<date>.json)")
+		notes     = flag.String("notes", "", "free-form note recorded in the report")
+	)
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem",
+		"-count", strconv.Itoa(*count), *pkgs,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+
+	report := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		Packages:  *pkgs,
+		Notes:     *notes,
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: ") && report.CPU == "":
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				report.Results = append(report.Results, b)
+			}
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + report.Date + ".json"
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(report.Results), path)
+}
+
+// parseBenchLine parses one standard benchmark output line, e.g.
+//
+//	BenchmarkLikDeltaAdd/scanline-4  3000  349.5 ns/op  0 B/op  0 allocs/op
+//	BenchmarkGridSpacingAblation/div=1-4  1  1.2e+08 ns/op  0.02 invalid-frac
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the trailing -GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Pkg: pkg, Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			vv := v
+			b.BytesPerOp = &vv
+		case "allocs/op":
+			vv := v
+			b.AllocsPerOp = &vv
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}

@@ -24,17 +24,20 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		quick   = flag.Bool("quick", false, "use shrunken workloads")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		seed    = flag.Uint64("seed", 2010, "RNG seed")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run        = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		quick      = flag.Bool("quick", false, "use shrunken workloads")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 2010, "RNG seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -43,6 +46,19 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	// log.Fatal's os.Exit would skip the deferred flush and lose any
+	// profile of the work already done; fail through fatalf instead.
+	fatalf := func(format string, args ...any) {
+		log.Printf(format, args...)
+		stopProf()
+		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,15 +79,15 @@ func main() {
 		id = strings.TrimSpace(id)
 		runner := experiments.Lookup(id)
 		if runner == nil {
-			log.Fatalf("unknown experiment %q (use -list)", id)
+			fatalf("unknown experiment %q (use -list)", id)
 		}
 		start := time.Now()
 		res, err := runner(ctx, opts)
 		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+			fatalf("%s: %v", id, err)
 		}
 		if err := res.Write(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}

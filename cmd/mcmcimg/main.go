@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/imaging"
+	"repro/internal/profiling"
 	"repro/pkg/parmcmc"
 )
 
@@ -35,15 +36,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mcmcimg: ")
 	var (
-		in       = flag.String("in", "", "input PGM image(s), comma-separated (required)")
-		radius   = flag.Float64("radius", 0, "expected artifact radius in pixels (required)")
-		strategy = flag.String("strategy", "periodic", "detection strategy or comma-separated list")
-		iters    = flag.Int("iters", 200000, "chain iterations (cap for partitioned strategies)")
-		count    = flag.Float64("count", 0, "expected artifact count (0 = estimate via eq. 5)")
-		workers  = flag.Int("workers", 0, "worker goroutines per job (0 = GOMAXPROCS)")
-		parallel = flag.Int("parallel", 1, "concurrent jobs in a batch")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
-		overlay  = flag.String("overlay", "", "optional PNG path for a detection overlay (single-job runs only)")
+		in         = flag.String("in", "", "input PGM image(s), comma-separated (required)")
+		radius     = flag.Float64("radius", 0, "expected artifact radius in pixels (required)")
+		strategy   = flag.String("strategy", "periodic", "detection strategy or comma-separated list")
+		iters      = flag.Int("iters", 200000, "chain iterations (cap for partitioned strategies)")
+		count      = flag.Float64("count", 0, "expected artifact count (0 = estimate via eq. 5)")
+		workers    = flag.Int("workers", 0, "worker goroutines per job (0 = GOMAXPROCS)")
+		parallel   = flag.Int("parallel", 1, "concurrent jobs in a batch")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		overlay    = flag.String("overlay", "", "optional PNG path for a detection overlay (single-job runs only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *in == "" || *radius <= 0 {
@@ -51,11 +54,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	// log.Fatal's os.Exit would skip the deferred flush and lose any
+	// profile of the work already done; fail through fatalf instead.
+	fatalf := func(format string, args ...any) {
+		log.Printf(format, args...)
+		stopProf()
+		os.Exit(1)
+	}
+
 	var strategies []parmcmc.Strategy
 	for _, name := range strings.Split(*strategy, ",") {
 		strat, err := parmcmc.ParseStrategy(strings.TrimSpace(name))
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		strategies = append(strategies, strat)
 	}
@@ -69,12 +85,12 @@ func main() {
 		path = strings.TrimSpace(path)
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		img, err := imaging.ReadPGM(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+			fatalf("%s: %v", path, err)
 		}
 		inputs = append(inputs, input{path: path, img: img})
 	}
@@ -101,7 +117,7 @@ func main() {
 		}
 	}
 	if *overlay != "" && len(jobs) > 1 {
-		log.Fatal("-overlay needs a single image and strategy")
+		fatalf("-overlay needs a single image and strategy")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -130,6 +146,7 @@ func main() {
 			res.Iterations, res.Partitions)
 	}
 	if failed {
+		stopProf() // os.Exit skips defers; flush profiles first
 		os.Exit(1)
 	}
 
@@ -140,13 +157,13 @@ func main() {
 		}
 		of, err := os.Create(*overlay)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		if err := inputs[0].img.WriteOverlayPNG(of, circles); err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		if err := of.Close(); err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 	}
 }

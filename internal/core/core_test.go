@@ -316,7 +316,7 @@ func TestAssignLargestRemainder(t *testing.T) {
 		return ws
 	}
 	ws := mk(3)
-	assignLargestRemainder(10, []int{1, 1, 1}, ws)
+	assignLargestRemainder(10, []int{1, 1, 1}, ws, nil)
 	total := 0
 	for _, w := range ws {
 		total += w.iters
@@ -326,13 +326,13 @@ func TestAssignLargestRemainder(t *testing.T) {
 	}
 	// Proportionality: counts 3:1 should split ~75/25.
 	ws = mk(2)
-	assignLargestRemainder(100, []int{3, 1}, ws)
+	assignLargestRemainder(100, []int{3, 1}, ws, nil)
 	if ws[0].iters != 75 || ws[1].iters != 25 {
 		t.Fatalf("allocation = %d/%d, want 75/25", ws[0].iters, ws[1].iters)
 	}
 	// Zero-count cells get nothing.
 	ws = mk(3)
-	assignLargestRemainder(7, []int{0, 5, 0}, ws)
+	assignLargestRemainder(7, []int{0, 5, 0}, ws, nil)
 	if ws[0].iters != 0 || ws[1].iters != 7 || ws[2].iters != 0 {
 		t.Fatalf("allocation = %d/%d/%d", ws[0].iters, ws[1].iters, ws[2].iters)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mcmc"
+	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -95,6 +96,23 @@ type Engine struct {
 	globalMoves []mcmc.Move
 	exec        *spec.Executor
 	margin      float64
+
+	// globalWeights mirrors the host weights restricted to globalMoves,
+	// computed once so global phases draw kinds without allocating.
+	globalWeights []float64
+
+	// Reusable per-phase scratch: cell rectangles, the configuration
+	// snapshot, the worker pool (entries capacity survives across phases
+	// — this is the snapshot/rollback buffer reuse), iteration-
+	// allocation scratch and the active-worker/cost lists. Local phases
+	// are fork/join, so one set per engine suffices.
+	cellsBuf  []geom.Rect
+	snapBuf   []model.IDCircle
+	workers   []*cellWorker
+	countsBuf []int
+	remsBuf   []float64
+	activeBuf []*cellWorker
+	costsBuf  []float64
 }
 
 // NewEngine wraps the host engine. The host's move weights determine q_g
@@ -114,12 +132,17 @@ func NewEngine(host *mcmc.Engine, opt Options) (*Engine, error) {
 			globals = append(globals, m)
 		}
 	}
+	weights := make([]float64, len(globals))
+	for i, m := range globals {
+		weights[i] = host.W[m]
+	}
 	pe := &Engine{
-		E:           host,
-		Opt:         opt,
-		qg:          qg,
-		globalMoves: globals,
-		margin:      host.S.P.LocalityMargin(),
+		E:             host,
+		Opt:           opt,
+		qg:            qg,
+		globalMoves:   globals,
+		globalWeights: weights,
+		margin:        host.S.P.LocalityMargin(),
 	}
 	if opt.SpecWidth > 1 && len(globals) > 0 {
 		pe.exec = spec.NewExecutor(host, opt.SpecWidth, globals)
@@ -175,12 +198,8 @@ func (pe *Engine) globalPhase(n int) {
 	if pe.exec != nil {
 		pe.exec.RunN(n)
 	} else {
-		weights := make([]float64, len(pe.globalMoves))
-		for i, m := range pe.globalMoves {
-			weights[i] = pe.E.W[m]
-		}
 		for i := 0; i < n; i++ {
-			m := pe.globalMoves[pe.E.R.Pick(weights)]
+			m := pe.globalMoves[pe.E.R.Pick(pe.globalWeights)]
 			pe.E.Decide(pe.E.Propose(m))
 		}
 	}
@@ -198,22 +217,28 @@ func (pe *Engine) localPhase(n int) {
 		s.Bounds(), pe.Opt.GridXM, pe.Opt.GridYM,
 		pe.E.R.Uniform(0, pe.Opt.GridXM), pe.E.R.Uniform(0, pe.Opt.GridYM),
 	)
-	cells := grid.Cells()
-	workers := make([]*cellWorker, len(cells))
+	pe.cellsBuf = grid.AppendCells(pe.cellsBuf[:0])
+	cells := pe.cellsBuf
+	// Reuse pooled workers: their entries/ownedAt capacity is the
+	// per-phase snapshot buffer, retained across fork/join cycles.
+	for len(pe.workers) < len(cells) {
+		pe.workers = append(pe.workers, &cellWorker{})
+	}
+	workers := pe.workers[:len(cells)]
 	wNorm := pe.E.W.Normalised()
+	localWeights := [2]float64{wNorm[mcmc.Shift], wNorm[mcmc.Resize]}
 	for i, cell := range cells {
-		workers[i] = &cellWorker{
-			s: s, cell: cell, margin: pe.margin, steps: pe.E.Steps,
-			specWidth:    pe.Opt.LocalSpecWidth,
-			localWeights: [2]float64{wNorm[mcmc.Shift], wNorm[mcmc.Resize]},
-		}
+		workers[i].reset(s, cell, pe.margin, pe.E.Steps, pe.Opt.LocalSpecWidth, localWeights)
 	}
 
-	// Assign ownership and read-only neighbour snapshots. A circle is
-	// owned by the cell containing its centre iff it is modifiable there
-	// (fully inside with the locality margin); every other (cell,
-	// circle) pair whose regions could interact gets a frozen copy.
-	s.Cfg.ForEach(func(id int, c geom.Circle) {
+	// Assign ownership and read-only neighbour snapshots from a pooled
+	// copy of the live configuration. A circle is owned by the cell
+	// containing its centre iff it is modifiable there (fully inside
+	// with the locality margin); every other (cell, circle) pair whose
+	// regions could interact gets a frozen copy.
+	pe.snapBuf = s.AppendSnapshot(pe.snapBuf[:0])
+	for _, sc := range pe.snapBuf {
+		id, c := sc.ID, sc.C
 		ownerCell := -1
 		if cell, ok := grid.CellAt(c.X, c.Y); ok && cell.ContainsCircle(c, pe.margin) {
 			for i := range cells {
@@ -232,12 +257,15 @@ func (pe *Engine) localPhase(n int) {
 				workers[i].addNeighbour(id, c)
 			}
 		}
-	})
+	}
 
 	// Allocate iterations proportionally to each cell's modifiable
 	// feature count (§V), using largest-remainder rounding so the total
 	// is exact.
-	counts := make([]int, len(cells))
+	if cap(pe.countsBuf) < len(cells) {
+		pe.countsBuf = make([]int, len(cells))
+	}
+	counts := pe.countsBuf[:len(cells)]
 	totalModifiable := 0
 	for i, w := range workers {
 		counts[i] = len(w.ownedAt)
@@ -252,7 +280,7 @@ func (pe *Engine) localPhase(n int) {
 		pe.finishLocal(start)
 		return
 	}
-	assignLargestRemainder(n, counts, workers)
+	pe.remsBuf = assignLargestRemainder(n, counts, workers, pe.remsBuf)
 
 	// Deterministic per-cell RNG streams, independent of scheduling.
 	for _, w := range workers {
@@ -261,16 +289,20 @@ func (pe *Engine) localPhase(n int) {
 
 	// Run the non-empty cells on the worker pool ("more partitions than
 	// processors" is reclaimed by the shared-queue scheduler, §VI).
-	active := workers[:0:0]
+	active := pe.activeBuf[:0]
 	for _, w := range workers {
 		if w.iters > 0 {
 			active = append(active, w)
 		}
 	}
+	pe.activeBuf = active
 	if pe.Opt.SimulateParallel {
 		// Sequential execution with per-cell timing; the parallel wall
 		// clock is the scheduler's makespan over the measured costs.
-		costs := make([]float64, len(active))
+		if cap(pe.costsBuf) < len(active) {
+			pe.costsBuf = make([]float64, len(active))
+		}
+		costs := pe.costsBuf[:len(active)]
 		for i, w := range active {
 			t0 := time.Now()
 			w.run()
@@ -299,13 +331,17 @@ func (pe *Engine) finishLocal(start time.Time) {
 
 // assignLargestRemainder distributes n iterations over workers in
 // proportion to counts (largest-remainder rounding; ties break by index
-// for determinism).
-func assignLargestRemainder(n int, counts []int, workers []*cellWorker) {
+// for determinism). remsBuf is reusable scratch; the (possibly grown)
+// buffer is returned so the caller can pool it.
+func assignLargestRemainder(n int, counts []int, workers []*cellWorker, remsBuf []float64) []float64 {
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
-	rems := make([]float64, len(counts))
+	if cap(remsBuf) < len(counts) {
+		remsBuf = make([]float64, len(counts))
+	}
+	rems := remsBuf[:len(counts)]
 	assigned := 0
 	for i, c := range counts {
 		exact := float64(n) * float64(c) / float64(total)
@@ -325,15 +361,16 @@ func assignLargestRemainder(n int, counts []int, workers []*cellWorker) {
 		rems[best] = -1
 		assigned++
 	}
+	return remsBuf
 }
 
 // mergeWorkers folds every worker's results back into the shared state:
 // circle positions, spatial index, cached posterior and statistics.
 func (pe *Engine) mergeWorkers(workers []*cellWorker) {
 	for _, w := range workers {
-		for _, e := range w.changed() {
-			pe.E.S.CommitMoved(e.id, e.c)
-		}
+		w.forEachChanged(func(id int, c geom.Circle) {
+			pe.E.S.CommitMoved(id, c)
+		})
 		pe.E.S.AddDeltas(w.dLik, w.dPrior)
 		pe.E.Stats.Add(w.stats)
 		pe.E.Iter += int64(w.iters)

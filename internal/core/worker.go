@@ -59,6 +59,28 @@ type cellWorker struct {
 
 	dLik, dPrior float64
 	stats        mcmc.Stats
+
+	// props is the reusable speculative-batch buffer.
+	props []localProposal
+}
+
+// reset re-initialises the worker for a new local phase, keeping the
+// entries/ownedAt/props capacity from earlier phases so the steady-state
+// fork/join cycle allocates nothing.
+func (w *cellWorker) reset(s *model.State, cell geom.Rect, margin float64, steps mcmc.StepSizes, specWidth int, localWeights [2]float64) {
+	w.s = s
+	w.cell = cell
+	w.margin = margin
+	w.steps = steps
+	w.rng = nil
+	w.iters = 0
+	w.specWidth = specWidth
+	w.batches, w.evals = 0, 0
+	w.entries = w.entries[:0]
+	w.ownedAt = w.ownedAt[:0]
+	w.localWeights = localWeights
+	w.dLik, w.dPrior = 0, 0
+	w.stats = mcmc.Stats{}
 }
 
 type workerEntry struct {
@@ -135,7 +157,7 @@ func (w *cellWorker) propose() localProposal {
 	p.dPrior = w.s.P.LogRadiusPDF(newC.R) - w.s.P.LogRadiusPDF(oldC.R)
 	p.dPrior -= w.s.P.OverlapPenalty *
 		(w.overlapSum(newC, idx) - w.overlapSum(oldC, idx))
-	p.dLik = model.LikDeltaMove(w.s.Gain, w.s.Cover, w.s.W, w.s.H, w.entries[idx].c, newC)
+	p.dLik = model.LikDeltaMove(w.s.Gain, w.s.GainSum, w.s.Cover, w.s.W, w.s.H, w.entries[idx].c, newC)
 	return p
 }
 
@@ -191,7 +213,10 @@ func (w *cellWorker) run() {
 // state, then tested in order; at most the first acceptable one is
 // applied and the batch consumed up to that point.
 func (w *cellWorker) runSpeculative() {
-	props := make([]localProposal, 0, w.specWidth)
+	if cap(w.props) < w.specWidth {
+		w.props = make([]localProposal, 0, w.specWidth)
+	}
+	props := w.props
 	consumed := 0
 	for consumed < w.iters {
 		width := w.specWidth
@@ -219,15 +244,13 @@ func (w *cellWorker) runSpeculative() {
 	}
 }
 
-// changed returns the owned circles whose value differs from the phase-
-// start snapshot, as (id, new circle) pairs.
-func (w *cellWorker) changed() []workerEntry {
-	var out []workerEntry
+// forEachChanged calls fn for every owned circle whose value differs
+// from the phase-start snapshot, without allocating.
+func (w *cellWorker) forEachChanged(fn func(id int, c geom.Circle)) {
 	for _, i := range w.ownedAt {
-		e := w.entries[i]
+		e := &w.entries[i]
 		if e.c != e.original {
-			out = append(out, e)
+			fn(e.id, e.c)
 		}
 	}
-	return out
 }

@@ -62,11 +62,16 @@ func (g Grid) CellAt(x, y float64) (Rect, bool) {
 // in row-major order. Together the cells tile Bounds exactly (see the
 // property tests): they are pairwise disjoint and their areas sum to the
 // bounds area.
-func (g Grid) Cells() []Rect {
+func (g Grid) Cells() []Rect { return g.AppendCells(nil) }
+
+// AppendCells appends the grid's non-empty clipped cells to dst and
+// returns it; the periodic engine passes a reusable buffer so re-gridding
+// before every local phase stays allocation-free.
+func (g Grid) AppendCells(dst []Rect) []Rect {
 	if g.Bounds.Empty() {
-		return nil
+		return dst
 	}
-	var cells []Rect
+	cells := dst
 	// First lattice line at or below Bounds.Y0.
 	startJ := int(math.Floor((g.Bounds.Y0 - g.OY) / g.YM))
 	startI := int(math.Floor((g.Bounds.X0 - g.OX) / g.XM))

@@ -186,41 +186,66 @@ func clampF(v, lo, hi float64) float64 {
 
 // RenderDisc draws an antialiased disc of the given intensity onto im,
 // blending by pixel coverage (4×4 supersampling on boundary pixels).
+//
+// The interior and exterior are resolved per row via scanline spans of
+// the eroded (R−0.71) and dilated (R+0.71) discs: interior pixels are
+// filled with straight stores, pixels outside the dilated span are
+// skipped entirely, and only the thin boundary ring between the two
+// spans pays for supersampling.
 func RenderDisc(im *Image, c geom.Circle, intensity float64) {
-	x0 := clampInt(int(math.Floor(c.X-c.R-1)), 0, im.W)
-	y0 := clampInt(int(math.Floor(c.Y-c.R-1)), 0, im.H)
-	x1 := clampInt(int(math.Ceil(c.X+c.R+1)), 0, im.W)
-	y1 := clampInt(int(math.Ceil(c.Y+c.R+1)), 0, im.H)
 	r2 := c.R * c.R
-	for y := y0; y < y1; y++ {
-		for x := x0; x < x1; x++ {
-			cx, cy := float64(x)+0.5, float64(y)+0.5
-			dx, dy := cx-c.X, cy-c.Y
-			d2 := dx*dx + dy*dy
-			inner := c.R - 0.71 // fully inside if centre is this deep
-			outer := c.R + 0.71
-			switch {
-			case d2 <= inner*inner && inner > 0:
-				im.Pix[y*im.W+x] = intensity
-			case d2 >= outer*outer:
-				// untouched
-			default:
-				// Boundary pixel: supersample coverage.
-				cov := 0.0
-				for sy := 0; sy < 4; sy++ {
-					for sx := 0; sx < 4; sx++ {
-						px := float64(x) + (float64(sx)+0.5)/4
-						py := float64(y) + (float64(sy)+0.5)/4
-						ddx, ddy := px-c.X, py-c.Y
-						if ddx*ddx+ddy*ddy <= r2 {
-							cov++
-						}
+	inner := geom.Circle{X: c.X, Y: c.Y, R: c.R - 0.71} // fully inside if centre is this deep
+	outer := geom.Circle{X: c.X, Y: c.Y, R: c.R + 0.71}
+	ix0, ix1 := inner.PixelCols(im.W)
+	ox0, ox1 := outer.PixelCols(im.W)
+	oy0, oy1 := outer.PixelRows(im.H)
+
+	// blend supersamples the boundary pixels in [xa, xb) of row y.
+	blend := func(y, xa, xb int) {
+		for x := xa; x < xb; x++ {
+			cov := 0.0
+			for sy := 0; sy < 4; sy++ {
+				for sx := 0; sx < 4; sx++ {
+					px := float64(x) + (float64(sx)+0.5)/4
+					py := float64(y) + (float64(sy)+0.5)/4
+					ddx, ddy := px-c.X, py-c.Y
+					if ddx*ddx+ddy*ddy <= r2 {
+						cov++
 					}
 				}
-				cov /= 16
-				idx := y*im.W + x
-				im.Pix[idx] = im.Pix[idx]*(1-cov) + intensity*cov
 			}
+			cov /= 16
+			idx := y*im.W + x
+			im.Pix[idx] = im.Pix[idx]*(1-cov) + intensity*cov
 		}
 	}
+
+	for y := oy0; y < oy1; y++ {
+		oa, ob := outer.RowSpan(y, ox0, ox1)
+		if oa >= ob {
+			continue
+		}
+		ia, ib := innerSpan(inner, y, ix0, ix1)
+		if ia >= ib {
+			// No fully-interior pixels on this row: whole span is ring.
+			blend(y, oa, ob)
+			continue
+		}
+		blend(y, oa, ia)
+		row := y * im.W
+		seg := im.Pix[row+ia : row+ib]
+		for i := range seg {
+			seg[i] = intensity
+		}
+		blend(y, ib, ob)
+	}
+}
+
+// innerSpan returns the interior span of row y, empty when the eroded circle
+// has no positive radius.
+func innerSpan(inner geom.Circle, y, x0, x1 int) (int, int) {
+	if inner.R <= 0 {
+		return 0, 0
+	}
+	return inner.RowSpan(y, x0, x1)
 }

@@ -1,0 +1,71 @@
+package mcmc
+
+import (
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// The proposal path must be allocation-free in steady state: proposals
+// are plain values, merge-candidate search appends into engine scratch,
+// and the likelihood kernels use stack span buffers. These tests pin
+// that property so allocation regressions fail CI rather than silently
+// eroding throughput.
+
+func allocEngine(t testing.TB) *Engine {
+	t.Helper()
+	scene := imaging.Synthesize(imaging.SceneSpec{
+		W: 128, H: 128, Count: 12, MeanRadius: 8, RadiusStdDev: 1,
+		Noise: 0.05, MinSeparation: 1.05,
+	}, rng.New(11))
+	s, err := model.NewState(scene.Image, model.DefaultParams(12, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := MustNew(s, rng.New(3), DefaultWeights(), DefaultStepSizes(8))
+	// Reach steady state: configuration populated, index buckets and all
+	// scratch buffers grown to their working sizes.
+	e.RunN(20000)
+	return e
+}
+
+// TestShiftResizeProposalsZeroAlloc asserts the headline property: a full
+// shift or resize iteration (propose, decide, apply) performs zero heap
+// allocations in steady state.
+func TestShiftResizeProposalsZeroAlloc(t *testing.T) {
+	e := allocEngine(t)
+	for _, m := range []Move{Shift, Resize} {
+		m := m
+		// Warm any remaining lazily-grown buffers on this move kind.
+		for i := 0; i < 100; i++ {
+			e.Decide(e.Propose(m))
+		}
+		avg := testing.AllocsPerRun(500, func() {
+			e.Decide(e.Propose(m))
+		})
+		if avg != 0 {
+			t.Errorf("%v: %v allocs/op in steady state, want 0", m, avg)
+		}
+	}
+}
+
+// TestProposeOnlyZeroAlloc checks the evaluation (read-only) half for
+// every move kind except birth/death/split (whose *apply* path touches
+// the configuration's growable storage; their Propose is covered here).
+func TestProposeOnlyZeroAlloc(t *testing.T) {
+	e := allocEngine(t)
+	for m := Move(0); m < NumMoves; m++ {
+		m := m
+		for i := 0; i < 100; i++ {
+			_ = e.Propose(m)
+		}
+		avg := testing.AllocsPerRun(500, func() {
+			_ = e.Propose(m)
+		})
+		if avg != 0 {
+			t.Errorf("Propose(%v): %v allocs/op in steady state, want 0", m, avg)
+		}
+	}
+}

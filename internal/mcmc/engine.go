@@ -12,6 +12,11 @@ import (
 // Proposal is one evaluated but not yet applied move. Proposals are
 // produced by Engine.Propose without mutating the state, so several can
 // be evaluated concurrently (speculative moves); Apply commits one.
+//
+// A Proposal is a plain value: the move's payload lives in fixed-size
+// fields rather than a captured closure, so evaluating and discarding
+// proposals (the common case — most are rejected) never touches the
+// heap. shift/resize proposals are allocation-free end to end.
 type Proposal struct {
 	Move Move
 	// Valid is false when the move could not be constructed (death on an
@@ -30,7 +35,32 @@ type Proposal struct {
 	// Jacobian. It is not tempered.
 	LogHastings float64
 
-	apply func(e *Engine)
+	// Move payload: the evaluated posterior deltas plus the circles the
+	// move removes (by ID) and adds. nRem/nAdd give how many entries of
+	// remIDs/newCs are live; no move exchanges more than two circles.
+	dLik, dPrior float64
+	nRem, nAdd   int8
+	remIDs       [2]int
+	newCs        [2]geom.Circle
+}
+
+// apply commits the proposal's move to the engine's state. Birth, death
+// and in-place moves keep their dedicated incremental paths (an in-place
+// move must preserve the circle's ID); split and merge go through the
+// general exchange.
+func (p *Proposal) apply(e *Engine) {
+	switch p.Move {
+	case Birth:
+		e.S.ApplyAdd(p.newCs[0], p.dLik, p.dPrior)
+	case Death:
+		e.S.ApplyRemove(p.remIDs[0], p.dLik, p.dPrior)
+	case Replace, Shift, Resize:
+		e.S.ApplyMove(p.remIDs[0], p.newCs[0], p.dLik, p.dPrior)
+	case Split, Merge:
+		e.S.ApplyExchange(p.remIDs[:p.nRem], p.newCs[:p.nAdd], p.dLik, p.dPrior)
+	default:
+		panic(fmt.Sprintf("mcmc: apply of unknown move %v", p.Move))
+	}
 }
 
 // Stats accumulates per-move acceptance bookkeeping. The rejection rates
@@ -116,6 +146,12 @@ type Engine struct {
 	trace  *Trace
 	accum  *PosteriorAccumulator
 	births *DataDrivenBirth
+
+	// partners is the reusable merge-candidate buffer: proposeMerge
+	// appends into it instead of allocating a fresh slice per proposal.
+	// Shadow engines get their own (see Shadow), so concurrent
+	// speculative Propose calls never share scratch.
+	partners []int
 }
 
 // New constructs an engine. It validates the weights and step sizes.
@@ -136,6 +172,17 @@ func MustNew(s *model.State, r *rng.RNG, w Weights, steps StepSizes) *Engine {
 		panic(err)
 	}
 	return e
+}
+
+// Shadow returns a copy of e that shares the model state and weights but
+// owns a private RNG stream (split off e's) and private scratch buffers.
+// The speculative executor evaluates proposals concurrently on shadows;
+// sharing scratch across them would race.
+func (e *Engine) Shadow() *Engine {
+	s := *e
+	s.R = e.R.Split()
+	s.partners = nil
+	return &s
 }
 
 // PickMove draws a move kind from the proposal mixture.
@@ -298,7 +345,8 @@ func (e *Engine) proposeBirth() Proposal {
 	return Proposal{
 		Move: Birth, Valid: true,
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
-		apply: func(e *Engine) { e.S.ApplyAdd(c, dLik, dPrior) },
+		dLik: dLik, dPrior: dPrior,
+		nAdd: 1, newCs: [2]geom.Circle{c},
 	}
 }
 
@@ -321,7 +369,8 @@ func (e *Engine) proposeDeath() Proposal {
 	return Proposal{
 		Move: Death, Valid: true,
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
-		apply: func(e *Engine) { e.S.ApplyRemove(id, dLik, dPrior) },
+		dLik: dLik, dPrior: dPrior,
+		nRem: 1, remIDs: [2]int{id},
 	}
 }
 
@@ -345,7 +394,8 @@ func (e *Engine) proposeReplace() Proposal {
 	return Proposal{
 		Move: Replace, Valid: true,
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
-		apply: func(e *Engine) { e.S.ApplyMove(id, newC, dLik, dPrior) },
+		dLik: dLik, dPrior: dPrior,
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Circle{newC},
 	}
 }
 
@@ -369,7 +419,8 @@ func (e *Engine) proposeShift() Proposal {
 	return Proposal{
 		Move: Shift, Valid: true,
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
-		apply: func(e *Engine) { e.S.ApplyMove(id, newC, dLik, dPrior) },
+		dLik: dLik, dPrior: dPrior,
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Circle{newC},
 	}
 }
 
@@ -391,7 +442,8 @@ func (e *Engine) proposeResize() Proposal {
 	return Proposal{
 		Move: Resize, Valid: true,
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
-		apply: func(e *Engine) { e.S.ApplyMove(id, newC, dLik, dPrior) },
+		dLik: dLik, dPrior: dPrior,
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Circle{newC},
 	}
 }
 
@@ -408,7 +460,12 @@ func (e *Engine) proposeSplit() Proposal {
 	x1, y1, r1, x2, y2, r2 := splitMap(c.X, c.Y, c.R, u, theta, delta)
 	c1 := geom.Circle{X: x1, Y: y1, R: r1}
 	c2 := geom.Circle{X: x2, Y: y2, R: r2}
-	dLik, dPrior := e.S.EvalExchange([]int{id}, []geom.Circle{c1, c2})
+	p := Proposal{
+		Move: Split,
+		nRem: 1, nAdd: 2,
+		remIDs: [2]int{id}, newCs: [2]geom.Circle{c1, c2},
+	}
+	dLik, dPrior := e.S.EvalExchange(p.remIDs[:1], p.newCs[:2])
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Split, Valid: false}
 	}
@@ -423,13 +480,12 @@ func (e *Engine) proposeSplit() Proposal {
 		math.Log(float64(m1))
 	hastings := logQrev - logQfwd + logSplitJacobian(c.R, u, delta)
 	dPost := dLik + dPrior
-	return Proposal{
-		Move: Split, Valid: true,
-		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
-		apply: func(e *Engine) {
-			e.S.ApplyExchange([]int{id}, []geom.Circle{c1, c2}, dLik, dPrior)
-		},
-	}
+	p.Valid = true
+	p.LogAlpha = dPost + hastings
+	p.DPost = dPost
+	p.LogHastings = hastings
+	p.dLik, p.dPrior = dLik, dPrior
+	return p
 }
 
 func (e *Engine) proposeMerge() Proposal {
@@ -439,12 +495,12 @@ func (e *Engine) proposeMerge() Proposal {
 	}
 	i := e.S.Cfg.IDAt(e.R.Intn(n))
 	ci := e.S.Cfg.Get(i)
-	partners := e.S.PartnersNear(ci.X, ci.Y, e.Steps.MergeDist, i)
-	if len(partners) == 0 {
+	e.partners = e.S.AppendPartnersNear(e.partners[:0], ci.X, ci.Y, e.Steps.MergeDist, i)
+	if len(e.partners) == 0 {
 		return Proposal{Move: Merge, Valid: false}
 	}
-	j := partners[e.R.Intn(len(partners))]
-	return e.evalMergePair(i, j, len(partners))
+	j := e.partners[e.R.Intn(len(e.partners))]
+	return e.evalMergePair(i, j, len(e.partners))
 }
 
 // evalMergePair builds the merge proposal for the ordered pair (i, j),
@@ -456,7 +512,12 @@ func (e *Engine) evalMergePair(i, j, mi int) Proposal {
 	ci, cj := e.S.Cfg.Get(i), e.S.Cfg.Get(j)
 	x, y, r, u, _, delta := mergeMap(ci.X, ci.Y, ci.R, cj.X, cj.Y, cj.R)
 	merged := geom.Circle{X: x, Y: y, R: r}
-	dLik, dPrior := e.S.EvalExchange([]int{i, j}, []geom.Circle{merged})
+	p := Proposal{
+		Move: Merge,
+		nRem: 2, nAdd: 1,
+		remIDs: [2]int{i, j}, newCs: [2]geom.Circle{merged},
+	}
+	dLik, dPrior := e.S.EvalExchange(p.remIDs[:2], p.newCs[:1])
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Merge, Valid: false}
 	}
@@ -470,11 +531,10 @@ func (e *Engine) evalMergePair(i, j, mi int) Proposal {
 		math.Log(2*math.Pi) - math.Log(e.Steps.MergeDist)
 	hastings := logQrev - logQfwd - logSplitJacobian(r, u, delta)
 	dPost := dLik + dPrior
-	return Proposal{
-		Move: Merge, Valid: true,
-		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
-		apply: func(e *Engine) {
-			e.S.ApplyExchange([]int{i, j}, []geom.Circle{merged}, dLik, dPrior)
-		},
-	}
+	p.Valid = true
+	p.LogAlpha = dPost + hastings
+	p.DPost = dPost
+	p.LogHastings = hastings
+	p.dLik, p.dPrior = dLik, dPrior
+	return p
 }

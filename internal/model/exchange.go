@@ -6,59 +6,117 @@ import (
 	"repro/internal/geom"
 )
 
+// likMultiSpans is the fixed scratch capacity of LikDeltaMulti: split
+// and merge exchange at most three circles, so the per-row span table
+// lives on the stack. Larger exchanges fall back to an allocation.
+const likMultiSpans = 8
+
 // LikDeltaMulti returns the relative log-likelihood change from removing
 // the circles in removed and adding those in added, in one read-only pass
-// over the union of their bounding boxes. It generalises LikDeltaAdd /
+// over the union of their scanline spans. It generalises LikDeltaAdd /
 // LikDeltaRemove / LikDeltaMove to arbitrary exchanges (split, merge).
-func LikDeltaMulti(gain []float64, cover []int32, w, h int, removed, added []geom.Circle) float64 {
-	if len(removed) == 0 && len(added) == 0 {
+//
+// Per row, each circle contributes one span; span endpoints cut the row
+// into segments of constant removed/added multiplicity, each summed via
+// the gsum prefix table with a rare-branch correction scan.
+//
+// The removed circles must currently be part of the coverage (as
+// EvalExchange guarantees): inside a segment covered by dRem removed
+// circles, cover ≥ dRem, which is what lets net-loss segments reduce to
+// a single coverage-equality sum.
+func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added []geom.Circle) float64 {
+	nRem, nAdd := len(removed), len(added)
+	n := nRem + nAdd
+	if n == 0 {
 		return 0
 	}
-	// Union bounding box.
-	x0, y0, x1, y1 := w, h, 0, 0
-	span := func(c geom.Circle) {
-		cx0, cy0, cx1, cy1 := discSpan(w, h, c)
-		x0, y0 = minInt(x0, cx0), minInt(y0, cy0)
-		x1, y1 = maxInt(x1, cx1), maxInt(y1, cy1)
-	}
+	// Union row range.
+	y0, y1 := h, 0
 	for _, c := range removed {
-		span(c)
+		cy0, cy1 := c.PixelRows(h)
+		y0, y1 = minInt(y0, cy0), maxInt(y1, cy1)
 	}
 	for _, c := range added {
-		span(c)
+		cy0, cy1 := c.PixelRows(h)
+		y0, y1 = minInt(y0, cy0), maxInt(y1, cy1)
 	}
-	if x1 <= x0 || y1 <= y0 {
+	if y1 <= y0 {
 		return 0
+	}
+	// circles/cols[0:nRem] describe the removed circles, [nRem:n] the
+	// added ones; cols hoists each circle's clipped column bounds out of
+	// the row loop. spans holds the per-row spans; cuts the row's sorted
+	// span endpoints — they divide it into at most 2n+1 segments with
+	// constant (dRem, dAdd) multiplicities, so the per-pixel work inside
+	// a segment reduces to a coverage compare and a conditional gain add.
+	var cBuf [likMultiSpans]geom.Circle
+	var colBuf, buf [likMultiSpans][2]int
+	var cutBuf [2 * likMultiSpans]int
+	circles := cBuf[:n]
+	cols := colBuf[:n]
+	spans := buf[:n]
+	cutsAll := cutBuf[:]
+	if n > likMultiSpans {
+		circles = make([]geom.Circle, n)
+		cols = make([][2]int, n)
+		spans = make([][2]int, n)
+		cutsAll = make([]int, 2*n)
+	}
+	copy(circles, removed)
+	copy(circles[nRem:], added)
+	for i, c := range circles {
+		cols[i][0], cols[i][1] = c.PixelCols(w)
 	}
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		cy := float64(y) + 0.5
-		row := y * w
-		for x := x0; x < x1; x++ {
-			cx := float64(x) + 0.5
+		nc := 0
+		for i := 0; i < n; i++ {
+			xa, xb := circles[i].RowSpan(y, cols[i][0], cols[i][1])
+			spans[i] = [2]int{xa, xb}
+			if xa < xb {
+				// Insertion-sort both endpoints into cuts; n is tiny.
+				for _, v := range [2]int{xa, xb} {
+					j := nc
+					for j > 0 && cutsAll[j-1] > v {
+						cutsAll[j] = cutsAll[j-1]
+						j--
+					}
+					cutsAll[j] = v
+					nc++
+				}
+			}
+		}
+		if nc == 0 {
+			continue
+		}
+		cuts := cutsAll[:nc]
+		for k := 0; k+1 < len(cuts); k++ {
+			a, b := cuts[k], cuts[k+1]
+			if a == b {
+				continue
+			}
+			// Multiplicities are constant on [a, b); sample at a.
 			var dRem, dAdd int32
-			for _, c := range removed {
-				dx, dy := cx-c.X, cy-c.Y
-				if dx*dx+dy*dy <= c.R*c.R {
+			for i := 0; i < nRem; i++ {
+				if a >= spans[i][0] && a < spans[i][1] {
 					dRem++
 				}
 			}
-			for _, c := range added {
-				dx, dy := cx-c.X, cy-c.Y
-				if dx*dx+dy*dy <= c.R*c.R {
+			for i := nRem; i < n; i++ {
+				if a >= spans[i][0] && a < spans[i][1] {
 					dAdd++
 				}
 			}
-			if dRem == 0 && dAdd == 0 {
-				continue
-			}
-			oldCovered := cover[row+x] > 0
-			newCovered := cover[row+x]-dRem+dAdd > 0
-			switch {
-			case newCovered && !oldCovered:
-				delta += gain[row+x]
-			case oldCovered && !newCovered:
-				delta -= gain[row+x]
+			// Only the net multiplicity change matters: d > 0 covers the
+			// segment's uncovered pixels; d == 0 (gap or wash) changes
+			// nothing. For d < 0, cover ≥ dRem throughout the segment, so
+			// a pixel is uncovered iff nothing is added here and its
+			// coverage is exactly dRem.
+			switch d := dAdd - dRem; {
+			case d > 0:
+				delta += sumCoverEq(gain, gsum, cover, w, y, a, b, 0)
+			case d < 0 && dAdd == 0:
+				delta -= sumCoverEq(gain, gsum, cover, w, y, a, b, dRem)
 			}
 		}
 	}
@@ -71,9 +129,15 @@ func LikDeltaMulti(gain []float64, cover []int32, w, h int, removed, added []geo
 // support (position outside the image or radius outside the truncation
 // range).
 func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrior float64) {
-	removed := make([]geom.Circle, len(removedIDs))
-	for i, id := range removedIDs {
-		removed[i] = s.Cfg.Get(id)
+	// Split/merge exchange at most two circles; keep that case off the
+	// heap so the proposal path stays allocation-free.
+	var rbuf [2]geom.Circle
+	removed := rbuf[:0]
+	if len(removedIDs) > len(rbuf) {
+		removed = make([]geom.Circle, 0, len(removedIDs))
+	}
+	for _, id := range removedIDs {
+		removed = append(removed, s.Cfg.Get(id))
 	}
 
 	// Support checks first: an invalid proposal needs no likelihood work.
@@ -132,7 +196,7 @@ func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrio
 	}
 	dPrior -= s.P.OverlapPenalty * dOverlap
 
-	dLik = LikDeltaMulti(s.Gain, s.Cover, s.W, s.H, removed, added)
+	dLik = LikDeltaMulti(s.Gain, s.GainSum, s.Cover, s.W, s.H, removed, added)
 	return dLik, dPrior
 }
 
@@ -178,17 +242,24 @@ func (s *State) CountNear(x, y, dist float64, exclude int) int {
 // PartnersNear returns the IDs of live circles other than exclude whose
 // centres lie within dist of (x, y).
 func (s *State) PartnersNear(x, y, dist float64, exclude int) []int {
-	var ids []int
+	return s.AppendPartnersNear(nil, x, y, dist, exclude)
+}
+
+// AppendPartnersNear appends the IDs of live circles other than exclude
+// whose centres lie within dist of (x, y) to dst and returns it. Engines
+// pass a reusable scratch buffer so steady-state merge proposals never
+// allocate.
+func (s *State) AppendPartnersNear(dst []int, x, y, dist float64, exclude int) []int {
 	s.Index.QueryRect(geom.Rect{
 		X0: x - dist, Y0: y - dist, X1: x + dist, Y1: y + dist,
 	}, func(id int) bool {
 		if id != exclude {
 			c := s.Cfg.Get(id)
 			if math.Hypot(c.X-x, c.Y-y) < dist {
-				ids = append(ids, id)
+				dst = append(dst, id)
 			}
 		}
 		return true
 	})
-	return ids
+	return dst
 }

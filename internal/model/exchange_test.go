@@ -111,18 +111,18 @@ func TestLikDeltaMultiMatchesComposition(t *testing.T) {
 		for i := 0; i < nAdd; i++ {
 			added = append(added, randCircle(r, s))
 		}
-		got := LikDeltaMulti(s.Gain, s.Cover, s.W, s.H, circlesOf(s, remIDs), added)
+		got := LikDeltaMulti(s.Gain, s.GainSum, s.Cover, s.W, s.H, circlesOf(s, remIDs), added)
 
 		// Compose on scratch copies of the cover buffer.
 		cover := append([]int32(nil), s.Cover...)
 		want := 0.0
 		for _, id := range remIDs {
 			c := s.Cfg.Get(id)
-			want += LikDeltaRemove(s.Gain, cover, s.W, s.H, c)
+			want += LikDeltaRemove(s.Gain, s.GainSum, cover, s.W, s.H, c)
 			CoverAdd(cover, s.W, s.H, c, -1)
 		}
 		for _, c := range added {
-			want += LikDeltaAdd(s.Gain, cover, s.W, s.H, c)
+			want += LikDeltaAdd(s.Gain, s.GainSum, cover, s.W, s.H, c)
 			CoverAdd(cover, s.W, s.H, c, +1)
 		}
 		if math.Abs(got-want) > 1e-9 {
@@ -153,12 +153,12 @@ func TestLikDeltaMoveDisjointBoxes(t *testing.T) {
 			X: math.Mod(oldC.X+64, 128), Y: math.Mod(oldC.Y+64, 128),
 			R: r.Uniform(s.P.MinRadius, s.P.MaxRadius),
 		}
-		got := LikDeltaMove(s.Gain, s.Cover, s.W, s.H, oldC, newC)
+		got := LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, oldC, newC)
 		// Compose remove+add on a scratch buffer.
 		cover := append([]int32(nil), s.Cover...)
-		want := LikDeltaRemove(s.Gain, cover, s.W, s.H, oldC)
+		want := LikDeltaRemove(s.Gain, s.GainSum, cover, s.W, s.H, oldC)
 		CoverAdd(cover, s.W, s.H, oldC, -1)
-		want += LikDeltaAdd(s.Gain, cover, s.W, s.H, newC)
+		want += LikDeltaAdd(s.Gain, s.GainSum, cover, s.W, s.H, newC)
 		CoverAdd(cover, s.W, s.H, newC, +1)
 		if math.Abs(got-want) > 1e-9 {
 			t.Fatalf("disjoint move delta %v, composed %v", got, want)

@@ -1,8 +1,6 @@
 package model
 
 import (
-	"math"
-
 	"repro/internal/geom"
 )
 
@@ -23,62 +21,121 @@ import (
 // A pixel (x, y) is covered by circle c when its centre (x+0.5, y+0.5)
 // lies inside c. This matches the renderer's definition closely enough
 // that the likelihood is sharp at the true configuration.
+//
+// # Scanline kernels and span invariants
+//
+// Every kernel walks the disc as analytic scanline spans (geom.Circle.
+// RowSpan): for each pixel row, one sqrt yields the covered x-interval
+// [xa, xb), and the inner loops run branch-minimally over gain/cover
+// sub-slices — roughly π/4 of the bounding-box pixels, with no per-pixel
+// multiply-compare. The spans obey two invariants the rest of the package
+// leans on:
+//
+//  1. Exactness: RowSpan pins its edges to the canonical coverage
+//     predicate (dx²+dy² ≤ r² at the pixel centre), so span kernels visit
+//     *exactly* the pixels the historical per-pixel scans visited. The
+//     retained naive reference kernels in naive.go are pinned to the span
+//     kernels by differential tests: likelihood deltas agree to 1e-9 and
+//     coverage arrays match exactly.
+//  2. Disjointness: spans of a circle are contained in its clipped pixel
+//     bounding box, so the partition-parallel safety argument above is
+//     unchanged — owned circles still touch only pixels strictly inside
+//     their cell.
+//
+// Move kernels (LikDeltaMove, CoverMove) intersect the old and new spans
+// per row, so the symmetric difference of the two discs is enumerated as
+// at most four sub-intervals per row without classifying individual
+// pixels.
 
 // discSpan returns the clipped integer pixel range of c's bounding box.
 func discSpan(w, h int, c geom.Circle) (x0, y0, x1, y1 int) {
-	x0 = clampIdx(int(math.Floor(c.X-c.R-0.5)), 0, w)
-	y0 = clampIdx(int(math.Floor(c.Y-c.R-0.5)), 0, h)
-	x1 = clampIdx(int(math.Ceil(c.X+c.R+0.5)), 0, w)
-	y1 = clampIdx(int(math.Ceil(c.Y+c.R+0.5)), 0, h)
+	x0, x1 = c.PixelCols(w)
+	y0, y1 = c.PixelRows(h)
 	return
 }
 
-// LikDeltaAdd returns the change in relative log-likelihood from adding
-// circle c, given the current coverage. Read-only.
-func LikDeltaAdd(gain []float64, cover []int32, w, h int, c geom.Circle) float64 {
-	x0, y0, x1, y1 := discSpan(w, h, c)
-	r2 := c.R * c.R
-	delta := 0.0
-	for y := y0; y < y1; y++ {
-		dy := float64(y) + 0.5 - c.Y
-		dy2 := dy * dy
+// BuildGainRowSums returns per-row prefix sums of gain with stride w+1:
+// sums[y*(w+1)+x] = Σ_{x'<x} gain[y*w+x']. Gain is immutable, so the
+// table is built once per state; with it, the total gain of any row span
+// is two loads and a subtract, and the likelihood kernels only scan the
+// cover buffer for the (rare) pixels whose coverage deviates from the
+// span's typical value.
+func BuildGainRowSums(gain []float64, w, h int) []float64 {
+	sums := make([]float64, (w+1)*h)
+	for y := 0; y < h; y++ {
 		row := y * w
-		for x := x0; x < x1; x++ {
-			dx := float64(x) + 0.5 - c.X
-			if dx*dx+dy2 <= r2 && cover[row+x] == 0 {
-				delta += gain[row+x]
-			}
+		p := y * (w + 1)
+		acc := 0.0
+		for x := 0; x < w; x++ {
+			acc += gain[row+x]
+			sums[p+x+1] = acc
 		}
 	}
+	return sums
+}
+
+// sumCoverEq returns Σ gain[i] over pixels x in [xa, xb) of row y whose
+// coverage equals want, using the identity
+//
+//	Σ_{cover==want} gain = Σ gain − Σ_{cover≠want} gain,
+//
+// where the first term comes from the gsum prefix table in O(1) and the
+// second is a correction scan that loads gain only at deviating pixels.
+// Callers arrange want to be the span's typical coverage (0 when adding
+// over mostly-empty area, 1 when removing a live disc), so the
+// correction branch is rarely taken and the hot loop is one int32
+// compare per pixel — no float loads, no add chain.
+func sumCoverEq(gain, gsum []float64, cover []int32, w, y, xa, xb int, want int32) float64 {
+	p := y * (w + 1)
+	total := gsum[p+xb] - gsum[p+xa]
+	a, b := y*w+xa, y*w+xb
+	g := gain[a:b]
+	corr := 0.0
+	for i, cv := range cover[a:b] {
+		if cv != want {
+			corr += g[i]
+		}
+	}
+	return total - corr
+}
+
+// spanStack is the per-call stack capacity for batched disc spans: discs
+// up to r ≈ 47 px stay allocation-free; larger ones spill to the heap,
+// where the O(r²) pixel work amortises the allocation.
+const spanStack = 96
+
+// likDeltaDisc sums the gain of c's span pixels whose coverage equals
+// want — the shared body of LikDeltaAdd (want 0) and LikDeltaRemove
+// (want 1), so both directions run the identical compiled hot loop.
+func likDeltaDisc(gain, gsum []float64, cover []int32, w, h int, c geom.Circle, want int32) float64 {
+	var buf [spanStack]geom.Span
+	delta := 0.0
+	for _, sp := range geom.AppendDiscSpans(buf[:0], w, h, c) {
+		delta += sumCoverEq(gain, gsum, cover, w, int(sp.Y), int(sp.X0), int(sp.X1), want)
+	}
 	return delta
+}
+
+// LikDeltaAdd returns the change in relative log-likelihood from adding
+// circle c, given the current coverage. Read-only. gsum must be the
+// BuildGainRowSums table of gain.
+func LikDeltaAdd(gain, gsum []float64, cover []int32, w, h int, c geom.Circle) float64 {
+	return likDeltaDisc(gain, gsum, cover, w, h, c, 0)
 }
 
 // LikDeltaRemove returns the change in relative log-likelihood from
 // removing circle c (which must currently be part of the coverage).
-func LikDeltaRemove(gain []float64, cover []int32, w, h int, c geom.Circle) float64 {
-	x0, y0, x1, y1 := discSpan(w, h, c)
-	r2 := c.R * c.R
-	delta := 0.0
-	for y := y0; y < y1; y++ {
-		dy := float64(y) + 0.5 - c.Y
-		dy2 := dy * dy
-		row := y * w
-		for x := x0; x < x1; x++ {
-			dx := float64(x) + 0.5 - c.X
-			if dx*dx+dy2 <= r2 && cover[row+x] == 1 {
-				delta -= gain[row+x]
-			}
-		}
-	}
-	return delta
+func LikDeltaRemove(gain, gsum []float64, cover []int32, w, h int, c geom.Circle) float64 {
+	return -likDeltaDisc(gain, gsum, cover, w, h, c, 1)
 }
 
 // LikDeltaMove returns the change in relative log-likelihood from
 // replacing old with new (old must be covered). Overlapping bounding
-// boxes are visited once as a union; disjoint boxes (the replace move
+// boxes are visited once, intersecting the two discs' row spans so only
+// the symmetric difference is scanned; disjoint boxes (the replace move
 // relocates circles across the whole image) are processed separately so
 // the cost is O(area of the two discs), never O(image).
-func LikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.Circle) float64 {
+func LikDeltaMove(gain, gsum []float64, cover []int32, w, h int, oldC, newC geom.Circle) float64 {
 	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
 	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
 	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
@@ -86,68 +143,75 @@ func LikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.Circl
 		// interact, so evaluate them separately. LikDeltaAdd must see
 		// the coverage without oldC's contribution, but oldC's disc
 		// does not reach newC's box, so the buffers agree there.
-		return LikDeltaRemove(gain, cover, w, h, oldC) +
-			LikDeltaAdd(gain, cover, w, h, newC)
+		return LikDeltaRemove(gain, gsum, cover, w, h, oldC) +
+			LikDeltaAdd(gain, gsum, cover, w, h, newC)
 	}
-	x0, y0 := minInt(ox0, nx0), minInt(oy0, ny0)
-	x1, y1 := maxInt(ox1, nx1), maxInt(oy1, ny1)
-	or2 := oldC.R * oldC.R
-	nr2 := newC.R * newC.R
+	y0, y1 := minInt(oy0, ny0), maxInt(oy1, ny1)
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		cy := float64(y) + 0.5
-		ody := cy - oldC.Y
-		ndy := cy - newC.Y
-		ody2, ndy2 := ody*ody, ndy*ndy
-		row := y * w
-		for x := x0; x < x1; x++ {
-			cx := float64(x) + 0.5
-			odx := cx - oldC.X
-			ndx := cx - newC.X
-			inOld := odx*odx+ody2 <= or2
-			inNew := ndx*ndx+ndy2 <= nr2
-			switch {
-			case inOld == inNew:
-				// Coverage by this circle unchanged.
-			case inNew: // gained
-				if cover[row+x] == 0 {
-					delta += gain[row+x]
-				}
-			default: // lost
-				if cover[row+x] == 1 {
-					delta -= gain[row+x]
-				}
+		oa, ob := oldC.RowSpan(y, ox0, ox1)
+		na, nb := newC.RowSpan(y, nx0, nx1)
+		if oa >= ob { // nothing lost on this row
+			if na < nb {
+				delta += sumCoverEq(gain, gsum, cover, w, y, na, nb, 0)
 			}
+			continue
+		}
+		if na >= nb { // nothing gained on this row
+			delta -= sumCoverEq(gain, gsum, cover, w, y, oa, ob, 1)
+			continue
+		}
+		// Gained: new \ old (up to two pieces).
+		if r := minInt(nb, oa); na < r {
+			delta += sumCoverEq(gain, gsum, cover, w, y, na, r, 0)
+		}
+		if l := maxInt(na, ob); l < nb {
+			delta += sumCoverEq(gain, gsum, cover, w, y, l, nb, 0)
+		}
+		// Lost: old \ new.
+		if r := minInt(ob, na); oa < r {
+			delta -= sumCoverEq(gain, gsum, cover, w, y, oa, r, 1)
+		}
+		if l := maxInt(oa, nb); l < ob {
+			delta -= sumCoverEq(gain, gsum, cover, w, y, l, ob, 1)
 		}
 	}
 	return delta
+}
+
+// coverAddRange adds d to cover[a:b], panicking if a count would go
+// negative — that means the caller's bookkeeping desynchronised.
+func coverAddRange(cover []int32, a, b int, d int32) {
+	seg := cover[a:b]
+	if d >= 0 {
+		for i := range seg {
+			seg[i] += d
+		}
+		return
+	}
+	for i := range seg {
+		seg[i] += d
+		if seg[i] < 0 {
+			panic("model: negative coverage count")
+		}
+	}
 }
 
 // CoverAdd adjusts the coverage counts for circle c by d (+1 to add the
 // circle, -1 to remove it). It panics if a count would go negative — that
 // means the caller's bookkeeping desynchronised.
 func CoverAdd(cover []int32, w, h int, c geom.Circle, d int32) {
-	x0, y0, x1, y1 := discSpan(w, h, c)
-	r2 := c.R * c.R
-	for y := y0; y < y1; y++ {
-		dy := float64(y) + 0.5 - c.Y
-		dy2 := dy * dy
-		row := y * w
-		for x := x0; x < x1; x++ {
-			dx := float64(x) + 0.5 - c.X
-			if dx*dx+dy2 <= r2 {
-				cover[row+x] += d
-				if cover[row+x] < 0 {
-					panic("model: negative coverage count")
-				}
-			}
-		}
+	var buf [spanStack]geom.Span
+	for _, sp := range geom.AppendDiscSpans(buf[:0], w, h, c) {
+		row := int(sp.Y) * w
+		coverAddRange(cover, row+int(sp.X0), row+int(sp.X1), d)
 	}
 }
 
 // CoverMove updates the coverage for a move from old to new in one pass
 // over the union bounding box, or two passes when the boxes are disjoint
-// (so relocation moves never scan the space between the discs).
+// (so relocation moves never scan the space between the discs). Per row
+// only the symmetric difference of the two spans is touched.
 func CoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
 	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
 	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
@@ -156,31 +220,34 @@ func CoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
 		CoverAdd(cover, w, h, newC, +1)
 		return
 	}
-	x0, y0 := minInt(ox0, nx0), minInt(oy0, ny0)
-	x1, y1 := maxInt(ox1, nx1), maxInt(oy1, ny1)
-	or2 := oldC.R * oldC.R
-	nr2 := newC.R * newC.R
+	y0, y1 := minInt(oy0, ny0), maxInt(oy1, ny1)
 	for y := y0; y < y1; y++ {
-		cy := float64(y) + 0.5
-		ody := cy - oldC.Y
-		ndy := cy - newC.Y
-		ody2, ndy2 := ody*ody, ndy*ndy
+		oa, ob := oldC.RowSpan(y, ox0, ox1)
+		na, nb := newC.RowSpan(y, nx0, nx1)
 		row := y * w
-		for x := x0; x < x1; x++ {
-			cx := float64(x) + 0.5
-			odx := cx - oldC.X
-			ndx := cx - newC.X
-			inOld := odx*odx+ody2 <= or2
-			inNew := ndx*ndx+ndy2 <= nr2
-			switch {
-			case inOld && !inNew:
-				cover[row+x]--
-				if cover[row+x] < 0 {
-					panic("model: negative coverage count")
-				}
-			case inNew && !inOld:
-				cover[row+x]++
+		if oa >= ob {
+			if na < nb {
+				coverAddRange(cover, row+na, row+nb, +1)
 			}
+			continue
+		}
+		if na >= nb {
+			coverAddRange(cover, row+oa, row+ob, -1)
+			continue
+		}
+		// Gained: new \ old.
+		if r := minInt(nb, oa); na < r {
+			coverAddRange(cover, row+na, row+r, +1)
+		}
+		if l := maxInt(na, ob); l < nb {
+			coverAddRange(cover, row+l, row+nb, +1)
+		}
+		// Lost: old \ new.
+		if r := minInt(ob, na); oa < r {
+			coverAddRange(cover, row+oa, row+r, -1)
+		}
+		if l := maxInt(oa, nb); l < ob {
+			coverAddRange(cover, row+l, row+ob, -1)
 		}
 	}
 }

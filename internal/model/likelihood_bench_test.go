@@ -1,0 +1,137 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// Kernel microbenchmarks: each LikDelta*/Cover* kernel benchmarked in its
+// scanline form against the retained naive bounding-box reference, on the
+// workload-typical disc size (r = 10, the bead/nuclei scale). The
+// scanline/naive ratio is the kernel speedup tracked by BENCH_*.json.
+
+func benchBuffers(b *testing.B, w, h int) (gain, gsum []float64, cover []int32) {
+	b.Helper()
+	r := rng.New(7)
+	gain = make([]float64, w*h)
+	for i := range gain {
+		gain[i] = r.Uniform(-2, 2)
+	}
+	cover = make([]int32, w*h)
+	for k := 0; k < 40; k++ {
+		NaiveCoverAdd(cover, w, h, geom.Circle{
+			X: r.Uniform(0, float64(w)), Y: r.Uniform(0, float64(h)),
+			R: r.Uniform(6, 14),
+		}, +1)
+	}
+	return gain, BuildGainRowSums(gain, w, h), cover
+}
+
+func BenchmarkLikDeltaAdd(b *testing.B) {
+	gain, gsum, cover := benchBuffers(b, 512, 512)
+	c := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	var sink float64
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += LikDeltaAdd(gain, gsum, cover, 512, 512, c)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += NaiveLikDeltaAdd(gain, cover, 512, 512, c)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkLikDeltaRemove(b *testing.B) {
+	gain, gsum, cover := benchBuffers(b, 512, 512)
+	c := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	NaiveCoverAdd(cover, 512, 512, c, +1)
+	var sink float64
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += LikDeltaRemove(gain, gsum, cover, 512, 512, c)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += NaiveLikDeltaRemove(gain, cover, 512, 512, c)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkLikDeltaMove(b *testing.B) {
+	gain, gsum, cover := benchBuffers(b, 512, 512)
+	oldC := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	newC := oldC.Translate(1.7, -2.1) // typical accepted shift: boxes overlap
+	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	var sink float64
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += LikDeltaMove(gain, gsum, cover, 512, 512, oldC, newC)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += NaiveLikDeltaMove(gain, cover, 512, 512, oldC, newC)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkLikDeltaMulti(b *testing.B) {
+	gain, gsum, cover := benchBuffers(b, 512, 512)
+	// Split-shaped exchange: one disc out, two half-area discs in.
+	removed := []geom.Circle{{X: 256.3, Y: 255.7, R: 10}}
+	added := []geom.Circle{
+		{X: 252.1, Y: 254.2, R: 7.2},
+		{X: 260.8, Y: 257.9, R: 6.9},
+	}
+	NaiveCoverAdd(cover, 512, 512, removed[0], +1)
+	var sink float64
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += LikDeltaMulti(gain, gsum, cover, 512, 512, removed, added)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += NaiveLikDeltaMulti(gain, cover, 512, 512, removed, added)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkCoverMove(b *testing.B) {
+	_, _, cover := benchBuffers(b, 512, 512)
+	oldC := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	newC := oldC.Translate(1.7, -2.1)
+	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Move there and back: leaves cover unchanged between pairs.
+			CoverMove(cover, 512, 512, oldC, newC)
+			CoverMove(cover, 512, 512, newC, oldC)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NaiveCoverMove(cover, 512, 512, oldC, newC)
+			NaiveCoverMove(cover, 512, 512, newC, oldC)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// Differential tests: the scanline kernels in likelihood.go and
+// exchange.go must agree with the retained naive bounding-box references
+// in naive.go — likelihood deltas to 1e-9 (the kernels price spans via
+// prefix-sum differences, so results can differ from the naive direct
+// sums by float-rounding noise, orders of magnitude below 1e-9),
+// coverage arrays exactly.
+
+const diffTol = 1e-9
+
+// diffCircle draws circles biased toward awkward cases: edge-clipped
+// (centres up to 10px outside the image), sub-pixel radii, and radii
+// comparable to the image.
+func diffCircle(r *rng.RNG, w, h int) geom.Circle {
+	c := geom.Circle{
+		X: r.Uniform(-10, float64(w)+10),
+		Y: r.Uniform(-10, float64(h)+10),
+	}
+	switch r.Intn(4) {
+	case 0:
+		c.R = r.Uniform(0.01, 0.9)
+	case 1:
+		c.R = r.Uniform(0.9, 5)
+	case 2:
+		c.R = r.Uniform(5, 18)
+	default:
+		c.R = r.Uniform(18, float64(w)/2)
+	}
+	return c
+}
+
+// diffBuffers builds a random gain field and a coverage buffer populated
+// by nCover random circles (through the naive reference, so the scanline
+// kernels are tested against independently built state).
+func diffBuffers(r *rng.RNG, w, h, nCover int) (gain, gsum []float64, cover []int32) {
+	gain = make([]float64, w*h)
+	for i := range gain {
+		gain[i] = r.Uniform(-2, 2)
+	}
+	cover = make([]int32, w*h)
+	for k := 0; k < nCover; k++ {
+		NaiveCoverAdd(cover, w, h, diffCircle(r, w, h), +1)
+	}
+	return gain, BuildGainRowSums(gain, w, h), cover
+}
+
+func TestLikDeltaAddMatchesNaive(t *testing.T) {
+	const w, h = 56, 48
+	r := rng.New(42)
+	gain, gsum, cover := diffBuffers(r, w, h, 6)
+	for trial := 0; trial < 1500; trial++ {
+		c := diffCircle(r, w, h)
+		got := LikDeltaAdd(gain, gsum, cover, w, h, c)
+		want := NaiveLikDeltaAdd(gain, cover, w, h, c)
+		if math.Abs(got-want) > diffTol {
+			t.Fatalf("LikDeltaAdd(%+v) = %v, naive = %v", c, got, want)
+		}
+	}
+}
+
+func TestLikDeltaRemoveMatchesNaive(t *testing.T) {
+	const w, h = 56, 48
+	r := rng.New(43)
+	gain, gsum, cover := diffBuffers(r, w, h, 6)
+	for trial := 0; trial < 1500; trial++ {
+		c := diffCircle(r, w, h)
+		// Make c part of the coverage so removal is well-defined.
+		NaiveCoverAdd(cover, w, h, c, +1)
+		got := LikDeltaRemove(gain, gsum, cover, w, h, c)
+		want := NaiveLikDeltaRemove(gain, cover, w, h, c)
+		NaiveCoverAdd(cover, w, h, c, -1)
+		if math.Abs(got-want) > diffTol {
+			t.Fatalf("LikDeltaRemove(%+v) = %v, naive = %v", c, got, want)
+		}
+	}
+}
+
+func TestLikDeltaMoveMatchesNaive(t *testing.T) {
+	const w, h = 56, 48
+	r := rng.New(44)
+	gain, gsum, cover := diffBuffers(r, w, h, 6)
+	for trial := 0; trial < 1500; trial++ {
+		oldC := diffCircle(r, w, h)
+		var newC geom.Circle
+		switch r.Intn(3) {
+		case 0: // local shift: overlapping boxes
+			newC = oldC.Translate(r.Uniform(-3, 3), r.Uniform(-3, 3))
+		case 1: // resize in place
+			newC = oldC
+			newC.R = math.Max(0.01, oldC.R+r.Uniform(-2, 2))
+		default: // relocation: often disjoint boxes
+			newC = diffCircle(r, w, h)
+		}
+		NaiveCoverAdd(cover, w, h, oldC, +1)
+		got := LikDeltaMove(gain, gsum, cover, w, h, oldC, newC)
+		want := NaiveLikDeltaMove(gain, cover, w, h, oldC, newC)
+		NaiveCoverAdd(cover, w, h, oldC, -1)
+		if math.Abs(got-want) > diffTol {
+			t.Fatalf("LikDeltaMove(%+v -> %+v) = %v, naive = %v", oldC, newC, got, want)
+		}
+	}
+}
+
+func TestLikDeltaMultiMatchesNaive(t *testing.T) {
+	const w, h = 56, 48
+	r := rng.New(45)
+	gain, gsum, cover := diffBuffers(r, w, h, 6)
+	for trial := 0; trial < 800; trial++ {
+		nRem, nAdd := r.Intn(3), r.Intn(3)
+		removed := make([]geom.Circle, nRem)
+		added := make([]geom.Circle, nAdd)
+		for i := range removed {
+			removed[i] = diffCircle(r, w, h)
+			NaiveCoverAdd(cover, w, h, removed[i], +1)
+		}
+		for i := range added {
+			added[i] = diffCircle(r, w, h)
+		}
+		got := LikDeltaMulti(gain, gsum, cover, w, h, removed, added)
+		want := NaiveLikDeltaMulti(gain, cover, w, h, removed, added)
+		for i := range removed {
+			NaiveCoverAdd(cover, w, h, removed[i], -1)
+		}
+		if math.Abs(got-want) > diffTol {
+			t.Fatalf("LikDeltaMulti(rem %v, add %v) = %v, naive = %v", removed, added, got, want)
+		}
+	}
+}
+
+// TestCoverKernelsMatchNaiveExactly asserts bit-exact coverage: the span
+// kernels must touch precisely the pixels the naive references touch.
+func TestCoverKernelsMatchNaiveExactly(t *testing.T) {
+	const w, h = 56, 48
+	r := rng.New(46)
+	coverA := make([]int32, w*h) // scanline
+	coverB := make([]int32, w*h) // naive
+	live := make([]geom.Circle, 0, 32)
+	for trial := 0; trial < 1200; trial++ {
+		switch {
+		case len(live) == 0 || r.Intn(3) == 0: // add
+			c := diffCircle(r, w, h)
+			live = append(live, c)
+			CoverAdd(coverA, w, h, c, +1)
+			NaiveCoverAdd(coverB, w, h, c, +1)
+		case r.Intn(2) == 0: // remove
+			i := r.Intn(len(live))
+			c := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			CoverAdd(coverA, w, h, c, -1)
+			NaiveCoverAdd(coverB, w, h, c, -1)
+		default: // move
+			i := r.Intn(len(live))
+			oldC := live[i]
+			var newC geom.Circle
+			if r.Intn(2) == 0 {
+				newC = oldC.Translate(r.Uniform(-4, 4), r.Uniform(-4, 4))
+				newC.R = math.Max(0.01, oldC.R+r.Uniform(-1, 1))
+			} else {
+				newC = diffCircle(r, w, h)
+			}
+			live[i] = newC
+			CoverMove(coverA, w, h, oldC, newC)
+			NaiveCoverMove(coverB, w, h, oldC, newC)
+		}
+		for i := range coverA {
+			if coverA[i] != coverB[i] {
+				t.Fatalf("trial %d: cover mismatch at (%d,%d): scanline %d, naive %d",
+					trial, i%w, i/w, coverA[i], coverB[i])
+			}
+		}
+	}
+}
+
+// TestScanlineDeltasAreExactSums: on pristine coverage the scanline add
+// delta must equal the plain sum of gains over the disc's span pixels —
+// a guard against double-visiting or missing pixels.
+func TestScanlineDeltasAreExactSums(t *testing.T) {
+	const w, h = 40, 40
+	r := rng.New(47)
+	gain := make([]float64, w*h)
+	for i := range gain {
+		gain[i] = r.Uniform(-1, 1)
+	}
+	gsum := BuildGainRowSums(gain, w, h)
+	cover := make([]int32, w*h)
+	for trial := 0; trial < 300; trial++ {
+		c := diffCircle(r, w, h)
+		want := 0.0
+		geom.DiscSpans(w, h, c, func(y, xa, xb int) {
+			for x := xa; x < xb; x++ {
+				want += gain[y*w+x]
+			}
+		})
+		if got := LikDeltaAdd(gain, gsum, cover, w, h, c); math.Abs(got-want) > diffTol {
+			t.Fatalf("LikDeltaAdd(%+v) = %v, span sum = %v", c, got, want)
+		}
+	}
+}

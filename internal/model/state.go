@@ -24,6 +24,10 @@ type State struct {
 	// Gain is the per-pixel log-likelihood gain of coverage; immutable
 	// after construction.
 	Gain []float64
+	// GainSum holds per-row prefix sums of Gain (BuildGainRowSums);
+	// immutable after construction. The scanline likelihood kernels use
+	// it to price whole spans in O(1).
+	GainSum []float64
 	// Cover holds per-pixel coverage counts. Partition workers mutate
 	// disjoint regions of this buffer during parallel local phases.
 	Cover []int32
@@ -58,6 +62,7 @@ func NewState(img *imaging.Image, p Params) (*State, error) {
 	for i, v := range img.Pix {
 		s.Gain[i] = p.PixelGain(v)
 	}
+	s.GainSum = BuildGainRowSums(s.Gain, s.W, s.H)
 	// Empty configuration: lik 0 (relative), prior = count term for n=0.
 	s.logPrior = 0 // 0·logλ − lgamma(1) − 0·logA = 0
 	return s, nil
@@ -151,7 +156,7 @@ func (s *State) EvalAdd(c geom.Circle) (dLik, dPrior float64) {
 	if math.IsInf(dPrior, -1) {
 		return 0, dPrior
 	}
-	dLik = LikDeltaAdd(s.Gain, s.Cover, s.W, s.H, c)
+	dLik = LikDeltaAdd(s.Gain, s.GainSum, s.Cover, s.W, s.H, c)
 	return dLik, dPrior
 }
 
@@ -170,7 +175,7 @@ func (s *State) ApplyAdd(c geom.Circle, dLik, dPrior float64) int {
 func (s *State) EvalRemove(id int) (dLik, dPrior float64) {
 	c := s.Cfg.Get(id)
 	dPrior = s.priorDeltaRemove(id)
-	dLik = LikDeltaRemove(s.Gain, s.Cover, s.W, s.H, c)
+	dLik = LikDeltaRemove(s.Gain, s.GainSum, s.Cover, s.W, s.H, c)
 	return dLik, dPrior
 }
 
@@ -196,7 +201,7 @@ func (s *State) EvalMove(id int, newC geom.Circle) (dLik, dPrior float64) {
 		return 0, dPrior
 	}
 	dPrior -= s.P.OverlapPenalty * (s.OverlapSum(newC, id) - s.OverlapSum(oldC, id))
-	dLik = LikDeltaMove(s.Gain, s.Cover, s.W, s.H, oldC, newC)
+	dLik = LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, oldC, newC)
 	return dLik, dPrior
 }
 
@@ -224,9 +229,10 @@ func (s *State) CommitMoved(id int, newC geom.Circle) {
 // scratch, without touching the caches. Tests compare it against the
 // cached values to validate every incremental path.
 func (s *State) Recompute() (logLik, logPrior float64) {
+	gain := s.Gain
 	for i, cv := range s.Cover {
 		if cv > 0 {
-			logLik += s.Gain[i]
+			logLik += gain[i]
 		}
 	}
 	n := s.Cfg.Len()
@@ -272,10 +278,21 @@ func (s *State) CheckConsistency() (likErr, priorErr float64, coverOK bool) {
 	return
 }
 
-// SnapshotCircles returns a deep copy of the configuration's circles
-// keyed by ID, used by parallel workers to build private views.
-func (s *State) SnapshotCircles() map[int]geom.Circle {
-	out := make(map[int]geom.Circle, s.Cfg.Len())
-	s.Cfg.ForEach(func(id int, c geom.Circle) { out[id] = c })
-	return out
+// IDCircle pairs a live circle with its configuration ID; snapshot
+// buffers hold these so parallel workers can build private views without
+// the per-phase map allocations the old SnapshotCircles API forced.
+type IDCircle struct {
+	ID int
+	C  geom.Circle
+}
+
+// AppendSnapshot appends a deep copy of every live (id, circle) pair to
+// dst and returns it. Callers reuse dst across phases (dst[:0]) so
+// steady-state snapshots are allocation-free; iteration order is the
+// configuration's dense order, deterministic for a fixed move history.
+func (s *State) AppendSnapshot(dst []IDCircle) []IDCircle {
+	s.Cfg.ForEach(func(id int, c geom.Circle) {
+		dst = append(dst, IDCircle{ID: id, C: c})
+	})
+	return dst
 }

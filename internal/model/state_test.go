@@ -253,7 +253,7 @@ func TestCommitMovedKeepsIndexConsistent(t *testing.T) {
 	// Simulate an external (worker) move: cover + deltas handled by the
 	// worker, then committed.
 	newC := geom.Circle{X: 70, Y: 70, R: 8}
-	dLik := LikDeltaMove(s.Gain, s.Cover, s.W, s.H, c, newC)
+	dLik := LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, c, newC)
 	CoverMove(s.Cover, s.W, s.H, c, newC)
 	dPrior := s.P.LogRadiusPDF(newC.R) - s.P.LogRadiusPDF(c.R)
 	s.CommitMoved(id, newC)
@@ -306,14 +306,19 @@ func TestLikelihoodPrefersTruth(t *testing.T) {
 	}
 }
 
-func TestSnapshotCircles(t *testing.T) {
+func TestAppendSnapshot(t *testing.T) {
 	s := newTestState(t, 64, 64, 12)
 	c := geom.Circle{X: 30, Y: 30, R: 8}
 	dl, dp := s.EvalAdd(c)
 	id := s.ApplyAdd(c, dl, dp)
-	snap := s.SnapshotCircles()
-	if len(snap) != 1 || snap[id] != c {
+	snap := s.AppendSnapshot(nil)
+	if len(snap) != 1 || snap[0] != (IDCircle{ID: id, C: c}) {
 		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Reuse must not allocate beyond the first fill and must overwrite.
+	snap = s.AppendSnapshot(snap[:0])
+	if len(snap) != 1 || snap[0].ID != id {
+		t.Fatalf("reused snapshot = %+v", snap)
 	}
 }
 

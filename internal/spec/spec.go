@@ -36,6 +36,11 @@ type Executor struct {
 	// measured per-iteration speedup.
 	Batches  int64
 	Consumed int64
+
+	// kinds/props are reusable batch buffers so steady-state speculative
+	// rounds allocate nothing.
+	kinds []mcmc.Move
+	props []mcmc.Proposal
 }
 
 // NewExecutor builds an executor of the given speculation width over the
@@ -58,10 +63,12 @@ func NewExecutor(host *mcmc.Engine, width int, moves []mcmc.Move) *Executor {
 	}
 	x.shadows = make([]*mcmc.Engine, width)
 	for i := range x.shadows {
-		shadow := *host
-		shadow.R = host.R.Split()
-		x.shadows[i] = &shadow
+		// Shadow gives each slot its own RNG stream and scratch buffers;
+		// a plain struct copy would share the host's scratch and race.
+		x.shadows[i] = host.Shadow()
 	}
+	x.kinds = make([]mcmc.Move, width)
+	x.props = make([]mcmc.Proposal, width)
 	return x
 }
 
@@ -90,11 +97,11 @@ func (x *Executor) StepBatch(width int) (consumed int, applied bool) {
 	}
 	// Draw kinds serially from the host stream (cheap), then evaluate
 	// the expensive likelihood deltas concurrently on the frozen state.
-	kinds := make([]mcmc.Move, width)
+	kinds := x.kinds[:width]
 	for i := range kinds {
 		kinds[i] = x.pickMove()
 	}
-	props := make([]mcmc.Proposal, width)
+	props := x.props[:width]
 	sched.ForEach(width, width, func(i int) {
 		props[i] = x.shadows[i].Propose(kinds[i])
 	})
