@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test test-short race ci bench bench-json experiments-quick experiments
+.PHONY: all build fmt fmt-check vet test test-short race ci bench bench-json bench-check experiments-quick experiments
 
 all: build
 
@@ -44,6 +44,15 @@ bench:
 # root (see cmd/benchjson). Compare against BENCH_baseline.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x
+
+# Bench regression gate: re-measure the kernel microbenchmarks and fail
+# on a >15% ns/op regression or any allocs/op regression vs the
+# committed BENCH_baseline.json (see cmd/benchjson -compare).
+bench-check:
+	$(GO) run ./cmd/benchjson \
+		-bench 'BenchmarkLikDelta|BenchmarkCoverMove|BenchmarkSequentialIteration|BenchmarkMoveKinds' \
+		-benchtime 0.3s -o /tmp/BENCH_check.json \
+		-compare BENCH_baseline.json -max-ns-regress 0.15
 
 # Reproduce every paper figure through the Runner (quick ≈ seconds,
 # full ≈ minutes).

@@ -9,9 +9,17 @@
 //
 //	go run ./cmd/benchjson                      # all benchmarks, 1 iteration each
 //	go run ./cmd/benchjson -bench 'LikDelta' -benchtime 0.5s -o BENCH_kernels.json
+//	go run ./cmd/benchjson -bench 'LikDelta' -benchtime 0.5s \
+//	    -compare BENCH_baseline.json -max-ns-regress 0.15
 //
 // It shells out to `go test -bench` and parses the standard benchmark
 // output lines, so it works with every benchmark in the module.
+//
+// With -compare, the fresh results are checked against a baseline
+// report: the run fails (exit 1) when any benchmark present in both
+// regresses by more than -max-ns-regress in ns/op, or regresses at all
+// in allocs/op. CI runs this over the kernel microbenchmarks so perf
+// regressions fail the pipeline instead of landing silently.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -64,12 +73,18 @@ func main() {
 		count     = flag.Int("count", 1, "value for -count")
 		out       = flag.String("o", "", "output path (default BENCH_<date>.json)")
 		notes     = flag.String("notes", "", "free-form note recorded in the report")
+		compare   = flag.String("compare", "", "baseline report to compare against; regressions fail the run")
+		maxNs     = flag.Float64("max-ns-regress", 0.15, "with -compare: maximum tolerated fractional ns/op regression")
 	)
 	flag.Parse()
 
+	// -p 1 serializes the per-package test binaries: concurrent
+	// benchmark processes contend for CPU and skew timings, which would
+	// make -compare verdicts depend on which packages happened to
+	// co-run.
 	args := []string{
 		"test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, "-benchmem",
+		"-benchtime", *benchtime, "-benchmem", "-p", "1",
 		"-count", strconv.Itoa(*count), *pkgs,
 	}
 	cmd := exec.Command("go", args...)
@@ -120,6 +135,82 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(report.Results), path)
+
+	if *compare != "" {
+		baseline, err := readReport(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regressions := compareReports(baseline, report, *maxNs)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			log.Fatalf("%d benchmark regression(s) vs %s", len(regressions), *compare)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", *compare)
+	}
+}
+
+// readReport loads a previously written report.
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports returns one message per regression: a benchmark
+// present in both reports whose ns/op grew by more than maxNsFrac, or
+// whose allocs/op grew at all (allocation counts are deterministic, so
+// any growth is a real regression; timings are noisy, hence the
+// threshold). A baseline benchmark that matches the current run's
+// -bench regexp but produced no result is also a failure — otherwise a
+// gated benchmark could be renamed or deleted and the gate would
+// silently narrow.
+func compareReports(baseline, current Report, maxNsFrac float64) []string {
+	type key struct{ pkg, name string }
+	base := make(map[key]Benchmark, len(baseline.Results))
+	for _, b := range baseline.Results {
+		base[key{b.Pkg, b.Name}] = b
+	}
+	seen := make(map[key]bool, len(current.Results))
+	var out []string
+	for _, c := range current.Results {
+		seen[key{c.Pkg, c.Name}] = true
+		b, ok := base[key{c.Pkg, c.Name}]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+maxNsFrac) {
+			out = append(out, fmt.Sprintf("%s %s: %.1f ns/op vs baseline %.1f (+%.0f%%, limit +%.0f%%)",
+				c.Pkg, c.Name, c.NsPerOp, b.NsPerOp,
+				100*(c.NsPerOp/b.NsPerOp-1), 100*maxNsFrac))
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *c.AllocsPerOp > *b.AllocsPerOp {
+			out = append(out, fmt.Sprintf("%s %s: %.0f allocs/op vs baseline %.0f",
+				c.Pkg, c.Name, *c.AllocsPerOp, *b.AllocsPerOp))
+		}
+	}
+	scope, err := regexp.Compile(current.Bench)
+	if err != nil {
+		scope = nil // unparseable scope: skip the missing-benchmark check
+	}
+	for _, b := range baseline.Results {
+		if seen[key{b.Pkg, b.Name}] {
+			continue
+		}
+		if scope != nil && scope.MatchString(b.Name) {
+			out = append(out, fmt.Sprintf("%s %s: in baseline and matched by -bench %q, but produced no result (renamed or deleted?)",
+				b.Pkg, b.Name, current.Bench))
+		}
+	}
+	return out
 }
 
 // parseBenchLine parses one standard benchmark output line, e.g.

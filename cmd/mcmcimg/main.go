@@ -6,12 +6,21 @@
 //
 //	mcmcimg -in cells.pgm -radius 10 [-strategy periodic] [-iters 200000]
 //	        [-count 150] [-workers 4] [-seed 1] [-overlay out.png]
+//	        [-progress] [-checkpoint run.ckpt [-checkpoint-every 25000]]
+//	mcmcimg -in cells.pgm -radius 10 -resume run.ckpt
 //
 // Both -in and -strategy accept comma-separated lists; every image ×
 // strategy combination becomes one job of a parmcmc.Runner batch,
 // -parallel of which run concurrently. Batches of more than one job
 // print a "# job: <name>" line before each CSV block, and ctrl-C cancels
 // outstanding jobs at their next checkpoint.
+//
+// -progress streams per-job progress lines to stderr. -checkpoint
+// (single-job runs only) writes a resumable snapshot atomically every
+// -checkpoint-every iterations; after an interruption, -resume continues
+// the run from the file — chain-affecting options come from the
+// checkpoint, and the final result is bit-identical to an uninterrupted
+// run.
 //
 // Strategies: sequential, periodic, periodic+spec, intelligent, blind, mc3.
 package main
@@ -45,6 +54,10 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "concurrent jobs in a batch")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 		overlay    = flag.String("overlay", "", "optional PNG path for a detection overlay (single-job runs only)")
+		progress   = flag.Bool("progress", false, "stream progress lines to stderr")
+		checkpoint = flag.String("checkpoint", "", "write periodic resumable checkpoints to this file (single-job runs only)")
+		ckptEvery  = flag.Int("checkpoint-every", 25000, "approximate iterations between checkpoints")
+		resume     = flag.String("resume", "", "resume from a -checkpoint file (single image; strategy and chain options come from the checkpoint)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -95,6 +108,59 @@ func main() {
 		inputs = append(inputs, input{path: path, img: img})
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	writeOverlay := func(img *imaging.Image, found []parmcmc.Circle) {
+		circles := make([]geom.Circle, len(found))
+		for i, c := range found {
+			circles[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+		}
+		of, err := os.Create(*overlay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := img.WriteOverlayPNG(of, circles); err != nil {
+			fatalf("%v", err)
+		}
+		if err := of.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Resume mode: one image, strategy and chain options from the file.
+	if *resume != "" {
+		if len(inputs) != 1 {
+			fatalf("-resume needs exactly one input image")
+		}
+		blob, err := os.ReadFile(*resume)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var cp parmcmc.Checkpoint
+		if err := cp.UnmarshalBinary(blob); err != nil {
+			fatalf("%v", err)
+		}
+		opt := parmcmc.Options{Workers: *workers}
+		if *progress {
+			opt.Observer = progressPrinter(inputs[0].path)
+		}
+		if *checkpoint != "" {
+			opt.OnCheckpoint = checkpointWriter(*checkpoint)
+			opt.CheckpointEvery = *ckptEvery
+		}
+		img := inputs[0].img
+		res, err := parmcmc.DetectResume(ctx, img.Pix, img.W, img.H, opt, &cp)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printResult(res)
+		if *overlay != "" {
+			writeOverlay(img, res.Circles)
+		}
+		return
+	}
+
 	var jobs []parmcmc.Job
 	for _, inp := range inputs {
 		for _, strat := range strategies {
@@ -102,26 +168,34 @@ func main() {
 			if len(strategies) > 1 {
 				name += "/" + strat.String()
 			}
+			opt := parmcmc.Options{
+				Strategy:      strat,
+				MeanRadius:    *radius,
+				ExpectedCount: *count,
+				Iterations:    *iters,
+				Workers:       *workers,
+				Seed:          *seed,
+			}
+			if *progress {
+				opt.Observer = progressPrinter(name)
+			}
 			jobs = append(jobs, parmcmc.Job{
 				Name: name,
 				Pix:  inp.img.Pix, W: inp.img.W, H: inp.img.H,
-				Opt: parmcmc.Options{
-					Strategy:      strat,
-					MeanRadius:    *radius,
-					ExpectedCount: *count,
-					Iterations:    *iters,
-					Workers:       *workers,
-					Seed:          *seed,
-				},
+				Opt: opt,
 			})
 		}
 	}
 	if *overlay != "" && len(jobs) > 1 {
 		fatalf("-overlay needs a single image and strategy")
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *checkpoint != "" {
+		if len(jobs) > 1 {
+			fatalf("-checkpoint needs a single image and strategy")
+		}
+		jobs[0].Opt.OnCheckpoint = checkpointWriter(*checkpoint)
+		jobs[0].Opt.CheckpointEvery = *ckptEvery
+	}
 
 	runner := parmcmc.NewRunner(*parallel)
 	results, _ := runner.Run(ctx, jobs)
@@ -132,18 +206,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Name, jr.Err)
 			continue
 		}
-		res := jr.Result
 		if len(jobs) > 1 {
 			fmt.Printf("# job: %s\n", jr.Name)
 		}
-		fmt.Println("x,y,r")
-		for _, c := range res.Circles {
-			fmt.Printf("%.3f,%.3f,%.3f\n", c.X, c.Y, c.R)
-		}
-		fmt.Fprintf(os.Stderr,
-			"%s: %d artifacts in %v (%d iterations, %d partitions)\n",
-			res.Strategy, len(res.Circles), res.Elapsed.Round(1e6),
-			res.Iterations, res.Partitions)
+		printResult(jr.Result)
 	}
 	if failed {
 		stopProf() // os.Exit skips defers; flush profiles first
@@ -151,19 +217,54 @@ func main() {
 	}
 
 	if *overlay != "" {
-		circles := make([]geom.Circle, len(results[0].Result.Circles))
-		for i, c := range results[0].Result.Circles {
-			circles[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+		writeOverlay(inputs[0].img, results[0].Result.Circles)
+	}
+}
+
+// printResult writes one job's CSV block to stdout and its summary line
+// to stderr.
+func printResult(res *parmcmc.Result) {
+	fmt.Println("x,y,r")
+	for _, c := range res.Circles {
+		fmt.Printf("%.3f,%.3f,%.3f\n", c.X, c.Y, c.R)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %d artifacts in %v (%d iterations, %d partitions)\n",
+		res.Strategy, len(res.Circles), res.Elapsed.Round(1e6),
+		res.Iterations, res.Partitions)
+}
+
+// progressPrinter returns an Observer streaming one line per snapshot.
+func progressPrinter(name string) func(parmcmc.Progress) {
+	return func(p parmcmc.Progress) {
+		total := ""
+		if p.Total > 0 {
+			total = fmt.Sprintf("/%d", p.Total)
 		}
-		of, err := os.Create(*overlay)
+		fmt.Fprintf(os.Stderr,
+			"progress: %s strategy=%s phase=%q iter=%d%s circles=%d logpost=%.2f accept=%.2f regions=%d/%d\n",
+			name, p.Strategy, p.Phase, p.Iter, total,
+			p.NumCircles, p.LogPost, p.AcceptRate, p.PartitionsDone, p.Partitions)
+	}
+}
+
+// checkpointWriter returns an OnCheckpoint callback that persists each
+// snapshot atomically (write-then-rename), so an interruption never
+// leaves a truncated checkpoint behind.
+func checkpointWriter(path string) func(*parmcmc.Checkpoint) {
+	return func(cp *parmcmc.Checkpoint) {
+		blob, err := cp.MarshalBinary()
 		if err != nil {
-			fatalf("%v", err)
+			log.Printf("checkpoint: %v", err)
+			return
 		}
-		if err := inputs[0].img.WriteOverlayPNG(of, circles); err != nil {
-			fatalf("%v", err)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			log.Printf("checkpoint: %v", err)
+			return
 		}
-		if err := of.Close(); err != nil {
-			fatalf("%v", err)
+		if err := os.Rename(tmp, path); err != nil {
+			log.Printf("checkpoint: %v", err)
 		}
 	}
 }

@@ -5,7 +5,13 @@
 // intelligent and blind image partitioning (§VIII), with (MC)³ as the
 // related-work baseline.
 //
-// Use the public API in pkg/parmcmc; the repository-root benchmarks
-// (bench_test.go) regenerate every table and figure of the paper's
-// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// Use the public API in pkg/parmcmc. Every strategy is a plugin: a
+// steppable sampler (Step/Snapshot/Finish) registered in a
+// name→factory registry, driven by one generic chunked loop that
+// provides cooperative cancellation, streaming progress
+// (Options.Observer) and bit-identical checkpoint/resume
+// (Options.OnCheckpoint, DetectResume) uniformly across strategies.
+// The repository-root benchmarks (bench_test.go) regenerate every
+// table and figure of the paper's evaluation. See README.md, DESIGN.md
+// and EXPERIMENTS.md.
 package repro

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -34,15 +35,15 @@ func main() {
 	cfg.MaxIters = 80000
 	workers := runtime.GOMAXPROCS(0)
 
-	seq, err := partition.RunSequential(scene.Image, cfg)
+	seq, err := partition.RunSequential(context.Background(), scene.Image, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	intel, err := partition.RunIntelligent(scene.Image, cfg, int(2.2*meanR), workers)
+	intel, err := partition.RunIntelligent(context.Background(), scene.Image, cfg, int(2.2*meanR), workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	blind, err := partition.RunBlind(scene.Image, cfg, partition.BlindOptions{
+	blind, err := partition.RunBlind(context.Background(), scene.Image, cfg, partition.BlindOptions{
 		NX: 2, NY: 2, Margin: 1.1 * meanR, MergeRadius: 5, KeepDisputed: true,
 	}, workers)
 	if err != nil {

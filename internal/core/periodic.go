@@ -53,6 +53,22 @@ type Options struct {
 	// results are identical either way — scheduling never affects the
 	// arithmetic.
 	SimulateParallel bool
+
+	// OnBarrier, when non-nil, observes the chain after every completed
+	// local phase (fork/join barrier). It runs on the goroutine driving
+	// Run, must not mutate the engine, and has no effect on chain
+	// results — the streaming-progress layer of pkg/parmcmc hangs off
+	// it.
+	OnBarrier func(BarrierInfo)
+}
+
+// BarrierInfo is a read-only snapshot delivered to Options.OnBarrier at
+// each local-phase barrier.
+type BarrierInfo struct {
+	Barriers int64
+	Iter     int64
+	LogPost  float64
+	Circles  int
 }
 
 // Validate reports whether the options are usable.
@@ -152,6 +168,11 @@ func NewEngine(host *mcmc.Engine, opt Options) (*Engine, error) {
 
 // QGlobal returns the chain's global-move probability q_g.
 func (pe *Engine) QGlobal() float64 { return pe.qg }
+
+// Executor returns the speculative executor driving global phases, or
+// nil when SpecWidth <= 1. Checkpointing uses it to capture the shadow
+// RNG streams.
+func (pe *Engine) Executor() *spec.Executor { return pe.exec }
 
 // GlobalPhaseIters returns the global phase length paired with the
 // configured local phase length: round(i·q_g/(1−q_g)).
@@ -326,6 +347,14 @@ func (pe *Engine) finishLocal(start time.Time) {
 	pe.Barriers++
 	if pe.Opt.Timer != nil {
 		pe.Opt.Timer.Add("local", time.Since(start))
+	}
+	if pe.Opt.OnBarrier != nil {
+		pe.Opt.OnBarrier(BarrierInfo{
+			Barriers: pe.Barriers,
+			Iter:     pe.E.Iter,
+			LogPost:  pe.E.S.LogPost(),
+			Circles:  pe.E.S.Cfg.Len(),
+		})
 	}
 }
 

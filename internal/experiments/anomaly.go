@@ -57,11 +57,11 @@ func Anomaly(ctx context.Context, o Options) (*Result, error) {
 	cfg := partition.DefaultConfig(meanR, o.Seed+301)
 	cfg.MaxIters = 40000
 
-	naive, err := partition.RunNaive(im, cfg, 2, 2, o.workers())
+	naive, err := partition.RunNaive(ctx, im, cfg, 2, 2, o.workers())
 	if err != nil {
 		return nil, err
 	}
-	blind, err := partition.RunBlind(im, cfg, partition.BlindOptions{
+	blind, err := partition.RunBlind(ctx, im, cfg, partition.BlindOptions{
 		NX: 2, NY: 2, Margin: 1.1 * meanR, MergeRadius: 5, KeepDisputed: true,
 	}, o.workers())
 	if err != nil {

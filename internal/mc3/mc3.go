@@ -65,7 +65,27 @@ type Sampler struct {
 	SwapProposed int64
 	SwapAccepted int64
 
+	// OnSwap, when non-nil, observes every swap attempt. It runs on the
+	// goroutine driving Run, must not mutate the sampler, and has no
+	// effect on chain results — the streaming-progress layer of
+	// pkg/parmcmc hangs off it.
+	OnSwap func(SwapInfo)
+
 	r *rng.RNG
+}
+
+// SwapInfo is a read-only snapshot delivered to OnSwap after each swap
+// attempt.
+type SwapInfo struct {
+	Proposed, Accepted int64
+	// Pair is the lower ladder index of the attempted pair; Swapped
+	// whether this attempt was accepted.
+	Pair    int
+	Swapped bool
+	// ColdLogPost and ColdIter describe the cold chain after the
+	// attempt.
+	ColdLogPost float64
+	ColdIter    int64
 }
 
 // New builds the sampler: one independent state and engine per chain,
@@ -134,10 +154,59 @@ func (s *Sampler) attemptSwap() {
 	k := s.r.Intn(len(s.Engines) - 1)
 	a, b := s.Engines[k], s.Engines[k+1]
 	s.SwapProposed++
+	swapped := false
 	logAlpha := (s.Betas[k] - s.Betas[k+1]) * (b.S.LogPost() - a.S.LogPost())
 	if logAlpha >= 0 || math.Log(s.r.Positive()) < logAlpha {
 		// Swap the states; temperatures stay with ladder positions.
 		a.S, b.S = b.S, a.S
 		s.SwapAccepted++
+		swapped = true
 	}
+	if s.OnSwap != nil {
+		s.OnSwap(SwapInfo{
+			Proposed: s.SwapProposed, Accepted: s.SwapAccepted,
+			Pair: k, Swapped: swapped,
+			ColdLogPost: s.Engines[0].S.LogPost(), ColdIter: s.Engines[0].Iter,
+		})
+	}
+}
+
+// SamplerDump is a serializable snapshot of a coupled-chain run: every
+// chain's engine plus the swap RNG stream and counters.
+type SamplerDump struct {
+	Engines      []mcmc.EngineDump
+	R            rng.Saved
+	SwapProposed int64
+	SwapAccepted int64
+}
+
+// Dump captures the sampler.
+func (s *Sampler) Dump() SamplerDump {
+	d := SamplerDump{
+		Engines:      make([]mcmc.EngineDump, len(s.Engines)),
+		R:            s.r.Save(),
+		SwapProposed: s.SwapProposed,
+		SwapAccepted: s.SwapAccepted,
+	}
+	for i, e := range s.Engines {
+		d.Engines[i] = e.Dump()
+	}
+	return d
+}
+
+// Restore overwrites the sampler's state from a dump taken on a sampler
+// built with the same image, parameters and options.
+func (s *Sampler) Restore(d SamplerDump) error {
+	if len(d.Engines) != len(s.Engines) {
+		return fmt.Errorf("mc3: dump has %d chains, sampler has %d", len(d.Engines), len(s.Engines))
+	}
+	for i, e := range s.Engines {
+		if err := e.Restore(d.Engines[i]); err != nil {
+			return err
+		}
+	}
+	s.r.Restore(d.R)
+	s.SwapProposed = d.SwapProposed
+	s.SwapAccepted = d.SwapAccepted
+	return nil
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -56,28 +57,42 @@ type BlindResult struct {
 	Disputed int
 }
 
+// BlindRegions returns the blind grid's core cells and their overlap-
+// expanded processing regions.
+func BlindRegions(bounds geom.Rect, opt BlindOptions) (cores, expanded []geom.Rect) {
+	cores = geom.UniformSplit(bounds, opt.NX, opt.NY)
+	expanded = make([]geom.Rect, len(cores))
+	for i, c := range cores {
+		expanded[i] = c.Expand(opt.Margin).Clip(bounds)
+	}
+	return cores, expanded
+}
+
 // RunBlind partitions img into an overlapping grid, runs an independent
-// chain per expanded cell, then merges per the paper's procedure:
-// delete detections whose centre falls outside their own core cell, take
-// the union, and average close cross-partition pairs in the overlap
-// areas.
-func RunBlind(img *imaging.Image, cfg Config, opt BlindOptions, workers int) (BlindResult, error) {
+// chain per expanded cell (honouring ctx between chunk-aligned rounds),
+// then merges per the paper's procedure: delete detections whose centre
+// falls outside their own core cell, take the union, and average close
+// cross-partition pairs in the overlap areas.
+func RunBlind(ctx context.Context, img *imaging.Image, cfg Config, opt BlindOptions, workers int) (BlindResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return BlindResult{}, err
 	}
 	if err := opt.Validate(); err != nil {
 		return BlindResult{}, err
 	}
-	bounds := img.Bounds()
-	cores := geom.UniformSplit(bounds, opt.NX, opt.NY)
-	expanded := make([]geom.Rect, len(cores))
-	for i, c := range cores {
-		expanded[i] = c.Expand(opt.Margin).Clip(bounds)
-	}
-	results, err := runRegions(img, expanded, cfg, workers)
+	cores, expanded := BlindRegions(img.Bounds(), opt)
+	results, err := runRegions(ctx, img, expanded, cfg, workers)
 	if err != nil {
 		return BlindResult{}, err
 	}
+	return MergeBlind(cores, expanded, results, opt), nil
+}
+
+// MergeBlind applies the paper's blind-merge procedure to per-region
+// results: keep detections whose centre lies in their own core cell,
+// average close cross-partition pairs in the overlap areas, and accept
+// or drop counterpart-less overlap detections per opt.KeepDisputed.
+func MergeBlind(cores, expanded []geom.Rect, results []RegionResult, opt BlindOptions) BlindResult {
 	res := BlindResult{Cores: cores, Expanded: expanded, Regions: results}
 
 	// Keep only detections whose centre lies in the partition's own core
@@ -149,5 +164,5 @@ func RunBlind(img *imaging.Image, cfg Config, opt BlindOptions, workers int) (Bl
 		}
 		used[i] = true
 	}
-	return res, nil
+	return res
 }

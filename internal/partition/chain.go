@@ -1,0 +1,276 @@
+package partition
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Chain is one partition's sampler as a steppable unit: it advances in
+// bounded increments, checks its convergence detector on a fixed
+// absolute cadence, and can be dumped/restored mid-run. All the Run*
+// entry points of this package, and the strategy samplers in
+// pkg/parmcmc, drive regions through Chains — which is what makes
+// partitioned runs cancellable between increments and checkpointable at
+// any increment boundary, with results bit-identical to an
+// uninterrupted run (the detector cadence is anchored to absolute
+// iteration counts, never to how the increments happened to be sized).
+type Chain struct {
+	// Region is the partition rectangle in parent-image coordinates.
+	Region geom.Rect
+	// Lambda is the region's eq. 5 object-count estimate.
+	Lambda float64
+	// Eng is the region's sampler; nil for empty (zero-pixel) regions.
+	Eng *mcmc.Engine
+
+	detector   mcmc.PlateauDetector
+	checkEvery int
+	maxIters   int
+	off        [2]int
+
+	// executed counts iterations actually run; convIters is the
+	// iteration count reported in RegionResult — the detector's
+	// convergence point when it fired, executed otherwise.
+	executed  int64
+	convIters int64
+	converged bool
+	done      bool
+	seconds   float64
+}
+
+// NewChain crops region out of img, estimates its prior via eq. 5 and
+// prepares (but does not run) the region's sampler. r becomes the
+// chain's RNG stream.
+func NewChain(img *imaging.Image, region geom.Rect, cfg Config, r *rng.RNG) (*Chain, error) {
+	crop, off := img.SubImage(region)
+	c := &Chain{Region: region, maxIters: cfg.MaxIters, off: off}
+	if crop.W == 0 || crop.H == 0 {
+		c.done = true
+		return c, nil
+	}
+	params := cfg.BaseParams
+	lambda := crop.EstimateCount(cfg.Theta, params.MeanRadius)
+	c.Lambda = lambda
+	// The Poisson prior needs positive mass even for apparently empty
+	// partitions; a small floor keeps births possible.
+	params.Lambda = math.Max(lambda, 0.5)
+
+	s, err := model.NewState(crop, params)
+	if err != nil {
+		return nil, err
+	}
+	e, err := mcmc.New(s, r, cfg.Weights, cfg.Steps)
+	if err != nil {
+		return nil, err
+	}
+	e.AttachTrace(mcmc.NewTrace(cfg.MaxIters/400 + 1))
+	c.Eng = e
+	c.detector = cfg.Plateau
+	if c.detector.MinCount == 0 {
+		// Burn-in cannot be over while well under the eq. 5 estimate.
+		c.detector.MinCount = int(math.Ceil(0.6 * lambda))
+	}
+	c.checkEvery = (2*c.detector.Window + 1) * e.Trace().Every
+	if c.checkEvery < 1 {
+		c.checkEvery = 1
+	}
+	return c, nil
+}
+
+// Done reports whether the chain has converged or hit its cap.
+func (c *Chain) Done() bool { return c.done }
+
+// Converged reports whether the plateau detector fired (false when the
+// chain stopped at the iteration cap).
+func (c *Chain) Converged() bool { return c.converged }
+
+// Iters returns the chain's reported iteration count so far (the
+// convergence point once converged, iterations executed otherwise).
+func (c *Chain) Iters() int64 {
+	if c.done {
+		return c.convIters
+	}
+	return c.executed
+}
+
+// Advance runs up to budget further iterations. Work proceeds in
+// sub-increments aligned to absolute multiples of the detector cadence,
+// so the iterations at which convergence is tested — and therefore the
+// exact point the chain stops — do not depend on how callers size or
+// split their budgets.
+func (c *Chain) Advance(budget int) {
+	if c.done || budget <= 0 {
+		return
+	}
+	start := time.Now()
+	for budget > 0 && !c.done {
+		n := c.checkEvery - int(c.executed)%c.checkEvery
+		if rem := c.maxIters - int(c.executed); rem < n {
+			n = rem
+		}
+		if n > budget {
+			n = budget
+		}
+		c.Eng.RunN(n)
+		c.executed += int64(n)
+		budget -= n
+		atCheck := int(c.executed)%c.checkEvery == 0
+		if atCheck {
+			if it, ok := c.detector.Converged(c.Eng.Trace()); ok {
+				c.convIters = it
+				c.converged = true
+				c.done = true
+			}
+		}
+		if !c.done && int(c.executed) >= c.maxIters {
+			c.convIters = c.executed
+			c.done = true
+		}
+	}
+	c.seconds += time.Since(start).Seconds()
+}
+
+// Result maps the chain's outcome back to parent-image coordinates.
+func (c *Chain) Result() RegionResult {
+	res := RegionResult{
+		Region: c.Region, Area: c.Region.Area(), Lambda: c.Lambda,
+		Iters: c.Iters(), Converged: c.converged, Seconds: c.seconds,
+	}
+	if c.Eng == nil {
+		return res
+	}
+	for _, circ := range c.Eng.S.Cfg.Circles() {
+		res.Circles = append(res.Circles, circ.Translate(float64(c.off[0]), float64(c.off[1])))
+	}
+	return res
+}
+
+// Stats returns the chain's acceptance statistics (zero for empty
+// regions).
+func (c *Chain) Stats() mcmc.Stats {
+	if c.Eng == nil {
+		return mcmc.Stats{}
+	}
+	return c.Eng.Stats
+}
+
+// ChainDump is a serializable snapshot of a Chain.
+type ChainDump struct {
+	Region    geom.Rect
+	Eng       *mcmc.EngineDump
+	Executed  int64
+	ConvIters int64
+	Converged bool
+	Done      bool
+	Seconds   float64
+}
+
+// Dump captures the chain.
+func (c *Chain) Dump() ChainDump {
+	d := ChainDump{
+		Region:    c.Region,
+		Executed:  c.executed,
+		ConvIters: c.convIters,
+		Converged: c.converged,
+		Done:      c.done,
+		Seconds:   c.seconds,
+	}
+	if c.Eng != nil {
+		ed := c.Eng.Dump()
+		d.Eng = &ed
+	}
+	return d
+}
+
+// RestoreChain rebuilds a chain from a dump taken on a chain built over
+// the same image and configuration.
+func RestoreChain(img *imaging.Image, cfg Config, d ChainDump) (*Chain, error) {
+	c, err := NewChain(img, d.Region, cfg, rng.New(1))
+	if err != nil {
+		return nil, err
+	}
+	if d.Eng != nil && c.Eng != nil {
+		if err := c.Eng.Restore(*d.Eng); err != nil {
+			return nil, err
+		}
+	}
+	c.executed = d.Executed
+	c.convIters = d.ConvIters
+	c.converged = d.Converged
+	c.done = d.Done
+	c.seconds = d.Seconds
+	return c, nil
+}
+
+// RoundInfo describes one Drive round over a chain set.
+type RoundInfo struct {
+	// Chains and Done count all chains and the finished ones after the
+	// round; Iters sums reported iterations across chains.
+	Chains, Done int
+	Iters        int64
+}
+
+// DriveChunk is the default per-round iteration budget used by the Run*
+// entry points — a few milliseconds of work per region between
+// cancellation checks, mirroring the whole-image strategies.
+const DriveChunk = 5000
+
+// Drive advances every unfinished chain by chunk iterations per round,
+// running chains of a round concurrently on up to `workers` goroutines,
+// until all chains are done or ctx is cancelled. onRound, when non-nil,
+// observes progress after every round (on the caller's goroutine).
+// Chains own disjoint state and deterministic RNG streams, so results
+// are independent of workers, round sizing, and cancellation timing.
+func Drive(ctx context.Context, chains []*Chain, workers, chunk int, onRound func(RoundInfo)) error {
+	if chunk < 1 {
+		chunk = DriveChunk
+	}
+	active := make([]*Chain, 0, len(chains))
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		active = active[:0]
+		for _, c := range chains {
+			if !c.Done() {
+				active = append(active, c)
+			}
+		}
+		if len(active) == 0 {
+			return nil
+		}
+		sched.ForEach(len(active), workers, func(i int) { active[i].Advance(chunk) })
+		if onRound != nil {
+			info := RoundInfo{Chains: len(chains)}
+			for _, c := range chains {
+				if c.Done() {
+					info.Done++
+				}
+				info.Iters += c.Iters()
+			}
+			onRound(info)
+		}
+	}
+}
+
+// NewChains builds one chain per region with deterministic per-region
+// RNG streams derived from cfg.Seed, independent of scheduling.
+func NewChains(img *imaging.Image, regions []geom.Rect, cfg Config) ([]*Chain, error) {
+	master := rng.New(cfg.Seed)
+	chains := make([]*Chain, len(regions))
+	for i, region := range regions {
+		c, err := NewChain(img, region, cfg, master.Split())
+		if err != nil {
+			return nil, err
+		}
+		chains[i] = c
+	}
+	return chains, nil
+}

@@ -11,9 +11,8 @@
 package partition
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"time"
 
 	"repro/internal/geom"
 	"repro/internal/imaging"
@@ -98,75 +97,39 @@ func (r RegionResult) TimePerIter() float64 {
 	return r.Seconds / float64(r.Iters)
 }
 
-// runRegion crops region out of img, estimates its prior via eq. 5, runs
-// an independent chain to convergence and maps the result back.
-func runRegion(img *imaging.Image, region geom.Rect, cfg Config, r *rng.RNG) (RegionResult, error) {
-	crop, off := img.SubImage(region)
-	res := RegionResult{Region: region, Area: region.Area()}
-	if crop.W == 0 || crop.H == 0 {
-		return res, nil
-	}
-	params := cfg.BaseParams
-	lambda := crop.EstimateCount(cfg.Theta, params.MeanRadius)
-	res.Lambda = lambda
-	// The Poisson prior needs positive mass even for apparently empty
-	// partitions; a small floor keeps births possible.
-	params.Lambda = math.Max(lambda, 0.5)
-
-	start := time.Now()
-	s, err := model.NewState(crop, params)
+// runRegions executes the given regions as chains on up to `workers`
+// goroutines with deterministic per-region RNG streams, checking ctx
+// between chunk-aligned rounds, and returns results in region order.
+func runRegions(ctx context.Context, img *imaging.Image, regions []geom.Rect, cfg Config, workers int) ([]RegionResult, error) {
+	chains, err := NewChains(img, regions, cfg)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-	e, err := mcmc.New(s, r, cfg.Weights, cfg.Steps)
-	if err != nil {
-		return res, err
+	if err := Drive(ctx, chains, workers, DriveChunk, nil); err != nil {
+		return nil, err
 	}
-	e.AttachTrace(mcmc.NewTrace(cfg.MaxIters/400 + 1))
-	detector := cfg.Plateau
-	if detector.MinCount == 0 {
-		// Burn-in cannot be over while well under the eq. 5 estimate.
-		detector.MinCount = int(math.Ceil(0.6 * lambda))
-	}
-	iters, converged := e.RunUntilConverged(cfg.MaxIters, detector)
-	res.Seconds = time.Since(start).Seconds()
-	res.Iters = iters
-	res.Converged = converged
-	for _, c := range s.Cfg.Circles() {
-		res.Circles = append(res.Circles, c.Translate(float64(off[0]), float64(off[1])))
-	}
-	return res, nil
-}
-
-// runRegions executes the given regions on up to `workers` goroutines
-// with deterministic per-region RNG streams, returning results in region
-// order.
-func runRegions(img *imaging.Image, regions []geom.Rect, cfg Config, workers int) ([]RegionResult, error) {
-	master := rng.New(cfg.Seed)
-	rngs := make([]*rng.RNG, len(regions))
-	for i := range rngs {
-		rngs[i] = master.Split()
-	}
-	results := make([]RegionResult, len(regions))
-	errs := make([]error, len(regions))
-	sched.ForEach(len(regions), workers, func(i int) {
-		results[i], errs[i] = runRegion(img, regions[i], cfg, rngs[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	results := make([]RegionResult, len(chains))
+	for i, c := range chains {
+		results[i] = c.Result()
 	}
 	return results, nil
 }
 
 // RunSequential processes the whole image as a single region — the
-// baseline row of Table I.
-func RunSequential(img *imaging.Image, cfg Config) (RegionResult, error) {
+// baseline row of Table I. It honours ctx between chunk-aligned blocks
+// of iterations.
+func RunSequential(ctx context.Context, img *imaging.Image, cfg Config) (RegionResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return RegionResult{}, err
 	}
-	return runRegion(img, img.Bounds(), cfg, rng.New(cfg.Seed))
+	chain, err := NewChain(img, img.Bounds(), cfg, rng.New(cfg.Seed))
+	if err != nil {
+		return RegionResult{}, err
+	}
+	if err := Drive(ctx, []*Chain{chain}, 1, DriveChunk, nil); err != nil {
+		return RegionResult{}, err
+	}
+	return chain.Result(), nil
 }
 
 // Makespan returns the runtime of a result set on p processors: the

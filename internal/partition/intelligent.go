@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+
 	"repro/internal/geom"
 	"repro/internal/imaging"
 )
@@ -108,15 +110,16 @@ type IntelligentResult struct {
 }
 
 // RunIntelligent applies the pre-processor and processes every region
-// with an independent chain on up to `workers` goroutines. The pad is
-// fixed at 2 px of context; minGap should be at least the expected
-// artifact diameter so cuts cannot bisect an artifact.
-func RunIntelligent(img *imaging.Image, cfg Config, minGap, workers int) (IntelligentResult, error) {
+// with an independent chain on up to `workers` goroutines, honouring
+// ctx between chunk-aligned rounds. The pad is fixed at 2 px of
+// context; minGap should be at least the expected artifact diameter so
+// cuts cannot bisect an artifact.
+func RunIntelligent(ctx context.Context, img *imaging.Image, cfg Config, minGap, workers int) (IntelligentResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return IntelligentResult{}, err
 	}
 	regions := IntelligentRegions(img, cfg.Theta, minGap, 2)
-	results, err := runRegions(img, regions, cfg, workers)
+	results, err := runRegions(ctx, img, regions, cfg, workers)
 	if err != nil {
 		return IntelligentResult{}, err
 	}

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+
 	"repro/internal/geom"
 	"repro/internal/imaging"
 )
@@ -18,12 +20,12 @@ type NaiveResult struct {
 // twice (once per side, both clipped), poorly positioned, or missed —
 // the anomalies the ANOM experiment quantifies against blind and
 // periodic partitioning.
-func RunNaive(img *imaging.Image, cfg Config, nx, ny, workers int) (NaiveResult, error) {
+func RunNaive(ctx context.Context, img *imaging.Image, cfg Config, nx, ny, workers int) (NaiveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return NaiveResult{}, err
 	}
 	cells := geom.UniformSplit(img.Bounds(), nx, ny)
-	results, err := runRegions(img, cells, cfg, workers)
+	results, err := runRegions(ctx, img, cells, cfg, workers)
 	if err != nil {
 		return NaiveResult{}, err
 	}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -146,7 +147,7 @@ func TestIntelligentRegionsNeverSplitsArtifacts(t *testing.T) {
 
 func TestRunIntelligentEndToEnd(t *testing.T) {
 	scene := clusteredScene(t)
-	res, err := RunIntelligent(scene.Image, testConfig(42), 14, 4)
+	res, err := RunIntelligent(context.Background(), scene.Image, testConfig(42), 14, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestRunBlindEndToEnd(t *testing.T) {
 	scene := clusteredScene(t)
 	cfg := testConfig(43)
 	opt := BlindOptions{NX: 2, NY: 2, Margin: 1.1 * 6, MergeRadius: 5, KeepDisputed: true}
-	res, err := RunBlind(scene.Image, cfg, opt, 4)
+	res, err := RunBlind(context.Background(), scene.Image, cfg, opt, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +198,11 @@ func TestRunBlindEndToEnd(t *testing.T) {
 
 func TestRunBlindValidates(t *testing.T) {
 	scene := clusteredScene(t)
-	if _, err := RunBlind(scene.Image, testConfig(1), BlindOptions{}, 1); err == nil {
+	if _, err := RunBlind(context.Background(), scene.Image, testConfig(1), BlindOptions{}, 1); err == nil {
 		t.Fatal("zero options accepted")
 	}
 	bad := BlindOptions{NX: 2, NY: 2, Margin: -1, MergeRadius: 5}
-	if _, err := RunBlind(scene.Image, testConfig(1), bad, 1); err == nil {
+	if _, err := RunBlind(context.Background(), scene.Image, testConfig(1), bad, 1); err == nil {
 		t.Fatal("negative margin accepted")
 	}
 }
@@ -228,11 +229,11 @@ func TestNaiveAnomalyVsBlind(t *testing.T) {
 	im.Clamp()
 
 	cfg := testConfig(44)
-	naive, err := RunNaive(im, cfg, 2, 2, 4)
+	naive, err := RunNaive(context.Background(), im, cfg, 2, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	blind, err := RunBlind(im, cfg, BlindOptions{
+	blind, err := RunBlind(context.Background(), im, cfg, BlindOptions{
 		NX: 2, NY: 2, Margin: 1.1 * 7, MergeRadius: 5, KeepDisputed: true,
 	}, 4)
 	if err != nil {
@@ -288,7 +289,7 @@ func TestRunSequentialWholeImage(t *testing.T) {
 	scene := clusteredScene(t)
 	cfg := testConfig(45)
 	cfg.MaxIters = 30000
-	res, err := RunSequential(scene.Image, cfg)
+	res, err := RunSequential(context.Background(), scene.Image, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,10 +305,15 @@ func TestRunSequentialWholeImage(t *testing.T) {
 func TestRunRegionEmptyRegion(t *testing.T) {
 	im := imaging.New(64, 64)
 	im.Fill(0.1)
-	res, err := runRegion(im, geom.Rect{}, testConfig(1), rng.New(1))
+	chain, err := NewChain(im, geom.Rect{}, testConfig(1), rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !chain.Done() {
+		t.Fatal("empty region chain not done at construction")
+	}
+	chain.Advance(1000) // must be a no-op
+	res := chain.Result()
 	if len(res.Circles) != 0 || res.Iters != 0 {
 		t.Fatalf("empty region produced %+v", res)
 	}
@@ -327,11 +333,11 @@ func TestBlindDisputedPolicy(t *testing.T) {
 		imaging.RenderDisc(im, c, 0.9)
 	}
 	cfg := testConfig(46)
-	keep, err := RunBlind(im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: true}, 2)
+	keep, err := RunBlind(context.Background(), im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: true}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	drop, err := RunBlind(im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: false}, 2)
+	drop, err := RunBlind(context.Background(), im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: false}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,11 +351,11 @@ func TestBlindDisputedPolicy(t *testing.T) {
 func TestPartitionDeterminism(t *testing.T) {
 	scene := clusteredScene(t)
 	cfg := testConfig(47)
-	a, err := RunIntelligent(scene.Image, cfg, 14, 1)
+	a, err := RunIntelligent(context.Background(), scene.Image, cfg, 14, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunIntelligent(scene.Image, cfg, 14, 4)
+	b, err := RunIntelligent(context.Background(), scene.Image, cfg, 14, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -133,6 +133,28 @@ func (r *RNG) Split() *RNG {
 	return child
 }
 
+// Saved is a serializable snapshot of an RNG's complete state: the four
+// xoshiro words plus the polar-method Gaussian cache. Restoring it
+// reproduces the generator's future stream bit for bit, which is what
+// checkpoint/resume relies on.
+type Saved struct {
+	S        [4]uint64
+	HasGauss bool
+	Gauss    float64
+}
+
+// Save captures the generator's state.
+func (r *RNG) Save() Saved {
+	return Saved{S: r.s, HasGauss: r.hasGauss, Gauss: r.gauss}
+}
+
+// Restore overwrites the generator's state with a saved snapshot.
+func (r *RNG) Restore(sv Saved) {
+	r.s = sv.S
+	r.hasGauss = sv.HasGauss
+	r.gauss = sv.Gauss
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

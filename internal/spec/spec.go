@@ -15,9 +15,11 @@
 package spec
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/mcmc"
+	"repro/internal/rng"
 	"repro/internal/sched"
 )
 
@@ -74,6 +76,28 @@ func NewExecutor(host *mcmc.Engine, width int, moves []mcmc.Move) *Executor {
 
 // Width returns the speculation width.
 func (x *Executor) Width() int { return len(x.shadows) }
+
+// ShadowStates returns the RNG state of every shadow slot. Shadow
+// streams advance as proposals are evaluated, so a checkpoint must
+// capture them alongside the host engine's stream.
+func (x *Executor) ShadowStates() []rng.Saved {
+	states := make([]rng.Saved, len(x.shadows))
+	for i, s := range x.shadows {
+		states[i] = s.R.Save()
+	}
+	return states
+}
+
+// RestoreShadowStates overwrites every shadow slot's RNG state.
+func (x *Executor) RestoreShadowStates(states []rng.Saved) error {
+	if len(states) != len(x.shadows) {
+		return fmt.Errorf("spec: %d shadow states for width %d", len(states), len(x.shadows))
+	}
+	for i, s := range x.shadows {
+		s.R.Restore(states[i])
+	}
+	return nil
+}
 
 // pickMove draws a move kind honouring the restriction.
 func (x *Executor) pickMove() mcmc.Move {

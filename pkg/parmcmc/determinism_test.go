@@ -1,0 +1,279 @@
+package parmcmc
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// The determinism suite pins the two cross-cutting guarantees of the
+// sampler layer: attaching an observer never changes results, and a
+// checkpoint→resume continuation is bit-identical to an uninterrupted
+// run — for every registered strategy, including Converge-mode
+// Sequential. CI runs this under -race, which also exercises the
+// parallel region rounds and periodic local phases.
+
+// detCase is one strategy configuration under test.
+type detCase struct {
+	name string
+	opt  Options
+}
+
+func determinismCases(t *testing.T) ([]float64, int, int, []detCase) {
+	t.Helper()
+	// Dense enough that every strategy — including each blind quadrant —
+	// needs more than one 5000-iteration chunk to converge, so every
+	// case emits at least one mid-run checkpoint.
+	const w, h = 160, 160
+	pix, _ := GenerateScene(SceneSpec{
+		W: w, H: h, Count: 18, MeanRadius: 7, Noise: 0.08, Seed: 21,
+	})
+	var cases []detCase
+	for _, s := range Strategies() {
+		cases = append(cases, detCase{
+			name: s.String(),
+			opt: Options{
+				Strategy: s, MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
+			},
+		})
+	}
+	cases = append(cases, detCase{
+		name: "sequential+converge",
+		opt: Options{
+			Strategy: Sequential, Converge: true,
+			MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
+		},
+	})
+	return pix, w, h, cases
+}
+
+// mustEqualResults compares every deterministic field of two results;
+// wall-clock fields are excluded.
+func mustEqualResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	feq := func(field string, x, y float64) {
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Fatalf("%s: %s differs: %v vs %v", label, field, x, y)
+		}
+	}
+	if a.Strategy != b.Strategy {
+		t.Fatalf("%s: strategy differs", label)
+	}
+	if len(a.Circles) != len(b.Circles) {
+		t.Fatalf("%s: %d vs %d circles", label, len(a.Circles), len(b.Circles))
+	}
+	for i := range a.Circles {
+		if a.Circles[i] != b.Circles[i] {
+			t.Fatalf("%s: circle %d differs: %+v vs %+v", label, i, a.Circles[i], b.Circles[i])
+		}
+	}
+	feq("LogPost", a.LogPost, b.LogPost)
+	if a.Iterations != b.Iterations {
+		t.Fatalf("%s: iterations %d vs %d", label, a.Iterations, b.Iterations)
+	}
+	if a.Partitions != b.Partitions {
+		t.Fatalf("%s: partitions %d vs %d", label, a.Partitions, b.Partitions)
+	}
+	feq("AcceptRate", a.AcceptRate, b.AcceptRate)
+	feq("GlobalRejectRate", a.GlobalRejectRate, b.GlobalRejectRate)
+	feq("LocalRejectRate", a.LocalRejectRate, b.LocalRejectRate)
+	if a.Barriers != b.Barriers {
+		t.Fatalf("%s: barriers %d vs %d", label, a.Barriers, b.Barriers)
+	}
+	feq("SwapRate", a.SwapRate, b.SwapRate)
+	if a.Merged != b.Merged || a.Disputed != b.Disputed {
+		t.Fatalf("%s: merge metadata differs", label)
+	}
+	if len(a.Regions) != len(b.Regions) {
+		t.Fatalf("%s: %d vs %d regions", label, len(a.Regions), len(b.Regions))
+	}
+	for i := range a.Regions {
+		ra, rb := a.Regions[i], b.Regions[i]
+		if ra.X0 != rb.X0 || ra.Y0 != rb.Y0 || ra.X1 != rb.X1 || ra.Y1 != rb.Y1 {
+			t.Fatalf("%s: region %d bounds differ", label, i)
+		}
+		feq("region lambda", ra.Lambda, rb.Lambda)
+		if ra.Circles != rb.Circles || ra.Iters != rb.Iters || ra.Converged != rb.Converged {
+			t.Fatalf("%s: region %d differs: %+v vs %+v", label, i, ra, rb)
+		}
+	}
+}
+
+func TestObserverInvariance(t *testing.T) {
+	pix, w, h, cases := determinismCases(t)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			plain, err := Detect(pix, w, h, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			observed := tc.opt
+			calls := 0
+			observed.Observer = func(p Progress) {
+				calls++
+				if p.Strategy != tc.opt.Strategy {
+					t.Errorf("observer got strategy %v", p.Strategy)
+				}
+				if p.Iter <= 0 {
+					t.Errorf("observer got non-positive Iter %d", p.Iter)
+				}
+			}
+			withObs, err := Detect(pix, w, h, observed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if calls == 0 {
+				t.Fatal("observer never called")
+			}
+			mustEqualResults(t, tc.name, plain, withObs)
+		})
+	}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	pix, w, h, cases := determinismCases(t)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// One uninterrupted run yields both the reference result and
+			// mid-run checkpoints (capturing is read-only, so the run is
+			// unperturbed — TestObserverInvariance's logic applies).
+			var blobs [][]byte
+			opt := tc.opt
+			opt.OnCheckpoint = func(cp *Checkpoint) {
+				blob, err := cp.MarshalBinary()
+				if err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+				blobs = append(blobs, blob)
+			}
+			baseline, err := Detect(pix, w, h, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blobs) == 0 {
+				t.Fatal("run finished without emitting a mid-run checkpoint; enlarge the test scene")
+			}
+			// Resume from every captured checkpoint; each continuation
+			// must reproduce the uninterrupted result bit for bit.
+			for i, blob := range blobs {
+				var cp Checkpoint
+				if err := cp.UnmarshalBinary(blob); err != nil {
+					t.Fatalf("unmarshal checkpoint %d: %v", i, err)
+				}
+				resumed, err := DetectResume(context.Background(), pix, w, h, Options{}, &cp)
+				if err != nil {
+					t.Fatalf("resume from checkpoint %d: %v", i, err)
+				}
+				mustEqualResults(t, tc.name, baseline, resumed)
+			}
+		})
+	}
+}
+
+func TestCheckpointAfterCancellation(t *testing.T) {
+	// The operational story: a run is interrupted, the last checkpoint
+	// survives, and resuming completes with the uninterrupted result.
+	pix, w, h, _ := determinismCases(t)
+	opt := Options{Strategy: Periodic, MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2}
+	baseline, err := Detect(pix, w, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var last *Checkpoint
+	interrupted := opt
+	interrupted.OnCheckpoint = func(cp *Checkpoint) {
+		last = cp
+		cancel() // simulate SIGINT right after the first checkpoint
+	}
+	if _, err := DetectContext(ctx, pix, w, h, interrupted); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if last == nil {
+		t.Fatal("no checkpoint captured before cancellation")
+	}
+	resumed, err := DetectResume(context.Background(), pix, w, h, Options{}, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "periodic-cancel", baseline, resumed)
+}
+
+func TestResumeRejectsWrongImage(t *testing.T) {
+	pix, w, h, _ := determinismCases(t)
+	var cp *Checkpoint
+	opt := Options{Strategy: Sequential, MeanRadius: 7, Iterations: 16000, Seed: 11}
+	opt.OnCheckpoint = func(c *Checkpoint) {
+		if cp == nil {
+			cp = c
+		}
+	}
+	if _, err := Detect(pix, w, h, opt); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	other := append([]float64(nil), pix...)
+	other[0] = 1 - other[0]
+	if _, err := DetectResume(context.Background(), other, w, h, Options{}, cp); err == nil {
+		t.Fatal("resume accepted a different image")
+	}
+	if _, err := DetectResume(context.Background(), pix, w-1, h, Options{}, cp); err == nil {
+		t.Fatal("resume accepted different dimensions")
+	}
+	if _, err := DetectResume(context.Background(), pix, w, h, Options{}, nil); err == nil {
+		t.Fatal("resume accepted a nil checkpoint")
+	}
+}
+
+func TestPartitionedStrategiesHonourContext(t *testing.T) {
+	// Satellite fix: Intelligent/Blind/Converge-mode runs used to ignore
+	// ctx once started; they must now stop at the next chunk boundary.
+	pix, w, h, _ := determinismCases(t)
+	for _, opt := range []Options{
+		{Strategy: Intelligent, MeanRadius: 7, Iterations: 200000, Seed: 11, Workers: 2},
+		{Strategy: Blind, MeanRadius: 7, Iterations: 200000, Seed: 11, Workers: 2},
+		{Strategy: Sequential, Converge: true, MeanRadius: 7, Iterations: 200000, Seed: 11},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		fired := false
+		opt.Observer = func(Progress) {
+			if !fired {
+				fired = true
+				cancel() // cancel at the first chunk boundary, mid-run
+			}
+		}
+		if _, err := DetectContext(ctx, pix, w, h, opt); err != context.Canceled {
+			t.Fatalf("%v: cancelled run returned %v", opt.Strategy, err)
+		}
+		cancel()
+	}
+}
+
+func TestPartitionedLogPostComparable(t *testing.T) {
+	// Satellite fix: partitioned strategies used to report NaN; now all
+	// strategies score their final model against the whole image.
+	pix, w, h, _ := determinismCases(t)
+	for _, s := range Strategies() {
+		res, err := Detect(pix, w, h, Options{
+			Strategy: s, MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if math.IsNaN(res.LogPost) {
+			t.Errorf("%v: LogPost is NaN", s)
+		}
+		if res.LogPost <= 0 {
+			// Every strategy finds most artifacts on this scene, and a
+			// configuration explaining real artifacts scores far above
+			// the empty model's 0.
+			t.Errorf("%v: LogPost = %v, want > 0", s, res.LogPost)
+		}
+	}
+}

@@ -14,28 +14,26 @@
 //   - Blind: overlapping grid plus heuristic merge (§VIII).
 //   - Tempered: Metropolis-coupled MCMC, the §IV related-work method.
 //
+// Every strategy is a plugin: a steppable sampler registered in a
+// name→factory registry (one file per strategy), driven by one generic
+// chunked loop that provides cooperative cancellation, streaming
+// progress (Options.Observer) and checkpoint/resume
+// (Options.OnCheckpoint, DetectResume) uniformly — see sampler.go.
+//
 // The package deliberately exposes plain float64 pixel buffers and a
 // tiny Circle type; the heavy machinery lives in internal packages.
 package parmcmc
 
 import (
 	"context"
-	"fmt"
 	"image"
-	"math"
 	"runtime"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/imaging"
-	"repro/internal/mc3"
-	"repro/internal/mcmc"
-	"repro/internal/model"
-	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 // Circle is a detected (or ground-truth) artifact.
@@ -54,37 +52,6 @@ const (
 	Blind
 	Tempered
 )
-
-var strategyNames = map[Strategy]string{
-	Sequential:          "sequential",
-	Periodic:            "periodic",
-	PeriodicSpeculative: "periodic+spec",
-	Intelligent:         "intelligent",
-	Blind:               "blind",
-	Tempered:            "mc3",
-}
-
-func (s Strategy) String() string {
-	if n, ok := strategyNames[s]; ok {
-		return n
-	}
-	return fmt.Sprintf("Strategy(%d)", int(s))
-}
-
-// ParseStrategy converts a name (as printed by String) to a Strategy.
-func ParseStrategy(name string) (Strategy, error) {
-	for s, n := range strategyNames {
-		if n == name {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("parmcmc: unknown strategy %q", name)
-}
-
-// Strategies lists all selectable strategies in order.
-func Strategies() []Strategy {
-	return []Strategy{Sequential, Periodic, PeriodicSpeculative, Intelligent, Blind, Tempered}
-}
 
 // Options configures a detection run. MeanRadius is required; everything
 // else has sensible defaults.
@@ -146,6 +113,23 @@ type Options struct {
 	Chains    int
 	HeatStep  float64
 	SwapEvery int
+
+	// Observer, when non-nil, receives streaming Progress snapshots at
+	// chunk boundaries (every few thousand iterations), on the goroutine
+	// driving the run. Observing is read-only: results are bit-identical
+	// with or without an observer attached. Not serialized into
+	// checkpoints.
+	Observer func(Progress)
+
+	// OnCheckpoint, when non-nil, receives resumable Checkpoints at
+	// chunk boundaries — every CheckpointEvery aggregate iterations, or
+	// at every chunk when CheckpointEvery is 0. Capturing a checkpoint
+	// is read-only; pass the blob to DetectResume to continue the run
+	// bit-identically. Not serialized into checkpoints.
+	OnCheckpoint func(*Checkpoint)
+	// CheckpointEvery is the approximate number of aggregate iterations
+	// between OnCheckpoint calls (0 = every chunk).
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -204,18 +188,21 @@ func (r RegionInfo) Contains(x, y float64) bool {
 
 // Result is the outcome of a detection run.
 type Result struct {
-	Strategy   Strategy
-	Circles    []Circle
-	LogPost    float64 // relative log-posterior (whole-image strategies)
-	Iterations int64   // total chain iterations across all partitions
+	Strategy Strategy
+	Circles  []Circle
+	// LogPost is the relative log-posterior of the final configuration
+	// scored against the whole image, comparable across strategies
+	// (partitioned strategies score their merged model).
+	LogPost    float64
+	Iterations int64 // total chain iterations across all partitions
 	Elapsed    time.Duration
 	// Partitions is the number of regions processed (1 for whole-image
 	// strategies).
 	Partitions int
 
-	// Acceptance bookkeeping (whole-image strategies; the cold chain for
-	// Tempered). GlobalRejectRate and LocalRejectRate are p_gr and p_lr
-	// of eq. 4.
+	// Acceptance bookkeeping (aggregated across partitions for the
+	// partitioned strategies; the cold chain for Tempered).
+	// GlobalRejectRate and LocalRejectRate are p_gr and p_lr of eq. 4.
 	AcceptRate       float64
 	GlobalRejectRate float64
 	LocalRejectRate  float64
@@ -249,236 +236,32 @@ func Detect(pix []float64, w, h int, opt Options) (*Result, error) {
 	return DetectContext(context.Background(), pix, w, h, opt)
 }
 
-// ctxCheckIters is the approximate number of chain iterations between
-// cancellation checks — a few milliseconds of work at typical per-
-// iteration costs.
-const ctxCheckIters = 5000
-
-// DetectContext is Detect with cooperative cancellation: whole-image
-// fixed-length strategies (Sequential, Periodic, Tempered) check ctx
-// every few thousand iterations in phase-aligned chunks, so chain
-// results are bit-identical to an uninterrupted run. Convergence-driven
-// runs (Intelligent, Blind, and Sequential with Converge set) check ctx
-// at entry and run their chains to convergence once started. On
-// cancellation it returns ctx's error.
+// DetectContext is Detect with cooperative cancellation, streaming
+// progress and checkpointing: it validates the inputs, builds the
+// strategy's sampler through the registry, and drives it in chunks
+// aligned to the strategy's natural cadence, checking ctx between
+// chunks. Every strategy — including the convergence-driven partitioned
+// ones — stops at its next chunk boundary on cancellation, returning
+// ctx's error; chain results are bit-identical to an uninterrupted run
+// regardless of when (or whether) cancellation, observation or
+// checkpointing happen.
 func DetectContext(ctx context.Context, pix []float64, w, h int, opt Options) (*Result, error) {
-	if w <= 0 || h <= 0 || len(pix) != w*h {
-		return nil, fmt.Errorf("parmcmc: bad image dimensions %dx%d for %d pixels", w, h, len(pix))
+	env, err := newRunEnv(pix, w, h, opt)
+	if err != nil {
+		return nil, err
 	}
-	if opt.MeanRadius <= 0 {
-		return nil, fmt.Errorf("parmcmc: MeanRadius is required")
+	def, err := strategyFor(env.opt.Strategy)
+	if err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	o := opt.withDefaults()
-	im := &imaging.Image{W: w, H: h, Pix: append([]float64(nil), pix...)}
-	im.Clamp()
-
-	lambda := o.ExpectedCount
-	if lambda <= 0 {
-		lambda = math.Max(im.EstimateCount(o.Threshold, o.MeanRadius), 0.5)
+	smp, err := def.factory(env)
+	if err != nil {
+		return nil, err
 	}
-	params := model.DefaultParams(lambda, o.MeanRadius)
-	if o.OverlapPenalty > 0 {
-		params.OverlapPenalty = o.OverlapPenalty
-	}
-	weights := mcmc.DefaultWeights()
-	steps := mcmc.DefaultStepSizes(o.MeanRadius)
-
-	start := time.Now()
-	res := &Result{Strategy: o.Strategy, Partitions: 1}
-	switch o.Strategy {
-	case Sequential:
-		if o.Converge {
-			out, err := partition.RunSequential(im, partitionConfig(o, params, weights, steps))
-			if err != nil {
-				return nil, err
-			}
-			fill(res, out.Circles, math.NaN(), out.Iters)
-			res.Regions = []RegionInfo{regionInfo(out)}
-			break
-		}
-		s, err := model.NewState(im, params)
-		if err != nil {
-			return nil, err
-		}
-		e, err := mcmc.New(s, rng.New(o.Seed), weights, steps)
-		if err != nil {
-			return nil, err
-		}
-		if err := runChunked(ctx, o.Iterations, ctxCheckIters, func(n int) { e.RunN(n) }); err != nil {
-			return nil, err
-		}
-		fill(res, s.Cfg.Circles(), s.LogPost(), e.Iter)
-		fillEngineStats(res, &e.Stats)
-
-	case Periodic, PeriodicSpeculative:
-		s, err := model.NewState(im, params)
-		if err != nil {
-			return nil, err
-		}
-		e, err := mcmc.New(s, rng.New(o.Seed), weights, steps)
-		if err != nil {
-			return nil, err
-		}
-		timer := trace.NewPhaseTimer()
-		copt := core.Options{
-			LocalPhaseIters:  o.LocalPhaseIters,
-			GridXM:           float64(w) / float64(o.PartitionGrid) * o.GridSlack,
-			GridYM:           float64(h) / float64(o.PartitionGrid) * o.GridSlack,
-			Workers:          o.Workers,
-			LocalSpecWidth:   o.LocalSpecWidth,
-			Timer:            timer,
-			SimulateParallel: o.SimulateParallel,
-		}
-		if o.Strategy == PeriodicSpeculative {
-			copt.SpecWidth = o.SpecWidth
-		}
-		pe, err := core.NewEngine(e, copt)
-		if err != nil {
-			return nil, err
-		}
-		// Chunks that are whole multiples of the global+local cycle keep
-		// the alternating schedule identical to a single Run call.
-		chunk := o.Iterations
-		if g := pe.GlobalPhaseIters(); g > 0 {
-			cycle := g + o.LocalPhaseIters
-			chunk = cycle * (1 + ctxCheckIters/cycle)
-		}
-		if err := runChunked(ctx, o.Iterations, chunk, pe.Run); err != nil {
-			return nil, err
-		}
-		fill(res, s.Cfg.Circles(), s.LogPost(), e.Iter)
-		fillEngineStats(res, &e.Stats)
-		res.Partitions = o.PartitionGrid * o.PartitionGrid
-		res.Barriers = pe.Barriers
-		res.GlobalSeconds = timer.Total("global").Seconds()
-		res.LocalSeconds = timer.Total("local").Seconds()
-		res.SimLocalSeconds = pe.SimLocalSeconds
-
-	case Intelligent:
-		cfg := partitionConfig(o, params, weights, steps)
-		out, err := partition.RunIntelligent(im, cfg, int(2.2*o.MeanRadius), o.Workers)
-		if err != nil {
-			return nil, err
-		}
-		var iters int64
-		for _, r := range out.Regions {
-			iters += r.Iters
-			res.Regions = append(res.Regions, regionInfo(r))
-		}
-		fill(res, out.Circles, math.NaN(), iters)
-		res.Partitions = len(out.Regions)
-
-	case Blind:
-		cfg := partitionConfig(o, params, weights, steps)
-		out, err := partition.RunBlind(im, cfg, partition.BlindOptions{
-			NX: o.PartitionGrid, NY: o.PartitionGrid,
-			Margin:       1.1 * o.MeanRadius,
-			MergeRadius:  5,
-			KeepDisputed: true,
-		}, o.Workers)
-		if err != nil {
-			return nil, err
-		}
-		var iters int64
-		for _, r := range out.Regions {
-			iters += r.Iters
-			res.Regions = append(res.Regions, regionInfo(r))
-		}
-		fill(res, out.Circles, math.NaN(), iters)
-		res.Partitions = len(out.Regions)
-		res.Merged = out.Merged
-		res.Disputed = out.Disputed
-
-	case Tempered:
-		mopt := mc3.DefaultOptions()
-		mopt.Workers = o.Workers
-		if o.Chains > 0 {
-			mopt.Chains = o.Chains
-		}
-		if o.HeatStep > 0 {
-			mopt.HeatStep = o.HeatStep
-		}
-		if o.SwapEvery > 0 {
-			mopt.SwapEvery = o.SwapEvery
-		}
-		sampler, err := mc3.New(im, params, weights, steps, mopt, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		// Chunks that are whole multiples of SwapEvery keep the swap
-		// cadence identical to a single Run call.
-		chunk := mopt.SwapEvery * (1 + ctxCheckIters/mopt.SwapEvery)
-		if err := runChunked(ctx, o.Iterations, chunk, sampler.Run); err != nil {
-			return nil, err
-		}
-		cold := sampler.Cold()
-		fill(res, cold.Cfg.Circles(), cold.LogPost(), int64(o.Iterations))
-		fillEngineStats(res, &sampler.Engines[0].Stats)
-		res.Partitions = mopt.Chains
-		res.SwapRate = sampler.SwapRate()
-
-	default:
-		return nil, fmt.Errorf("parmcmc: unknown strategy %v", o.Strategy)
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-// runChunked advances a resumable sampler by total iterations in chunks,
-// checking ctx between chunks.
-func runChunked(ctx context.Context, total, chunk int, run func(n int)) error {
-	if chunk < 1 {
-		chunk = total
-	}
-	for remaining := total; remaining > 0; {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		n := chunk
-		if remaining < n {
-			n = remaining
-		}
-		run(n)
-		remaining -= n
-	}
-	return ctx.Err()
-}
-
-func fillEngineStats(res *Result, st *mcmc.Stats) {
-	res.AcceptRate = 1 - st.RejectionRate()
-	res.GlobalRejectRate, res.LocalRejectRate = st.GlobalLocalRates()
-}
-
-func regionInfo(r partition.RegionResult) RegionInfo {
-	return RegionInfo{
-		X0: r.Region.X0, Y0: r.Region.Y0, X1: r.Region.X1, Y1: r.Region.Y1,
-		Area: r.Area, Lambda: r.Lambda, Circles: len(r.Circles),
-		Iters: r.Iters, Converged: r.Converged, Seconds: r.Seconds,
-	}
-}
-
-func partitionConfig(o Options, params model.Params, w mcmc.Weights, st mcmc.StepSizes) partition.Config {
-	return partition.Config{
-		Theta:      o.Threshold,
-		BaseParams: params,
-		Weights:    w,
-		Steps:      st,
-		MaxIters:   o.Iterations,
-		Plateau:    mcmc.PlateauDetector{Window: 12, Tol: 0.5, MinIters: 1500},
-		Seed:       o.Seed,
-	}
-}
-
-func fill(res *Result, circles []geom.Circle, logPost float64, iters int64) {
-	res.Circles = make([]Circle, len(circles))
-	for i, c := range circles {
-		res.Circles[i] = Circle{X: c.X, Y: c.Y, R: c.R}
-	}
-	res.LogPost = logPost
-	res.Iterations = iters
+	return drive(ctx, env, smp, 0)
 }
 
 // DetectImage converts any image.Image to grayscale and runs Detect.

@@ -1,0 +1,76 @@
+package parmcmc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The strategy registry maps each Strategy to its name and sampler
+// factory. It is the single source of truth behind String,
+// ParseStrategy, Strategies and DetectContext's sampler construction —
+// adding a strategy is one registerStrategy call from the strategy's
+// own file, with no parallel tables to update.
+
+// samplerFactory builds a fresh sampler positioned at iteration zero
+// for a validated run environment.
+type samplerFactory func(env *runEnv) (sampler, error)
+
+type strategyDef struct {
+	value   Strategy
+	name    string
+	factory samplerFactory
+}
+
+var (
+	strategiesByValue = map[Strategy]*strategyDef{}
+	strategiesByName  = map[string]*strategyDef{}
+)
+
+// registerStrategy wires a strategy into the registry. Each sampler
+// file calls it from an init function; duplicate values or names are
+// programming errors.
+func registerStrategy(value Strategy, name string, factory samplerFactory) {
+	if _, dup := strategiesByValue[value]; dup {
+		panic(fmt.Sprintf("parmcmc: strategy value %d registered twice", int(value)))
+	}
+	if _, dup := strategiesByName[name]; dup {
+		panic(fmt.Sprintf("parmcmc: strategy name %q registered twice", name))
+	}
+	def := &strategyDef{value: value, name: name, factory: factory}
+	strategiesByValue[value] = def
+	strategiesByName[name] = def
+}
+
+func (s Strategy) String() string {
+	if def, ok := strategiesByValue[s]; ok {
+		return def.name
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a name (as printed by String) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	if def, ok := strategiesByName[name]; ok {
+		return def.value, nil
+	}
+	return 0, fmt.Errorf("parmcmc: unknown strategy %q", name)
+}
+
+// Strategies lists all registered strategies in declaration order.
+func Strategies() []Strategy {
+	out := make([]Strategy, 0, len(strategiesByValue))
+	for s := range strategiesByValue {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// strategyFor resolves a Strategy to its registry entry.
+func strategyFor(s Strategy) (*strategyDef, error) {
+	def, ok := strategiesByValue[s]
+	if !ok {
+		return nil, fmt.Errorf("parmcmc: unknown strategy %v", s)
+	}
+	return def, nil
+}

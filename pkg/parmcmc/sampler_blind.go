@@ -1,0 +1,62 @@
+package parmcmc
+
+import (
+	"context"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+func init() {
+	registerStrategy(Blind, "blind", newBlindSampler)
+}
+
+// blindOptions derives the §VIII blind-partitioning parameters from the
+// public options: the paper's overlap margin ("1.1× the expected
+// artifact radius") and merge radius ("say 5 pixels").
+func blindOptions(o Options) partition.BlindOptions {
+	return partition.BlindOptions{
+		NX: o.PartitionGrid, NY: o.PartitionGrid,
+		Margin:       1.1 * o.MeanRadius,
+		MergeRadius:  5,
+		KeepDisputed: true,
+	}
+}
+
+// newBlindSampler builds the §VIII blind-partitioning sampler: an
+// overlapping grid of independent chains plus the heuristic post-merge.
+func newBlindSampler(env *runEnv) (sampler, error) {
+	opt := blindOptions(env.opt)
+	cores, expanded := partition.BlindRegions(env.im.Bounds(), opt)
+	rr, err := newRegionRunner(env, expanded)
+	if err != nil {
+		return nil, err
+	}
+	return &blindSampler{regionRunner: rr, opt: opt, cores: cores, expanded: expanded}, nil
+}
+
+type blindSampler struct {
+	regionRunner
+	opt             partition.BlindOptions
+	cores, expanded []geom.Rect
+}
+
+func (sp *blindSampler) Step(ctx context.Context, n int) (bool, error) {
+	return sp.step(ctx, n)
+}
+
+func (sp *blindSampler) Snapshot() Progress { return sp.progress() }
+
+func (sp *blindSampler) Finish(res *Result) error {
+	merged := partition.MergeBlind(sp.cores, sp.expanded, sp.results(), sp.opt)
+	// Score the merged model against the whole image for a cross-
+	// strategy-comparable log-posterior.
+	fill(res, merged.Circles, sp.env.scoreCircles(merged.Circles), 0)
+	sp.finishRegions(res, merged.Regions)
+	res.Merged = merged.Merged
+	res.Disputed = merged.Disputed
+	return nil
+}
+
+func (sp *blindSampler) Checkpoint() ([]byte, error) { return sp.checkpoint() }
+func (sp *blindSampler) Resume(data []byte) error    { return sp.resume(data) }

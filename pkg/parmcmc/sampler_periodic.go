@@ -1,0 +1,178 @@
+package parmcmc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcmc"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func init() {
+	registerStrategy(Periodic, "periodic", newPeriodicSampler(false))
+	registerStrategy(PeriodicSpeculative, "periodic+spec", newPeriodicSampler(true))
+}
+
+// newPeriodicSampler builds the §V periodic-partitioning sampler;
+// speculative additionally enables the eq. 3 speculative global moves,
+// which is the only difference between the two registrations.
+func newPeriodicSampler(speculative bool) samplerFactory {
+	return func(env *runEnv) (sampler, error) {
+		o := env.opt
+		s, err := model.NewState(env.im, env.params)
+		if err != nil {
+			return nil, err
+		}
+		e, err := mcmc.New(s, rng.New(o.Seed), env.weights, env.steps)
+		if err != nil {
+			return nil, err
+		}
+		timer := trace.NewPhaseTimer()
+		copt := core.Options{
+			LocalPhaseIters:  o.LocalPhaseIters,
+			GridXM:           float64(env.im.W) / float64(o.PartitionGrid) * o.GridSlack,
+			GridYM:           float64(env.im.H) / float64(o.PartitionGrid) * o.GridSlack,
+			Workers:          o.Workers,
+			LocalSpecWidth:   o.LocalSpecWidth,
+			Timer:            timer,
+			SimulateParallel: o.SimulateParallel,
+		}
+		if speculative {
+			copt.SpecWidth = o.SpecWidth
+		}
+		sp := &periodicSampler{env: env, e: e, timer: timer}
+		copt.OnBarrier = func(info core.BarrierInfo) { sp.lastBarrier = info }
+		pe, err := core.NewEngine(e, copt)
+		if err != nil {
+			return nil, err
+		}
+		sp.pe = pe
+		return sp, nil
+	}
+}
+
+// periodicSampler drives the alternating global/local schedule in
+// whole fork/join cycles, so chunked execution replays the schedule of
+// a monolithic run exactly.
+type periodicSampler struct {
+	env   *runEnv
+	e     *mcmc.Engine
+	pe    *core.Engine
+	timer *trace.PhaseTimer
+
+	// lastBarrier is the most recent local-phase barrier snapshot,
+	// delivered through core.Options.OnBarrier.
+	lastBarrier core.BarrierInfo
+
+	// baseGlobalSecs/baseLocalSecs carry phase wall-clock from resumed
+	// segments (the in-memory timer restarts at zero).
+	baseGlobalSecs, baseLocalSecs float64
+}
+
+// AlignChunk rounds the chunk to whole multiples of the global+local
+// cycle, keeping the alternating schedule identical to a single Run
+// call. A degenerate cycle (all moves local) runs in one chunk.
+func (sp *periodicSampler) AlignChunk(n int) int {
+	g := sp.pe.GlobalPhaseIters()
+	if g <= 0 {
+		return sp.env.opt.Iterations
+	}
+	cycle := g + sp.env.opt.LocalPhaseIters
+	return cycle * (1 + n/cycle)
+}
+
+func (sp *periodicSampler) Step(_ context.Context, n int) (bool, error) {
+	total := int64(sp.env.opt.Iterations)
+	if rem := total - sp.e.Iter; int64(n) > rem {
+		n = int(rem)
+	}
+	if n > 0 {
+		sp.pe.Run(n)
+	}
+	return sp.e.Iter >= total, nil
+}
+
+func (sp *periodicSampler) Snapshot() Progress {
+	done := 0
+	if sp.e.Iter >= int64(sp.env.opt.Iterations) {
+		done = 1
+	}
+	return Progress{
+		Strategy: sp.env.opt.Strategy,
+		Phase:    fmt.Sprintf("cycle %d", sp.lastBarrier.Barriers),
+		Iter:     sp.e.Iter, Total: int64(sp.env.opt.Iterations),
+		LogPost: sp.e.S.LogPost(), NumCircles: sp.e.S.Cfg.Len(),
+		AcceptRate: 1 - sp.e.Stats.RejectionRate(),
+		Partitions: 1, PartitionsDone: done,
+	}
+}
+
+func (sp *periodicSampler) Finish(res *Result) error {
+	o := sp.env.opt
+	fill(res, sp.e.S.Cfg.Circles(), sp.e.S.LogPost(), sp.e.Iter)
+	fillEngineStats(res, &sp.e.Stats)
+	res.Partitions = o.PartitionGrid * o.PartitionGrid
+	res.Barriers = sp.pe.Barriers
+	res.GlobalSeconds = sp.baseGlobalSecs + sp.timer.Total("global").Seconds()
+	res.LocalSeconds = sp.baseLocalSecs + sp.timer.Total("local").Seconds()
+	res.SimLocalSeconds = sp.pe.SimLocalSeconds
+	return nil
+}
+
+// periodicDump is the periodic strategies' checkpoint payload: the host
+// engine, the speculative executor's shadow RNG streams and efficiency
+// counters, and the engine-level bookkeeping.
+type periodicDump struct {
+	Host            mcmc.EngineDump
+	Shadows         []rng.Saved
+	ExecBatches     int64
+	ExecConsumed    int64
+	Barriers        int64
+	SimLocalSeconds float64
+	GlobalSeconds   float64
+	LocalSeconds    float64
+}
+
+func (sp *periodicSampler) Checkpoint() ([]byte, error) {
+	d := periodicDump{
+		Host:            sp.e.Dump(),
+		Barriers:        sp.pe.Barriers,
+		SimLocalSeconds: sp.pe.SimLocalSeconds,
+		GlobalSeconds:   sp.baseGlobalSecs + sp.timer.Total("global").Seconds(),
+		LocalSeconds:    sp.baseLocalSecs + sp.timer.Total("local").Seconds(),
+	}
+	if exec := sp.pe.Executor(); exec != nil {
+		d.Shadows = exec.ShadowStates()
+		d.ExecBatches = exec.Batches
+		d.ExecConsumed = exec.Consumed
+	}
+	return encodePayload(d)
+}
+
+func (sp *periodicSampler) Resume(data []byte) error {
+	var d periodicDump
+	if err := decodePayload(data, &d); err != nil {
+		return err
+	}
+	if err := sp.e.Restore(d.Host); err != nil {
+		return err
+	}
+	exec := sp.pe.Executor()
+	if exec != nil {
+		if err := exec.RestoreShadowStates(d.Shadows); err != nil {
+			return err
+		}
+		exec.Batches = d.ExecBatches
+		exec.Consumed = d.ExecConsumed
+	} else if len(d.Shadows) > 0 {
+		return fmt.Errorf("parmcmc: checkpoint carries speculative state but the run has no executor")
+	}
+	sp.pe.Barriers = d.Barriers
+	sp.pe.SimLocalSeconds = d.SimLocalSeconds
+	sp.baseGlobalSecs = d.GlobalSeconds
+	sp.baseLocalSecs = d.LocalSeconds
+	return nil
+}
