@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test test-short race ci bench bench-json bench-check experiments-quick experiments
+.PHONY: all build fmt fmt-check vet test test-short race ci cover-service bench bench-json bench-check experiments-quick experiments
 
 all: build
 
@@ -33,7 +33,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: fmt-check vet build test-short race
+ci: fmt-check vet build test-short race cover-service
+
+# Coverage gate for the service layer: the black-box suite must keep
+# pkg/service at or above the floor (the daemon is the layer most
+# likely to grow untested handler branches). The profile lands in the
+# workspace (git-ignored), so concurrent runs in different checkouts
+# cannot clobber each other.
+SERVICE_COVER_FLOOR := 80.0
+SERVICE_COVER_PROFILE := service.cov
+cover-service:
+	$(GO) test -coverprofile=$(SERVICE_COVER_PROFILE) -covermode=atomic ./pkg/service
+	@total=$$($(GO) tool cover -func=$(SERVICE_COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "pkg/service coverage: $$total% (floor $(SERVICE_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(SERVICE_COVER_FLOOR)" \
+		'BEGIN { if (t+0 < floor+0) { print "pkg/service coverage below floor"; exit 1 } }'
 
 # Benchmark smoke run: every benchmark in the module once, with
 # allocation counts. CI runs this so benchmarks can never bit-rot.

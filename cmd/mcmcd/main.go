@@ -1,0 +1,122 @@
+// Command mcmcd is the long-running detection daemon: it serves the
+// pkg/service HTTP API (submit PNG/PGM uploads or synthetic scenes as
+// jobs, watch their progress over SSE, collect bit-identical results)
+// over a bounded job queue and worker pool.
+//
+// Usage:
+//
+//	mcmcd [-addr :8080] [-spool DIR] [-job-slots 2] [-queue 16]
+//	      [-checkpoint-every 25000] [-base-seed 1] [-pprof]
+//
+// The daemon prints "mcmcd: listening on http://HOST:PORT" once ready
+// (with -addr :0 the kernel picks the port). With -spool, every job is
+// durable: inputs and options are recorded at submission, checkpoints
+// every -checkpoint-every iterations, and a restart against the same
+// spool directory resumes interrupted jobs to bit-identical results.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, new
+// submissions get 503, running jobs stop at their next chunk boundary
+// with their latest checkpoint intact.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/profiling"
+	"repro/pkg/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcmcd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		spool     = flag.String("spool", "", "spool directory for durable jobs (empty = no durability)")
+		jobSlots  = flag.Int("job-slots", 2, "jobs running concurrently")
+		queue     = flag.Int("queue", 16, "pending-job queue bound (full queue = HTTP 429)")
+		ckptEvery = flag.Int("checkpoint-every", 25000, "approximate iterations between spooled checkpoints")
+		baseSeed  = flag.Uint64("base-seed", 1, "base for per-job derived seeds")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		profiles  = cliutil.AddProfileFlags(nil)
+	)
+	flag.Parse()
+
+	stopProf, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	fatalf := func(format string, args ...any) {
+		log.Printf(format, args...)
+		stopProf()
+		os.Exit(1)
+	}
+
+	mgr, err := service.NewManager(service.Config{
+		Workers:         *jobSlots,
+		QueueSize:       *queue,
+		SpoolDir:        *spool,
+		BaseSeed:        *baseSeed,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", mgr.Handler())
+	if *pprofOn {
+		profiling.Attach(mux)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := &http.Server{Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	// The listen line is the machine-readable readiness signal: the
+	// black-box harness (and scripts) parse the port out of it.
+	fmt.Printf("mcmcd: listening on http://%s\n", ln.Addr())
+	if *spool != "" {
+		log.Printf("spooling jobs under %s", *spool)
+	}
+
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (budget %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the manager first: it interrupts running jobs at their next
+	// chunk boundary (leaving their spool resumable) and unblocks any
+	// open SSE streams — which Shutdown would otherwise wait on for the
+	// whole drain budget.
+	if err := mgr.Stop(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("manager shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -35,9 +35,9 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/cliutil"
 	"repro/internal/geom"
 	"repro/internal/imaging"
-	"repro/internal/profiling"
 	"repro/pkg/parmcmc"
 )
 
@@ -58,8 +58,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write periodic resumable checkpoints to this file (single-job runs only)")
 		ckptEvery  = flag.Int("checkpoint-every", 25000, "approximate iterations between checkpoints")
 		resume     = flag.String("resume", "", "resume from a -checkpoint file (single image; strategy and chain options come from the checkpoint)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		profiles   = cliutil.AddProfileFlags(nil)
 	)
 	flag.Parse()
 	if *in == "" || *radius <= 0 {
@@ -67,7 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -258,12 +257,7 @@ func checkpointWriter(path string) func(*parmcmc.Checkpoint) {
 			log.Printf("checkpoint: %v", err)
 			return
 		}
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-			log.Printf("checkpoint: %v", err)
-			return
-		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := cliutil.WriteFileAtomic(path, blob, 0o644); err != nil {
 			log.Printf("checkpoint: %v", err)
 		}
 	}

@@ -11,6 +11,15 @@
 // provides cooperative cancellation, streaming progress
 // (Options.Observer) and bit-identical checkpoint/resume
 // (Options.OnCheckpoint, DetectResume) uniformly across strategies.
+//
+// pkg/service wraps the library as a long-running daemon (cmd/mcmcd):
+// a bounded job queue + worker pool behind an HTTP API with SSE
+// progress streams, 429 backpressure, Prometheus-style metrics and
+// spool-backed crash durability — interrupted jobs resume from their
+// latest checkpoint to bit-identical results. The black-box harness
+// (service_e2e_test.go) pins that against the real binary, SIGKILL
+// included.
+//
 // The repository-root benchmarks (bench_test.go) regenerate every
 // table and figure of the paper's evaluation. See README.md, DESIGN.md
 // and EXPERIMENTS.md.

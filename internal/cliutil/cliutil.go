@@ -1,0 +1,78 @@
+// Package cliutil holds the small pieces of plumbing shared by the
+// cmd/ binaries (and by pkg/service's spool): the -cpuprofile /
+// -memprofile flag pair every entry point registers the same way, and
+// crash-safe atomic file writes for checkpoints and job records.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/profiling"
+)
+
+// ProfileFlags is the conventional profiling flag pair. Register it
+// with AddProfileFlags, then call Start once flags are parsed.
+type ProfileFlags struct {
+	CPU *string
+	Mem *string
+}
+
+// AddProfileFlags registers -cpuprofile and -memprofile on fs (the
+// process flag set when fs is nil), with the same names and help text
+// across every binary.
+func AddProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &ProfileFlags{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins profiling per the parsed flags and returns the stop
+// function that flushes the profiles (see profiling.Start). Callers
+// must run stop on every exit path — including before os.Exit, which
+// skips defers.
+func (p *ProfileFlags) Start() (stop func(), err error) {
+	return profiling.Start(*p.CPU, *p.Mem)
+}
+
+// WriteFileAtomic writes data to path via a unique temp file in the
+// same directory plus rename, so readers never observe a truncated
+// file and a crash mid-write never corrupts an existing one. The
+// temp file is cleaned up on failure.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cliutil: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cliutil: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cliutil: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cliutil: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	// Overwrite must replace the content and leave no temp files behind.
+	if err := WriteFileAtomic(path, []byte("second"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("read back %q after overwrite", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+
+	// A missing parent directory must fail without creating anything.
+	if err := WriteFileAtomic(filepath.Join(dir, "no", "such", "f"), nil, 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}
+
+// A bare filename (no directory component) must write into the CWD.
+func TestWriteFileAtomicBareName(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFileAtomic("bare.txt", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bare.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	pf := AddProfileFlags(fs)
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu}); err != nil {
+		t.Fatal(err)
+	}
+	if *pf.CPU != cpu || *pf.Mem != "" {
+		t.Fatalf("parsed cpu=%q mem=%q", *pf.CPU, *pf.Mem)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+}

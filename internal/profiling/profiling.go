@@ -4,10 +4,18 @@
 //
 //	experiments -quick -run table1 -cpuprofile cpu.out
 //	go tool pprof cpu.out
+//
+// Long-running processes use Attach instead, which mounts the live
+// net/http/pprof endpoints on a mux of the caller's choosing (mcmcd
+// serves them under -pprof):
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile
 package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -47,4 +55,16 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// Attach mounts the standard net/http/pprof handlers under
+// /debug/pprof/ on mux. Servers in this repository never run
+// http.DefaultServeMux, so exposure is a per-mux opt-in — mcmcd gates
+// it behind its -pprof flag.
+func Attach(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 }

@@ -1,0 +1,107 @@
+package profiling
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Start with both paths set must produce non-empty profile files once
+// the stop function runs.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i * i
+	}
+	_ = sink
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// Empty paths are a no-op: no files created, stop is safe to call.
+func TestStartNoPaths(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+// A memprofile-only run must not start the CPU profiler, and the heap
+// profile must still be written by stop.
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+}
+
+// An unwritable cpuprofile path must fail up front, not at stop time.
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
+	}
+	if _, err := Start("", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Attach must mount the live pprof endpoints on the given mux only.
+func TestAttach(t *testing.T) {
+	mux := http.NewServeMux()
+	Attach(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+		"/debug/pprof/heap", // served by Index via the named-profile fallback
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// A mux without Attach must not serve the endpoints — exposure is
+	// per-mux opt-in, which is what lets mcmcd gate it behind -pprof.
+	bare := httptest.NewServer(http.NewServeMux())
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof endpoints served without Attach")
+	}
+}

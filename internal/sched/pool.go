@@ -50,3 +50,28 @@ func (p *Pool) Release() {
 		panic("sched: Release without matching Acquire")
 	}
 }
+
+// Quiesce blocks until every in-flight task has Released its slot, or
+// ctx is done — the graceful-shutdown hook: an orchestrator that has
+// stopped submitting work calls Quiesce to wait (with a deadline) for
+// the tasks still running. The pool is left empty and reusable either
+// way; on timeout the stragglers keep their slots and ctx's error is
+// returned.
+func (p *Pool) Quiesce(ctx context.Context) error {
+	held := 0
+	for held < cap(p.sem) {
+		select {
+		case p.sem <- struct{}{}:
+			held++
+		case <-ctx.Done():
+			for ; held > 0; held-- {
+				<-p.sem
+			}
+			return ctx.Err()
+		}
+	}
+	for ; held > 0; held-- {
+		<-p.sem
+	}
+	return nil
+}

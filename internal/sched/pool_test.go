@@ -69,6 +69,57 @@ func TestPoolAcquireBlocksUntilRelease(t *testing.T) {
 	p.Release()
 }
 
+// Quiesce must wait for all in-flight holders, honour its deadline when
+// a holder never releases, and leave the pool reusable in both cases.
+func TestPoolQuiesce(t *testing.T) {
+	p := NewPool(3)
+
+	// Empty pool: immediate.
+	if err := p.Quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two holders release concurrently; Quiesce observes both.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		if err := p.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			p.Release()
+		}()
+	}
+	close(release)
+	if err := p.Quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// A holder that never releases: Quiesce returns ctx's error and the
+	// pool still has its full capacity minus the straggler.
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Quiesce(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The two free slots must still be acquirable after the failed wait.
+	for i := 0; i < 2; i++ {
+		if err := p.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p.Release()
+	}
+}
+
 func TestPoolReleaseWithoutAcquirePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

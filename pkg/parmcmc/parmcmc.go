@@ -264,11 +264,15 @@ func DetectContext(ctx context.Context, pix []float64, w, h int, opt Options) (*
 	return drive(ctx, env, smp, 0)
 }
 
-// DetectImage converts any image.Image to grayscale and runs Detect.
-func DetectImage(img image.Image, opt Options) (*Result, error) {
+// GrayPixels converts any image.Image to the grayscale pixel buffer
+// Detect consumes (row-major, intensities in [0, 1], Rec. 601 luma).
+// Callers that need the buffer beyond a single Detect call — e.g. to
+// resume a checkpointed run over the same image — use this instead of
+// DetectImage.
+func GrayPixels(img image.Image) (pix []float64, w, h int) {
 	b := img.Bounds()
-	w, h := b.Dx(), b.Dy()
-	pix := make([]float64, w*h)
+	w, h = b.Dx(), b.Dy()
+	pix = make([]float64, w*h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
@@ -276,6 +280,12 @@ func DetectImage(img image.Image, opt Options) (*Result, error) {
 			pix[y*w+x] = (0.299*float64(r) + 0.587*float64(g) + 0.114*float64(bb)) / 65535
 		}
 	}
+	return pix, w, h
+}
+
+// DetectImage converts any image.Image to grayscale and runs Detect.
+func DetectImage(img image.Image, opt Options) (*Result, error) {
+	pix, w, h := GrayPixels(img)
 	return Detect(pix, w, h, opt)
 }
 

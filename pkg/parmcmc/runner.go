@@ -80,12 +80,21 @@ func NewRunner(concurrency int) *Runner {
 func (r *Runner) Concurrency() int { return r.pool.Workers() }
 
 // jobSeed derives the seed for the job at index i: the job's own seed
-// when set, otherwise a SplitMix64-style mix of BaseSeed and the index.
+// when set, otherwise DeriveSeed of BaseSeed and the 1-based index.
 func (r *Runner) jobSeed(i int, opt Options) uint64 {
 	if opt.Seed != 0 {
 		return opt.Seed
 	}
-	z := r.BaseSeed + (uint64(i)+1)*0x9E3779B97F4A7C15
+	return DeriveSeed(r.BaseSeed, uint64(i)+1)
+}
+
+// DeriveSeed mixes a base seed with a 1-based sequence number into a
+// deterministic, never-zero per-job seed (a SplitMix64-style mix).
+// It is the single derivation shared by Runner batches and the
+// pkg/service daemon, so "job n under base seed b" means the same
+// thing everywhere.
+func DeriveSeed(base, n uint64) uint64 {
+	z := base + n*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31

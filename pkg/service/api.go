@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"time"
+
+	"repro/pkg/parmcmc"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SubmitRequest is the JSON body of POST /v1/jobs for synthetic-scene
+// jobs. Image uploads instead send raw PNG/PGM bytes with options in
+// query parameters.
+type SubmitRequest struct {
+	Scene   *SceneSpec  `json:"scene"`
+	Options OptionsSpec `json:"options"`
+}
+
+// SceneSpec is the wire form of parmcmc.SceneSpec.
+type SceneSpec struct {
+	W          int     `json:"w"`
+	H          int     `json:"h"`
+	Count      int     `json:"count"`
+	MeanRadius float64 `json:"mean_radius"`
+	Noise      float64 `json:"noise,omitempty"`
+	Clusters   int     `json:"clusters,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+}
+
+func (s SceneSpec) toParmcmc() parmcmc.SceneSpec {
+	return parmcmc.SceneSpec{
+		W: s.W, H: s.H, Count: s.Count,
+		MeanRadius: s.MeanRadius, Noise: s.Noise,
+		Clusters: s.Clusters, Seed: s.Seed,
+	}
+}
+
+// OptionsSpec is the wire form of the chain-affecting fields of
+// parmcmc.Options. Zero values take the library defaults.
+type OptionsSpec struct {
+	Strategy        string  `json:"strategy,omitempty"`
+	MeanRadius      float64 `json:"mean_radius,omitempty"`
+	ExpectedCount   float64 `json:"expected_count,omitempty"`
+	Threshold       float64 `json:"threshold,omitempty"`
+	Iterations      int     `json:"iterations,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+	LocalPhaseIters int     `json:"local_phase_iters,omitempty"`
+	PartitionGrid   int     `json:"partition_grid,omitempty"`
+	SpecWidth       int     `json:"spec_width,omitempty"`
+	LocalSpecWidth  int     `json:"local_spec_width,omitempty"`
+	GridSlack       float64 `json:"grid_slack,omitempty"`
+	Converge        bool    `json:"converge,omitempty"`
+	OverlapPenalty  float64 `json:"overlap_penalty,omitempty"`
+	Chains          int     `json:"chains,omitempty"`
+	HeatStep        float64 `json:"heat_step,omitempty"`
+	SwapEvery       int     `json:"swap_every,omitempty"`
+}
+
+// JobView is the JSON representation of a job served by the API.
+type JobView struct {
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Strategy  string          `json:"strategy"`
+	Seed      uint64          `json:"seed"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Progress  *ProgressView   `json:"progress,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// ProgressView is the JSON form of parmcmc.Progress.
+type ProgressView struct {
+	Phase          string    `json:"phase"`
+	Iter           int64     `json:"iter"`
+	Total          int64     `json:"total,omitempty"`
+	LogPost        safeFloat `json:"log_post"`
+	NumCircles     int       `json:"num_circles"`
+	AcceptRate     safeFloat `json:"accept_rate"`
+	Partitions     int       `json:"partitions"`
+	PartitionsDone int       `json:"partitions_done"`
+}
+
+func progressView(p parmcmc.Progress) *ProgressView {
+	return &ProgressView{
+		Phase: p.Phase, Iter: p.Iter, Total: p.Total,
+		LogPost: safeFloat(p.LogPost), NumCircles: p.NumCircles,
+		AcceptRate: safeFloat(p.AcceptRate),
+		Partitions: p.Partitions, PartitionsDone: p.PartitionsDone,
+	}
+}
+
+// CircleView is one detected artifact.
+type CircleView struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+}
+
+// RegionView mirrors parmcmc.RegionInfo.
+type RegionView struct {
+	X0        float64 `json:"x0"`
+	Y0        float64 `json:"y0"`
+	X1        float64 `json:"x1"`
+	Y1        float64 `json:"y1"`
+	Area      float64 `json:"area"`
+	Lambda    float64 `json:"lambda"`
+	Circles   int     `json:"circles"`
+	Iters     int64   `json:"iters"`
+	Converged bool    `json:"converged"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// ResultView is the JSON form of parmcmc.Result. Float fields marshal
+// with Go's shortest round-trip encoding, so a decoded view compares
+// bit-identical to one built locally from the same Result.
+type ResultView struct {
+	Strategy         string       `json:"strategy"`
+	Circles          []CircleView `json:"circles"`
+	LogPost          safeFloat    `json:"log_post"`
+	Iterations       int64        `json:"iterations"`
+	ElapsedSeconds   float64      `json:"elapsed_seconds"`
+	Partitions       int          `json:"partitions"`
+	AcceptRate       safeFloat    `json:"accept_rate"`
+	GlobalRejectRate safeFloat    `json:"global_reject_rate"`
+	LocalRejectRate  safeFloat    `json:"local_reject_rate"`
+	Barriers         int64        `json:"barriers,omitempty"`
+	SwapRate         safeFloat    `json:"swap_rate,omitempty"`
+	Merged           int          `json:"merged,omitempty"`
+	Disputed         int          `json:"disputed,omitempty"`
+	Regions          []RegionView `json:"regions,omitempty"`
+}
+
+// NewResultView converts a parmcmc.Result to its wire form — exported
+// so clients (and the black-box tests) can build the expected view from
+// a direct Detect call and compare it to the daemon's JSON.
+func NewResultView(res *parmcmc.Result) ResultView {
+	v := ResultView{
+		Strategy:         res.Strategy.String(),
+		Circles:          make([]CircleView, len(res.Circles)),
+		LogPost:          safeFloat(res.LogPost),
+		Iterations:       res.Iterations,
+		ElapsedSeconds:   res.Elapsed.Seconds(),
+		Partitions:       res.Partitions,
+		AcceptRate:       safeFloat(res.AcceptRate),
+		GlobalRejectRate: safeFloat(res.GlobalRejectRate),
+		LocalRejectRate:  safeFloat(res.LocalRejectRate),
+		Barriers:         res.Barriers,
+		SwapRate:         safeFloat(res.SwapRate),
+		Merged:           res.Merged,
+		Disputed:         res.Disputed,
+	}
+	for i, c := range res.Circles {
+		v.Circles[i] = CircleView{X: c.X, Y: c.Y, R: c.R}
+	}
+	for _, r := range res.Regions {
+		v.Regions = append(v.Regions, RegionView{
+			X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1,
+			Area: r.Area, Lambda: r.Lambda, Circles: r.Circles,
+			Iters: r.Iters, Converged: r.Converged, Seconds: r.Seconds,
+		})
+	}
+	return v
+}
+
+// safeFloat marshals like float64 but encodes the JSON-unrepresentable
+// NaN/±Inf as null instead of failing the whole response.
+type safeFloat float64
+
+func (f safeFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *safeFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = safeFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = safeFloat(v)
+	return nil
+}

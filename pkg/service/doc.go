@@ -1,0 +1,35 @@
+// Package service turns the parmcmc detection library into a
+// long-running daemon: a job manager (bounded queue + worker pool over
+// parmcmc.DetectContext, with per-job derived seeds and
+// pending/running/done/failed/cancelled lifecycle) and the HTTP API
+// cmd/mcmcd serves in front of it.
+//
+// The API:
+//
+//	POST   /v1/jobs             submit a job — JSON {"scene":…,"options":…}
+//	                            body for a synthetic scene, or a raw
+//	                            PNG/PGM upload (options in query params);
+//	                            429 when the queue is full
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + result
+//	GET    /v1/jobs/{id}/events SSE stream of progress snapshots, ending
+//	                            with the final state
+//	DELETE /v1/jobs/{id}        cancel (pending or running)
+//	GET    /healthz             liveness + queue/job counts
+//	GET    /metrics             Prometheus-style text metrics
+//
+// Durability: with Config.SpoolDir set, every job's input and options
+// are recorded at submission and a resumable parmcmc Checkpoint is
+// spooled every Config.CheckpointEvery iterations. A restarted manager
+// rebuilds terminal jobs from their spooled results and re-queues
+// interrupted ones from their latest checkpoint; because checkpoints
+// resume bit-identically, a job that survives a daemon crash produces
+// exactly the result an uninterrupted run would have.
+//
+// Determinism: jobs that omit options.seed get a per-job seed derived
+// from Config.BaseSeed and the submission sequence number (the same
+// SplitMix64 derivation parmcmc.Runner uses). Results for a fixed seed
+// are bit-identical to a direct parmcmc.Detect call with the same
+// options, regardless of queueing, concurrency, observation or
+// crash/resume history.
+package service

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// FuzzDecodeSubmit pins the satellite guarantee on the API request
+// decoders: arbitrary bytes under every content-type branch must never
+// panic and must only ever produce typed 4xx errors. `go test` runs
+// the seed corpus; `go test -fuzz FuzzDecodeSubmit ./pkg/service`
+// explores further.
+func FuzzDecodeSubmit(f *testing.F) {
+	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5},"options":{"iterations":100}}`), "")
+	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64`), "")
+	f.Add("application/json", []byte(`{"scene":null,"options":{}}`), "")
+	f.Add("", []byte(`  {"scene":{"w":-1,"h":1e9,"count":2,"mean_radius":5}}`), "")
+	f.Add("image/png", []byte("\x89PNG\r\n\x1a\n\x00\x00\x00\rIHDR"), "radius=5")
+	f.Add("image/png", []byte("\x89PNG\r\n\x1a\nIHDR\xff\xff\xff\xff\xff\xff\xff\xff"), "radius=5")
+	f.Add("", []byte("P5 4294967295 4294967295 255\n"), "radius=5")
+	f.Add("", []byte("P5\n# comment\n8 8 255\n0123456789"), "radius=5")
+	f.Add("", []byte("P2 3 2 255\n0 1 2 3 4 5"), "radius=5&strategy=periodic")
+	f.Add("", []byte("P5 8 8 0\n"), "radius=5")
+	f.Add("application/octet-stream", []byte{}, "")
+	f.Add("", []byte("GIF89a"), "radius=5")
+	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=0&iters=-1&seed=x&workers=9999&grid_slack=nope")
+	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=NaN&threshold=Inf&heat_step=-inf")
+
+	f.Fuzz(func(t *testing.T, ct string, body []byte, rawQuery string) {
+		if len(body) > 1<<20 {
+			t.Skip("oversized fuzz input")
+		}
+		q, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			q = nil
+		}
+		spec, aerr := decodeSubmit(ct, body, q)
+		switch {
+		case aerr != nil:
+			if aerr.status < 400 || aerr.status > 499 {
+				t.Fatalf("non-4xx decoder error %d (%s)", aerr.status, aerr.msg)
+			}
+			if spec != nil {
+				t.Fatal("spec returned alongside an error")
+			}
+		case spec == nil:
+			t.Fatal("nil spec without error")
+		default:
+			// An accepted submission must be self-consistent: a usable
+			// input and validated options.
+			if spec.scene == nil && spec.pix == nil {
+				t.Fatal("accepted submission with no input")
+			}
+			if spec.pix != nil && len(spec.pix) != spec.w*spec.h {
+				t.Fatalf("accepted %dx%d image with %d pixels", spec.w, spec.h, len(spec.pix))
+			}
+			if !(spec.opt.MeanRadius > 0) { // also rejects NaN
+				t.Fatal("accepted options without a positive finite mean radius")
+			}
+			if !isFinite(spec.opt.MeanRadius, spec.opt.ExpectedCount, spec.opt.Threshold,
+				spec.opt.GridSlack, spec.opt.OverlapPenalty, spec.opt.HeatStep) {
+				t.Fatal("accepted non-finite option value")
+			}
+		}
+	})
+}
+
+// FuzzPGMDims pins the header pre-scan specifically: it must agree
+// with "parses or not" on arbitrary bytes and never report non-positive
+// dimensions as success.
+func FuzzPGMDims(f *testing.F) {
+	f.Add([]byte("P5 8 8 255\n"))
+	f.Add([]byte("P5\t#c\n8\r8 65535 "))
+	f.Add([]byte("P5 -3 8 255\n"))
+	f.Add([]byte("P5 99999999999999999999 8 255\n"))
+	f.Add([]byte("#only a comment"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		w, h, aerr := pgmDims(body)
+		if aerr == nil && (w <= 0 || h <= 0) {
+			t.Fatalf("accepted dimensions %dx%d", w, h)
+		}
+		if aerr != nil && aerr.status != http.StatusBadRequest {
+			t.Fatalf("status %d", aerr.status)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API over this manager. The routes
+// are documented in the package comment; everything answers JSON
+// except /metrics (Prometheus text) and the SSE event streams.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s := &server{m: m}
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleJobs serves the collection: POST submits, GET lists.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		jobs := s.m.Jobs()
+		views := make([]JobView, len(jobs))
+		for i, job := range jobs {
+			views[i] = job.View()
+		}
+		writeJSON(w, http.StatusOK, views)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", MaxBodyBytes)
+		return
+	}
+	spec, aerr := decodeSubmit(r.Header.Get("Content-Type"), body, r.URL.Query())
+	if aerr != nil {
+		writeError(w, aerr.status, "%s", aerr.msg)
+		return
+	}
+	job, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusCreated, job.View())
+}
+
+// handleJob serves one job: GET {id}, GET {id}/events, DELETE {id}.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "events") {
+		writeError(w, http.StatusNotFound, "not found")
+		return
+	}
+	job, err := s.m.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch {
+	case sub == "events" && r.Method == http.MethodGet:
+		s.events(w, r, job)
+	case sub == "events":
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	case r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, job.View())
+	case r.Method == http.MethodDelete:
+		job, err := s.m.Cancel(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "no job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// events streams the job over SSE: an initial state snapshot, progress
+// events at chunk boundaries, state transitions, and a final "done"
+// event carrying the terminal JobView (with result) before the stream
+// closes. Progress events may be dropped for slow consumers — each
+// snapshot is self-contained — but the final event never is.
+func (s *server) events(w http.ResponseWriter, r *http.Request, job *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch := job.subscribe(64)
+	defer job.unsubscribe(ch)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "state", mustJSON(job.View()))
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.m.stopping():
+			// Daemon shutdown: the job may never reach a terminal state
+			// in this process; end the stream so the server can drain.
+			return
+		case ev := <-ch:
+			writeSSE(w, ev.name, ev.data)
+			fl.Flush()
+		case <-job.Done():
+			// Drain buffered progress, then emit the terminal view.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, ev.name, ev.data)
+					continue
+				default:
+				}
+				break
+			}
+			writeSSE(w, "done", mustJSON(job.View()))
+			fl.Flush()
+			return
+		}
+	}
+}
+
+func writeSSE(w io.Writer, name string, data []byte) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"encoding event"}`)
+	}
+	return data
+}
+
+// handleHealthz reports liveness plus coarse queue/job counts.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	depth, capacity := s.m.QueueDepth()
+	counts := s.m.StateCounts()
+	jobs := make(map[string]int, len(counts))
+	for st, n := range counts {
+		jobs[string(st)] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.m.Uptime().Seconds(),
+		"queue_depth":    depth,
+		"queue_capacity": capacity,
+		"jobs":           jobs,
+	})
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/pkg/parmcmc"
+)
+
+// event is one SSE payload broadcast to a job's subscribers.
+type event struct {
+	name string
+	data []byte
+}
+
+// Job is one queued or running detection. All mutable fields are
+// guarded by mu; the input (scene/upload bytes/decoded pixels), seed
+// and options are immutable after construction.
+type Job struct {
+	id   string
+	seed uint64
+	spec OptionsSpec
+	opt  parmcmc.Options // resolved, Seed set to seed
+
+	// scene/ext are immutable; input and pix are released (under mu)
+	// once the job is terminal — the spool keeps the bytes, so a
+	// daemon that has served many uploads does not retain every pixel
+	// buffer for the life of the process.
+	scene *SceneSpec
+	input []byte
+	ext   string
+	pix   []float64
+	w, h  int
+
+	// resume, when non-nil, is the spooled checkpoint a recovered job
+	// continues from.
+	resume *parmcmc.Checkpoint
+
+	// spoolMu serializes this job's spool-record writes (Submit's
+	// pending record vs the worker's terminal record).
+	spoolMu sync.Mutex
+
+	mu              sync.Mutex
+	state           State
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	progress        *parmcmc.Progress
+	lastIter        int64
+	resultJSON      json.RawMessage
+	errMsg          string
+	cancelRequested bool
+	cancel          func()
+	subs            map[chan event]struct{}
+	done            chan struct{} // closed on entering a terminal state
+}
+
+func newJob(id string, seed uint64, spec *jobSpec, submitted time.Time) *Job {
+	opt := spec.opt
+	opt.Seed = seed
+	wireSpec := spec.spec
+	wireSpec.Seed = seed
+	return &Job{
+		id: id, seed: seed, spec: wireSpec, opt: opt,
+		scene: spec.scene, input: spec.input, ext: spec.ext,
+		pix: spec.pix, w: spec.w, h: spec.h,
+		state: StatePending, submitted: submitted,
+		subs: make(map[chan event]struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Seed returns the seed the job runs with (the per-job derived seed
+// when the submission left it zero).
+func (j *Job) Seed() uint64 { return j.seed }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// pixels materialises the job's input image: the decoded upload, or
+// the deterministic synthesis of its scene spec.
+func (j *Job) pixels() ([]float64, int, int, error) {
+	j.mu.Lock()
+	pix, w, h := j.pix, j.w, j.h
+	j.mu.Unlock()
+	if pix != nil {
+		return pix, w, h, nil
+	}
+	if j.scene != nil {
+		spix, _ := parmcmc.GenerateScene(j.scene.toParmcmc())
+		return spix, j.scene.W, j.scene.H, nil
+	}
+	return nil, 0, 0, errors.New("service: job has no input")
+}
+
+// releaseInput drops the decoded pixels and raw upload bytes. Called
+// after the terminal spool writes: the job can never run again in this
+// process, and recovery re-reads the spooled input file.
+func (j *Job) releaseInput() {
+	j.mu.Lock()
+	j.pix = nil
+	j.input = nil
+	j.mu.Unlock()
+}
+
+// claim moves a pending job to running; it fails when the job was
+// cancelled while queued.
+func (j *Job) claim(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StatePending {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.publishLocked("state", j.viewLocked())
+	return true
+}
+
+// finishTerminal moves the job to a terminal state. resultJSON may be
+// nil (failed/cancelled). Idempotent: only the first call wins.
+func (j *Job) finishTerminal(state State, resultJSON json.RawMessage, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = state
+	j.resultJSON = resultJSON
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// requestCancel cancels a pending job outright, or asks a running one
+// to stop at its next chunk boundary. Terminal jobs are untouched.
+// Returns whether the job moved to cancelled synchronously.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+		j.publishLocked("state", j.viewLocked())
+		return true
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return false
+}
+
+func (j *Job) userCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// observe records a progress snapshot, returning the iteration delta
+// since the previous one (for the manager's aggregate counters).
+func (j *Job) observe(p parmcmc.Progress) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress = &p
+	delta := j.accountItersLocked(p.Iter)
+	j.publishLocked("progress", progressView(p))
+	return delta
+}
+
+// accountIters advances the job's iteration watermark and returns the
+// delta this process actually performed. The first snapshot of a
+// checkpoint-resumed job establishes the baseline instead — its Iter
+// already includes every pre-crash iteration, which must not re-enter
+// the aggregate counters.
+func (j *Job) accountIters(iter int64) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.accountItersLocked(iter)
+}
+
+func (j *Job) accountItersLocked(iter int64) int64 {
+	if j.resume != nil && j.lastIter == 0 {
+		j.lastIter = iter
+		return 0
+	}
+	delta := iter - j.lastIter
+	j.lastIter = iter
+	return delta
+}
+
+// subscribe registers an SSE subscriber. Progress events are dropped
+// when the subscriber's buffer is full (snapshots are self-contained);
+// the terminal event is delivered via Done instead, so it cannot be
+// lost.
+func (j *Job) subscribe(buf int) chan event {
+	ch := make(chan event, buf)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// publish broadcasts an event to all subscribers.
+func (j *Job) publish(name string, v any) {
+	j.mu.Lock()
+	j.publishLocked(name, v)
+	j.mu.Unlock()
+}
+
+func (j *Job) publishLocked(name string, v any) {
+	if len(j.subs) == 0 {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := event{name: name, data: data}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, the next snapshot supersedes
+		}
+	}
+}
+
+// View returns the job's wire representation.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked()
+}
+
+func (j *Job) viewLocked() JobView {
+	v := JobView{
+		ID:        j.id,
+		State:     j.state,
+		Strategy:  j.spec.Strategy,
+		Seed:      j.seed,
+		Submitted: j.submitted,
+		Result:    j.resultJSON,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.progress != nil {
+		v.Progress = progressView(*j.progress)
+	}
+	return v
+}

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics serves Prometheus-style text metrics: jobs by state,
+// queue depth/capacity, worker count, total chain iterations and the
+// scrape-to-scrape iteration rate. Hand-rolled — the module has no
+// dependencies — but the exposition format matches what any Prometheus
+// scraper expects.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	m := s.m
+	counts := m.StateCounts()
+	depth, capacity := m.QueueDepth()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP mcmcd_jobs Number of jobs by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_jobs gauge\n")
+	for _, st := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "mcmcd_jobs{state=%q} %d\n", string(st), counts[st])
+	}
+	fmt.Fprintf(w, "# HELP mcmcd_queue_depth Jobs waiting in the bounded queue.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_queue_depth gauge\n")
+	fmt.Fprintf(w, "mcmcd_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "# HELP mcmcd_queue_capacity Capacity of the bounded queue.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "mcmcd_queue_capacity %d\n", capacity)
+	fmt.Fprintf(w, "# HELP mcmcd_workers Concurrent job slots.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_workers gauge\n")
+	fmt.Fprintf(w, "mcmcd_workers %d\n", m.pool.Workers())
+	fmt.Fprintf(w, "# HELP mcmcd_iterations_total Aggregate chain iterations across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_iterations_total counter\n")
+	fmt.Fprintf(w, "mcmcd_iterations_total %d\n", m.itersTotal.Load())
+	fmt.Fprintf(w, "# HELP mcmcd_iterations_per_second Iteration rate since the previous scrape.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_iterations_per_second gauge\n")
+	fmt.Fprintf(w, "mcmcd_iterations_per_second %g\n", m.iterRate())
+	fmt.Fprintf(w, "# HELP mcmcd_uptime_seconds Seconds since the manager started.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_uptime_seconds counter\n")
+	fmt.Fprintf(w, "mcmcd_uptime_seconds %g\n", m.Uptime().Seconds())
+}

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/pkg/parmcmc"
+)
+
+// Spool layout, one directory per job:
+//
+//	<spool>/<job-id>/job.json        submission record (jobRecord)
+//	<spool>/<job-id>/input.png|pgm   raw uploaded image, if any
+//	<spool>/<job-id>/checkpoint.bin  latest resumable checkpoint
+//	<spool>/<job-id>/result.json     final ResultView once done
+//
+// Every file is written atomically (write-then-rename), so a crash at
+// any instant leaves either the previous or the next version — never a
+// truncated one.
+
+const (
+	spoolRecordFile     = "job.json"
+	spoolCheckpointFile = "checkpoint.bin"
+	spoolResultFile     = "result.json"
+)
+
+// jobRecord is the persisted submission: everything needed to rebuild
+// the job after a restart. Non-terminal recorded states (pending,
+// running) mean "interrupted — resume me".
+type jobRecord struct {
+	ID        string      `json:"id"`
+	Seed      uint64      `json:"seed"`
+	State     State       `json:"state"`
+	Submitted time.Time   `json:"submitted"`
+	Options   OptionsSpec `json:"options"`
+	Scene     *SceneSpec  `json:"scene,omitempty"`
+	Input     string      `json:"input,omitempty"` // input file name
+	Error     string      `json:"error,omitempty"`
+}
+
+func (m *Manager) spooling() bool { return m.cfg.SpoolDir != "" }
+
+func (m *Manager) jobDir(id string) string { return filepath.Join(m.cfg.SpoolDir, id) }
+
+// spoolRecord persists the job's record (and, on first write, its
+// uploaded input). job.spoolMu serializes record writes against
+// spoolResult: Submit's initial pending record and the worker's
+// terminal record can otherwise interleave read-state/write-file and
+// regress a finished job to pending on disk.
+func (m *Manager) spoolRecord(job *Job) error {
+	if !m.spooling() {
+		return nil
+	}
+	job.spoolMu.Lock()
+	defer job.spoolMu.Unlock()
+	return m.spoolRecordLocked(job)
+}
+
+func (m *Manager) spoolRecordLocked(job *Job) error {
+	dir := m.jobDir(job.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := jobRecord{
+		ID:        job.id,
+		Seed:      job.seed,
+		Submitted: job.submitted,
+		Options:   job.spec,
+		Scene:     job.scene,
+	}
+	job.mu.Lock()
+	rec.State = job.state
+	rec.Error = job.errMsg
+	input := job.input // may be released once the job is terminal
+	job.mu.Unlock()
+	if input != nil {
+		rec.Input = "input." + job.ext
+		path := filepath.Join(dir, rec.Input)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			if err := cliutil.WriteFileAtomic(path, input, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return cliutil.WriteFileAtomic(filepath.Join(dir, spoolRecordFile), blob, 0o644)
+}
+
+// spoolCheckpoint persists the latest resumable checkpoint.
+func (m *Manager) spoolCheckpoint(job *Job, cp *parmcmc.Checkpoint) error {
+	blob, err := cp.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	dir := m.jobDir(job.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return cliutil.WriteFileAtomic(filepath.Join(dir, spoolCheckpointFile), blob, 0o644)
+}
+
+// spoolResult persists the final result and the terminal record, and
+// drops the now-redundant checkpoint.
+func (m *Manager) spoolResult(job *Job, resultJSON []byte) error {
+	if !m.spooling() {
+		return nil
+	}
+	job.spoolMu.Lock()
+	defer job.spoolMu.Unlock()
+	dir := m.jobDir(job.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := cliutil.WriteFileAtomic(filepath.Join(dir, spoolResultFile), resultJSON, 0o644); err != nil {
+		return err
+	}
+	if err := m.spoolRecordLocked(job); err != nil {
+		return err
+	}
+	os.Remove(filepath.Join(dir, spoolCheckpointFile))
+	return nil
+}
+
+// recoverSpool scans the spool directory and rebuilds its jobs:
+// terminal ones become read-only entries, interrupted ones are
+// re-validated, pointed at their latest checkpoint and returned for
+// re-queueing. Corrupt entries are logged and skipped — a damaged
+// spool must not keep the daemon down.
+func (m *Manager) recoverSpool() ([]*Job, error) {
+	if !m.spooling() {
+		return nil, nil
+	}
+	if err := os.MkdirAll(m.cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: spool dir: %w", err)
+	}
+	entries, err := os.ReadDir(m.cfg.SpoolDir)
+	if err != nil {
+		return nil, fmt.Errorf("service: spool dir: %w", err)
+	}
+	var requeue []*Job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		job, terminal, err := m.recoverJob(e.Name())
+		if err != nil {
+			m.cfg.Logf("service: skipping spooled job %s: %v", e.Name(), err)
+			continue
+		}
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		var n uint64
+		if parseJobSeq(job.id, &n) && n > m.seq {
+			m.seq = n
+		}
+		if !terminal {
+			requeue = append(requeue, job)
+		}
+	}
+	// Deterministic listing and requeue order.
+	sort.Strings(m.order)
+	sortJobsByID(requeue)
+	return requeue, nil
+}
+
+// recoverJob rebuilds one spooled job directory.
+func (m *Manager) recoverJob(name string) (*Job, bool, error) {
+	dir := filepath.Join(m.cfg.SpoolDir, name)
+	blob, err := os.ReadFile(filepath.Join(dir, spoolRecordFile))
+	if err != nil {
+		return nil, false, err
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return nil, false, fmt.Errorf("corrupt record: %w", err)
+	}
+	if rec.ID != name {
+		return nil, false, fmt.Errorf("record id %q does not match directory", rec.ID)
+	}
+	spec := rec.Options
+	opt, aerr := optionsFromSpec(&spec)
+	if aerr != nil {
+		return nil, false, fmt.Errorf("invalid recorded options: %v", aerr)
+	}
+	js := &jobSpec{spec: spec, opt: opt, scene: rec.Scene}
+	// Terminal jobs never run again, so their (possibly large) input is
+	// not re-decoded — only resumable jobs pay for it.
+	if rec.Input != "" && !rec.State.terminal() {
+		raw, err := os.ReadFile(filepath.Join(dir, rec.Input))
+		if err != nil {
+			return nil, false, err
+		}
+		// Options come from the record; only the image bytes need
+		// re-decoding (deterministically, so resume stays bit-identical).
+		pix, w, h, ext, daerr := decodeImageBytes("", raw)
+		if daerr != nil {
+			return nil, false, fmt.Errorf("re-decoding input: %v", daerr)
+		}
+		js.input, js.ext = raw, ext
+		js.pix, js.w, js.h = pix, w, h
+	}
+	job := newJob(rec.ID, rec.Seed, js, rec.Submitted)
+
+	if rec.State.terminal() {
+		job.state = rec.State
+		job.errMsg = rec.Error
+		if rec.State == StateDone {
+			res, err := os.ReadFile(filepath.Join(dir, spoolResultFile))
+			if err != nil {
+				return nil, false, fmt.Errorf("done job without result: %w", err)
+			}
+			job.resultJSON = res
+		}
+		close(job.done)
+		return job, true, nil
+	}
+
+	// Interrupted: resume from the latest checkpoint when one exists
+	// (and still parses); otherwise restart from scratch — both paths
+	// produce the bit-identical final result.
+	if blob, err := os.ReadFile(filepath.Join(dir, spoolCheckpointFile)); err == nil {
+		var cp parmcmc.Checkpoint
+		if err := cp.UnmarshalBinary(blob); err != nil {
+			m.cfg.Logf("service: %s: unusable checkpoint (%v), restarting job from scratch", rec.ID, err)
+		} else {
+			job.resume = &cp
+		}
+	}
+	return job, false, nil
+}
+
+// parseJobSeq extracts the numeric suffix of a "job-%08d" id.
+func parseJobSeq(id string, out *uint64) bool {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return false
+	}
+	n, err := fmt.Sscanf(id[len(prefix):], "%d", out)
+	return err == nil && n == 1
+}

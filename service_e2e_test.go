@@ -1,0 +1,365 @@
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/pkg/parmcmc"
+	"repro/pkg/service"
+)
+
+// daemon is one running mcmcd process under test.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startDaemon launches a freshly built mcmcd on an ephemeral port and
+// waits for its readiness line. The process is torn down (if still
+// alive) when the test ends.
+func startDaemon(t *testing.T, bin string, extraArgs ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The readiness line is the contract: "mcmcd: listening on http://…".
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "listening on ") {
+				lines <- sc.Text()
+				break
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case line, ok := <-lines:
+		if !ok {
+			t.Fatal("daemon exited before its readiness line")
+		}
+		i := strings.Index(line, "http://")
+		return &daemon{cmd: cmd, url: strings.TrimSpace(line[i:])}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not become ready")
+		return nil
+	}
+}
+
+func (d *daemon) submitScene(t *testing.T, scene service.SceneSpec, opts service.OptionsSpec) service.JobView {
+	t.Helper()
+	body, err := json.Marshal(service.SubmitRequest{Scene: &scene, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, buf.String())
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func (d *daemon) getJob(t *testing.T, id string) service.JobView {
+	t.Helper()
+	resp, err := http.Get(d.url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", id, resp.StatusCode)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+func (d *daemon) waitDone(t *testing.T, id string, timeout time.Duration) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		view := d.getJob(t, id)
+		switch view.State {
+		case service.StateDone, service.StateFailed, service.StateCancelled:
+			return view
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return service.JobView{}
+}
+
+// e2eResult extracts and normalizes a done job's result.
+func e2eResult(t *testing.T, view service.JobView) service.ResultView {
+	t.Helper()
+	if view.State != service.StateDone {
+		t.Fatalf("job %s state %q (error %q)", view.ID, view.State, view.Error)
+	}
+	var res service.ResultView
+	if err := json.Unmarshal(view.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	res.ElapsedSeconds = 0
+	for i := range res.Regions {
+		res.Regions[i].Seconds = 0
+	}
+	return res
+}
+
+// e2eScene/e2eOptions are the shared black-box workload, with the
+// matching direct-library call it must be bit-identical to.
+var e2eScene = service.SceneSpec{W: 96, H: 96, Count: 6, MeanRadius: 7, Noise: 0.05, Seed: 11}
+
+func e2eDirect(t *testing.T, iters int, seed uint64) service.ResultView {
+	t.Helper()
+	pix, _ := parmcmc.GenerateScene(parmcmc.SceneSpec{
+		W: e2eScene.W, H: e2eScene.H, Count: e2eScene.Count,
+		MeanRadius: e2eScene.MeanRadius, Noise: e2eScene.Noise, Seed: e2eScene.Seed,
+	})
+	res, err := parmcmc.Detect(pix, e2eScene.W, e2eScene.H, parmcmc.Options{
+		Strategy: parmcmc.Sequential, MeanRadius: e2eScene.MeanRadius,
+		Iterations: iters, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := service.NewResultView(res)
+	v.ElapsedSeconds = 0
+	return v
+}
+
+// End-to-end integration: submit a synthetic scene to a real mcmcd
+// process, consume the SSE stream to completion, and pin the final
+// result bit-identical to a direct parmcmc.Detect with the same seed.
+func TestServiceE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "mcmcd")
+	d := startDaemon(t, bin, "-spool", t.TempDir(), "-job-slots", "2")
+
+	const iters, seed = 60000, 21
+	view := d.submitScene(t, e2eScene, service.OptionsSpec{
+		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: iters, Seed: seed,
+	})
+	if view.State != service.StatePending || view.Seed != seed {
+		t.Fatalf("submitted view %+v", view)
+	}
+
+	// Consume the SSE stream until the done event.
+	resp, err := http.Get(d.url + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var (
+		progressEvents int
+		final          service.JobView
+		name           string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() && final.ID == "" {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+			if name == "progress" {
+				progressEvents++
+			}
+		case strings.HasPrefix(line, "data: ") && name == "done":
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if final.ID == "" {
+		t.Fatal("SSE stream closed without a done event")
+	}
+	if progressEvents == 0 {
+		t.Fatal("no progress events on the SSE stream")
+	}
+
+	got := e2eResult(t, final)
+	if want := e2eDirect(t, iters, seed); !reflect.DeepEqual(got, want) {
+		t.Fatalf("daemon result differs from direct Detect\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Liveness endpoints answer on the same listener.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(d.url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// Crash durability: SIGKILL the daemon mid-job, restart it on the same
+// spool directory, and the resumed job must land the bit-identical
+// result of an uninterrupted run.
+func TestServiceCrashRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "mcmcd")
+	spool := t.TempDir()
+
+	// The uninterrupted reference runs concurrently with the daemon.
+	const iters, seed = 1_500_000, 33
+	wantCh := make(chan service.ResultView, 1)
+	go func() {
+		pix, _ := parmcmc.GenerateScene(parmcmc.SceneSpec{
+			W: e2eScene.W, H: e2eScene.H, Count: e2eScene.Count,
+			MeanRadius: e2eScene.MeanRadius, Noise: e2eScene.Noise, Seed: e2eScene.Seed,
+		})
+		res, err := parmcmc.Detect(pix, e2eScene.W, e2eScene.H, parmcmc.Options{
+			Strategy: parmcmc.Sequential, MeanRadius: e2eScene.MeanRadius,
+			Iterations: iters, Seed: seed,
+		})
+		if err != nil {
+			wantCh <- service.ResultView{}
+			return
+		}
+		v := service.NewResultView(res)
+		v.ElapsedSeconds = 0
+		wantCh <- v
+	}()
+
+	d1 := startDaemon(t, bin, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
+	view := d1.submitScene(t, e2eScene, service.OptionsSpec{
+		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: iters, Seed: seed,
+	})
+
+	// Wait for at least one spooled checkpoint, then kill -9.
+	ckpt := filepath.Join(spool, view.ID, "checkpoint.bin")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared before the crash window closed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := d1.getJob(t, view.ID).State; st != service.StateRunning {
+		t.Fatalf("job state %q at kill time", st)
+	}
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	// Restart over the same spool: the job must come back and finish.
+	d2 := startDaemon(t, bin, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
+	final := d2.waitDone(t, view.ID, 180*time.Second)
+	got := e2eResult(t, final)
+	want := <-wantCh
+	if want.Strategy == "" {
+		t.Fatal("reference detection failed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("crash-resumed result differs from uninterrupted run\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Iterations != int64(iters) {
+		t.Fatalf("resumed run accounted %d iterations, want %d", got.Iterations, iters)
+	}
+}
+
+// Graceful shutdown: SIGTERM must drain the listener and leave a
+// running job's spool resumable (non-terminal record + checkpoint).
+func TestServiceGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "mcmcd")
+	spool := t.TempDir()
+	d := startDaemon(t, bin, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
+	view := d.submitScene(t, e2eScene, service.OptionsSpec{
+		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: 5_000_000, Seed: 3,
+	})
+	ckpt := filepath.Join(spool, view.ID, "checkpoint.bin")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+
+	// The spool must still describe a resumable job.
+	blob, err := os.ReadFile(filepath.Join(spool, view.ID, "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		State service.State `json:"state"`
+	}
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State == service.StateDone || rec.State == service.StateFailed || rec.State == service.StateCancelled {
+		t.Fatalf("shutdown recorded terminal state %q", rec.State)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint gone after graceful shutdown: %v", err)
+	}
+}
