@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test test-short race ci cover-service bench bench-json bench-check experiments-quick experiments
+.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service bench bench-json bench-check fuzz-smoke experiments-quick experiments
 
 all: build
 
@@ -20,6 +20,17 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis + known-vulnerability scan, mirroring the CI lint job
+# (same pinned versions, so local `make lint` reproduces CI exactly).
+# The tools are installed on demand into $(go env GOPATH)/bin.
+STATICCHECK_VERSION := 2025.1.1
+GOVULNCHECK_VERSION := v1.1.4
+lint:
+	@command -v staticcheck >/dev/null 2>&1 || 		$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	@command -v govulncheck >/dev/null 2>&1 || 		$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	staticcheck ./...
+	govulncheck ./...
 
 # Fast failure: the short suite skips the long chain runs.
 test-short:
@@ -65,8 +76,18 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/benchjson \
 		-bench 'BenchmarkLikDelta|BenchmarkCoverMove|BenchmarkSequentialIteration|BenchmarkMoveKinds' \
-		-benchtime 0.3s -o /tmp/BENCH_check.json \
+		-benchtime 0.3s -count 3 -o /tmp/BENCH_check.json \
 		-compare BENCH_baseline.json -max-ns-regress 0.15
+
+# Nightly fuzz smoke: run every Fuzz* target for FUZZ_TIME each (the
+# decode fuzzers, the PGM dimension guards, and the disc+ellipse
+# likelihood differentials). Any crasher fails the run and is written
+# under the package's testdata/fuzz/ for triage.
+FUZZ_TIME := 30s
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeSubmit -fuzztime=$(FUZZ_TIME) ./pkg/service
+	$(GO) test -run=^$$ -fuzz=FuzzPGMDims -fuzztime=$(FUZZ_TIME) ./pkg/service
+	$(GO) test -run=^$$ -fuzz=FuzzLikDeltaDifferential -fuzztime=$(FUZZ_TIME) ./internal/model
 
 # Reproduce every paper figure through the Runner (quick ≈ seconds,
 # full ≈ minutes).

@@ -70,12 +70,18 @@ func BenchmarkMC3(b *testing.B) { runExperiment(b, "mc3") }
 // Engine micro-benchmarks and ablations.
 
 func benchState(b *testing.B, w, h, count int) *model.State {
+	return benchStateKind(b, w, h, count, geom.KindDisc)
+}
+
+func benchStateKind(b *testing.B, w, h, count int, kind geom.ShapeKind) *model.State {
 	b.Helper()
 	scene := imaging.Synthesize(imaging.SceneSpec{
 		W: w, H: h, Count: count, MeanRadius: 10, RadiusStdDev: 1.2,
-		Noise: 0.06, MinSeparation: 1.05,
+		Noise: 0.06, MinSeparation: 1.05, Shape: kind,
 	}, rng.New(2010))
-	s, err := model.NewState(scene.Image, model.DefaultParams(float64(count), 10))
+	p := model.DefaultParams(float64(count), 10)
+	p.Shape = kind
+	s, err := model.NewState(scene.Image, p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,21 +100,32 @@ func BenchmarkSequentialIteration(b *testing.B) {
 }
 
 // BenchmarkMoveKinds measures each proposal kind separately; the paper's
-// theory assumes τ_g ≈ τ_l, which this verifies.
+// theory assumes τ_g ≈ τ_l, which this verifies. Each shape family
+// benches its own move set (axis-scale/rotate exist only for ellipses;
+// split/merge only for discs), on an engine over a matching scene.
 func BenchmarkMoveKinds(b *testing.B) {
-	for m := mcmc.Move(0); m < mcmc.NumMoves; m++ {
-		m := m
-		b.Run(m.String(), func(b *testing.B) {
-			s := benchState(b, 512, 512, 40)
-			e := mcmc.MustNew(s, rng.New(1), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(10))
-			e.RunN(20000)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				e.Decide(e.Propose(m))
-			}
-		})
+	run := func(name string, kind geom.ShapeKind, moves []mcmc.Move) {
+		s := benchStateKind(b, 512, 512, 40, kind)
+		e := mcmc.MustNew(s, rng.New(1), mcmc.DefaultWeightsFor(kind), mcmc.DefaultStepSizes(10))
+		e.RunN(20000)
+		for _, m := range moves {
+			m := m
+			b.Run(name+m.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e.Decide(e.Propose(m))
+				}
+			})
+		}
 	}
+	run("", geom.KindDisc, []mcmc.Move{
+		mcmc.Birth, mcmc.Death, mcmc.Split, mcmc.Merge,
+		mcmc.Replace, mcmc.Shift, mcmc.Resize,
+	})
+	run("ellipse/", geom.KindEllipse, []mcmc.Move{
+		mcmc.Birth, mcmc.Death, mcmc.Replace, mcmc.Shift,
+		mcmc.Resize, mcmc.AxisScale, mcmc.Rotate,
+	})
 }
 
 // BenchmarkPeriodicVsSequential is the headline ablation: the same
@@ -161,7 +178,7 @@ func BenchmarkSpeculativeExecutor(b *testing.B) {
 // evaluation primitive.
 func BenchmarkLikelihoodDelta(b *testing.B) {
 	s := benchState(b, 512, 512, 40)
-	c := geom.Circle{X: 256, Y: 256, R: 10}
+	c := geom.Disc(256, 256, 10)
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {

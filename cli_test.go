@@ -113,3 +113,56 @@ func TestCLIMcmcimgUsage(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestCLIPipelineEllipse runs the same imagegen → mcmcimg pipeline over
+// an elliptical scene: -shape threads through both binaries, the CSV
+// switches to the full shape columns, and the rotated-outline overlay
+// is written.
+func TestCLIPipelineEllipse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	imagegen := buildTool(t, "imagegen")
+	mcmcimg := buildTool(t, "mcmcimg")
+
+	pgm := filepath.Join(dir, "scene.pgm")
+	gen := exec.Command(imagegen,
+		"-w", "128", "-h", "128", "-count", "5", "-radius", "8",
+		"-shape", "ellipse", "-noise", "0.05", "-seed", "4", "-out", pgm)
+	genOut, err := gen.Output()
+	if err != nil {
+		t.Fatalf("imagegen: %v", err)
+	}
+	if !strings.HasPrefix(string(genOut), "x,y,rx,ry,theta") {
+		t.Fatalf("imagegen CSV header: %q", strings.SplitN(string(genOut), "\n", 2)[0])
+	}
+
+	overlay := filepath.Join(dir, "overlay.png")
+	det := exec.Command(mcmcimg,
+		"-in", pgm, "-radius", "8", "-shape", "ellipse", "-strategy", "periodic",
+		"-iters", "30000", "-seed", "2", "-overlay", overlay)
+	detOut, err := det.Output()
+	if err != nil {
+		t.Fatalf("mcmcimg: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(detOut)), "\n")
+	if lines[0] != "x,y,rx,ry,theta" {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+	found := len(lines) - 1
+	if found < 3 || found > 8 {
+		t.Fatalf("mcmcimg found %d artifacts for a 5-artifact scene", found)
+	}
+	if fi, err := os.Stat(overlay); err != nil || fi.Size() == 0 {
+		t.Fatalf("overlay not written: %v", err)
+	}
+
+	// An unknown shape must be rejected by both binaries.
+	if err := exec.Command(mcmcimg, "-in", pgm, "-radius", "8", "-shape", "blob").Run(); err == nil {
+		t.Fatal("mcmcimg accepted -shape blob")
+	}
+	if err := exec.Command(imagegen, "-shape", "blob", "-out", filepath.Join(dir, "x.pgm")).Run(); err == nil {
+		t.Fatal("imagegen accepted -shape blob")
+	}
+}

@@ -121,6 +121,7 @@ func main() {
 			}
 		}
 	}
+	report.Results = aggregateMin(report.Results)
 
 	path := *out
 	if path == "" {
@@ -163,6 +164,37 @@ func readReport(path string) (Report, error) {
 		return rep, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// aggregateMin collapses duplicate (pkg, name) results — produced by
+// -count > 1 — to the per-benchmark minimum ns/op (the benchstat-style
+// low-noise estimator for CPU-bound micro-benchmarks: scheduling and
+// frequency noise only ever adds time). Allocation and byte counts are
+// deterministic and identical across repetitions; the minimum is kept
+// for robustness. Order of first appearance is preserved.
+func aggregateMin(results []Benchmark) []Benchmark {
+	type key struct{ pkg, name string }
+	idx := make(map[key]int, len(results))
+	out := results[:0]
+	for _, b := range results {
+		k := key{b.Pkg, b.Name}
+		if i, ok := idx[k]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i].NsPerOp = b.NsPerOp
+				out[i].Iterations = b.Iterations
+			}
+			if b.BytesPerOp != nil && (out[i].BytesPerOp == nil || *b.BytesPerOp < *out[i].BytesPerOp) {
+				out[i].BytesPerOp = b.BytesPerOp
+			}
+			if b.AllocsPerOp != nil && (out[i].AllocsPerOp == nil || *b.AllocsPerOp < *out[i].AllocsPerOp) {
+				out[i].AllocsPerOp = b.AllocsPerOp
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, b)
+	}
+	return out
 }
 
 // compareReports returns one message per regression: a benchmark

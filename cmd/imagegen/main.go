@@ -1,7 +1,7 @@
-// Command imagegen renders synthetic micrograph scenes (bright circular
-// artifacts on a noisy background) and writes them as PGM, with the
-// ground truth as CSV on stdout. It substitutes for the paper's stained-
-// nuclei and latex-bead micrographs (DESIGN.md §7).
+// Command imagegen renders synthetic micrograph scenes (bright disc or
+// ellipse artifacts on a noisy background) and writes them as PGM, with
+// the ground truth as CSV on stdout. It substitutes for the paper's
+// stained-nuclei and latex-bead micrographs (DESIGN.md §7).
 //
 // Usage:
 //
@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/geom"
 	"repro/internal/imaging"
 	"repro/internal/rng"
 )
@@ -31,13 +32,26 @@ func main() {
 		clusters = flag.Int("clusters", 0, "cluster count (0 = uniform spread)")
 		noise    = flag.Float64("noise", 0.05, "Gaussian pixel noise std-dev")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
+		shape    = flag.String("shape", "disc", "artifact shape family: disc or ellipse")
+		ratio    = flag.Float64("axis-ratio", 0, "ellipse scenes: mean minor/major axis ratio (0 = default 0.7)")
 		out      = flag.String("out", "scene.pgm", "output PGM path")
 		pngOut   = flag.String("png", "", "optional PNG path with truth overlay")
 	)
 	flag.Parse()
 
+	var kind geom.ShapeKind
+	switch *shape {
+	case geom.KindDisc.String():
+		kind = geom.KindDisc
+	case geom.KindEllipse.String():
+		kind = geom.KindEllipse
+	default:
+		log.Fatalf("unknown -shape %q (want disc or ellipse)", *shape)
+	}
+
 	scene := imaging.Synthesize(imaging.SceneSpec{
 		W: *width, H: *height, Count: *count,
+		Shape: kind, AxisRatio: *ratio,
 		MeanRadius: *radius, RadiusStdDev: *radStd,
 		Clusters: *clusters, Noise: *noise,
 		MinSeparation: 1.02,
@@ -65,9 +79,9 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Println("x,y,r")
+	fmt.Println("x,y,rx,ry,theta")
 	for _, c := range scene.Truth {
-		fmt.Printf("%.3f,%.3f,%.3f\n", c.X, c.Y, c.R)
+		fmt.Printf("%.3f,%.3f,%.3f,%.3f,%.3f\n", c.X, c.Y, c.Rx, c.Ry, c.Theta)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s with %d artifacts\n", *out, len(scene.Truth))
 }

@@ -1,9 +1,12 @@
 // Package repro reproduces Byrd, Jarvis & Bhalerao, "On the
 // Parallelisation of MCMC-based Image Processing" (IEEE IPDPS workshops,
-// 2010): reversible-jump MCMC detection of circular artifacts in images,
+// 2010): reversible-jump MCMC detection of artifacts in images,
 // parallelised by periodic partitioning (§V), speculative moves,
 // intelligent and blind image partitioning (§VIII), with (MC)³ as the
-// related-work baseline.
+// related-work baseline. The paper's workload is circular artifacts;
+// a generic shape layer (internal/geom.Shape) extends every strategy
+// to ellipses — per-feature semi-axes and rotation — selected via
+// parmcmc.Options.Shape with no strategy-specific shape code.
 //
 // Use the public API in pkg/parmcmc. Every strategy is a plugin: a
 // steppable sampler (Step/Snapshot/Finish) registered in a

@@ -1,0 +1,85 @@
+// Ellipses: the generic shape layer end-to-end — elliptical cell
+// nuclei (the realistic case: nuclei are rarely perfect discs) are
+// synthesized, detected with the same parallel strategies as the disc
+// workload, and written to an overlay PNG. Everything runs through the
+// public API: Options.Shape switches the whole stack — span generation,
+// likelihood kernels, the move set (axis-scale and rotate replace the
+// disc-only split/merge), partition workers — with no strategy-specific
+// shape code.
+//
+//	go run ./examples/ellipses [output-dir]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/geom"
+	"repro/internal/imaging"
+	"repro/pkg/parmcmc"
+)
+
+func main() {
+	log.SetFlags(0)
+	outDir := "."
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+
+	// An elliptical-nuclei micrograph: elongated bright blobs (mean
+	// major semi-axis 9, minor ≈ 0.65×, arbitrary orientation).
+	const w, h = 360, 360
+	pix, truth := parmcmc.GenerateSceneShapes(parmcmc.SceneSpec{
+		W: w, H: h, Count: 40, MeanRadius: 9, Noise: 0.07, Seed: 5,
+		Shape: parmcmc.Ellipses, AxisRatio: 0.65,
+	})
+	fmt.Printf("scene: %d elliptical nuclei\n", len(truth))
+
+	// Detect with periodic partitioning — identical call to the disc
+	// workload plus Shape: Ellipses.
+	res, err := parmcmc.Detect(pix, w, h, parmcmc.Options{
+		Strategy:   parmcmc.Periodic,
+		Shape:      parmcmc.Ellipses,
+		MeanRadius: 9,
+		Iterations: 120000,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	precision, recall, f1 := parmcmc.MatchScoreShapes(res.Ellipses, truth, 5)
+	fmt.Printf("found %d nuclei in %v: precision %.3f, recall %.3f, F1 %.3f\n",
+		len(res.Ellipses), res.Elapsed.Round(1e6), precision, recall, f1)
+	fmt.Printf("log-posterior %.1f over %d iterations (%d barriers)\n",
+		res.LogPost, res.Iterations, res.Barriers)
+
+	// Report how elongated the fitted shapes are: the sampler's
+	// axis-scale and rotate moves must have pulled the axes apart.
+	elongated := 0
+	for _, e := range res.Ellipses {
+		if e.Ry < 0.9*e.Rx || e.Rx < 0.9*e.Ry {
+			elongated++
+		}
+	}
+	fmt.Printf("%d of %d detections are visibly elongated\n", elongated, len(res.Ellipses))
+
+	// Overlay the fitted ellipses on the input image.
+	im := &imaging.Image{W: w, H: h, Pix: append([]float64(nil), pix...)}
+	shapes := make([]geom.Ellipse, len(res.Ellipses))
+	for i, e := range res.Ellipses {
+		shapes[i] = geom.Ellipse{X: e.X, Y: e.Y, Rx: e.Rx, Ry: e.Ry, Theta: e.Theta}
+	}
+	overlay := filepath.Join(outDir, "ellipses_overlay.png")
+	f, err := os.Create(overlay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := im.WriteOverlayPNG(f, shapes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", overlay)
+}

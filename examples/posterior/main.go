@@ -41,12 +41,12 @@ func main() {
 		{93, 40, 7.5}, {99, 40, 7.5},
 	}
 	for _, c := range truth {
-		imaging.RenderDisc(im, geom.Circle{X: c.x, Y: c.y, R: c.r}, 0.55)
+		imaging.RenderShape(im, geom.Disc(c.x, c.y, c.r), 0.55)
 	}
 	// A barely-above-threshold artifact whose very existence the
 	// posterior should be uncertain about.
-	faint := geom.Circle{X: 150, Y: 90, R: 8}
-	imaging.RenderDisc(im, faint, 0.34)
+	faint := geom.Disc(150, 90, 8)
+	imaging.RenderShape(im, faint, 0.34)
 	noise := rng.New(12)
 	for i := range im.Pix {
 		im.Pix[i] += noise.NormalAt(0, 0.12)
@@ -87,8 +87,8 @@ func main() {
 	// coverage probability over its disc.
 	pm := acc.ProbabilityMap()
 	sum, npx := 0.0, 0
-	for y := int(faint.Y - faint.R); y <= int(faint.Y+faint.R); y++ {
-		for x := int(faint.X - faint.R); x <= int(faint.X+faint.R); x++ {
+	for y := int(faint.Y - faint.Rx); y <= int(faint.Y+faint.Rx); y++ {
+		for x := int(faint.X - faint.Rx); x <= int(faint.X+faint.Rx); x++ {
 			if faint.Contains(float64(x)+0.5, float64(y)+0.5) {
 				sum += pm.At(x, y)
 				npx++

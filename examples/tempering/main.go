@@ -29,13 +29,13 @@ func main() {
 	im := imaging.New(256, 256)
 	im.Fill(0.1)
 	r := rng.New(3)
-	var truth []geom.Circle
+	var truth []geom.Ellipse
 	const meanR = 8.0
 	for len(truth) < 10 {
 		cx, cy := r.Uniform(40, 216), r.Uniform(40, 216)
 		clear := true
 		for _, p := range truth {
-			if (geom.Circle{X: cx, Y: cy}).Dist(p) < 5*meanR {
+			if (geom.Ellipse{X: cx, Y: cy}).Dist(p) < 5*meanR {
 				clear = false
 				break
 			}
@@ -44,11 +44,11 @@ func main() {
 			continue
 		}
 		truth = append(truth,
-			geom.Circle{X: cx - 0.55*meanR, Y: cy, R: meanR},
-			geom.Circle{X: cx + 0.55*meanR, Y: cy, R: meanR})
+			geom.Disc(cx-0.55*meanR, cy, meanR),
+			geom.Disc(cx+0.55*meanR, cy, meanR))
 	}
 	for _, c := range truth {
-		imaging.RenderDisc(im, c, 0.9)
+		imaging.RenderShape(im, c, 0.9)
 	}
 	noise := rng.New(4)
 	for i := range im.Pix {

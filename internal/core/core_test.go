@@ -163,7 +163,7 @@ func TestPeriodicStateConsistency(t *testing.T) {
 // Results must not depend on the number of worker goroutines: per-cell
 // RNG streams and ordered merges make the schedule deterministic.
 func TestWorkerCountInvariance(t *testing.T) {
-	run := func(workers int) ([]geom.Circle, float64) {
+	run := func(workers int) ([]geom.Ellipse, float64) {
 		host, _ := testHost(t, 5, 96, 96, 6)
 		opts := defaultOpts(96, 96)
 		opts.GridXM, opts.GridYM = 40, 40
@@ -353,7 +353,7 @@ func TestOwnedCirclesStayEligible(t *testing.T) {
 		t.Fatal(err)
 	}
 	pe.Run(10000)
-	s.Cfg.ForEach(func(_ int, c geom.Circle) {
+	s.Cfg.ForEach(func(_ int, c geom.Ellipse) {
 		if c.X < 0 || c.X >= 96 || c.Y < 0 || c.Y >= 96 {
 			t.Fatalf("circle escaped image: %+v", c)
 		}

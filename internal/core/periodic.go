@@ -247,7 +247,10 @@ func (pe *Engine) localPhase(n int) {
 	}
 	workers := pe.workers[:len(cells)]
 	wNorm := pe.E.W.Normalised()
-	localWeights := [2]float64{wNorm[mcmc.Shift], wNorm[mcmc.Resize]}
+	localWeights := [4]float64{
+		wNorm[mcmc.Shift], wNorm[mcmc.Resize],
+		wNorm[mcmc.AxisScale], wNorm[mcmc.Rotate],
+	}
 	for i, cell := range cells {
 		workers[i].reset(s, cell, pe.margin, pe.E.Steps, pe.Opt.LocalSpecWidth, localWeights)
 	}
@@ -261,7 +264,7 @@ func (pe *Engine) localPhase(n int) {
 	for _, sc := range pe.snapBuf {
 		id, c := sc.ID, sc.C
 		ownerCell := -1
-		if cell, ok := grid.CellAt(c.X, c.Y); ok && cell.ContainsCircle(c, pe.margin) {
+		if cell, ok := grid.CellAt(c.X, c.Y); ok && cell.ContainsEllipse(c, pe.margin) {
 			for i := range cells {
 				if cells[i] == cell {
 					ownerCell = i
@@ -397,7 +400,7 @@ func assignLargestRemainder(n int, counts []int, workers []*cellWorker, remsBuf 
 // circle positions, spatial index, cached posterior and statistics.
 func (pe *Engine) mergeWorkers(workers []*cellWorker) {
 	for _, w := range workers {
-		w.forEachChanged(func(id int, c geom.Circle) {
+		w.forEachChanged(func(id int, c geom.Ellipse) {
 			pe.E.S.CommitMoved(id, c)
 		})
 		pe.E.S.AddDeltas(w.dLik, w.dPrior)

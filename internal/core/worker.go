@@ -54,8 +54,10 @@ type cellWorker struct {
 	entries []workerEntry
 	ownedAt []int // indices into entries of owned circles
 
-	// localWeights[0] is the shift mass, [1] the resize mass.
-	localWeights [2]float64
+	// localWeights holds the masses of the local move kinds, indexed by
+	// localMoves order: shift, resize, axis-scale, rotate (the last two
+	// are zero for disc workloads).
+	localWeights [4]float64
 
 	dLik, dPrior float64
 	stats        mcmc.Stats
@@ -67,7 +69,7 @@ type cellWorker struct {
 // reset re-initialises the worker for a new local phase, keeping the
 // entries/ownedAt/props capacity from earlier phases so the steady-state
 // fork/join cycle allocates nothing.
-func (w *cellWorker) reset(s *model.State, cell geom.Rect, margin float64, steps mcmc.StepSizes, specWidth int, localWeights [2]float64) {
+func (w *cellWorker) reset(s *model.State, cell geom.Rect, margin float64, steps mcmc.StepSizes, specWidth int, localWeights [4]float64) {
 	w.s = s
 	w.cell = cell
 	w.margin = margin
@@ -85,26 +87,26 @@ func (w *cellWorker) reset(s *model.State, cell geom.Rect, margin float64, steps
 
 type workerEntry struct {
 	id       int
-	c        geom.Circle
-	original geom.Circle
+	c        geom.Ellipse
+	original geom.Ellipse
 	owned    bool
 }
 
 // addOwned registers an owned circle.
-func (w *cellWorker) addOwned(id int, c geom.Circle) {
+func (w *cellWorker) addOwned(id int, c geom.Ellipse) {
 	w.ownedAt = append(w.ownedAt, len(w.entries))
 	w.entries = append(w.entries, workerEntry{id: id, c: c, original: c, owned: true})
 }
 
 // addNeighbour registers a read-only circle from outside the cell's
 // ownership.
-func (w *cellWorker) addNeighbour(id int, c geom.Circle) {
+func (w *cellWorker) addNeighbour(id int, c geom.Ellipse) {
 	w.entries = append(w.entries, workerEntry{id: id, c: c, original: c})
 }
 
 // overlapSum returns Σ overlapArea(c, other) over every entry except the
 // one at index self.
-func (w *cellWorker) overlapSum(c geom.Circle, self int) float64 {
+func (w *cellWorker) overlapSum(c geom.Ellipse, self int) float64 {
 	total := 0.0
 	for i := range w.entries {
 		if i != self {
@@ -118,43 +120,50 @@ func (w *cellWorker) overlapSum(c geom.Circle, self int) float64 {
 type localProposal struct {
 	move   mcmc.Move
 	idx    int // entries index of the target circle
-	newC   geom.Circle
+	newC   geom.Ellipse
 	valid  bool
 	dLik   float64
 	dPrior float64
 }
 
+// localMoves maps Pick indices over localWeights to move kinds.
+var localMoves = [4]mcmc.Move{mcmc.Shift, mcmc.Resize, mcmc.AxisScale, mcmc.Rotate}
+
 // propose draws and evaluates one local move against the worker's
-// current private state, read-only.
+// current private state, read-only. The kernels mirror the sequential
+// engine's local proposals exactly (same perturbation structure, same
+// symmetric-kernel cancellations), restricted to owned features.
 func (w *cellWorker) propose() localProposal {
-	move := mcmc.Shift
-	if w.rng.Pick(w.localWeights[:]) == 1 {
-		move = mcmc.Resize
-	}
+	move := localMoves[w.rng.Pick(w.localWeights[:])]
 	idx := w.ownedAt[w.rng.Intn(len(w.ownedAt))]
 	oldC := w.entries[idx].c
-	var newC geom.Circle
-	if move == mcmc.Shift {
-		newC = geom.Circle{
-			X: oldC.X + w.rng.NormalAt(0, w.steps.ShiftStd),
-			Y: oldC.Y + w.rng.NormalAt(0, w.steps.ShiftStd),
-			R: oldC.R,
+	newC := oldC
+	switch move {
+	case mcmc.Shift:
+		newC.X = oldC.X + w.rng.NormalAt(0, w.steps.ShiftStd)
+		newC.Y = oldC.Y + w.rng.NormalAt(0, w.steps.ShiftStd)
+	case mcmc.Resize:
+		d := w.rng.NormalAt(0, w.steps.ResizeStd)
+		newC.Rx = oldC.Rx + d
+		newC.Ry = oldC.Ry + d
+	case mcmc.AxisScale:
+		d := w.rng.NormalAt(0, w.steps.AxisStd)
+		if w.rng.Intn(2) == 0 {
+			newC.Rx = oldC.Rx + d
+		} else {
+			newC.Ry = oldC.Ry + d
 		}
-	} else {
-		newC = geom.Circle{
-			X: oldC.X, Y: oldC.Y,
-			R: oldC.R + w.rng.NormalAt(0, w.steps.ResizeStd),
-		}
+	case mcmc.Rotate:
+		newC.Theta = mcmc.WrapHalfTurn(oldC.Theta + w.rng.NormalAt(0, w.steps.RotateStd))
 	}
 	p := localProposal{move: move, idx: idx, newC: newC}
 
 	// Partition-boundary rule and prior support.
-	if !w.cell.ContainsCircle(newC, w.margin) ||
-		newC.R < w.s.P.MinRadius || newC.R > w.s.P.MaxRadius {
+	if !w.cell.ContainsEllipse(newC, w.margin) || !w.s.P.ShapeInSupport(newC) {
 		return p
 	}
 	p.valid = true
-	p.dPrior = w.s.P.LogRadiusPDF(newC.R) - w.s.P.LogRadiusPDF(oldC.R)
+	p.dPrior = w.s.P.LogShapePrior(newC) - w.s.P.LogShapePrior(oldC)
 	p.dPrior -= w.s.P.OverlapPenalty *
 		(w.overlapSum(newC, idx) - w.overlapSum(oldC, idx))
 	p.dLik = model.LikDeltaMove(w.s.Gain, w.s.GainSum, w.s.Cover, w.s.W, w.s.H, w.entries[idx].c, newC)
@@ -246,7 +255,7 @@ func (w *cellWorker) runSpeculative() {
 
 // forEachChanged calls fn for every owned circle whose value differs
 // from the phase-start snapshot, without allocating.
-func (w *cellWorker) forEachChanged(fn func(id int, c geom.Circle)) {
+func (w *cellWorker) forEachChanged(fn func(id int, c geom.Ellipse)) {
 	for _, i := range w.ownedAt {
 		e := &w.entries[i]
 		if e.c != e.original {

@@ -35,18 +35,18 @@ func Anomaly(ctx context.Context, o Options) (*Result, error) {
 	fw, fh := float64(w), float64(h)
 	meanR := 8.0
 	// Half the artifacts sit on the 2x2 boundary cross, half elsewhere.
-	truth := []geom.Circle{
-		{X: fw / 2, Y: fh * 0.18, R: meanR},
-		{X: fw / 2, Y: fh * 0.70, R: meanR},
-		{X: fw * 0.30, Y: fh / 2, R: meanR},
-		{X: fw * 0.82, Y: fh / 2, R: meanR},
-		{X: fw * 0.22, Y: fh * 0.25, R: meanR},
-		{X: fw * 0.75, Y: fh * 0.20, R: meanR},
-		{X: fw * 0.25, Y: fh * 0.80, R: meanR},
-		{X: fw * 0.78, Y: fh * 0.77, R: meanR},
+	truth := []geom.Ellipse{
+		geom.Disc(fw/2, fh*0.18, meanR),
+		geom.Disc(fw/2, fh*0.70, meanR),
+		geom.Disc(fw*0.30, fh/2, meanR),
+		geom.Disc(fw*0.82, fh/2, meanR),
+		geom.Disc(fw*0.22, fh*0.25, meanR),
+		geom.Disc(fw*0.75, fh*0.20, meanR),
+		geom.Disc(fw*0.25, fh*0.80, meanR),
+		geom.Disc(fw*0.78, fh*0.77, meanR),
 	}
 	for _, c := range truth {
-		imaging.RenderDisc(im, c, 0.9)
+		imaging.RenderShape(im, c, 0.9)
 	}
 	noise := rng.New(o.Seed + 300)
 	for i := range im.Pix {
@@ -93,7 +93,7 @@ func Anomaly(ctx context.Context, o Options) (*Result, error) {
 	periodicCircles := st.Cfg.Circles()
 
 	xs, ys := partition.BoundaryLines(im.Bounds(), 2, 2)
-	score := func(name string, found []geom.Circle) []any {
+	score := func(name string, found []geom.Ellipse) []any {
 		m := stats.MatchCircles(found, truth, meanR/2)
 		return []any{
 			name, len(found), m.TP, m.FP, m.FN,

@@ -127,7 +127,7 @@ func cellScene(o Options) *imaging.Scene {
 // beadScene reproduces the fig. 3 latex-bead image: three clumps whose
 // relative areas roughly match Table I's partitions (A≈0.15, B≈0.62,
 // C≈0.23 of the content area) with 6/38/4 beads.
-func beadScene(o Options) (*imaging.Scene, [3][]geom.Circle) {
+func beadScene(o Options) (*imaging.Scene, [3][]geom.Ellipse) {
 	w, h := 540, 400
 	rr := 10.0
 	if o.Quick {
@@ -136,26 +136,26 @@ func beadScene(o Options) (*imaging.Scene, [3][]geom.Circle) {
 	im := imaging.New(w, h)
 	im.Fill(0.08)
 	scale := float64(w) / 540
-	var clusters [3][]geom.Circle
-	var all []geom.Circle
+	var clusters [3][]geom.Ellipse
+	var all []geom.Ellipse
 	place := func(slot int, cx, cy, spread float64, n int, seed uint64) {
 		r := rng.New(seed)
 		placed := 0
 		for placed < n {
-			c := geom.Circle{
-				X: (cx + r.NormalAt(0, spread)) * scale,
-				Y: (cy + r.NormalAt(0, spread)) * scale,
-				R: rr * (1 + r.NormalAt(0, 0.03)), // "very little variation in radii"
-			}
+			c := geom.Disc(
+				(cx+r.NormalAt(0, spread))*scale,
+				(cy+r.NormalAt(0, spread))*scale,
+				rr*(1+r.NormalAt(0, 0.03)), // "very little variation in radii"
+			)
 			// Allow clumping but not near-coincidence, and stay inside
 			// the frame.
-			if c.X < c.R+2 || c.X > float64(w)-c.R-2 ||
-				c.Y < c.R+2 || c.Y > float64(h)-c.R-2 {
+			if c.X < c.Rx+2 || c.X > float64(w)-c.Rx-2 ||
+				c.Y < c.Rx+2 || c.Y > float64(h)-c.Rx-2 {
 				continue
 			}
 			ok := true
 			for _, p := range all {
-				if c.Dist(p) < 0.9*(c.R+p.R) {
+				if c.Dist(p) < 0.9*(c.Rx+p.Rx) {
 					ok = false
 					break
 				}
@@ -165,7 +165,7 @@ func beadScene(o Options) (*imaging.Scene, [3][]geom.Circle) {
 			}
 			clusters[slot] = append(clusters[slot], c)
 			all = append(all, c)
-			imaging.RenderDisc(im, c, 0.92)
+			imaging.RenderShape(im, c, 0.92)
 			placed++
 		}
 	}
@@ -223,10 +223,10 @@ func lptMakespan(regions []parmcmc.RegionInfo, procs int) float64 {
 
 // toGeom converts public API circles back to the internal geometry type
 // for scoring against ground truth.
-func toGeom(cs []parmcmc.Circle) []geom.Circle {
-	out := make([]geom.Circle, len(cs))
+func toGeom(cs []parmcmc.Circle) []geom.Ellipse {
+	out := make([]geom.Ellipse, len(cs))
 	for i, c := range cs {
-		out[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+		out[i] = geom.Disc(c.X, c.Y, c.R)
 	}
 	return out
 }

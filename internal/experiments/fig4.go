@@ -19,7 +19,7 @@ import (
 func Fig4(ctx context.Context, o Options) (*Result, error) {
 	scene, _ := beadScene(o)
 	im := scene.Image
-	meanR := scene.Truth[0].R
+	meanR := scene.Truth[0].EffR()
 
 	whole := beadBase(o, meanR)
 	whole.Strategy = parmcmc.Sequential

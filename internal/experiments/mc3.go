@@ -34,7 +34,7 @@ func MC3(ctx context.Context, o Options) (*Result, error) {
 	// Overlapping pairs: each pair is two discs at ~1.1R separation —
 	// locally a single larger disc explains them almost as well, which
 	// creates the multi-modality (MC)³ is designed to escape.
-	var truth []geom.Circle
+	var truth []geom.Ellipse
 	pairs := 6
 	if o.Quick {
 		pairs = 3
@@ -44,7 +44,7 @@ func MC3(ctx context.Context, o Options) (*Result, error) {
 		cy := r.Uniform(40, float64(h)-40)
 		ok := true
 		for _, p := range truth {
-			if (geom.Circle{X: cx, Y: cy}).Dist(p) < 5*meanR {
+			if (geom.Ellipse{X: cx, Y: cy}).Dist(p) < 5*meanR {
 				ok = false
 				break
 			}
@@ -54,12 +54,12 @@ func MC3(ctx context.Context, o Options) (*Result, error) {
 		}
 		dx := 0.55 * meanR
 		truth = append(truth,
-			geom.Circle{X: cx - dx, Y: cy, R: meanR},
-			geom.Circle{X: cx + dx, Y: cy, R: meanR},
+			geom.Disc(cx-dx, cy, meanR),
+			geom.Disc(cx+dx, cy, meanR),
 		)
 	}
 	for _, c := range truth {
-		imaging.RenderDisc(im, c, 0.9)
+		imaging.RenderShape(im, c, 0.9)
 	}
 	noise := rng.New(o.Seed + 401)
 	for i := range im.Pix {

@@ -41,7 +41,7 @@ func beadBase(o Options, meanR float64) parmcmc.Options {
 func Table1(ctx context.Context, o Options) (*Result, error) {
 	scene, _ := beadScene(o)
 	im := scene.Image
-	meanR := scene.Truth[0].R
+	meanR := scene.Truth[0].EffR()
 
 	whole := beadBase(o, meanR)
 	whole.Strategy = parmcmc.Sequential

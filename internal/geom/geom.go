@@ -1,6 +1,9 @@
 // Package geom provides the planar geometry used by the MCMC image model:
-// circles, rectangles, circle–circle overlap areas, and the partitioning
-// grids of the paper's periodic and blind parallelisation schemes.
+// the generic Shape layer (discs and ellipses with exact, predicate-pinned
+// scanline spans — see shape.go), rectangles, pairwise overlap areas, and
+// the partitioning grids of the paper's periodic and blind parallelisation
+// schemes. Ellipse is the configuration element type of the whole stack;
+// a disc is exactly the Rx == Ry case and keeps its tuned fast paths.
 package geom
 
 import "math"

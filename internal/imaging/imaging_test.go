@@ -101,8 +101,8 @@ func TestEstimateCountEq5(t *testing.T) {
 
 func TestEstimateCountInPartition(t *testing.T) {
 	im := New(100, 100)
-	RenderDisc(im, geom.Circle{X: 25, Y: 25, R: 8}, 1)
-	RenderDisc(im, geom.Circle{X: 75, Y: 75, R: 8}, 1)
+	RenderShape(im, geom.Disc(25, 25, 8), 1)
+	RenderShape(im, geom.Disc(75, 75, 8), 1)
 	left := im.EstimateCountIn(0.5, 8, geom.Rect{X0: 0, Y0: 0, X1: 50, Y1: 100})
 	if math.Abs(left-1) > 0.3 {
 		t.Fatalf("left-half estimate %v, want ~1", left)
@@ -147,8 +147,8 @@ func TestBlankOutside(t *testing.T) {
 
 func TestRenderDiscCoversExpectedArea(t *testing.T) {
 	im := New(100, 100)
-	c := geom.Circle{X: 50, Y: 50, R: 15}
-	RenderDisc(im, c, 1)
+	c := geom.Disc(50, 50, 15)
+	RenderShape(im, c, 1)
 	total := 0.0
 	for _, v := range im.Pix {
 		total += v
@@ -162,8 +162,8 @@ func TestRenderDiscCoversExpectedArea(t *testing.T) {
 func TestRenderDiscClipsAtBorder(t *testing.T) {
 	im := New(20, 20)
 	// Must not panic and must only paint in-bounds pixels.
-	RenderDisc(im, geom.Circle{X: 0, Y: 0, R: 10}, 1)
-	RenderDisc(im, geom.Circle{X: 25, Y: 25, R: 10}, 1)
+	RenderShape(im, geom.Disc(0, 0, 10), 1)
+	RenderShape(im, geom.Disc(25, 25, 10), 1)
 	if im.At(19, 19) == 0 {
 		t.Fatal("disc at (25,25,r=10) should reach (19,19)")
 	}
@@ -195,7 +195,7 @@ func TestSynthesizeClustered(t *testing.T) {
 	for x0 := 0.0; x0 <= 240; x0 += 10 {
 		empty := true
 		for _, c := range scene.Truth {
-			if c.X >= x0-c.R && c.X <= x0+60+c.R {
+			if c.X >= x0-c.MaxR() && c.X <= x0+60+c.MaxR() {
 				empty = false
 				break
 			}
@@ -220,7 +220,7 @@ func TestSynthesizeMinSeparation(t *testing.T) {
 	}, r)
 	for i, a := range scene.Truth {
 		for _, b := range scene.Truth[i+1:] {
-			if a.Dist(b) < (a.R+b.R)-1e-9 {
+			if a.Dist(b) < (a.MaxR()+b.MaxR())-1e-9 {
 				t.Fatalf("overlapping artifacts placed: %+v %+v", a, b)
 			}
 		}
@@ -286,7 +286,7 @@ func TestWritePNG(t *testing.T) {
 func TestWriteOverlayPNG(t *testing.T) {
 	im := New(32, 32)
 	var buf bytes.Buffer
-	err := im.WriteOverlayPNG(&buf, []geom.Circle{{X: 16, Y: 16, R: 8}})
+	err := im.WriteOverlayPNG(&buf, []geom.Ellipse{geom.Disc(16, 16, 8)})
 	if err != nil {
 		t.Fatal(err)
 	}

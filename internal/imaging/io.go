@@ -142,7 +142,7 @@ func (im *Image) WritePNG(w io.Writer) error {
 
 // WriteOverlayPNG encodes the image as RGB PNG with the given circles
 // outlined in red — handy for eyeballing detections.
-func (im *Image) WriteOverlayPNG(w io.Writer, circles []geom.Circle) error {
+func (im *Image) WriteOverlayPNG(w io.Writer, circles []geom.Ellipse) error {
 	rgb := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
@@ -157,13 +157,17 @@ func (im *Image) WriteOverlayPNG(w io.Writer, circles []geom.Circle) error {
 	return png.Encode(w, rgb)
 }
 
-func drawCircleOutline(img *image.RGBA, c geom.Circle, col color.RGBA) {
-	// Parametric walk with sub-pixel steps.
-	steps := int(c.R*8) + 16
+func drawCircleOutline(img *image.RGBA, c geom.Ellipse, col color.RGBA) {
+	// Parametric walk with sub-pixel steps, rotating the local-frame
+	// boundary point by Theta (a no-op for discs).
+	steps := int(c.MaxR()*8) + 16
+	ct, st := math.Cos(c.Theta), math.Sin(c.Theta)
 	for i := 0; i < steps; i++ {
 		theta := 2 * math.Pi * float64(i) / float64(steps)
-		x := int(c.X + c.R*math.Cos(theta))
-		y := int(c.Y + c.R*math.Sin(theta))
+		u := c.Rx * math.Cos(theta)
+		v := c.Ry * math.Sin(theta)
+		x := int(c.X + u*ct - v*st)
+		y := int(c.Y + u*st + v*ct)
 		if x >= 0 && x < img.Rect.Dx() && y >= 0 && y < img.Rect.Dy() {
 			img.SetRGBA(x, y, col)
 		}

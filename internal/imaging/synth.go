@@ -7,12 +7,24 @@ import (
 	"repro/internal/rng"
 )
 
-// SceneSpec describes a synthetic micrograph: bright circular artifacts
-// (cell nuclei / latex beads) on a dark background. It substitutes for the
+// SceneSpec describes a synthetic micrograph: bright artifacts (cell
+// nuclei / latex beads) on a dark background. It substitutes for the
 // paper's stained-tissue images while preserving the statistical structure
-// the algorithms consume: discs of high intensity with known ground truth.
+// the algorithms consume: shapes of high intensity with known ground
+// truth. Artifacts are discs by default; Shape selects the family.
 type SceneSpec struct {
 	W, H int
+
+	// Shape selects the artifact family (geom.KindDisc by default).
+	// Ellipse scenes draw the major semi-axis from the radius
+	// distribution below, the minor axis as AxisRatio (with AxisRatioStd
+	// jitter) times the major, and a uniform rotation in [0, π).
+	Shape geom.ShapeKind
+	// AxisRatio is the mean minor/major axis ratio of ellipse scenes
+	// (default 0.7); AxisRatioStd its Gaussian jitter (default 0.08).
+	// Ratios are clamped to [0.5, 1] so minor axes stay detectable.
+	AxisRatio    float64
+	AxisRatioStd float64
 
 	// Count is the number of artifacts to place. If Clusters > 0 the
 	// artifacts are grouped into that many clumps (the latex-bead layout
@@ -71,13 +83,19 @@ func (s *SceneSpec) withDefaults() SceneSpec {
 	if sp.ClusterSpread == 0 {
 		sp.ClusterSpread = 3
 	}
+	if sp.AxisRatio <= 0 {
+		sp.AxisRatio = 0.7
+	}
+	if sp.AxisRatioStd == 0 {
+		sp.AxisRatioStd = 0.08
+	}
 	return sp
 }
 
 // Scene is a generated image together with its ground truth.
 type Scene struct {
 	Image *Image
-	Truth []geom.Circle
+	Truth []geom.Ellipse
 	Spec  SceneSpec
 }
 
@@ -90,7 +108,7 @@ func Synthesize(spec SceneSpec, r *rng.RNG) *Scene {
 
 	truth := placeArtifacts(sp, r)
 	for _, c := range truth {
-		RenderDisc(im, c, sp.Foreground)
+		RenderShape(im, c, sp.Foreground)
 	}
 	if sp.Noise > 0 {
 		for i := range im.Pix {
@@ -101,7 +119,7 @@ func Synthesize(spec SceneSpec, r *rng.RNG) *Scene {
 	return &Scene{Image: im, Truth: truth, Spec: sp}
 }
 
-func placeArtifacts(sp SceneSpec, r *rng.RNG) []geom.Circle {
+func placeArtifacts(sp SceneSpec, r *rng.RNG) []geom.Ellipse {
 	var centres [][2]float64
 	w, h := float64(sp.W), float64(sp.H)
 	m := sp.Margin
@@ -132,16 +150,13 @@ func placeArtifacts(sp SceneSpec, r *rng.RNG) []geom.Circle {
 		}
 	}
 
-	truth := make([]geom.Circle, 0, sp.Count)
+	truth := make([]geom.Ellipse, 0, sp.Count)
 	for _, ctr := range centres {
-		c := geom.Circle{
-			X: ctr[0], Y: ctr[1],
-			R: r.TruncNormal(sp.MeanRadius, sp.RadiusStdDev, sp.MinRadius, sp.MaxRadius),
-		}
+		c := drawShape(sp, r, ctr[0], ctr[1])
 		if sp.MinSeparation > 0 {
 			ok := true
 			for _, prev := range truth {
-				if c.Dist(prev) < sp.MinSeparation*(c.R+prev.R) {
+				if c.Dist(prev) < sp.MinSeparation*(c.MaxR()+prev.MaxR()) {
 					ok = false
 					break
 				}
@@ -154,7 +169,7 @@ func placeArtifacts(sp SceneSpec, r *rng.RNG) []geom.Circle {
 					c.X, c.Y = r.Uniform(m, w-m), r.Uniform(m, h-m)
 					clear := true
 					for _, prev := range truth {
-						if c.Dist(prev) < sp.MinSeparation*(c.R+prev.R) {
+						if c.Dist(prev) < sp.MinSeparation*(c.MaxR()+prev.MaxR()) {
 							clear = false
 							break
 						}
@@ -174,6 +189,23 @@ func placeArtifacts(sp SceneSpec, r *rng.RNG) []geom.Circle {
 	return truth
 }
 
+// drawShape samples one ground-truth artifact at the given centre. Disc
+// scenes draw exactly the sequence the historical generator drew (one
+// truncated-Normal radius), so existing disc scenes are bit-identical.
+func drawShape(sp SceneSpec, r *rng.RNG, x, y float64) geom.Ellipse {
+	major := r.TruncNormal(sp.MeanRadius, sp.RadiusStdDev, sp.MinRadius, sp.MaxRadius)
+	if sp.Shape == geom.KindDisc {
+		return geom.Disc(x, y, major)
+	}
+	ratio := clampF(sp.AxisRatio+r.NormalAt(0, sp.AxisRatioStd), 0.5, 1)
+	return geom.Ellipse{
+		X: x, Y: y,
+		Rx:    major,
+		Ry:    major * ratio,
+		Theta: r.Uniform(0, math.Pi),
+	}
+}
+
 func clampF(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo
@@ -182,6 +214,18 @@ func clampF(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
+}
+
+// RenderShape draws an antialiased shape of the given intensity onto
+// im. Discs take the historical RenderDisc path bit-exactly; genuine
+// ellipses use the same erode/dilate scanline structure with both axes
+// grown or shrunk by the half-pixel diagonal.
+func RenderShape(im *Image, e geom.Ellipse, intensity float64) {
+	if e.Circular() {
+		RenderDisc(im, e.AsCircle(), intensity)
+		return
+	}
+	RenderEllipse(im, e, intensity)
 }
 
 // RenderDisc draws an antialiased disc of the given intensity onto im,
@@ -248,4 +292,59 @@ func innerSpan(inner geom.Circle, y, x0, x1 int) (int, int) {
 		return 0, 0
 	}
 	return inner.RowSpan(y, x0, x1)
+}
+
+// RenderEllipse draws an antialiased (possibly rotated) ellipse: the
+// RenderDisc structure with the eroded/dilated shapes built by shrinking
+// or growing both semi-axes by the half-pixel diagonal.
+func RenderEllipse(im *Image, e geom.Ellipse, intensity float64) {
+	inner := e
+	inner.Rx -= 0.71
+	inner.Ry -= 0.71
+	outer := e
+	outer.Rx += 0.71
+	outer.Ry += 0.71
+	ix0, ix1 := inner.PixelCols(im.W)
+	ox0, ox1 := outer.PixelCols(im.W)
+	oy0, oy1 := outer.PixelRows(im.H)
+
+	blend := func(y, xa, xb int) {
+		for x := xa; x < xb; x++ {
+			cov := 0.0
+			for sy := 0; sy < 4; sy++ {
+				for sx := 0; sx < 4; sx++ {
+					px := float64(x) + (float64(sx)+0.5)/4
+					py := float64(y) + (float64(sy)+0.5)/4
+					if e.Contains(px, py) {
+						cov++
+					}
+				}
+			}
+			cov /= 16
+			idx := y*im.W + x
+			im.Pix[idx] = im.Pix[idx]*(1-cov) + intensity*cov
+		}
+	}
+
+	for y := oy0; y < oy1; y++ {
+		oa, ob := outer.RowSpan(y, ox0, ox1)
+		if oa >= ob {
+			continue
+		}
+		var ia, ib int
+		if inner.Rx > 0 && inner.Ry > 0 {
+			ia, ib = inner.RowSpan(y, ix0, ix1)
+		}
+		if ia >= ib {
+			blend(y, oa, ob)
+			continue
+		}
+		blend(y, oa, ia)
+		row := y * im.W
+		seg := im.Pix[row+ia : row+ib]
+		for i := range seg {
+			seg[i] = intensity
+		}
+		blend(y, ib, ob)
+	}
 }

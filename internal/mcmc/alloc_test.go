@@ -3,6 +3,7 @@ package mcmc
 import (
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/imaging"
 	"repro/internal/model"
 	"repro/internal/rng"
@@ -14,17 +15,21 @@ import (
 // that property so allocation regressions fail CI rather than silently
 // eroding throughput.
 
-func allocEngine(t testing.TB) *Engine {
+func allocEngine(t testing.TB) *Engine { return allocEngineKind(t, geom.KindDisc) }
+
+func allocEngineKind(t testing.TB, kind geom.ShapeKind) *Engine {
 	t.Helper()
 	scene := imaging.Synthesize(imaging.SceneSpec{
 		W: 128, H: 128, Count: 12, MeanRadius: 8, RadiusStdDev: 1,
-		Noise: 0.05, MinSeparation: 1.05,
+		Noise: 0.05, MinSeparation: 1.05, Shape: kind,
 	}, rng.New(11))
-	s, err := model.NewState(scene.Image, model.DefaultParams(12, 8))
+	p := model.DefaultParams(12, 8)
+	p.Shape = kind
+	s, err := model.NewState(scene.Image, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := MustNew(s, rng.New(3), DefaultWeights(), DefaultStepSizes(8))
+	e := MustNew(s, rng.New(3), DefaultWeightsFor(kind), DefaultStepSizes(8))
 	// Reach steady state: configuration populated, index buckets and all
 	// scratch buffers grown to their working sizes.
 	e.RunN(20000)
@@ -56,6 +61,44 @@ func TestShiftResizeProposalsZeroAlloc(t *testing.T) {
 // the configuration's growable storage; their Propose is covered here).
 func TestProposeOnlyZeroAlloc(t *testing.T) {
 	e := allocEngine(t)
+	for m := Move(0); m < NumMoves; m++ {
+		m := m
+		for i := 0; i < 100; i++ {
+			_ = e.Propose(m)
+		}
+		avg := testing.AllocsPerRun(500, func() {
+			_ = e.Propose(m)
+		})
+		if avg != 0 {
+			t.Errorf("Propose(%v): %v allocs/op in steady state, want 0", m, avg)
+		}
+	}
+}
+
+// TestEllipseLocalProposalsZeroAlloc pins the same property for the
+// ellipse workload's local move set, including the new axis-scale and
+// rotate kinds.
+func TestEllipseLocalProposalsZeroAlloc(t *testing.T) {
+	e := allocEngineKind(t, geom.KindEllipse)
+	for _, m := range []Move{Shift, Resize, AxisScale, Rotate} {
+		m := m
+		for i := 0; i < 100; i++ {
+			e.Decide(e.Propose(m))
+		}
+		avg := testing.AllocsPerRun(500, func() {
+			e.Decide(e.Propose(m))
+		})
+		if avg != 0 {
+			t.Errorf("%v: %v allocs/op in steady state, want 0", m, avg)
+		}
+	}
+}
+
+// TestEllipseProposeOnlyZeroAlloc covers the read-only half of every
+// move kind in ellipse mode (split/merge propose as invalid, which must
+// also be free).
+func TestEllipseProposeOnlyZeroAlloc(t *testing.T) {
+	e := allocEngineKind(t, geom.KindEllipse)
 	for m := Move(0); m < NumMoves; m++ {
 		m := m
 		for i := 0; i < 100; i++ {

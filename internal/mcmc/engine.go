@@ -41,7 +41,7 @@ type Proposal struct {
 	dLik, dPrior float64
 	nRem, nAdd   int8
 	remIDs       [2]int
-	newCs        [2]geom.Circle
+	newCs        [2]geom.Ellipse
 }
 
 // apply commits the proposal's move to the engine's state. Birth, death
@@ -54,7 +54,7 @@ func (p *Proposal) apply(e *Engine) {
 		e.S.ApplyAdd(p.newCs[0], p.dLik, p.dPrior)
 	case Death:
 		e.S.ApplyRemove(p.remIDs[0], p.dLik, p.dPrior)
-	case Replace, Shift, Resize:
+	case Replace, Shift, Resize, AxisScale, Rotate:
 		e.S.ApplyMove(p.remIDs[0], p.newCs[0], p.dLik, p.dPrior)
 	case Split, Merge:
 		e.S.ApplyExchange(p.remIDs[:p.nRem], p.newCs[:p.nAdd], p.dLik, p.dPrior)
@@ -154,7 +154,10 @@ type Engine struct {
 	partners []int
 }
 
-// New constructs an engine. It validates the weights and step sizes.
+// New constructs an engine. It validates the weights and step sizes
+// against the state's shape family: split/merge exist only for discs
+// (the §VII area-preserving bijection has no dimension-matched ellipse
+// analogue), and the ellipse-only kernel scales are defaulted.
 func New(s *model.State, r *rng.RNG, w Weights, steps StepSizes) (*Engine, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -162,7 +165,13 @@ func New(s *model.State, r *rng.RNG, w Weights, steps StepSizes) (*Engine, error
 	if err := steps.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{S: s, R: r, W: w, Steps: steps, Beta: 1, wNorm: w.Normalised()}, nil
+	if s.P.Shape != geom.KindDisc && (w[Split] > 0 || w[Merge] > 0) {
+		return nil, fmt.Errorf("mcmc: split/merge moves are disc-only (shape %v)", s.P.Shape)
+	}
+	if s.P.Shape == geom.KindDisc && (w[AxisScale] > 0 || w[Rotate] > 0) {
+		return nil, fmt.Errorf("mcmc: axis-scale/rotate moves are ellipse-only (shape %v)", s.P.Shape)
+	}
+	return &Engine{S: s, R: r, W: w, Steps: steps.WithEllipseDefaults(), Beta: 1, wNorm: w.Normalised()}, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -303,26 +312,40 @@ func (e *Engine) Propose(m Move) Proposal {
 		return e.proposeShift()
 	case Resize:
 		return e.proposeResize()
+	case AxisScale:
+		return e.proposeAxisScale()
+	case Rotate:
+		return e.proposeRotate()
 	default:
 		panic(fmt.Sprintf("mcmc: unknown move %v", m))
 	}
 }
 
-// drawPriorCircle samples a circle from the position×radius prior — the
-// proposal distribution of birth and replace, chosen so the prior density
-// terms cancel in the acceptance ratio.
-func (e *Engine) drawPriorCircle() geom.Circle {
+// drawPriorShape samples a shape from the position×shape prior — the
+// proposal distribution of birth and replace, chosen so the prior
+// density terms cancel in the acceptance ratio. Disc mode draws exactly
+// the historical (X, Y, R) sequence; ellipse mode additionally draws
+// the second semi-axis from the same truncated-Normal prior and a
+// uniform rotation in [0, π).
+func (e *Engine) drawPriorShape() geom.Ellipse {
 	b := e.S.Bounds()
 	p := e.S.P
-	return geom.Circle{
-		X: e.R.Uniform(b.X0, b.X1),
-		Y: e.R.Uniform(b.Y0, b.Y1),
-		R: e.R.TruncNormal(p.MeanRadius, p.RadiusStdDev, p.MinRadius, p.MaxRadius),
+	x := e.R.Uniform(b.X0, b.X1)
+	y := e.R.Uniform(b.Y0, b.Y1)
+	rx := e.R.TruncNormal(p.MeanRadius, p.RadiusStdDev, p.MinRadius, p.MaxRadius)
+	if p.Shape == geom.KindDisc {
+		return geom.Disc(x, y, rx)
+	}
+	return geom.Ellipse{
+		X: x, Y: y,
+		Rx:    rx,
+		Ry:    e.R.TruncNormal(p.MeanRadius, p.RadiusStdDev, p.MinRadius, p.MaxRadius),
+		Theta: e.R.Uniform(0, math.Pi),
 	}
 }
 
 func (e *Engine) proposeBirth() Proposal {
-	c := e.drawPriorCircle()
+	c := e.drawPriorShape()
 	logPos := -e.S.LogAreaTerm() // uniform position proposal density
 	if e.births != nil {
 		c.X, c.Y = e.births.Sample(e.R)
@@ -333,20 +356,20 @@ func (e *Engine) proposeBirth() Proposal {
 		return Proposal{Move: Birth, Valid: false}
 	}
 	n := float64(e.S.Cfg.Len())
-	// q_fwd = w_B · q_pos(c) · pr(R);   q_rev = w_D · 1/(n+1).
-	// dPrior contains log λ − log A + log pr(R) − γΔo; with the uniform
-	// proposal (q_pos = 1/A) the position and radius densities cancel
-	// against the prior, leaving the textbook
+	// q_fwd = w_B · q_pos(c) · pr(shape);   q_rev = w_D · 1/(n+1).
+	// dPrior contains log λ − log A + log pr(shape) − γΔo; with the
+	// uniform proposal (q_pos = 1/A) the position and shape densities
+	// cancel against the prior, leaving the textbook
 	// α = lik-ratio · e^{−γΔo} · λ/(n+1) · w_D/w_B. A data-driven
 	// q_pos enters explicitly instead.
 	hastings := (math.Log(e.wNorm[Death]) - math.Log(n+1)) -
-		(math.Log(e.wNorm[Birth]) + logPos + e.S.P.LogRadiusPDF(c.R))
+		(math.Log(e.wNorm[Birth]) + logPos + e.S.P.LogShapePrior(c))
 	dPost := dLik + dPrior
 	return Proposal{
 		Move: Birth, Valid: true,
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
 		dLik: dLik, dPrior: dPrior,
-		nAdd: 1, newCs: [2]geom.Circle{c},
+		nAdd: 1, newCs: [2]geom.Ellipse{c},
 	}
 }
 
@@ -362,8 +385,8 @@ func (e *Engine) proposeDeath() Proposal {
 	if e.births != nil {
 		logPos = e.births.LogDensity(c.X, c.Y)
 	}
-	// q_fwd = w_D · 1/n;   q_rev = w_B · q_pos(c) · pr(R).
-	hastings := (math.Log(e.wNorm[Birth]) + logPos + e.S.P.LogRadiusPDF(c.R)) -
+	// q_fwd = w_D · 1/n;   q_rev = w_B · q_pos(c) · pr(shape).
+	hastings := (math.Log(e.wNorm[Birth]) + logPos + e.S.P.LogShapePrior(c)) -
 		(math.Log(e.wNorm[Death]) - math.Log(float64(n)))
 	dPost := dLik + dPrior
 	return Proposal{
@@ -381,21 +404,21 @@ func (e *Engine) proposeReplace() Proposal {
 	}
 	id := e.S.Cfg.IDAt(e.R.Intn(n))
 	oldC := e.S.Cfg.Get(id)
-	newC := e.drawPriorCircle()
+	newC := e.drawPriorShape()
 	dLik, dPrior := e.S.EvalMove(id, newC)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Replace, Valid: false}
 	}
 	// Proposal densities: both directions pick 1/n and draw from the
-	// prior, so only the radius density asymmetry survives; it cancels
-	// against the radius prior ratio inside dPrior.
-	hastings := e.S.P.LogRadiusPDF(oldC.R) - e.S.P.LogRadiusPDF(newC.R)
+	// prior, so only the shape density asymmetry survives; it cancels
+	// against the shape prior ratio inside dPrior.
+	hastings := e.S.P.LogShapePrior(oldC) - e.S.P.LogShapePrior(newC)
 	dPost := dLik + dPrior
 	return Proposal{
 		Move: Replace, Valid: true,
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
 		dLik: dLik, dPrior: dPrior,
-		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Circle{newC},
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
 	}
 }
 
@@ -406,11 +429,9 @@ func (e *Engine) proposeShift() Proposal {
 	}
 	id := e.S.Cfg.IDAt(e.R.Intn(n))
 	oldC := e.S.Cfg.Get(id)
-	newC := geom.Circle{
-		X: oldC.X + e.R.NormalAt(0, e.Steps.ShiftStd),
-		Y: oldC.Y + e.R.NormalAt(0, e.Steps.ShiftStd),
-		R: oldC.R,
-	}
+	newC := oldC
+	newC.X += e.R.NormalAt(0, e.Steps.ShiftStd)
+	newC.Y += e.R.NormalAt(0, e.Steps.ShiftStd)
 	dLik, dPrior := e.S.EvalMove(id, newC)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Shift, Valid: false}
@@ -420,7 +441,7 @@ func (e *Engine) proposeShift() Proposal {
 		Move: Shift, Valid: true,
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
 		dLik: dLik, dPrior: dPrior,
-		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Circle{newC},
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
 	}
 }
 
@@ -431,10 +452,13 @@ func (e *Engine) proposeResize() Proposal {
 	}
 	id := e.S.Cfg.IDAt(e.R.Intn(n))
 	oldC := e.S.Cfg.Get(id)
-	newC := geom.Circle{
-		X: oldC.X, Y: oldC.Y,
-		R: oldC.R + e.R.NormalAt(0, e.Steps.ResizeStd),
-	}
+	newC := oldC
+	// One symmetric Gaussian perturbation applied to both semi-axes: a
+	// disc stays a disc (one RNG draw, as historically), and an ellipse
+	// scales while keeping its axis difference.
+	d := e.R.NormalAt(0, e.Steps.ResizeStd)
+	newC.Rx = oldC.Rx + d
+	newC.Ry = oldC.Ry + d
 	dLik, dPrior := e.S.EvalMove(id, newC)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Resize, Valid: false}
@@ -443,11 +467,77 @@ func (e *Engine) proposeResize() Proposal {
 		Move: Resize, Valid: true,
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
 		dLik: dLik, dPrior: dPrior,
-		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Circle{newC},
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+	}
+}
+
+// proposeAxisScale perturbs one uniformly chosen semi-axis of one
+// ellipse with a symmetric Gaussian kernel. The axis choice is made
+// identically in both directions, so the proposal density cancels.
+func (e *Engine) proposeAxisScale() Proposal {
+	if e.S.P.Shape == geom.KindDisc {
+		return Proposal{Move: AxisScale, Valid: false}
+	}
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: AxisScale, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	oldC := e.S.Cfg.Get(id)
+	newC := oldC
+	d := e.R.NormalAt(0, e.Steps.AxisStd)
+	if e.R.Intn(2) == 0 {
+		newC.Rx = oldC.Rx + d
+	} else {
+		newC.Ry = oldC.Ry + d
+	}
+	dLik, dPrior := e.S.EvalMove(id, newC)
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: AxisScale, Valid: false}
+	}
+	return Proposal{
+		Move: AxisScale, Valid: true,
+		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
+		dLik: dLik, dPrior: dPrior,
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+	}
+}
+
+// proposeRotate perturbs one ellipse's rotation with a wrapped Gaussian
+// kernel on the half-turn circle [0, π) — symmetric on that group, so
+// no Hastings correction; the uniform rotation prior contributes
+// nothing to dPrior either (EvalMove's shape-prior difference sees two
+// identical-axes shapes).
+func (e *Engine) proposeRotate() Proposal {
+	if e.S.P.Shape == geom.KindDisc {
+		return Proposal{Move: Rotate, Valid: false}
+	}
+	n := e.S.Cfg.Len()
+	if n == 0 {
+		return Proposal{Move: Rotate, Valid: false}
+	}
+	id := e.S.Cfg.IDAt(e.R.Intn(n))
+	oldC := e.S.Cfg.Get(id)
+	newC := oldC
+	newC.Theta = WrapHalfTurn(oldC.Theta + e.R.NormalAt(0, e.Steps.RotateStd))
+	dLik, dPrior := e.S.EvalMove(id, newC)
+	if math.IsInf(dPrior, -1) {
+		return Proposal{Move: Rotate, Valid: false}
+	}
+	return Proposal{
+		Move: Rotate, Valid: true,
+		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
+		dLik: dLik, dPrior: dPrior,
+		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
 	}
 }
 
 func (e *Engine) proposeSplit() Proposal {
+	// Split/merge are disc-only (see New); guard so a hand-weighted
+	// engine can never run the disc bijection on an ellipse.
+	if e.S.P.Shape != geom.KindDisc {
+		return Proposal{Move: Split, Valid: false}
+	}
 	n := e.S.Cfg.Len()
 	if n == 0 {
 		return Proposal{Move: Split, Valid: false}
@@ -457,13 +547,13 @@ func (e *Engine) proposeSplit() Proposal {
 	u := e.R.Positive()
 	theta := e.R.Uniform(0, 2*math.Pi)
 	delta := e.R.Positive() * e.Steps.MergeDist
-	x1, y1, r1, x2, y2, r2 := splitMap(c.X, c.Y, c.R, u, theta, delta)
-	c1 := geom.Circle{X: x1, Y: y1, R: r1}
-	c2 := geom.Circle{X: x2, Y: y2, R: r2}
+	x1, y1, r1, x2, y2, r2 := splitMap(c.X, c.Y, c.Rx, u, theta, delta)
+	c1 := geom.Disc(x1, y1, r1)
+	c2 := geom.Disc(x2, y2, r2)
 	p := Proposal{
 		Move: Split,
 		nRem: 1, nAdd: 2,
-		remIDs: [2]int{id}, newCs: [2]geom.Circle{c1, c2},
+		remIDs: [2]int{id}, newCs: [2]geom.Ellipse{c1, c2},
 	}
 	dLik, dPrior := e.S.EvalExchange(p.remIDs[:1], p.newCs[:2])
 	if math.IsInf(dPrior, -1) {
@@ -478,7 +568,7 @@ func (e *Engine) proposeSplit() Proposal {
 		math.Log(2*math.Pi) - math.Log(e.Steps.MergeDist)
 	logQrev := math.Log(e.wNorm[Merge]) - math.Log(float64(n+1)) -
 		math.Log(float64(m1))
-	hastings := logQrev - logQfwd + logSplitJacobian(c.R, u, delta)
+	hastings := logQrev - logQfwd + logSplitJacobian(c.Rx, u, delta)
 	dPost := dLik + dPrior
 	p.Valid = true
 	p.LogAlpha = dPost + hastings
@@ -489,6 +579,9 @@ func (e *Engine) proposeSplit() Proposal {
 }
 
 func (e *Engine) proposeMerge() Proposal {
+	if e.S.P.Shape != geom.KindDisc {
+		return Proposal{Move: Merge, Valid: false}
+	}
 	n := e.S.Cfg.Len()
 	if n < 2 {
 		return Proposal{Move: Merge, Valid: false}
@@ -510,12 +603,12 @@ func (e *Engine) proposeMerge() Proposal {
 func (e *Engine) evalMergePair(i, j, mi int) Proposal {
 	n := e.S.Cfg.Len()
 	ci, cj := e.S.Cfg.Get(i), e.S.Cfg.Get(j)
-	x, y, r, u, _, delta := mergeMap(ci.X, ci.Y, ci.R, cj.X, cj.Y, cj.R)
-	merged := geom.Circle{X: x, Y: y, R: r}
+	x, y, r, u, _, delta := mergeMap(ci.X, ci.Y, ci.Rx, cj.X, cj.Y, cj.Rx)
+	merged := geom.Disc(x, y, r)
 	p := Proposal{
 		Move: Merge,
 		nRem: 2, nAdd: 1,
-		remIDs: [2]int{i, j}, newCs: [2]geom.Circle{merged},
+		remIDs: [2]int{i, j}, newCs: [2]geom.Ellipse{merged},
 	}
 	dLik, dPrior := e.S.EvalExchange(p.remIDs[:2], p.newCs[:1])
 	if math.IsInf(dPrior, -1) {

@@ -72,7 +72,7 @@ func TestStepOnEmptyConfig(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	run := func() ([]geom.Circle, float64) {
+	run := func() ([]geom.Ellipse, float64) {
 		s, _ := sceneState(t, 7, 5)
 		e := MustNew(s, rng.New(1234), DefaultWeights(), DefaultStepSizes(9))
 		e.RunN(5000)
@@ -140,8 +140,8 @@ func TestSplitMergeDetailedBalance(t *testing.T) {
 	r := rng.New(5)
 	e := MustNew(s, r, DefaultWeights(), DefaultStepSizes(9))
 	// Seed with a few circles.
-	for _, c := range []geom.Circle{
-		{X: 40, Y: 40, R: 9}, {X: 80, Y: 80, R: 10}, {X: 60, Y: 30, R: 8},
+	for _, c := range []geom.Ellipse{
+		geom.Disc(40, 40, 9), geom.Disc(80, 80, 10), geom.Disc(60, 30, 8),
 	} {
 		dl, dp := s.EvalAdd(c)
 		s.ApplyAdd(c, dl, dp)
@@ -202,7 +202,7 @@ func TestBirthDeathDetailedBalance(t *testing.T) {
 		dLik, dPrior := s.EvalRemove(id)
 		n := s.Cfg.Len()
 		logAlphaDeath := dLik + dPrior +
-			(math.Log(e.wNorm[Birth]) - s.LogAreaTerm() + s.P.LogRadiusPDF(c.R)) -
+			(math.Log(e.wNorm[Birth]) - s.LogAreaTerm() + s.P.LogShapePrior(c)) -
 			(math.Log(e.wNorm[Death]) - math.Log(float64(n)))
 		if math.Abs(p.LogAlpha+logAlphaDeath) > 1e-6 {
 			t.Fatalf("birth %v and death %v logAlpha do not cancel", p.LogAlpha, logAlphaDeath)
@@ -227,7 +227,7 @@ func TestFindsCircles(t *testing.T) {
 	matched := 0
 	for _, truth := range scene.Truth {
 		for _, f := range found {
-			if truth.Dist(f) < 4 && math.Abs(truth.R-f.R) < 4 {
+			if truth.Dist(f) < 4 && math.Abs(truth.EffR()-f.EffR()) < 4 {
 				matched++
 				break
 			}

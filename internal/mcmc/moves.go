@@ -12,12 +12,15 @@ package mcmc
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/geom"
 )
 
 // Move identifies a proposal kind. The first five are the global set M_g
 // of §VII ("any move that changes the number of cells in the model must
-// be a global move": add, delete, merge, split, replace); the last two
-// form the local set M_l (alter position, alter radius).
+// be a global move": add, delete, merge, split, replace); the rest form
+// the local set M_l (alter position, alter radius, and — for ellipse
+// workloads — alter one semi-axis or the rotation).
 type Move int
 
 const (
@@ -28,11 +31,14 @@ const (
 	Replace
 	Shift
 	Resize
+	AxisScale
+	Rotate
 	NumMoves
 )
 
 var moveNames = [NumMoves]string{
 	"birth", "death", "split", "merge", "replace", "shift", "resize",
+	"axis-scale", "rotate",
 }
 
 func (m Move) String() string {
@@ -53,7 +59,7 @@ type Weights [NumMoves]float64
 // DefaultWeights reproduces the case-study mixture of §VII: "the proposal
 // probabilities are such that 60% of moves are from M_l", with the global
 // mass split evenly across the five global kinds and the local mass
-// across the two local kinds.
+// across the two disc local kinds (the ellipse-only locals get zero).
 func DefaultWeights() Weights {
 	return Weights{
 		Birth:   0.08,
@@ -63,6 +69,28 @@ func DefaultWeights() Weights {
 		Replace: 0.08,
 		Shift:   0.30,
 		Resize:  0.30,
+	}
+}
+
+// DefaultWeightsFor returns the default mixture for a shape family.
+// Discs get the paper's §VII mixture. Ellipses keep the 60% local mass
+// but spread it over the four local kinds and drop split/merge: the
+// paper's split↔merge bijection is area-preserving for discs only, and
+// no dimension-matched analogue exists once per-feature axis ratios and
+// rotations must round-trip; birth/death/replace retain the global
+// mass instead.
+func DefaultWeightsFor(kind geom.ShapeKind) Weights {
+	if kind == geom.KindDisc {
+		return DefaultWeights()
+	}
+	return Weights{
+		Birth:     0.12,
+		Death:     0.12,
+		Replace:   0.16,
+		Shift:     0.24,
+		Resize:    0.12,
+		AxisScale: 0.12,
+		Rotate:    0.12,
 	}
 }
 
@@ -125,12 +153,19 @@ func (w Weights) Validate() error {
 type StepSizes struct {
 	// ShiftStd is the per-axis Gaussian std-dev of position perturbations.
 	ShiftStd float64
-	// ResizeStd is the Gaussian std-dev of radius perturbations.
+	// ResizeStd is the Gaussian std-dev of radius perturbations (applied
+	// to both semi-axes jointly in ellipse mode).
 	ResizeStd float64
 	// MergeDist is both the maximum centre distance of merge partners and
 	// the maximum separation δ drawn by split proposals, so that every
 	// split is reversible by a merge and vice versa.
 	MergeDist float64
+	// AxisStd is the Gaussian std-dev of single-axis perturbations
+	// (ellipse axis-scale move). Zero defaults to ResizeStd.
+	AxisStd float64
+	// RotateStd is the Gaussian std-dev, in radians, of rotation
+	// perturbations (ellipse rotate move). Zero defaults to 0.25.
+	RotateStd float64
 }
 
 // DefaultStepSizes scales the kernels to the expected artifact radius.
@@ -139,15 +174,46 @@ func DefaultStepSizes(meanRadius float64) StepSizes {
 		ShiftStd:  meanRadius * 0.25,
 		ResizeStd: meanRadius * 0.12,
 		MergeDist: meanRadius * 1.5,
+		AxisStd:   meanRadius * 0.12,
+		RotateStd: 0.25,
 	}
 }
 
-// Validate reports whether the step sizes are usable.
+// Validate reports whether the step sizes are usable. The ellipse-only
+// kernels may be zero (they default when the engine is built), so
+// disc-era literals remain valid.
 func (st StepSizes) Validate() error {
 	if st.ShiftStd <= 0 || st.ResizeStd <= 0 || st.MergeDist <= 0 {
 		return fmt.Errorf("mcmc: step sizes must be positive")
 	}
+	if st.AxisStd < 0 || st.RotateStd < 0 {
+		return fmt.Errorf("mcmc: ellipse step sizes must be non-negative")
+	}
 	return nil
+}
+
+// WithEllipseDefaults returns st with zero ellipse-only kernels filled
+// in (AxisStd from ResizeStd, RotateStd 0.25 rad).
+func (st StepSizes) WithEllipseDefaults() StepSizes {
+	if st.AxisStd == 0 {
+		st.AxisStd = st.ResizeStd
+	}
+	if st.RotateStd == 0 {
+		st.RotateStd = 0.25
+	}
+	return st
+}
+
+// WrapHalfTurn wraps an angle into the canonical rotation range [0, π)
+// (an ellipse is invariant under a half-turn). The Gaussian rotation
+// kernel composed with wrapping is symmetric on this circle group, so
+// rotate proposals need no Hastings correction.
+func WrapHalfTurn(theta float64) float64 {
+	theta = math.Mod(theta, math.Pi)
+	if theta < 0 {
+		theta += math.Pi
+	}
+	return theta
 }
 
 // splitMap is the dimension-matching bijection used by split (forward)

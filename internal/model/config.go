@@ -15,7 +15,7 @@ type Config struct {
 }
 
 type item struct {
-	c     geom.Circle
+	c     geom.Ellipse
 	alive bool
 }
 
@@ -26,7 +26,7 @@ func NewConfig() *Config { return &Config{} }
 func (cf *Config) Len() int { return len(cf.dense) }
 
 // Add inserts a circle and returns its ID.
-func (cf *Config) Add(c geom.Circle) int {
+func (cf *Config) Add(c geom.Ellipse) int {
 	var id int
 	if n := len(cf.free); n > 0 {
 		id = cf.free[n-1]
@@ -60,13 +60,13 @@ func (cf *Config) Remove(id int) {
 }
 
 // Get returns the circle with the given ID.
-func (cf *Config) Get(id int) geom.Circle {
+func (cf *Config) Get(id int) geom.Ellipse {
 	cf.mustAlive(id)
 	return cf.items[id].c
 }
 
 // Update replaces the circle stored under id.
-func (cf *Config) Update(id int, c geom.Circle) {
+func (cf *Config) Update(id int, c geom.Ellipse) {
 	cf.mustAlive(id)
 	cf.items[id].c = c
 }
@@ -90,15 +90,15 @@ func (cf *Config) IDAt(i int) int { return cf.dense[i] }
 
 // ForEach calls fn for every live circle. The callback must not add or
 // remove circles.
-func (cf *Config) ForEach(fn func(id int, c geom.Circle)) {
+func (cf *Config) ForEach(fn func(id int, c geom.Ellipse)) {
 	for _, id := range cf.dense {
 		fn(id, cf.items[id].c)
 	}
 }
 
 // Circles returns a copy of all live circles in unspecified order.
-func (cf *Config) Circles() []geom.Circle {
-	out := make([]geom.Circle, 0, len(cf.dense))
+func (cf *Config) Circles() []geom.Ellipse {
+	out := make([]geom.Ellipse, 0, len(cf.dense))
 	for _, id := range cf.dense {
 		out = append(out, cf.items[id].c)
 	}

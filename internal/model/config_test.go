@@ -9,7 +9,7 @@ import (
 
 func TestConfigAddGet(t *testing.T) {
 	cf := NewConfig()
-	c := geom.Circle{X: 1, Y: 2, R: 3}
+	c := geom.Disc(1, 2, 3)
 	id := cf.Add(c)
 	if cf.Len() != 1 {
 		t.Fatalf("Len = %d", cf.Len())
@@ -21,8 +21,8 @@ func TestConfigAddGet(t *testing.T) {
 
 func TestConfigRemoveAndRecycle(t *testing.T) {
 	cf := NewConfig()
-	a := cf.Add(geom.Circle{X: 1})
-	b := cf.Add(geom.Circle{X: 2})
+	a := cf.Add(geom.Ellipse{X: 1})
+	b := cf.Add(geom.Ellipse{X: 2})
 	cf.Remove(a)
 	if cf.Alive(a) {
 		t.Fatal("removed ID still alive")
@@ -30,7 +30,7 @@ func TestConfigRemoveAndRecycle(t *testing.T) {
 	if !cf.Alive(b) {
 		t.Fatal("unrelated ID died")
 	}
-	c := cf.Add(geom.Circle{X: 3})
+	c := cf.Add(geom.Ellipse{X: 3})
 	if c != a {
 		t.Fatalf("free list not recycled: got %d, want %d", c, a)
 	}
@@ -41,20 +41,20 @@ func TestConfigRemoveAndRecycle(t *testing.T) {
 
 func TestConfigUpdate(t *testing.T) {
 	cf := NewConfig()
-	id := cf.Add(geom.Circle{X: 1, R: 2})
-	cf.Update(id, geom.Circle{X: 5, R: 6})
-	if got := cf.Get(id); got.X != 5 || got.R != 6 {
+	id := cf.Add(geom.Disc(1, 0, 2))
+	cf.Update(id, geom.Disc(5, 0, 6))
+	if got := cf.Get(id); got.X != 5 || got.Rx != 6 {
 		t.Fatalf("Update failed: %+v", got)
 	}
 }
 
 func TestConfigPanicsOnDeadAccess(t *testing.T) {
 	cf := NewConfig()
-	id := cf.Add(geom.Circle{})
+	id := cf.Add(geom.Ellipse{})
 	cf.Remove(id)
 	for name, fn := range map[string]func(){
 		"Get":    func() { cf.Get(id) },
-		"Update": func() { cf.Update(id, geom.Circle{}) },
+		"Update": func() { cf.Update(id, geom.Ellipse{}) },
 		"Remove": func() { cf.Remove(id) },
 	} {
 		func() {
@@ -72,7 +72,7 @@ func TestConfigDensePick(t *testing.T) {
 	cf := NewConfig()
 	ids := map[int]bool{}
 	for i := 0; i < 10; i++ {
-		ids[cf.Add(geom.Circle{X: float64(i)})] = true
+		ids[cf.Add(geom.Ellipse{X: float64(i)})] = true
 	}
 	cf.Remove(cf.IDAt(3))
 	cf.Remove(cf.IDAt(0))
@@ -94,11 +94,11 @@ func TestConfigDensePick(t *testing.T) {
 
 func TestConfigForEachAndCircles(t *testing.T) {
 	cf := NewConfig()
-	cf.Add(geom.Circle{X: 1})
-	cf.Add(geom.Circle{X: 2})
+	cf.Add(geom.Ellipse{X: 1})
+	cf.Add(geom.Ellipse{X: 2})
 	n := 0
 	sum := 0.0
-	cf.ForEach(func(id int, c geom.Circle) { n++; sum += c.X })
+	cf.ForEach(func(id int, c geom.Ellipse) { n++; sum += c.X })
 	if n != 2 || sum != 3 {
 		t.Fatalf("ForEach visited %d circles, sum %v", n, sum)
 	}
@@ -109,10 +109,10 @@ func TestConfigForEachAndCircles(t *testing.T) {
 
 func TestConfigCloneIndependent(t *testing.T) {
 	cf := NewConfig()
-	id := cf.Add(geom.Circle{X: 1})
+	id := cf.Add(geom.Ellipse{X: 1})
 	cp := cf.Clone()
-	cp.Update(id, geom.Circle{X: 9})
-	cp.Add(geom.Circle{X: 2})
+	cp.Update(id, geom.Ellipse{X: 9})
+	cp.Add(geom.Ellipse{X: 2})
 	if cf.Get(id).X != 1 || cf.Len() != 1 {
 		t.Fatal("clone aliases original")
 	}
@@ -121,10 +121,10 @@ func TestConfigCloneIndependent(t *testing.T) {
 func TestConfigStress(t *testing.T) {
 	cf := NewConfig()
 	r := rng.New(1)
-	live := map[int]geom.Circle{}
+	live := map[int]geom.Ellipse{}
 	for i := 0; i < 20000; i++ {
 		if cf.Len() == 0 || r.Bool(0.6) {
-			c := geom.Circle{X: r.Float64(), Y: r.Float64(), R: r.Float64()}
+			c := geom.Disc(r.Float64(), r.Float64(), r.Float64())
 			live[cf.Add(c)] = c
 		} else {
 			id := cf.IDAt(r.Intn(cf.Len()))

@@ -20,7 +20,7 @@ import (
 type ConfigDump struct {
 	// Circles[i] / Alive[i] mirror the internal item table; dead slots
 	// keep their (stale) circle value, which is never read.
-	Circles []geom.Circle
+	Circles []geom.Ellipse
 	Alive   []bool
 	// Dense preserves the live-ID iteration/selection order; Free the ID
 	// recycling order.
@@ -31,7 +31,7 @@ type ConfigDump struct {
 // Dump captures the configuration.
 func (cf *Config) Dump() ConfigDump {
 	d := ConfigDump{
-		Circles: make([]geom.Circle, len(cf.items)),
+		Circles: make([]geom.Ellipse, len(cf.items)),
 		Alive:   make([]bool, len(cf.items)),
 		Dense:   append([]int(nil), cf.dense...),
 		Free:    append([]int(nil), cf.free...),
@@ -143,7 +143,7 @@ func (s *State) Restore(d StateDump) error {
 	for i := range s.Cover {
 		s.Cover[i] = 0
 	}
-	s.Cfg.ForEach(func(_ int, c geom.Circle) {
+	s.Cfg.ForEach(func(_ int, c geom.Ellipse) {
 		CoverAdd(s.Cover, s.W, s.H, c, +1)
 	})
 	s.logLik = d.LogLik

@@ -24,7 +24,7 @@ const likMultiSpans = 8
 // EvalExchange guarantees): inside a segment covered by dRem removed
 // circles, cover ≥ dRem, which is what lets net-loss segments reduce to
 // a single coverage-equality sum.
-func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added []geom.Circle) float64 {
+func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added []geom.Ellipse) float64 {
 	nRem, nAdd := len(removed), len(added)
 	n := nRem + nAdd
 	if n == 0 {
@@ -49,7 +49,7 @@ func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added
 	// span endpoints — they divide it into at most 2n+1 segments with
 	// constant (dRem, dAdd) multiplicities, so the per-pixel work inside
 	// a segment reduces to a coverage compare and a conditional gain add.
-	var cBuf [likMultiSpans]geom.Circle
+	var cBuf [likMultiSpans]geom.RowSpanner
 	var colBuf, buf [likMultiSpans][2]int
 	var cutBuf [2 * likMultiSpans]int
 	circles := cBuf[:n]
@@ -57,15 +57,18 @@ func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added
 	spans := buf[:n]
 	cutsAll := cutBuf[:]
 	if n > likMultiSpans {
-		circles = make([]geom.Circle, n)
+		circles = make([]geom.RowSpanner, n)
 		cols = make([][2]int, n)
 		spans = make([][2]int, n)
 		cutsAll = make([]int, 2*n)
 	}
-	copy(circles, removed)
-	copy(circles[nRem:], added)
-	for i, c := range circles {
+	for i, c := range removed {
+		circles[i] = c.Spanner()
 		cols[i][0], cols[i][1] = c.PixelCols(w)
+	}
+	for i, c := range added {
+		circles[nRem+i] = c.Spanner()
+		cols[nRem+i][0], cols[nRem+i][1] = c.PixelCols(w)
 	}
 	delta := 0.0
 	for y := y0; y < y1; y++ {
@@ -128,13 +131,13 @@ func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added
 // It returns dPrior = -Inf when any added circle violates the prior
 // support (position outside the image or radius outside the truncation
 // range).
-func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrior float64) {
+func (s *State) EvalExchange(removedIDs []int, added []geom.Ellipse) (dLik, dPrior float64) {
 	// Split/merge exchange at most two circles; keep that case off the
 	// heap so the proposal path stays allocation-free.
-	var rbuf [2]geom.Circle
+	var rbuf [2]geom.Ellipse
 	removed := rbuf[:0]
 	if len(removedIDs) > len(rbuf) {
-		removed = make([]geom.Circle, 0, len(removedIDs))
+		removed = make([]geom.Ellipse, 0, len(removedIDs))
 	}
 	for _, id := range removedIDs {
 		removed = append(removed, s.Cfg.Get(id))
@@ -142,7 +145,7 @@ func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrio
 
 	// Support checks first: an invalid proposal needs no likelihood work.
 	for _, c := range added {
-		if !s.validPosition(c) || c.R < s.P.MinRadius || c.R > s.P.MaxRadius {
+		if !s.validPosition(c) || !s.P.ShapeInSupport(c) {
 			return 0, math.Inf(-1)
 		}
 	}
@@ -152,12 +155,12 @@ func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrio
 	dPrior = float64(m) * math.Log(s.P.Lambda)
 	// Position term: each circle carries density 1/A.
 	dPrior -= float64(m) * s.logArea
-	// Radius terms.
+	// Shape (radius/axes/rotation) terms.
 	for _, c := range added {
-		dPrior += s.P.LogRadiusPDF(c.R)
+		dPrior += s.P.LogShapePrior(c)
 	}
 	for _, c := range removed {
-		dPrior -= s.P.LogRadiusPDF(c.R)
+		dPrior -= s.P.LogShapePrior(c)
 	}
 
 	// Overlap delta. Terms involving only untouched circles cancel.
@@ -202,7 +205,7 @@ func (s *State) EvalExchange(removedIDs []int, added []geom.Circle) (dLik, dPrio
 
 // ApplyExchange performs the exchange evaluated by EvalExchange and
 // returns the IDs of the added circles.
-func (s *State) ApplyExchange(removedIDs []int, added []geom.Circle, dLik, dPrior float64) []int {
+func (s *State) ApplyExchange(removedIDs []int, added []geom.Ellipse, dLik, dPrior float64) []int {
 	for _, id := range removedIDs {
 		c := s.Cfg.Get(id)
 		CoverAdd(s.Cover, s.W, s.H, c, -1)

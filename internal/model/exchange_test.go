@@ -10,12 +10,12 @@ import (
 
 // randCircle draws a circle inside the image with a prior-supported
 // radius.
-func randCircle(r *rng.RNG, s *State) geom.Circle {
-	return geom.Circle{
-		X: r.Uniform(0, float64(s.W)),
-		Y: r.Uniform(0, float64(s.H)),
-		R: r.Uniform(s.P.MinRadius, s.P.MaxRadius),
-	}
+func randCircle(r *rng.RNG, s *State) geom.Ellipse {
+	return geom.Disc(
+		r.Uniform(0, float64(s.W)),
+		r.Uniform(0, float64(s.H)),
+		r.Uniform(s.P.MinRadius, s.P.MaxRadius),
+	)
 }
 
 func seedCircles(t *testing.T, s *State, r *rng.RNG, n int) []int {
@@ -41,7 +41,7 @@ func TestExchangeAgreesWithSingleOps(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		c := randCircle(r, s)
 		aLik, aPrior := s.EvalAdd(c)
-		xLik, xPrior := s.EvalExchange(nil, []geom.Circle{c})
+		xLik, xPrior := s.EvalExchange(nil, []geom.Ellipse{c})
 		if math.Abs(aLik-xLik) > 1e-9 || math.Abs(aPrior-xPrior) > 1e-9 {
 			t.Fatalf("add vs exchange mismatch: (%v,%v) vs (%v,%v)", aLik, aPrior, xLik, xPrior)
 		}
@@ -70,19 +70,19 @@ func TestExchangeRoundTrip(t *testing.T) {
 		}
 		ci, cj := s.Cfg.Get(i), s.Cfg.Get(j)
 		merged := randCircle(r, s)
-		dl, dp := s.EvalExchange([]int{i, j}, []geom.Circle{merged})
+		dl, dp := s.EvalExchange([]int{i, j}, []geom.Ellipse{merged})
 		if math.IsInf(dp, -1) {
 			continue
 		}
-		newIDs := s.ApplyExchange([]int{i, j}, []geom.Circle{merged}, dl, dp)
+		newIDs := s.ApplyExchange([]int{i, j}, []geom.Ellipse{merged}, dl, dp)
 		if len(newIDs) != 1 {
 			t.Fatalf("got %d new IDs", len(newIDs))
 		}
-		rl, rp := s.EvalExchange(newIDs, []geom.Circle{ci, cj})
+		rl, rp := s.EvalExchange(newIDs, []geom.Ellipse{ci, cj})
 		if math.Abs(dl+rl) > 1e-6 || math.Abs(dp+rp) > 1e-6 {
 			t.Fatalf("exchange deltas not inverse: %v+%v, %v+%v", dl, rl, dp, rp)
 		}
-		s.ApplyExchange(newIDs, []geom.Circle{ci, cj}, rl, rp)
+		s.ApplyExchange(newIDs, []geom.Ellipse{ci, cj}, rl, rp)
 		if math.Abs(s.LogPost()-before) > 1e-6 {
 			t.Fatalf("posterior not restored: %v vs %v", s.LogPost(), before)
 		}
@@ -107,7 +107,7 @@ func TestLikDeltaMultiMatchesComposition(t *testing.T) {
 		for _, k := range r.Perm(len(ids))[:nRem] {
 			remIDs = append(remIDs, ids[k])
 		}
-		var added []geom.Circle
+		var added []geom.Ellipse
 		for i := 0; i < nAdd; i++ {
 			added = append(added, randCircle(r, s))
 		}
@@ -131,8 +131,8 @@ func TestLikDeltaMultiMatchesComposition(t *testing.T) {
 	}
 }
 
-func circlesOf(s *State, ids []int) []geom.Circle {
-	out := make([]geom.Circle, len(ids))
+func circlesOf(s *State, ids []int) []geom.Ellipse {
+	out := make([]geom.Ellipse, len(ids))
 	for i, id := range ids {
 		out[i] = s.Cfg.Get(id)
 	}
@@ -149,10 +149,10 @@ func TestLikDeltaMoveDisjointBoxes(t *testing.T) {
 		id := s.Cfg.IDAt(r.Intn(s.Cfg.Len()))
 		oldC := s.Cfg.Get(id)
 		// Far corner relocation: bounding boxes disjoint.
-		newC := geom.Circle{
-			X: math.Mod(oldC.X+64, 128), Y: math.Mod(oldC.Y+64, 128),
-			R: r.Uniform(s.P.MinRadius, s.P.MaxRadius),
-		}
+		newC := geom.Disc(
+			math.Mod(oldC.X+64, 128), math.Mod(oldC.Y+64, 128),
+			r.Uniform(s.P.MinRadius, s.P.MaxRadius),
+		)
 		got := LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, oldC, newC)
 		// Compose remove+add on a scratch buffer.
 		cover := append([]int32(nil), s.Cover...)
@@ -176,8 +176,8 @@ func TestLikDeltaMoveDisjointBoxes(t *testing.T) {
 
 func TestCountNearAndPartners(t *testing.T) {
 	s := newTestState(t, 96, 96, 35)
-	for _, c := range []geom.Circle{
-		{X: 30, Y: 30, R: 6}, {X: 36, Y: 30, R: 6}, {X: 80, Y: 80, R: 6},
+	for _, c := range []geom.Ellipse{
+		geom.Disc(30, 30, 6), geom.Disc(36, 30, 6), geom.Disc(80, 80, 6),
 	} {
 		dl, dp := s.EvalAdd(c)
 		s.ApplyAdd(c, dl, dp)

@@ -114,10 +114,10 @@ func (ix *BucketIndex) QueryRect(rect geom.Rect, fn func(id int) bool) {
 	}
 }
 
-// QueryCircle calls fn for every ID whose circle could intersect c,
-// assuming all indexed circles have radius <= maxRadius.
-func (ix *BucketIndex) QueryCircle(c geom.Circle, fn func(id int) bool) {
-	pad := c.R + ix.maxRadius
+// QueryCircle calls fn for every ID whose shape could intersect c,
+// assuming all indexed shapes have semi-axes <= maxRadius.
+func (ix *BucketIndex) QueryCircle(c geom.Ellipse, fn func(id int) bool) {
+	pad := c.MaxR() + ix.maxRadius
 	ix.QueryRect(geom.Rect{
 		X0: c.X - pad, Y0: c.Y - pad, X1: c.X + pad, Y1: c.Y + pad,
 	}, fn)

@@ -45,17 +45,14 @@ func TestIndexQueryCircleBruteForce(t *testing.T) {
 	bounds := geom.Rect{X1: 200, Y1: 150}
 	ix := NewBucketIndex(bounds, maxR)
 	r := rng.New(2)
-	var circles []geom.Circle
+	var circles []geom.Ellipse
 	for i := 0; i < 200; i++ {
-		c := geom.Circle{
-			X: r.Uniform(0, 200), Y: r.Uniform(0, 150),
-			R: r.Uniform(1, maxR),
-		}
+		c := geom.Disc(r.Uniform(0, 200), r.Uniform(0, 150), r.Uniform(1, maxR))
 		circles = append(circles, c)
 		ix.Insert(i, c.X, c.Y)
 	}
 	for trial := 0; trial < 500; trial++ {
-		q := geom.Circle{X: r.Uniform(0, 200), Y: r.Uniform(0, 150), R: r.Uniform(1, maxR)}
+		q := geom.Disc(r.Uniform(0, 200), r.Uniform(0, 150), r.Uniform(1, maxR))
 		got := map[int]bool{}
 		ix.QueryCircle(q, func(id int) bool { got[id] = true; return true })
 		// Every circle that truly intersects q must be returned (no

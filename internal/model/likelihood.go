@@ -24,7 +24,7 @@ import (
 //
 // # Scanline kernels and span invariants
 //
-// Every kernel walks the disc as analytic scanline spans (geom.Circle.
+// Every kernel walks the disc as analytic scanline spans (geom.Ellipse.
 // RowSpan): for each pixel row, one sqrt yields the covered x-interval
 // [xa, xb), and the inner loops run branch-minimally over gain/cover
 // sub-slices — roughly π/4 of the bounding-box pixels, with no per-pixel
@@ -48,7 +48,7 @@ import (
 // pixels.
 
 // discSpan returns the clipped integer pixel range of c's bounding box.
-func discSpan(w, h int, c geom.Circle) (x0, y0, x1, y1 int) {
+func discSpan(w, h int, c geom.Ellipse) (x0, y0, x1, y1 int) {
 	x0, x1 = c.PixelCols(w)
 	y0, y1 = c.PixelRows(h)
 	return
@@ -107,10 +107,10 @@ const spanStack = 96
 // likDeltaDisc sums the gain of c's span pixels whose coverage equals
 // want — the shared body of LikDeltaAdd (want 0) and LikDeltaRemove
 // (want 1), so both directions run the identical compiled hot loop.
-func likDeltaDisc(gain, gsum []float64, cover []int32, w, h int, c geom.Circle, want int32) float64 {
+func likDeltaDisc(gain, gsum []float64, cover []int32, w, h int, c geom.Ellipse, want int32) float64 {
 	var buf [spanStack]geom.Span
 	delta := 0.0
-	for _, sp := range geom.AppendDiscSpans(buf[:0], w, h, c) {
+	for _, sp := range geom.AppendShapeSpans(buf[:0], w, h, c) {
 		delta += sumCoverEq(gain, gsum, cover, w, int(sp.Y), int(sp.X0), int(sp.X1), want)
 	}
 	return delta
@@ -119,13 +119,13 @@ func likDeltaDisc(gain, gsum []float64, cover []int32, w, h int, c geom.Circle, 
 // LikDeltaAdd returns the change in relative log-likelihood from adding
 // circle c, given the current coverage. Read-only. gsum must be the
 // BuildGainRowSums table of gain.
-func LikDeltaAdd(gain, gsum []float64, cover []int32, w, h int, c geom.Circle) float64 {
+func LikDeltaAdd(gain, gsum []float64, cover []int32, w, h int, c geom.Ellipse) float64 {
 	return likDeltaDisc(gain, gsum, cover, w, h, c, 0)
 }
 
 // LikDeltaRemove returns the change in relative log-likelihood from
 // removing circle c (which must currently be part of the coverage).
-func LikDeltaRemove(gain, gsum []float64, cover []int32, w, h int, c geom.Circle) float64 {
+func LikDeltaRemove(gain, gsum []float64, cover []int32, w, h int, c geom.Ellipse) float64 {
 	return -likDeltaDisc(gain, gsum, cover, w, h, c, 1)
 }
 
@@ -135,7 +135,7 @@ func LikDeltaRemove(gain, gsum []float64, cover []int32, w, h int, c geom.Circle
 // the symmetric difference is scanned; disjoint boxes (the replace move
 // relocates circles across the whole image) are processed separately so
 // the cost is O(area of the two discs), never O(image).
-func LikDeltaMove(gain, gsum []float64, cover []int32, w, h int, oldC, newC geom.Circle) float64 {
+func LikDeltaMove(gain, gsum []float64, cover []int32, w, h int, oldC, newC geom.Ellipse) float64 {
 	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
 	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
 	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
@@ -147,10 +147,11 @@ func LikDeltaMove(gain, gsum []float64, cover []int32, w, h int, oldC, newC geom
 			LikDeltaAdd(gain, gsum, cover, w, h, newC)
 	}
 	y0, y1 := minInt(oy0, ny0), maxInt(oy1, ny1)
+	oldS, newS := oldC.Spanner(), newC.Spanner()
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		oa, ob := oldC.RowSpan(y, ox0, ox1)
-		na, nb := newC.RowSpan(y, nx0, nx1)
+		oa, ob := oldS.RowSpan(y, ox0, ox1)
+		na, nb := newS.RowSpan(y, nx0, nx1)
 		if oa >= ob { // nothing lost on this row
 			if na < nb {
 				delta += sumCoverEq(gain, gsum, cover, w, y, na, nb, 0)
@@ -200,9 +201,9 @@ func coverAddRange(cover []int32, a, b int, d int32) {
 // CoverAdd adjusts the coverage counts for circle c by d (+1 to add the
 // circle, -1 to remove it). It panics if a count would go negative — that
 // means the caller's bookkeeping desynchronised.
-func CoverAdd(cover []int32, w, h int, c geom.Circle, d int32) {
+func CoverAdd(cover []int32, w, h int, c geom.Ellipse, d int32) {
 	var buf [spanStack]geom.Span
-	for _, sp := range geom.AppendDiscSpans(buf[:0], w, h, c) {
+	for _, sp := range geom.AppendShapeSpans(buf[:0], w, h, c) {
 		row := int(sp.Y) * w
 		coverAddRange(cover, row+int(sp.X0), row+int(sp.X1), d)
 	}
@@ -212,7 +213,7 @@ func CoverAdd(cover []int32, w, h int, c geom.Circle, d int32) {
 // over the union bounding box, or two passes when the boxes are disjoint
 // (so relocation moves never scan the space between the discs). Per row
 // only the symmetric difference of the two spans is touched.
-func CoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
+func CoverMove(cover []int32, w, h int, oldC, newC geom.Ellipse) {
 	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
 	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
 	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
@@ -221,9 +222,10 @@ func CoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
 		return
 	}
 	y0, y1 := minInt(oy0, ny0), maxInt(oy1, ny1)
+	oldS, newS := oldC.Spanner(), newC.Spanner()
 	for y := y0; y < y1; y++ {
-		oa, ob := oldC.RowSpan(y, ox0, ox1)
-		na, nb := newC.RowSpan(y, nx0, nx1)
+		oa, ob := oldS.RowSpan(y, ox0, ox1)
+		na, nb := newS.RowSpan(y, nx0, nx1)
 		row := y * w
 		if oa >= ob {
 			if na < nb {

@@ -21,17 +21,17 @@ func benchBuffers(b *testing.B, w, h int) (gain, gsum []float64, cover []int32) 
 	}
 	cover = make([]int32, w*h)
 	for k := 0; k < 40; k++ {
-		NaiveCoverAdd(cover, w, h, geom.Circle{
-			X: r.Uniform(0, float64(w)), Y: r.Uniform(0, float64(h)),
-			R: r.Uniform(6, 14),
-		}, +1)
+		NaiveCoverAdd(cover, w, h, geom.Disc(
+			r.Uniform(0, float64(w)), r.Uniform(0, float64(h)),
+			r.Uniform(6, 14),
+		), +1)
 	}
 	return gain, BuildGainRowSums(gain, w, h), cover
 }
 
 func BenchmarkLikDeltaAdd(b *testing.B) {
 	gain, gsum, cover := benchBuffers(b, 512, 512)
-	c := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	c := geom.Disc(256.3, 255.7, 10)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
@@ -50,7 +50,7 @@ func BenchmarkLikDeltaAdd(b *testing.B) {
 
 func BenchmarkLikDeltaRemove(b *testing.B) {
 	gain, gsum, cover := benchBuffers(b, 512, 512)
-	c := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	c := geom.Disc(256.3, 255.7, 10)
 	NaiveCoverAdd(cover, 512, 512, c, +1)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
@@ -70,7 +70,7 @@ func BenchmarkLikDeltaRemove(b *testing.B) {
 
 func BenchmarkLikDeltaMove(b *testing.B) {
 	gain, gsum, cover := benchBuffers(b, 512, 512)
-	oldC := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	oldC := geom.Disc(256.3, 255.7, 10)
 	newC := oldC.Translate(1.7, -2.1) // typical accepted shift: boxes overlap
 	NaiveCoverAdd(cover, 512, 512, oldC, +1)
 	var sink float64
@@ -92,10 +92,10 @@ func BenchmarkLikDeltaMove(b *testing.B) {
 func BenchmarkLikDeltaMulti(b *testing.B) {
 	gain, gsum, cover := benchBuffers(b, 512, 512)
 	// Split-shaped exchange: one disc out, two half-area discs in.
-	removed := []geom.Circle{{X: 256.3, Y: 255.7, R: 10}}
-	added := []geom.Circle{
-		{X: 252.1, Y: 254.2, R: 7.2},
-		{X: 260.8, Y: 257.9, R: 6.9},
+	removed := []geom.Ellipse{geom.Disc(256.3, 255.7, 10)}
+	added := []geom.Ellipse{
+		geom.Disc(252.1, 254.2, 7.2),
+		geom.Disc(260.8, 257.9, 6.9),
 	}
 	NaiveCoverAdd(cover, 512, 512, removed[0], +1)
 	var sink float64
@@ -116,13 +116,84 @@ func BenchmarkLikDeltaMulti(b *testing.B) {
 
 func BenchmarkCoverMove(b *testing.B) {
 	_, _, cover := benchBuffers(b, 512, 512)
-	oldC := geom.Circle{X: 256.3, Y: 255.7, R: 10}
+	oldC := geom.Disc(256.3, 255.7, 10)
 	newC := oldC.Translate(1.7, -2.1)
 	NaiveCoverAdd(cover, 512, 512, oldC, +1)
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			// Move there and back: leaves cover unchanged between pairs.
+			CoverMove(cover, 512, 512, oldC, newC)
+			CoverMove(cover, 512, 512, newC, oldC)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NaiveCoverMove(cover, 512, 512, oldC, newC)
+			NaiveCoverMove(cover, 512, 512, newC, oldC)
+		}
+	})
+}
+
+// Ellipse-kernel microbenchmarks: the same workload-typical size with a
+// 0.6 axis ratio and a rotation, exercising the quadratic span path the
+// generic shape layer added. Tracked in BENCH_*.json alongside the disc
+// kernels so the perf trajectory covers both families.
+
+func benchEllipse() geom.Ellipse {
+	return geom.Ellipse{X: 256.3, Y: 255.7, Rx: 12, Ry: 7.2, Theta: 0.6}
+}
+
+func BenchmarkLikDeltaAddEllipse(b *testing.B) {
+	gain, gsum, cover := benchBuffers(b, 512, 512)
+	e := benchEllipse()
+	var sink float64
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += LikDeltaAdd(gain, gsum, cover, 512, 512, e)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += NaiveLikDeltaAdd(gain, cover, 512, 512, e)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkLikDeltaMoveEllipse(b *testing.B) {
+	gain, gsum, cover := benchBuffers(b, 512, 512)
+	oldC := benchEllipse()
+	newC := oldC.Translate(1.7, -2.1)
+	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	var sink float64
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += LikDeltaMove(gain, gsum, cover, 512, 512, oldC, newC)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += NaiveLikDeltaMove(gain, cover, 512, 512, oldC, newC)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkCoverMoveEllipse(b *testing.B) {
+	_, _, cover := benchBuffers(b, 512, 512)
+	oldC := benchEllipse()
+	newC := oldC.Translate(1.7, -2.1)
+	newC.Theta = 0.7
+	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	b.Run("scanline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
 			CoverMove(cover, 512, 512, oldC, newC)
 			CoverMove(cover, 512, 512, newC, oldC)
 		}

@@ -6,25 +6,23 @@ import "repro/internal/geom"
 //
 // These are the original bounding-box implementations of the likelihood
 // and coverage primitives: scan the clipped pixel bounding box and test
-// dx²+dy² ≤ r² per pixel. They are retained verbatim as the ground truth
-// the scanline kernels in likelihood.go are differentially tested and
-// benchmarked against — do not "optimise" them. The float64 conversions
-// force each multiply to round separately, so naive and scanline kernels
-// evaluate the identical predicate on every architecture (Go may
-// otherwise fuse multiply-adds on some platforms).
+// the canonical coverage predicate per pixel. They are retained as the
+// ground truth the scanline kernels in likelihood.go are differentially
+// tested and benchmarked against — do not "optimise" them. The predicate
+// is geom.Ellipse.CoversPixel, the same one RowSpan pins its edges to,
+// so naive and scanline kernels evaluate identical arithmetic on every
+// architecture (for discs, CoversPixel reduces bit-exactly to the
+// historical dx²+dy² ≤ r² comparison with forced per-multiply rounding).
 
 // NaiveLikDeltaAdd is the bounding-box reference for LikDeltaAdd.
-func NaiveLikDeltaAdd(gain []float64, cover []int32, w, h int, c geom.Circle) float64 {
+func NaiveLikDeltaAdd(gain []float64, cover []int32, w, h int, c geom.Ellipse) float64 {
 	x0, y0, x1, y1 := discSpan(w, h, c)
-	r2 := c.R * c.R
+	pred := c.PixelPred()
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		dy := float64(y) + 0.5 - c.Y
-		dy2 := dy * dy
 		row := y * w
 		for x := x0; x < x1; x++ {
-			dx := float64(x) + 0.5 - c.X
-			if float64(dx*dx)+dy2 <= r2 && cover[row+x] == 0 {
+			if pred.Covers(x, y) && cover[row+x] == 0 {
 				delta += gain[row+x]
 			}
 		}
@@ -33,17 +31,14 @@ func NaiveLikDeltaAdd(gain []float64, cover []int32, w, h int, c geom.Circle) fl
 }
 
 // NaiveLikDeltaRemove is the bounding-box reference for LikDeltaRemove.
-func NaiveLikDeltaRemove(gain []float64, cover []int32, w, h int, c geom.Circle) float64 {
+func NaiveLikDeltaRemove(gain []float64, cover []int32, w, h int, c geom.Ellipse) float64 {
 	x0, y0, x1, y1 := discSpan(w, h, c)
-	r2 := c.R * c.R
+	pred := c.PixelPred()
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		dy := float64(y) + 0.5 - c.Y
-		dy2 := dy * dy
 		row := y * w
 		for x := x0; x < x1; x++ {
-			dx := float64(x) + 0.5 - c.X
-			if float64(dx*dx)+dy2 <= r2 && cover[row+x] == 1 {
+			if pred.Covers(x, y) && cover[row+x] == 1 {
 				delta -= gain[row+x]
 			}
 		}
@@ -52,7 +47,7 @@ func NaiveLikDeltaRemove(gain []float64, cover []int32, w, h int, c geom.Circle)
 }
 
 // NaiveLikDeltaMove is the bounding-box reference for LikDeltaMove.
-func NaiveLikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.Circle) float64 {
+func NaiveLikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.Ellipse) float64 {
 	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
 	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
 	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
@@ -61,24 +56,16 @@ func NaiveLikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.
 	}
 	x0, y0 := minInt(ox0, nx0), minInt(oy0, ny0)
 	x1, y1 := maxInt(ox1, nx1), maxInt(oy1, ny1)
-	or2 := oldC.R * oldC.R
-	nr2 := newC.R * newC.R
+	oldP, newP := oldC.PixelPred(), newC.PixelPred()
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		cy := float64(y) + 0.5
-		ody := cy - oldC.Y
-		ndy := cy - newC.Y
-		ody2, ndy2 := ody*ody, ndy*ndy
 		row := y * w
 		for x := x0; x < x1; x++ {
-			cx := float64(x) + 0.5
-			odx := cx - oldC.X
-			ndx := cx - newC.X
-			inOld := float64(odx*odx)+ody2 <= or2
-			inNew := float64(ndx*ndx)+ndy2 <= nr2
+			inOld := oldP.Covers(x, y)
+			inNew := newP.Covers(x, y)
 			switch {
 			case inOld == inNew:
-				// Coverage by this circle unchanged.
+				// Coverage by this shape unchanged.
 			case inNew: // gained
 				if cover[row+x] == 0 {
 					delta += gain[row+x]
@@ -94,16 +81,13 @@ func NaiveLikDeltaMove(gain []float64, cover []int32, w, h int, oldC, newC geom.
 }
 
 // NaiveCoverAdd is the bounding-box reference for CoverAdd.
-func NaiveCoverAdd(cover []int32, w, h int, c geom.Circle, d int32) {
+func NaiveCoverAdd(cover []int32, w, h int, c geom.Ellipse, d int32) {
 	x0, y0, x1, y1 := discSpan(w, h, c)
-	r2 := c.R * c.R
+	pred := c.PixelPred()
 	for y := y0; y < y1; y++ {
-		dy := float64(y) + 0.5 - c.Y
-		dy2 := dy * dy
 		row := y * w
 		for x := x0; x < x1; x++ {
-			dx := float64(x) + 0.5 - c.X
-			if float64(dx*dx)+dy2 <= r2 {
+			if pred.Covers(x, y) {
 				cover[row+x] += d
 				if cover[row+x] < 0 {
 					panic("model: negative coverage count")
@@ -114,7 +98,7 @@ func NaiveCoverAdd(cover []int32, w, h int, c geom.Circle, d int32) {
 }
 
 // NaiveCoverMove is the bounding-box reference for CoverMove.
-func NaiveCoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
+func NaiveCoverMove(cover []int32, w, h int, oldC, newC geom.Ellipse) {
 	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
 	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
 	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
@@ -124,20 +108,12 @@ func NaiveCoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
 	}
 	x0, y0 := minInt(ox0, nx0), minInt(oy0, ny0)
 	x1, y1 := maxInt(ox1, nx1), maxInt(oy1, ny1)
-	or2 := oldC.R * oldC.R
-	nr2 := newC.R * newC.R
+	oldP, newP := oldC.PixelPred(), newC.PixelPred()
 	for y := y0; y < y1; y++ {
-		cy := float64(y) + 0.5
-		ody := cy - oldC.Y
-		ndy := cy - newC.Y
-		ody2, ndy2 := ody*ody, ndy*ndy
 		row := y * w
 		for x := x0; x < x1; x++ {
-			cx := float64(x) + 0.5
-			odx := cx - oldC.X
-			ndx := cx - newC.X
-			inOld := float64(odx*odx)+ody2 <= or2
-			inNew := float64(ndx*ndx)+ndy2 <= nr2
+			inOld := oldP.Covers(x, y)
+			inNew := newP.Covers(x, y)
 			switch {
 			case inOld && !inNew:
 				cover[row+x]--
@@ -153,12 +129,12 @@ func NaiveCoverMove(cover []int32, w, h int, oldC, newC geom.Circle) {
 
 // NaiveLikDeltaMulti is the union-bounding-box reference for
 // LikDeltaMulti.
-func NaiveLikDeltaMulti(gain []float64, cover []int32, w, h int, removed, added []geom.Circle) float64 {
+func NaiveLikDeltaMulti(gain []float64, cover []int32, w, h int, removed, added []geom.Ellipse) float64 {
 	if len(removed) == 0 && len(added) == 0 {
 		return 0
 	}
 	x0, y0, x1, y1 := w, h, 0, 0
-	span := func(c geom.Circle) {
+	span := func(c geom.Ellipse) {
 		cx0, cy0, cx1, cy1 := discSpan(w, h, c)
 		x0, y0 = minInt(x0, cx0), minInt(y0, cy0)
 		x1, y1 = maxInt(x1, cx1), maxInt(y1, cy1)
@@ -172,22 +148,26 @@ func NaiveLikDeltaMulti(gain []float64, cover []int32, w, h int, removed, added 
 	if x1 <= x0 || y1 <= y0 {
 		return 0
 	}
+	remP := make([]geom.PixelPred, len(removed))
+	for i, c := range removed {
+		remP[i] = c.PixelPred()
+	}
+	addP := make([]geom.PixelPred, len(added))
+	for i, c := range added {
+		addP[i] = c.PixelPred()
+	}
 	delta := 0.0
 	for y := y0; y < y1; y++ {
-		cy := float64(y) + 0.5
 		row := y * w
 		for x := x0; x < x1; x++ {
-			cx := float64(x) + 0.5
 			var dRem, dAdd int32
-			for _, c := range removed {
-				dx, dy := cx-c.X, cy-c.Y
-				if float64(dx*dx)+float64(dy*dy) <= c.R*c.R {
+			for _, p := range remP {
+				if p.Covers(x, y) {
 					dRem++
 				}
 			}
-			for _, c := range added {
-				dx, dy := cx-c.X, cy-c.Y
-				if float64(dx*dx)+float64(dy*dy) <= c.R*c.R {
+			for _, p := range addP {
+				if p.Covers(x, y) {
 					dAdd++
 				}
 			}

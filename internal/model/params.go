@@ -1,7 +1,9 @@
 // Package model implements the case-study posterior of §III: a marked
-// point process of circles over a filtered grayscale image, with a Poisson
-// count prior, truncated-Normal radius prior, pairwise overlap penalty and
-// a two-level Gaussian pixel likelihood.
+// point process of shapes (discs or ellipses, per Params.Shape) over a
+// filtered grayscale image, with a Poisson count prior, truncated-Normal
+// size priors (the radius for discs; both semi-axes plus a uniform
+// rotation for ellipses), pairwise overlap penalty and a two-level
+// Gaussian pixel likelihood.
 //
 // The package exposes two layers:
 //
@@ -9,7 +11,7 @@
 //     that operate on raw gain/coverage buffers. The parallel engines call
 //     these directly from partition workers, which own disjoint pixel
 //     regions of the shared buffers.
-//   - State, a cached full configuration (circles + coverage + running
+//   - State, a cached full configuration (shapes + coverage + running
 //     log-posterior + spatial index) used by the sequential engine and as
 //     the merge target for parallel phases. State.Recompute provides the
 //     ground truth that every incremental path is tested against.
@@ -17,12 +19,22 @@ package model
 
 import (
 	"math"
+
+	"repro/internal/geom"
 )
 
 // Params collects the prior and likelihood hyper-parameters of the
 // posterior. The zero value is not usable; call Validate (or construct via
 // DefaultParams) before use.
 type Params struct {
+	// Shape selects the artifact family: geom.KindDisc (the paper's
+	// workload; every feature keeps Rx == Ry and the prior is the
+	// original radius prior) or geom.KindEllipse (independent
+	// truncated-Normal priors on both semi-axes and a uniform rotation
+	// prior on [0, π)). The zero value is KindDisc, so existing
+	// disc-only callers are unaffected.
+	Shape geom.ShapeKind
+
 	// Lambda is the expected artifact count (Poisson prior). The paper
 	// obtains it from prior knowledge or from the eq. 5 estimate.
 	Lambda float64
@@ -64,6 +76,8 @@ func DefaultParams(lambda, meanRadius float64) Params {
 // Validate reports whether the parameters are internally consistent.
 func (p Params) Validate() error {
 	switch {
+	case !p.Shape.Valid():
+		return errParams("unknown shape kind")
 	case p.Lambda <= 0:
 		return errParams("Lambda must be positive")
 	case p.MeanRadius <= 0:
@@ -104,6 +118,37 @@ func (p Params) LogRadiusPDF(r float64) float64 {
 		return math.Inf(-1)
 	}
 	return -0.5*z*z + logNorm - math.Log(mass)
+}
+
+// logPiInv is log(1/π), the uniform rotation-prior density over [0, π)
+// carried by every ellipse-mode feature.
+var logPiInv = -math.Log(math.Pi)
+
+// LogShapePrior returns the log density of the per-feature shape prior
+// at e, excluding the position term (uniform 1/A, accounted separately)
+// and the pairwise overlap penalty. Disc mode evaluates the original
+// truncated-Normal radius prior on the (shared) radius; ellipse mode
+// places independent copies of that prior on both semi-axes plus the
+// uniform rotation prior. It returns -Inf outside the prior's support.
+// Birth and replace proposals draw from exactly this distribution, so
+// the terms cancel in their acceptance ratios.
+func (p Params) LogShapePrior(e geom.Ellipse) float64 {
+	if p.Shape == geom.KindDisc {
+		return p.LogRadiusPDF(e.Rx)
+	}
+	return p.LogRadiusPDF(e.Rx) + p.LogRadiusPDF(e.Ry) + logPiInv
+}
+
+// ShapeInSupport reports whether e lies in the prior's shape support:
+// both semi-axes inside the truncation range (for discs they coincide).
+func (p Params) ShapeInSupport(e geom.Ellipse) bool {
+	if e.Rx < p.MinRadius || e.Rx > p.MaxRadius {
+		return false
+	}
+	if p.Shape == geom.KindDisc {
+		return true
+	}
+	return e.Ry >= p.MinRadius && e.Ry <= p.MaxRadius
 }
 
 // PixelGain returns the log-likelihood gain from covering a pixel of

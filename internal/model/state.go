@@ -96,13 +96,13 @@ func (s *State) AddDeltas(dLik, dPrior float64) {
 
 // validPosition reports whether the centre lies inside the image (the
 // support of the uniform position prior).
-func (s *State) validPosition(c geom.Circle) bool {
+func (s *State) validPosition(c geom.Ellipse) bool {
 	return c.X >= 0 && c.X < float64(s.W) && c.Y >= 0 && c.Y < float64(s.H)
 }
 
 // OverlapSum returns Σ_j overlapArea(c, j) over live circles j ≠ exclude.
 // Pass exclude = -1 to include everything.
-func (s *State) OverlapSum(c geom.Circle, exclude int) float64 {
+func (s *State) OverlapSum(c geom.Ellipse, exclude int) float64 {
 	total := 0.0
 	s.Index.QueryCircle(c, func(id int) bool {
 		if id != exclude {
@@ -127,13 +127,13 @@ func (s *State) OverlapSum(c geom.Circle, exclude int) float64 {
 // detailed balance.
 
 // priorDeltaAdd returns the change in relative log-prior from adding c.
-func (s *State) priorDeltaAdd(c geom.Circle) float64 {
+func (s *State) priorDeltaAdd(c geom.Ellipse) float64 {
 	if !s.validPosition(c) {
 		return math.Inf(-1)
 	}
-	d := math.Log(s.P.Lambda)  // count term λ^{n+1}/λ^n
-	d -= s.logArea             // position term
-	d += s.P.LogRadiusPDF(c.R) // radius term
+	d := math.Log(s.P.Lambda) // count term λ^{n+1}/λ^n
+	d -= s.logArea            // position term
+	d += s.P.LogShapePrior(c) // shape (radius/axes/rotation) term
 	d -= s.P.OverlapPenalty * s.OverlapSum(c, -1)
 	return d
 }
@@ -144,14 +144,14 @@ func (s *State) priorDeltaRemove(id int) float64 {
 	c := s.Cfg.Get(id)
 	d := -math.Log(s.P.Lambda)
 	d += s.logArea
-	d -= s.P.LogRadiusPDF(c.R)
+	d -= s.P.LogShapePrior(c)
 	d += s.P.OverlapPenalty * s.OverlapSum(c, id)
 	return d
 }
 
 // EvalAdd returns the posterior delta (Δlik, Δprior) of adding c, without
 // mutating anything.
-func (s *State) EvalAdd(c geom.Circle) (dLik, dPrior float64) {
+func (s *State) EvalAdd(c geom.Ellipse) (dLik, dPrior float64) {
 	dPrior = s.priorDeltaAdd(c)
 	if math.IsInf(dPrior, -1) {
 		return 0, dPrior
@@ -162,7 +162,7 @@ func (s *State) EvalAdd(c geom.Circle) (dLik, dPrior float64) {
 
 // ApplyAdd inserts c and updates every cache; it returns the new ID.
 // The deltas must come from a matching EvalAdd on the unchanged state.
-func (s *State) ApplyAdd(c geom.Circle, dLik, dPrior float64) int {
+func (s *State) ApplyAdd(c geom.Ellipse, dLik, dPrior float64) int {
 	CoverAdd(s.Cover, s.W, s.H, c, +1)
 	id := s.Cfg.Add(c)
 	s.Index.Insert(id, c.X, c.Y)
@@ -191,12 +191,12 @@ func (s *State) ApplyRemove(id int, dLik, dPrior float64) {
 
 // EvalMove returns the posterior delta of replacing circle id with newC
 // (a shift and/or resize).
-func (s *State) EvalMove(id int, newC geom.Circle) (dLik, dPrior float64) {
+func (s *State) EvalMove(id int, newC geom.Ellipse) (dLik, dPrior float64) {
 	oldC := s.Cfg.Get(id)
 	if !s.validPosition(newC) {
 		return 0, math.Inf(-1)
 	}
-	dPrior = s.P.LogRadiusPDF(newC.R) - s.P.LogRadiusPDF(oldC.R)
+	dPrior = s.P.LogShapePrior(newC) - s.P.LogShapePrior(oldC)
 	if math.IsInf(dPrior, -1) {
 		return 0, dPrior
 	}
@@ -206,7 +206,7 @@ func (s *State) EvalMove(id int, newC geom.Circle) (dLik, dPrior float64) {
 }
 
 // ApplyMove replaces circle id with newC and updates every cache.
-func (s *State) ApplyMove(id int, newC geom.Circle, dLik, dPrior float64) {
+func (s *State) ApplyMove(id int, newC geom.Ellipse, dLik, dPrior float64) {
 	oldC := s.Cfg.Get(id)
 	CoverMove(s.Cover, s.W, s.H, oldC, newC)
 	s.Index.Move(id, oldC.X, oldC.Y, newC.X, newC.Y)
@@ -219,7 +219,7 @@ func (s *State) ApplyMove(id int, newC geom.Circle, dLik, dPrior float64) {
 // coverage updates were applied directly to Cover by a partition worker —
 // and refreshes the configuration and index only. Cached totals are
 // folded in separately via AddDeltas.
-func (s *State) CommitMoved(id int, newC geom.Circle) {
+func (s *State) CommitMoved(id int, newC geom.Ellipse) {
 	oldC := s.Cfg.Get(id)
 	s.Index.Move(id, oldC.X, oldC.Y, newC.X, newC.Y)
 	s.Cfg.Update(id, newC)
@@ -243,7 +243,7 @@ func (s *State) Recompute() (logLik, logPrior float64) {
 		if !s.validPosition(c) {
 			return logLik, math.Inf(-1)
 		}
-		logPrior += s.P.LogRadiusPDF(c.R)
+		logPrior += s.P.LogShapePrior(c)
 		for _, o := range circles[i+1:] {
 			overlap += c.OverlapArea(o)
 		}
@@ -256,7 +256,7 @@ func (s *State) Recompute() (logLik, logPrior float64) {
 // tests compare it with the incrementally maintained Cover.
 func (s *State) RecomputeCover() []int32 {
 	cover := make([]int32, len(s.Cover))
-	s.Cfg.ForEach(func(_ int, c geom.Circle) {
+	s.Cfg.ForEach(func(_ int, c geom.Ellipse) {
 		CoverAdd(cover, s.W, s.H, c, +1)
 	})
 	return cover
@@ -283,7 +283,7 @@ func (s *State) CheckConsistency() (likErr, priorErr float64, coverOK bool) {
 // the per-phase map allocations the old SnapshotCircles API forced.
 type IDCircle struct {
 	ID int
-	C  geom.Circle
+	C  geom.Ellipse
 }
 
 // AppendSnapshot appends a deep copy of every live (id, circle) pair to
@@ -291,7 +291,7 @@ type IDCircle struct {
 // steady-state snapshots are allocation-free; iteration order is the
 // configuration's dense order, deterministic for a fixed move history.
 func (s *State) AppendSnapshot(dst []IDCircle) []IDCircle {
-	s.Cfg.ForEach(func(id int, c geom.Circle) {
+	s.Cfg.ForEach(func(id int, c geom.Ellipse) {
 		dst = append(dst, IDCircle{ID: id, C: c})
 	})
 	return dst

@@ -100,7 +100,7 @@ func bruteLik(s *State) float64 {
 
 func TestAddRemoveRoundTrip(t *testing.T) {
 	s := newTestState(t, 64, 64, 1)
-	c := geom.Circle{X: 30, Y: 30, R: 8}
+	c := geom.Disc(30, 30, 8)
 	dLik, dPrior := s.EvalAdd(c)
 	id := s.ApplyAdd(c, dLik, dPrior)
 	if s.Cfg.Len() != 1 {
@@ -125,12 +125,12 @@ func TestAddRemoveRoundTrip(t *testing.T) {
 func TestEvalAddMatchesBrute(t *testing.T) {
 	s := newTestState(t, 64, 64, 2)
 	// Preload two circles.
-	for _, c := range []geom.Circle{{X: 20, Y: 20, R: 7}, {X: 40, Y: 40, R: 9}} {
+	for _, c := range []geom.Ellipse{geom.Disc(20, 20, 7), geom.Disc(40, 40, 9)} {
 		dl, dp := s.EvalAdd(c)
 		s.ApplyAdd(c, dl, dp)
 	}
 	before := bruteLik(s)
-	c := geom.Circle{X: 25, Y: 25, R: 8} // overlaps the first circle
+	c := geom.Disc(25, 25, 8) // overlaps the first circle
 	dLik, _ := s.EvalAdd(c)
 	dl, dp := s.EvalAdd(c)
 	s.ApplyAdd(c, dl, dp)
@@ -143,14 +143,14 @@ func TestEvalAddMatchesBrute(t *testing.T) {
 func TestEvalMoveMatchesBrute(t *testing.T) {
 	s := newTestState(t, 64, 64, 3)
 	var ids []int
-	for _, c := range []geom.Circle{
-		{X: 20, Y: 20, R: 7}, {X: 30, Y: 25, R: 6}, {X: 45, Y: 45, R: 8},
+	for _, c := range []geom.Ellipse{
+		geom.Disc(20, 20, 7), geom.Disc(30, 25, 6), geom.Disc(45, 45, 8),
 	} {
 		dl, dp := s.EvalAdd(c)
 		ids = append(ids, s.ApplyAdd(c, dl, dp))
 	}
 	before := bruteLik(s)
-	newC := geom.Circle{X: 24, Y: 22, R: 7.5} // overlapping shift+resize
+	newC := geom.Disc(24, 22, 7.5) // overlapping shift+resize
 	dLik, dPrior := s.EvalMove(ids[0], newC)
 	s.ApplyMove(ids[0], newC, dLik, dPrior)
 	after := bruteLik(s)
@@ -165,19 +165,19 @@ func TestEvalMoveMatchesBrute(t *testing.T) {
 
 func TestEvalMoveOutOfBounds(t *testing.T) {
 	s := newTestState(t, 64, 64, 4)
-	dl, dp := s.EvalAdd(geom.Circle{X: 30, Y: 30, R: 8})
-	id := s.ApplyAdd(geom.Circle{X: 30, Y: 30, R: 8}, dl, dp)
-	if _, dPrior := s.EvalMove(id, geom.Circle{X: -5, Y: 30, R: 8}); !math.IsInf(dPrior, -1) {
+	dl, dp := s.EvalAdd(geom.Disc(30, 30, 8))
+	id := s.ApplyAdd(geom.Disc(30, 30, 8), dl, dp)
+	if _, dPrior := s.EvalMove(id, geom.Disc(-5, 30, 8)); !math.IsInf(dPrior, -1) {
 		t.Fatal("out-of-bounds move not vetoed")
 	}
-	if _, dPrior := s.EvalMove(id, geom.Circle{X: 30, Y: 30, R: 100}); !math.IsInf(dPrior, -1) {
+	if _, dPrior := s.EvalMove(id, geom.Disc(30, 30, 100)); !math.IsInf(dPrior, -1) {
 		t.Fatal("out-of-support radius not vetoed")
 	}
 }
 
 func TestEvalAddOutOfBounds(t *testing.T) {
 	s := newTestState(t, 64, 64, 5)
-	if _, dPrior := s.EvalAdd(geom.Circle{X: 70, Y: 30, R: 8}); !math.IsInf(dPrior, -1) {
+	if _, dPrior := s.EvalAdd(geom.Disc(70, 30, 8)); !math.IsInf(dPrior, -1) {
 		t.Fatal("out-of-bounds add not vetoed")
 	}
 }
@@ -193,10 +193,10 @@ func TestIncrementalConsistencyFuzz(t *testing.T) {
 		op := r.Intn(3)
 		switch {
 		case op == 0 || s.Cfg.Len() == 0: // add
-			c := geom.Circle{
-				X: r.Uniform(0, 96), Y: r.Uniform(0, 96),
-				R: r.TruncNormal(p.MeanRadius, p.RadiusStdDev, p.MinRadius, p.MaxRadius),
-			}
+			c := geom.Disc(
+				r.Uniform(0, 96), r.Uniform(0, 96),
+				r.TruncNormal(p.MeanRadius, p.RadiusStdDev, p.MinRadius, p.MaxRadius),
+			)
 			dl, dp := s.EvalAdd(c)
 			if !math.IsInf(dp, -1) {
 				s.ApplyAdd(c, dl, dp)
@@ -208,11 +208,11 @@ func TestIncrementalConsistencyFuzz(t *testing.T) {
 		default: // move
 			id := s.Cfg.IDAt(r.Intn(s.Cfg.Len()))
 			old := s.Cfg.Get(id)
-			newC := geom.Circle{
-				X: old.X + r.NormalAt(0, 3),
-				Y: old.Y + r.NormalAt(0, 3),
-				R: old.R + r.NormalAt(0, 0.5),
-			}
+			newC := geom.Disc(
+				old.X+r.NormalAt(0, 3),
+				old.Y+r.NormalAt(0, 3),
+				old.Rx+r.NormalAt(0, 0.5),
+			)
 			dl, dp := s.EvalMove(id, newC)
 			if !math.IsInf(dp, -1) {
 				s.ApplyMove(id, newC, dl, dp)
@@ -230,8 +230,8 @@ func TestIncrementalConsistencyFuzz(t *testing.T) {
 
 func TestOverlapSumExcludes(t *testing.T) {
 	s := newTestState(t, 64, 64, 7)
-	a := geom.Circle{X: 30, Y: 30, R: 8}
-	b := geom.Circle{X: 36, Y: 30, R: 8}
+	a := geom.Disc(30, 30, 8)
+	b := geom.Disc(36, 30, 8)
 	dl, dp := s.EvalAdd(a)
 	idA := s.ApplyAdd(a, dl, dp)
 	dl, dp = s.EvalAdd(b)
@@ -247,15 +247,15 @@ func TestOverlapSumExcludes(t *testing.T) {
 
 func TestCommitMovedKeepsIndexConsistent(t *testing.T) {
 	s := newTestState(t, 96, 96, 8)
-	c := geom.Circle{X: 20, Y: 20, R: 8}
+	c := geom.Disc(20, 20, 8)
 	dl, dp := s.EvalAdd(c)
 	id := s.ApplyAdd(c, dl, dp)
 	// Simulate an external (worker) move: cover + deltas handled by the
 	// worker, then committed.
-	newC := geom.Circle{X: 70, Y: 70, R: 8}
+	newC := geom.Disc(70, 70, 8)
 	dLik := LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, c, newC)
 	CoverMove(s.Cover, s.W, s.H, c, newC)
-	dPrior := s.P.LogRadiusPDF(newC.R) - s.P.LogRadiusPDF(c.R)
+	dPrior := s.P.LogShapePrior(newC) - s.P.LogShapePrior(c)
 	s.CommitMoved(id, newC)
 	s.AddDeltas(dLik, dPrior)
 	likErr, priorErr, coverOK := s.CheckConsistency()
@@ -291,10 +291,10 @@ func TestLikelihoodPrefersTruth(t *testing.T) {
 	}
 	atTruth := s.LogPost()
 	// Shift every circle away: posterior must drop.
-	s.Cfg.ForEach(func(id int, c geom.Circle) {
-		moved := c.Translate(2.5*c.R, 0)
+	s.Cfg.ForEach(func(id int, c geom.Ellipse) {
+		moved := c.Translate(2.5*c.Rx, 0)
 		if moved.X >= float64(s.W) {
-			moved = c.Translate(-2.5*c.R, 0)
+			moved = c.Translate(-2.5*c.Rx, 0)
 		}
 		dl, dp := s.EvalMove(id, moved)
 		if !math.IsInf(dp, -1) {
@@ -308,7 +308,7 @@ func TestLikelihoodPrefersTruth(t *testing.T) {
 
 func TestAppendSnapshot(t *testing.T) {
 	s := newTestState(t, 64, 64, 12)
-	c := geom.Circle{X: 30, Y: 30, R: 8}
+	c := geom.Disc(30, 30, 8)
 	dl, dp := s.EvalAdd(c)
 	id := s.ApplyAdd(c, dl, dp)
 	snap := s.AppendSnapshot(nil)
@@ -329,7 +329,7 @@ func TestCoverAddNegativePanics(t *testing.T) {
 		}
 	}()
 	cover := make([]int32, 64*64)
-	CoverAdd(cover, 64, 64, geom.Circle{X: 30, Y: 30, R: 5}, -1)
+	CoverAdd(cover, 64, 64, geom.Disc(30, 30, 5), -1)
 }
 
 func TestLocalityMargin(t *testing.T) {

@@ -3,6 +3,7 @@ package partition
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/imaging"
@@ -50,7 +51,7 @@ type BlindResult struct {
 	Regions  []RegionResult
 
 	// Circles is the merged final model.
-	Circles []geom.Circle
+	Circles []geom.Ellipse
 	// Merged counts cross-partition pairs averaged together; Disputed
 	// counts overlap-area artifacts without a counterpart.
 	Merged   int
@@ -99,7 +100,7 @@ func MergeBlind(cores, expanded []geom.Rect, results []RegionResult, opt BlindOp
 	// ("beads whose centre is not inside the dotted line ... are
 	// deleted").
 	type candidate struct {
-		c    geom.Circle
+		c    geom.Ellipse
 		part int
 	}
 	var cands []candidate
@@ -113,7 +114,7 @@ func MergeBlind(cores, expanded []geom.Rect, results []RegionResult, opt BlindOp
 
 	// A detection is "in the overlap area" when more than one expanded
 	// region contains its centre.
-	inOverlap := func(c geom.Circle) bool {
+	inOverlap := func(c geom.Ellipse) bool {
 		n := 0
 		for _, e := range expanded {
 			if e.ContainsPoint(c.X, c.Y) {
@@ -148,11 +149,7 @@ func MergeBlind(cores, expanded []geom.Rect, results []RegionResult, opt BlindOp
 		}
 		if mate >= 0 {
 			cj := cands[mate]
-			res.Circles = append(res.Circles, geom.Circle{
-				X: (ci.c.X + cj.c.X) / 2,
-				Y: (ci.c.Y + cj.c.Y) / 2,
-				R: (ci.c.R + cj.c.R) / 2,
-			})
+			res.Circles = append(res.Circles, mergePair(ci.c, cj.c))
 			used[i], used[mate] = true, true
 			res.Merged++
 			continue
@@ -165,4 +162,34 @@ func MergeBlind(cores, expanded []geom.Rect, results []RegionResult, opt BlindOp
 		used[i] = true
 	}
 	return res
+}
+
+// mergePair averages two duplicate detections of one artifact: centre
+// and semi-axes component-wise, rotation by the half-turn circular mean
+// (angles are a half-turn group, so a plain average of e.g. 0.05 and
+// π−0.05 would point the merged ellipse the wrong way). Discs reduce to
+// the historical centre/radius average exactly.
+func mergePair(a, b geom.Ellipse) geom.Ellipse {
+	return geom.Ellipse{
+		X:     (a.X + b.X) / 2,
+		Y:     (a.Y + b.Y) / 2,
+		Rx:    (a.Rx + b.Rx) / 2,
+		Ry:    (a.Ry + b.Ry) / 2,
+		Theta: meanHalfTurn(a.Theta, b.Theta),
+	}
+}
+
+// meanHalfTurn is the circular mean of two angles on [0, π): average in
+// the doubled-angle domain where the half-turn symmetry disappears.
+func meanHalfTurn(a, b float64) float64 {
+	sx := math.Cos(2*a) + math.Cos(2*b)
+	sy := math.Sin(2*a) + math.Sin(2*b)
+	if sx == 0 && sy == 0 {
+		return a // antipodal: either input is a valid mean
+	}
+	m := math.Atan2(sy, sx) / 2
+	if m < 0 {
+		m += math.Pi
+	}
+	return m
 }

@@ -83,7 +83,7 @@ type RegionResult struct {
 	Region    geom.Rect // partition rectangle in parent coordinates
 	Area      float64   // pixels²
 	Lambda    float64   // eq. 5 estimate ("# obj. (density/thresh.)")
-	Circles   []geom.Circle
+	Circles   []geom.Ellipse
 	Iters     int64 // iterations until convergence (or the cap)
 	Converged bool
 	Seconds   float64 // wall-clock seconds for this partition's chain

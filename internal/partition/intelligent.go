@@ -106,7 +106,7 @@ type IntelligentResult struct {
 	// Circles is the union of the per-region detections (merging is
 	// trivial because the pre-processor guarantees no artifact spans a
 	// boundary, §IX).
-	Circles []geom.Circle
+	Circles []geom.Ellipse
 }
 
 // RunIntelligent applies the pre-processor and processes every region

@@ -11,7 +11,7 @@ import (
 type NaiveResult struct {
 	Cells   []geom.Rect
 	Regions []RegionResult
-	Circles []geom.Circle
+	Circles []geom.Ellipse
 }
 
 // RunNaive is the baseline §II warns about: split the image into a plain

@@ -19,26 +19,22 @@ func clusteredScene(t *testing.T) *imaging.Scene {
 	t.Helper()
 	im := imaging.New(220, 160)
 	im.Fill(0.1)
-	var truth []geom.Circle
+	var truth []geom.Ellipse
 	place := func(cx, cy float64, n int, seed uint64) {
 		r := rng.New(seed)
 		for i := 0; i < n; i++ {
-			c := geom.Circle{
-				X: cx + r.NormalAt(0, 9),
-				Y: cy + r.NormalAt(0, 9),
-				R: 6,
-			}
+			c := geom.Disc(cx+r.NormalAt(0, 9), cy+r.NormalAt(0, 9), 6)
 			// Keep beads separated so counts are unambiguous.
 			ok := true
 			for _, p := range truth {
-				if c.Dist(p) < c.R+p.R+2 {
+				if c.Dist(p) < c.Rx+p.Rx+2 {
 					ok = false
 					break
 				}
 			}
 			if ok {
 				truth = append(truth, c)
-				imaging.RenderDisc(im, c, 0.9)
+				imaging.RenderShape(im, c, 0.9)
 			}
 		}
 	}
@@ -119,7 +115,7 @@ func TestIntelligentRegionsEmptyImage(t *testing.T) {
 func TestIntelligentRegionsSingleBlob(t *testing.T) {
 	im := imaging.New(64, 64)
 	im.Fill(0.1)
-	imaging.RenderDisc(im, geom.Circle{X: 32, Y: 32, R: 10}, 0.9)
+	imaging.RenderShape(im, geom.Disc(32, 32, 10), 0.9)
 	regions := IntelligentRegions(im, 0.5, 12, 2)
 	if len(regions) != 1 {
 		t.Fatalf("single blob produced %d regions", len(regions))
@@ -137,7 +133,7 @@ func TestIntelligentRegionsNeverSplitsArtifacts(t *testing.T) {
 	for _, c := range scene.Truth {
 		for _, r := range regions {
 			if r.ContainsPoint(c.X, c.Y) {
-				if !r.ContainsCircle(c, -0.5) {
+				if !r.ContainsEllipse(c, -0.5) {
 					t.Fatalf("region %+v cuts through artifact %+v", r, c)
 				}
 			}
@@ -212,15 +208,15 @@ func TestRunBlindValidates(t *testing.T) {
 func TestNaiveAnomalyVsBlind(t *testing.T) {
 	im := imaging.New(160, 160)
 	im.Fill(0.1)
-	truth := []geom.Circle{
-		{X: 80, Y: 40, R: 7},  // dead on the vertical midline
-		{X: 80, Y: 110, R: 7}, // dead on the vertical midline
-		{X: 40, Y: 80, R: 7},  // dead on the horizontal midline
-		{X: 30, Y: 30, R: 7},
-		{X: 125, Y: 125, R: 7},
+	truth := []geom.Ellipse{
+		geom.Disc(80, 40, 7),  // dead on the vertical midline
+		geom.Disc(80, 110, 7), // dead on the vertical midline
+		geom.Disc(40, 80, 7),  // dead on the horizontal midline
+		geom.Disc(30, 30, 7),
+		geom.Disc(125, 125, 7),
 	}
 	for _, c := range truth {
-		imaging.RenderDisc(im, c, 0.9)
+		imaging.RenderShape(im, c, 0.9)
 	}
 	noise := rng.New(5)
 	for i := range im.Pix {
@@ -328,9 +324,9 @@ func TestBlindDisputedPolicy(t *testing.T) {
 	// not add circles.
 	im := imaging.New(120, 120)
 	im.Fill(0.1)
-	truth := []geom.Circle{{X: 60, Y: 60, R: 7}, {X: 25, Y: 25, R: 7}}
+	truth := []geom.Ellipse{geom.Disc(60, 60, 7), geom.Disc(25, 25, 7)}
 	for _, c := range truth {
-		imaging.RenderDisc(im, c, 0.9)
+		imaging.RenderShape(im, c, 0.9)
 	}
 	cfg := testConfig(46)
 	keep, err := RunBlind(context.Background(), im, cfg, BlindOptions{NX: 2, NY: 2, Margin: 8, MergeRadius: 5, KeepDisputed: true}, 2)

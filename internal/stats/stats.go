@@ -24,7 +24,7 @@ type MatchResult struct {
 // MatchCircles greedily matches found circles to truth circles in order
 // of increasing centre distance, with matches allowed up to maxDist. Each
 // truth circle is matched at most once.
-func MatchCircles(found, truth []geom.Circle, maxDist float64) MatchResult {
+func MatchCircles(found, truth []geom.Ellipse, maxDist float64) MatchResult {
 	type cand struct {
 		f, t int
 		d    float64
@@ -58,7 +58,9 @@ func MatchCircles(found, truth []geom.Circle, maxDist float64) MatchResult {
 		usedT[c.t] = true
 		res.Pairs = append(res.Pairs, [2]int{c.f, c.t})
 		sumD += c.d
-		sumR += math.Abs(found[c.f].R - truth[c.t].R)
+		// Size error compares equal-area radii, which reduces to the
+		// plain radius difference for discs.
+		sumR += math.Abs(found[c.f].EffR() - truth[c.t].EffR())
 	}
 	res.TP = len(res.Pairs)
 	res.FP = len(found) - res.TP
@@ -98,7 +100,7 @@ func (m MatchResult) F1() float64 {
 // DuplicatePairs counts pairs of found circles whose centres lie within
 // dist of each other — the signature anomaly of naive partitioning
 // (an artifact detected once in each adjacent partition).
-func DuplicatePairs(found []geom.Circle, dist float64) int {
+func DuplicatePairs(found []geom.Ellipse, dist float64) int {
 	n := 0
 	for i, a := range found {
 		for _, b := range found[i+1:] {
@@ -113,7 +115,7 @@ func DuplicatePairs(found []geom.Circle, dist float64) int {
 // NearLine counts circles whose centre lies within dist of any of the
 // given vertical (x = v) or horizontal (y = v) lines — used to localise
 // anomalies to partition boundaries.
-func NearLine(found []geom.Circle, xs, ys []float64, dist float64) int {
+func NearLine(found []geom.Ellipse, xs, ys []float64, dist float64) int {
 	n := 0
 	for _, c := range found {
 		near := false

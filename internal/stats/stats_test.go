@@ -10,7 +10,7 @@ import (
 )
 
 func TestMatchCirclesPerfect(t *testing.T) {
-	truth := []geom.Circle{{X: 10, Y: 10, R: 5}, {X: 40, Y: 40, R: 6}}
+	truth := []geom.Ellipse{geom.Disc(10, 10, 5), geom.Disc(40, 40, 6)}
 	res := MatchCircles(truth, truth, 3)
 	if res.TP != 2 || res.FP != 0 || res.FN != 0 {
 		t.Fatalf("perfect match scored %+v", res)
@@ -24,10 +24,10 @@ func TestMatchCirclesPerfect(t *testing.T) {
 }
 
 func TestMatchCirclesPartial(t *testing.T) {
-	truth := []geom.Circle{{X: 10, Y: 10, R: 5}, {X: 40, Y: 40, R: 6}}
-	found := []geom.Circle{
-		{X: 11, Y: 10, R: 5}, // matches truth[0]
-		{X: 80, Y: 80, R: 5}, // false positive
+	truth := []geom.Ellipse{geom.Disc(10, 10, 5), geom.Disc(40, 40, 6)}
+	found := []geom.Ellipse{
+		geom.Disc(11, 10, 5), // matches truth[0]
+		geom.Disc(80, 80, 5), // false positive
 	}
 	res := MatchCircles(found, truth, 3)
 	if res.TP != 1 || res.FP != 1 || res.FN != 1 {
@@ -42,10 +42,10 @@ func TestMatchCirclesPartial(t *testing.T) {
 }
 
 func TestMatchCirclesGreedyPrefersClosest(t *testing.T) {
-	truth := []geom.Circle{{X: 10, Y: 10, R: 5}}
-	found := []geom.Circle{
-		{X: 12, Y: 10, R: 5},   // distance 2
-		{X: 10.5, Y: 10, R: 5}, // distance 0.5 — must win
+	truth := []geom.Ellipse{geom.Disc(10, 10, 5)}
+	found := []geom.Ellipse{
+		geom.Disc(12, 10, 5),   // distance 2
+		geom.Disc(10.5, 10, 5), // distance 0.5 — must win
 	}
 	res := MatchCircles(found, truth, 5)
 	if res.TP != 1 || res.Pairs[0][0] != 1 {
@@ -54,8 +54,8 @@ func TestMatchCirclesGreedyPrefersClosest(t *testing.T) {
 }
 
 func TestMatchCirclesNoDoubleUse(t *testing.T) {
-	truth := []geom.Circle{{X: 10, Y: 10, R: 5}, {X: 12, Y: 10, R: 5}}
-	found := []geom.Circle{{X: 11, Y: 10, R: 5}}
+	truth := []geom.Ellipse{geom.Disc(10, 10, 5), geom.Disc(12, 10, 5)}
+	found := []geom.Ellipse{geom.Disc(11, 10, 5)}
 	res := MatchCircles(found, truth, 5)
 	if res.TP != 1 || res.FN != 1 {
 		t.Fatalf("scored %+v", res)
@@ -73,13 +73,13 @@ func TestMatchEmptySets(t *testing.T) {
 func TestMatchInvariantsProperty(t *testing.T) {
 	r := rng.New(1)
 	f := func(nf, nt uint8) bool {
-		found := make([]geom.Circle, nf%12)
-		truth := make([]geom.Circle, nt%12)
+		found := make([]geom.Ellipse, nf%12)
+		truth := make([]geom.Ellipse, nt%12)
 		for i := range found {
-			found[i] = geom.Circle{X: r.Uniform(0, 50), Y: r.Uniform(0, 50), R: 3}
+			found[i] = geom.Disc(r.Uniform(0, 50), r.Uniform(0, 50), 3)
 		}
 		for i := range truth {
-			truth[i] = geom.Circle{X: r.Uniform(0, 50), Y: r.Uniform(0, 50), R: 3}
+			truth[i] = geom.Disc(r.Uniform(0, 50), r.Uniform(0, 50), 3)
 		}
 		res := MatchCircles(found, truth, 6)
 		if res.TP+res.FP != len(found) || res.TP+res.FN != len(truth) {
@@ -94,7 +94,7 @@ func TestMatchInvariantsProperty(t *testing.T) {
 }
 
 func TestDuplicatePairs(t *testing.T) {
-	circles := []geom.Circle{
+	circles := []geom.Ellipse{
 		{X: 10, Y: 10}, {X: 11, Y: 10}, // pair
 		{X: 50, Y: 50},
 	}
@@ -107,7 +107,7 @@ func TestDuplicatePairs(t *testing.T) {
 }
 
 func TestNearLine(t *testing.T) {
-	circles := []geom.Circle{{X: 49, Y: 10}, {X: 10, Y: 51}, {X: 25, Y: 25}}
+	circles := []geom.Ellipse{{X: 49, Y: 10}, {X: 10, Y: 51}, {X: 25, Y: 25}}
 	if n := NearLine(circles, []float64{50}, []float64{50}, 3); n != 2 {
 		t.Fatalf("near-line count = %d", n)
 	}

@@ -42,13 +42,20 @@ type Checkpoint struct {
 	Data []byte
 }
 
-// checkpointVersion is the current wire format version.
-const checkpointVersion = 1
+// checkpointVersion is the current wire format version. Version 2: the
+// configuration element changed from Circle{X,Y,R} to the generic
+// Ellipse{X,Y,Rx,Ry,Theta}, whose gob payloads are not interchangeable
+// (a v1 blob would decode with every radius silently zeroed), so v1
+// checkpoints are rejected loudly instead.
+const checkpointVersion = 2
 
 // OptionsSnapshot mirrors the chain-affecting fields of Options in a
 // serializable form (Options itself carries callbacks, which cannot and
 // must not be persisted).
 type OptionsSnapshot struct {
+	// Shape is the registry name of the artifact family ("" reads as
+	// "disc" so pre-shape checkpoints stay decodable).
+	Shape            string
 	MeanRadius       float64
 	ExpectedCount    float64
 	Threshold        float64
@@ -70,6 +77,7 @@ type OptionsSnapshot struct {
 
 func snapshotOptions(o Options) OptionsSnapshot {
 	return OptionsSnapshot{
+		Shape:      o.Shape.String(),
 		MeanRadius: o.MeanRadius, ExpectedCount: o.ExpectedCount, Threshold: o.Threshold,
 		Iterations: o.Iterations, Workers: o.Workers, Seed: o.Seed,
 		LocalPhaseIters: o.LocalPhaseIters, PartitionGrid: o.PartitionGrid,
@@ -80,9 +88,17 @@ func snapshotOptions(o Options) OptionsSnapshot {
 	}
 }
 
-func (s OptionsSnapshot) toOptions(strategy Strategy) Options {
+func (s OptionsSnapshot) toOptions(strategy Strategy) (Options, error) {
+	shape := Discs
+	if s.Shape != "" {
+		var err error
+		if shape, err = ParseShape(s.Shape); err != nil {
+			return Options{}, fmt.Errorf("parmcmc: checkpoint for unknown shape %q", s.Shape)
+		}
+	}
 	return Options{
 		Strategy:   strategy,
+		Shape:      shape,
 		MeanRadius: s.MeanRadius, ExpectedCount: s.ExpectedCount, Threshold: s.Threshold,
 		Iterations: s.Iterations, Workers: s.Workers, Seed: s.Seed,
 		LocalPhaseIters: s.LocalPhaseIters, PartitionGrid: s.PartitionGrid,
@@ -90,7 +106,7 @@ func (s OptionsSnapshot) toOptions(strategy Strategy) Options {
 		SimulateParallel: s.SimulateParallel, Converge: s.Converge,
 		OverlapPenalty: s.OverlapPenalty,
 		Chains:         s.Chains, HeatStep: s.HeatStep, SwapEvery: s.SwapEvery,
-	}
+	}, nil
 }
 
 // hashImage fingerprints the clamped pixel buffer (FNV-1a over the bit
@@ -197,7 +213,10 @@ func DetectResume(ctx context.Context, pix []float64, w, h int, opt Options, cp 
 	if !ok {
 		return nil, fmt.Errorf("parmcmc: checkpoint for unknown strategy %q", cp.Strategy)
 	}
-	ro := cp.Options.toOptions(def.value)
+	ro, err := cp.Options.toOptions(def.value)
+	if err != nil {
+		return nil, err
+	}
 	ro.Observer = opt.Observer
 	ro.OnCheckpoint = opt.OnCheckpoint
 	ro.CheckpointEvery = opt.CheckpointEvery

@@ -16,10 +16,23 @@ import (
 // detCase is one strategy configuration under test.
 type detCase struct {
 	name string
+	pix  []float64 // the case's scene (shape families differ)
 	opt  Options
 }
 
 func determinismCases(t *testing.T) ([]float64, int, int, []detCase) {
+	t.Helper()
+	pix, w, h, cases := determinismCasesShaped(t, Discs)
+	epix, _, _, ecases := determinismCasesShaped(t, Ellipses)
+	_ = epix
+	cases = append(cases, ecases...)
+	return pix, w, h, cases
+}
+
+// determinismCasesShaped builds the per-strategy cases for one shape
+// family. The returned pix is the family's scene; ellipse cases carry
+// their own pixels (detCase.pix) so both families can share one list.
+func determinismCasesShaped(t *testing.T, shape Shape) ([]float64, int, int, []detCase) {
 	t.Helper()
 	// Dense enough that every strategy — including each blind quadrant —
 	// needs more than one 5000-iteration chunk to converge, so every
@@ -27,20 +40,27 @@ func determinismCases(t *testing.T) ([]float64, int, int, []detCase) {
 	const w, h = 160, 160
 	pix, _ := GenerateScene(SceneSpec{
 		W: w, H: h, Count: 18, MeanRadius: 7, Noise: 0.08, Seed: 21,
+		Shape: shape,
 	})
+	prefix := ""
+	if shape != Discs {
+		prefix = shape.String() + "/"
+	}
 	var cases []detCase
 	for _, s := range Strategies() {
 		cases = append(cases, detCase{
-			name: s.String(),
+			name: prefix + s.String(),
+			pix:  pix,
 			opt: Options{
-				Strategy: s, MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
+				Strategy: s, Shape: shape, MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
 			},
 		})
 	}
 	cases = append(cases, detCase{
-		name: "sequential+converge",
+		name: prefix + "sequential+converge",
+		pix:  pix,
 		opt: Options{
-			Strategy: Sequential, Converge: true,
+			Strategy: Sequential, Shape: shape, Converge: true,
 			MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
 		},
 	})
@@ -56,8 +76,8 @@ func mustEqualResults(t *testing.T, label string, a, b *Result) {
 			t.Fatalf("%s: %s differs: %v vs %v", label, field, x, y)
 		}
 	}
-	if a.Strategy != b.Strategy {
-		t.Fatalf("%s: strategy differs", label)
+	if a.Strategy != b.Strategy || a.Shape != b.Shape {
+		t.Fatalf("%s: strategy/shape differs", label)
 	}
 	if len(a.Circles) != len(b.Circles) {
 		t.Fatalf("%s: %d vs %d circles", label, len(a.Circles), len(b.Circles))
@@ -65,6 +85,14 @@ func mustEqualResults(t *testing.T, label string, a, b *Result) {
 	for i := range a.Circles {
 		if a.Circles[i] != b.Circles[i] {
 			t.Fatalf("%s: circle %d differs: %+v vs %+v", label, i, a.Circles[i], b.Circles[i])
+		}
+	}
+	if len(a.Ellipses) != len(b.Ellipses) {
+		t.Fatalf("%s: %d vs %d ellipses", label, len(a.Ellipses), len(b.Ellipses))
+	}
+	for i := range a.Ellipses {
+		if a.Ellipses[i] != b.Ellipses[i] {
+			t.Fatalf("%s: ellipse %d differs: %+v vs %+v", label, i, a.Ellipses[i], b.Ellipses[i])
 		}
 	}
 	feq("LogPost", a.LogPost, b.LogPost)
@@ -100,10 +128,11 @@ func mustEqualResults(t *testing.T, label string, a, b *Result) {
 }
 
 func TestObserverInvariance(t *testing.T) {
-	pix, w, h, cases := determinismCases(t)
+	_, w, h, cases := determinismCases(t)
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			pix := tc.pix
 			plain, err := Detect(pix, w, h, tc.opt)
 			if err != nil {
 				t.Fatal(err)
@@ -132,10 +161,11 @@ func TestObserverInvariance(t *testing.T) {
 }
 
 func TestCheckpointResumeBitIdentical(t *testing.T) {
-	pix, w, h, cases := determinismCases(t)
+	_, w, h, cases := determinismCases(t)
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			pix := tc.pix
 			// One uninterrupted run yields both the reference result and
 			// mid-run checkpoints (capturing is read-only, so the run is
 			// unperturbed — TestObserverInvariance's logic applies).

@@ -1,8 +1,9 @@
 // Package parmcmc is the public API of this repository: MCMC-based
-// detection of circular artifacts (stained cell nuclei, latex beads) in
-// grayscale images, with the parallelisation strategies of Byrd, Jarvis
-// & Bhalerao, "On the Parallelisation of MCMC-based Image Processing"
-// (IEEE IPDPS workshops, 2010):
+// detection of artifacts (stained cell nuclei, latex beads — circular
+// by default, elliptical via Options.Shape) in grayscale images, with
+// the parallelisation strategies of Byrd, Jarvis & Bhalerao, "On the
+// Parallelisation of MCMC-based Image Processing" (IEEE IPDPS
+// workshops, 2010):
 //
 //   - Sequential: the plain reversible-jump sampler (baseline).
 //   - Periodic: periodic partitioning (§V) — statistically exact
@@ -20,13 +21,19 @@
 // progress (Options.Observer) and checkpoint/resume
 // (Options.OnCheckpoint, DetectResume) uniformly — see sampler.go.
 //
-// The package deliberately exposes plain float64 pixel buffers and a
-// tiny Circle type; the heavy machinery lives in internal packages.
+// Shapes are a registry too (Discs, Ellipses; ParseShape/ShapeKinds):
+// every strategy runs either family through the same generic loop, and
+// results carry both the full shape parameters (Result.Ellipses) and an
+// equal-area disc view (Result.Circles).
+//
+// The package deliberately exposes plain float64 pixel buffers and tiny
+// Circle/Ellipse types; the heavy machinery lives in internal packages.
 package parmcmc
 
 import (
 	"context"
 	"image"
+	"math"
 	"runtime"
 	"time"
 
@@ -36,9 +43,26 @@ import (
 	"repro/internal/stats"
 )
 
-// Circle is a detected (or ground-truth) artifact.
+// Circle is a detected (or ground-truth) disc artifact. For ellipse
+// workloads it carries the equal-area radius; Result.Ellipses holds the
+// full parameters.
 type Circle struct {
 	X, Y, R float64
+}
+
+// Ellipse is a detected (or ground-truth) artifact in generic form:
+// centre, semi-axes and rotation (radians, [0, π)). A disc has
+// Rx == Ry and Theta 0.
+type Ellipse struct {
+	X, Y, Rx, Ry, Theta float64
+}
+
+// EffR returns the equal-area radius √(Rx·Ry) (exactly Rx for a disc).
+func (e Ellipse) EffR() float64 {
+	if e.Rx == e.Ry {
+		return e.Rx
+	}
+	return math.Sqrt(e.Rx * e.Ry)
 }
 
 // Strategy selects the parallelisation method.
@@ -57,6 +81,13 @@ const (
 // else has sensible defaults.
 type Options struct {
 	Strategy Strategy
+
+	// Shape selects the artifact family: Discs (default, the paper's
+	// workload) or Ellipses (per-feature semi-axes and rotation; adds
+	// axis-scale and rotate moves, drops the disc-only split/merge
+	// pair). Every strategy supports both through the same generic
+	// drive loop.
+	Shape Shape
 
 	// MeanRadius is the expected artifact radius in pixels (required).
 	MeanRadius float64
@@ -189,7 +220,10 @@ func (r RegionInfo) Contains(x, y float64) bool {
 // Result is the outcome of a detection run.
 type Result struct {
 	Strategy Strategy
-	Circles  []Circle
+	// Shape is the artifact family the run detected (Result.Ellipses
+	// carries genuine rotations/axis pairs only for Ellipses runs).
+	Shape   Shape
+	Circles []Circle
 	// LogPost is the relative log-posterior of the final configuration
 	// scored against the whole image, comparable across strategies
 	// (partitioned strategies score their merged model).
@@ -215,6 +249,11 @@ type Result struct {
 	GlobalSeconds   float64
 	LocalSeconds    float64
 	SimLocalSeconds float64
+
+	// Ellipses carries the full shape parameters of every detection —
+	// always populated, with Rx == Ry for disc runs; Circles mirrors it
+	// with equal-area radii for disc-era callers.
+	Ellipses []Ellipse
 
 	// Tempered metadata: fraction of chain-swap proposals accepted.
 	SwapRate float64
@@ -299,21 +338,42 @@ type SceneSpec struct {
 	// them uniformly.
 	Clusters int
 	Seed     uint64
+	// Shape selects the artifact family (Discs by default). Ellipse
+	// scenes draw the major semi-axis from the radius distribution, the
+	// minor axis as AxisRatio (default 0.7, jittered) times the major,
+	// and a uniform rotation.
+	Shape     Shape
+	AxisRatio float64
 }
 
-// GenerateScene renders a synthetic micrograph (bright discs on noisy
-// background) and returns its pixels plus the ground-truth circles —
-// convenient for demos, tests and benchmarking against a known answer.
+// GenerateScene renders a synthetic micrograph (bright artifacts on
+// noisy background) and returns its pixels plus the ground truth as
+// equal-area circles — convenient for demos, tests and benchmarking
+// against a known answer. GenerateSceneShapes returns the full shape
+// parameters instead.
 func GenerateScene(spec SceneSpec) (pix []float64, truth []Circle) {
+	pix, shapes := GenerateSceneShapes(spec)
+	truth = make([]Circle, len(shapes))
+	for i, e := range shapes {
+		truth[i] = Circle{X: e.X, Y: e.Y, R: e.EffR()}
+	}
+	return pix, truth
+}
+
+// GenerateSceneShapes is GenerateScene with full ground-truth shape
+// parameters (semi-axes and rotation).
+func GenerateSceneShapes(spec SceneSpec) (pix []float64, truth []Ellipse) {
 	scene := imaging.Synthesize(imaging.SceneSpec{
 		W: spec.W, H: spec.H, Count: spec.Count,
+		Shape:      spec.Shape.kind(),
+		AxisRatio:  spec.AxisRatio,
 		MeanRadius: spec.MeanRadius, RadiusStdDev: spec.MeanRadius * 0.1,
 		Noise: spec.Noise, Clusters: spec.Clusters,
 		MinSeparation: 1.05,
 	}, rng.New(spec.Seed+1))
-	truth = make([]Circle, len(scene.Truth))
+	truth = make([]Ellipse, len(scene.Truth))
 	for i, c := range scene.Truth {
-		truth[i] = Circle{X: c.X, Y: c.Y, R: c.R}
+		truth[i] = Ellipse{X: c.X, Y: c.Y, Rx: c.Rx, Ry: c.Ry, Theta: c.Theta}
 	}
 	return scene.Image.Pix, truth
 }
@@ -321,13 +381,28 @@ func GenerateScene(spec SceneSpec) (pix []float64, truth []Circle) {
 // MatchScore scores detections against ground truth and returns
 // (precision, recall, F1) with matches allowed up to maxDist pixels.
 func MatchScore(found, truth []Circle, maxDist float64) (precision, recall, f1 float64) {
-	fs := make([]geom.Circle, len(found))
+	fs := make([]geom.Ellipse, len(found))
 	for i, c := range found {
-		fs[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+		fs[i] = geom.Disc(c.X, c.Y, c.R)
 	}
-	ts := make([]geom.Circle, len(truth))
+	ts := make([]geom.Ellipse, len(truth))
 	for i, c := range truth {
-		ts[i] = geom.Circle{X: c.X, Y: c.Y, R: c.R}
+		ts[i] = geom.Disc(c.X, c.Y, c.R)
+	}
+	m := stats.MatchCircles(fs, ts, maxDist)
+	return m.Precision(), m.Recall(), m.F1()
+}
+
+// MatchScoreShapes is MatchScore over full shape parameters: matching
+// is by centre distance, size error by equal-area radius.
+func MatchScoreShapes(found, truth []Ellipse, maxDist float64) (precision, recall, f1 float64) {
+	fs := make([]geom.Ellipse, len(found))
+	for i, e := range found {
+		fs[i] = geom.Ellipse{X: e.X, Y: e.Y, Rx: e.Rx, Ry: e.Ry, Theta: e.Theta}
+	}
+	ts := make([]geom.Ellipse, len(truth))
+	for i, e := range truth {
+		ts[i] = geom.Ellipse{X: e.X, Y: e.Y, Rx: e.Rx, Ry: e.Ry, Theta: e.Theta}
 	}
 	m := stats.MatchCircles(fs, ts, maxDist)
 	return m.Precision(), m.Recall(), m.F1()

@@ -139,3 +139,107 @@ func TestMatchScorePerfect(t *testing.T) {
 		t.Fatalf("perfect score = %v %v %v", p, r, f1)
 	}
 }
+
+// TestAllStrategiesDetectEllipses runs the whole strategy registry over
+// an elliptical-nuclei scene through the same generic drive loop — no
+// strategy has shape-specific code, so every one must find the
+// artifacts and report genuine (non-circular) shape parameters.
+func TestAllStrategiesDetectEllipses(t *testing.T) {
+	const w, h = 150, 150
+	pix, truth := GenerateSceneShapes(SceneSpec{
+		W: w, H: h, Count: 9, MeanRadius: 8, Noise: 0.05, Seed: 6,
+		Shape: Ellipses,
+	})
+	if len(truth) < 6 {
+		t.Fatalf("scene placed only %d artifacts", len(truth))
+	}
+	elliptical := 0
+	for _, e := range truth {
+		if e.Rx != e.Ry {
+			elliptical++
+		}
+	}
+	if elliptical == 0 {
+		t.Fatal("ellipse scene generated only discs")
+	}
+	for _, s := range Strategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			if testing.Short() && s != Sequential && s != Periodic {
+				t.Skip("short mode: sequential and periodic only")
+			}
+			res, err := Detect(pix, w, h, Options{
+				Strategy: s, Shape: Ellipses, MeanRadius: 8, Iterations: 30000, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Ellipses) != len(res.Circles) {
+				t.Fatalf("Ellipses/Circles length mismatch: %d vs %d", len(res.Ellipses), len(res.Circles))
+			}
+			_, recall, f1 := MatchScoreShapes(res.Ellipses, truth, 4)
+			if recall < 0.7 {
+				t.Fatalf("%v recall = %v (found %d of %d)", s, recall, len(res.Ellipses), len(truth))
+			}
+			if f1 < 0.6 {
+				t.Fatalf("%v F1 = %v", s, f1)
+			}
+			// The sampler must actually use the extra degrees of freedom.
+			nonCircular := 0
+			for _, e := range res.Ellipses {
+				if e.Rx != e.Ry {
+					nonCircular++
+				}
+			}
+			if nonCircular == 0 {
+				t.Fatalf("%v: every detection is a perfect disc — axis moves never accepted?", s)
+			}
+		})
+	}
+}
+
+// TestShapeNames pins the registry round trip for shapes, mirroring
+// TestStrategyNames.
+func TestShapeNames(t *testing.T) {
+	kinds := ShapeKinds()
+	if len(kinds) < 2 {
+		t.Fatalf("expected at least 2 shape kinds, got %d", len(kinds))
+	}
+	for _, s := range kinds {
+		name := s.String()
+		back, err := ParseShape(name)
+		if err != nil {
+			t.Fatalf("ParseShape(%q): %v", name, err)
+		}
+		if back != s {
+			t.Fatalf("round trip %v -> %q -> %v", s, name, back)
+		}
+	}
+	if _, err := ParseShape("hexagon"); err == nil {
+		t.Fatal("ParseShape accepted an unknown name")
+	}
+	if _, err := Detect(make([]float64, 16), 4, 4, Options{MeanRadius: 2, Shape: Shape(42)}); err == nil {
+		t.Fatal("Detect accepted an unregistered shape")
+	}
+}
+
+// TestDiscRunsHaveCircularEllipses: disc-mode results carry the generic
+// shape list too, with Rx == Ry == R.
+func TestDiscRunsHaveCircularEllipses(t *testing.T) {
+	pix, _, w, h := testScene(t)
+	res, err := Detect(pix, w, h, Options{MeanRadius: 8, Iterations: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ellipses) != len(res.Circles) {
+		t.Fatalf("Ellipses/Circles length mismatch")
+	}
+	for i, e := range res.Ellipses {
+		if e.Rx != e.Ry || e.Theta != 0 {
+			t.Fatalf("disc run produced non-circular ellipse %+v", e)
+		}
+		if res.Circles[i].R != e.Rx {
+			t.Fatalf("circle/ellipse radius mismatch at %d", i)
+		}
+	}
+}

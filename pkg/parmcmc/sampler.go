@@ -88,11 +88,16 @@ func newRunEnv(pix []float64, w, h int, opt Options) (*runEnv, error) {
 	im := &imaging.Image{W: w, H: h, Pix: append([]float64(nil), pix...)}
 	im.Clamp()
 
+	sdef, err := shapeFor(o.Shape)
+	if err != nil {
+		return nil, err
+	}
 	lambda := o.ExpectedCount
 	if lambda <= 0 {
 		lambda = math.Max(im.EstimateCount(o.Threshold, o.MeanRadius), 0.5)
 	}
 	params := model.DefaultParams(lambda, o.MeanRadius)
+	params.Shape = sdef.kind
 	if o.OverlapPenalty > 0 {
 		params.OverlapPenalty = o.OverlapPenalty
 	}
@@ -100,8 +105,8 @@ func newRunEnv(pix []float64, w, h int, opt Options) (*runEnv, error) {
 		opt:     o,
 		im:      im,
 		params:  params,
-		weights: mcmc.DefaultWeights(),
-		steps:   mcmc.DefaultStepSizes(o.MeanRadius),
+		weights: mcmc.DefaultWeightsFor(sdef.kind),
+		steps:   mcmc.DefaultStepSizes(o.MeanRadius).WithEllipseDefaults(),
 	}, nil
 }
 
@@ -150,7 +155,7 @@ func drive(ctx context.Context, env *runEnv, smp sampler, prior time.Duration) (
 			break
 		}
 	}
-	res := &Result{Strategy: o.Strategy, Partitions: 1}
+	res := &Result{Strategy: o.Strategy, Shape: o.Shape, Partitions: 1}
 	if err := smp.Finish(res); err != nil {
 		return nil, err
 	}
@@ -176,7 +181,7 @@ func (env *runEnv) partitionConfig() partition.Config {
 // scoreCircles evaluates a final merged configuration against the whole
 // image under the run's parameters, giving partitioned strategies a
 // log-posterior comparable with the whole-image strategies'.
-func (env *runEnv) scoreCircles(circles []geom.Circle) float64 {
+func (env *runEnv) scoreCircles(circles []geom.Ellipse) float64 {
 	s, err := model.NewState(env.im, env.params)
 	if err != nil {
 		return math.NaN()
@@ -206,10 +211,12 @@ func regionInfo(r partition.RegionResult) RegionInfo {
 	}
 }
 
-func fill(res *Result, circles []geom.Circle, logPost float64, iters int64) {
-	res.Circles = make([]Circle, len(circles))
-	for i, c := range circles {
-		res.Circles[i] = Circle{X: c.X, Y: c.Y, R: c.R}
+func fill(res *Result, shapes []geom.Ellipse, logPost float64, iters int64) {
+	res.Circles = make([]Circle, len(shapes))
+	res.Ellipses = make([]Ellipse, len(shapes))
+	for i, c := range shapes {
+		res.Circles[i] = Circle{X: c.X, Y: c.Y, R: c.EffR()}
+		res.Ellipses[i] = Ellipse{X: c.X, Y: c.Y, Rx: c.Rx, Ry: c.Ry, Theta: c.Theta}
 	}
 	res.LogPost = logPost
 	res.Iterations = iters

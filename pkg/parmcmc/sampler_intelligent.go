@@ -36,7 +36,7 @@ func (sp *intelligentSampler) Snapshot() Progress { return sp.progress() }
 
 func (sp *intelligentSampler) Finish(res *Result) error {
 	results := sp.results()
-	var circles []geom.Circle
+	var circles []geom.Ellipse
 	for _, r := range results {
 		circles = append(circles, r.Circles...)
 	}

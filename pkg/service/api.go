@@ -41,20 +41,35 @@ type SceneSpec struct {
 	Noise      float64 `json:"noise,omitempty"`
 	Clusters   int     `json:"clusters,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
+	// Shape selects the artifact family ("disc" default, "ellipse");
+	// AxisRatio the mean minor/major ratio of ellipse scenes.
+	Shape     string  `json:"shape,omitempty"`
+	AxisRatio float64 `json:"axis_ratio,omitempty"`
 }
 
-func (s SceneSpec) toParmcmc() parmcmc.SceneSpec {
+// toParmcmc maps the wire scene onto the library's; the shape name must
+// already be validated/canonicalised by the decoder.
+func (s SceneSpec) toParmcmc() (parmcmc.SceneSpec, error) {
+	shape := parmcmc.Discs
+	if s.Shape != "" {
+		var err error
+		if shape, err = parmcmc.ParseShape(s.Shape); err != nil {
+			return parmcmc.SceneSpec{}, err
+		}
+	}
 	return parmcmc.SceneSpec{
 		W: s.W, H: s.H, Count: s.Count,
 		MeanRadius: s.MeanRadius, Noise: s.Noise,
 		Clusters: s.Clusters, Seed: s.Seed,
-	}
+		Shape: shape, AxisRatio: s.AxisRatio,
+	}, nil
 }
 
 // OptionsSpec is the wire form of the chain-affecting fields of
 // parmcmc.Options. Zero values take the library defaults.
 type OptionsSpec struct {
 	Strategy        string  `json:"strategy,omitempty"`
+	Shape           string  `json:"shape,omitempty"`
 	MeanRadius      float64 `json:"mean_radius,omitempty"`
 	ExpectedCount   float64 `json:"expected_count,omitempty"`
 	Threshold       float64 `json:"threshold,omitempty"`
@@ -108,11 +123,21 @@ func progressView(p parmcmc.Progress) *ProgressView {
 	}
 }
 
-// CircleView is one detected artifact.
+// CircleView is one detected artifact in disc form (equal-area radius
+// for ellipse runs).
 type CircleView struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
 	R float64 `json:"r"`
+}
+
+// EllipseView is one detected artifact in generic shape form.
+type EllipseView struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Rx    float64 `json:"rx"`
+	Ry    float64 `json:"ry"`
+	Theta float64 `json:"theta"`
 }
 
 // RegionView mirrors parmcmc.RegionInfo.
@@ -133,20 +158,22 @@ type RegionView struct {
 // with Go's shortest round-trip encoding, so a decoded view compares
 // bit-identical to one built locally from the same Result.
 type ResultView struct {
-	Strategy         string       `json:"strategy"`
-	Circles          []CircleView `json:"circles"`
-	LogPost          safeFloat    `json:"log_post"`
-	Iterations       int64        `json:"iterations"`
-	ElapsedSeconds   float64      `json:"elapsed_seconds"`
-	Partitions       int          `json:"partitions"`
-	AcceptRate       safeFloat    `json:"accept_rate"`
-	GlobalRejectRate safeFloat    `json:"global_reject_rate"`
-	LocalRejectRate  safeFloat    `json:"local_reject_rate"`
-	Barriers         int64        `json:"barriers,omitempty"`
-	SwapRate         safeFloat    `json:"swap_rate,omitempty"`
-	Merged           int          `json:"merged,omitempty"`
-	Disputed         int          `json:"disputed,omitempty"`
-	Regions          []RegionView `json:"regions,omitempty"`
+	Strategy         string        `json:"strategy"`
+	Shape            string        `json:"shape"`
+	Circles          []CircleView  `json:"circles"`
+	Ellipses         []EllipseView `json:"ellipses,omitempty"`
+	LogPost          safeFloat     `json:"log_post"`
+	Iterations       int64         `json:"iterations"`
+	ElapsedSeconds   float64       `json:"elapsed_seconds"`
+	Partitions       int           `json:"partitions"`
+	AcceptRate       safeFloat     `json:"accept_rate"`
+	GlobalRejectRate safeFloat     `json:"global_reject_rate"`
+	LocalRejectRate  safeFloat     `json:"local_reject_rate"`
+	Barriers         int64         `json:"barriers,omitempty"`
+	SwapRate         safeFloat     `json:"swap_rate,omitempty"`
+	Merged           int           `json:"merged,omitempty"`
+	Disputed         int           `json:"disputed,omitempty"`
+	Regions          []RegionView  `json:"regions,omitempty"`
 }
 
 // NewResultView converts a parmcmc.Result to its wire form — exported
@@ -155,6 +182,7 @@ type ResultView struct {
 func NewResultView(res *parmcmc.Result) ResultView {
 	v := ResultView{
 		Strategy:         res.Strategy.String(),
+		Shape:            res.Shape.String(),
 		Circles:          make([]CircleView, len(res.Circles)),
 		LogPost:          safeFloat(res.LogPost),
 		Iterations:       res.Iterations,
@@ -170,6 +198,9 @@ func NewResultView(res *parmcmc.Result) ResultView {
 	}
 	for i, c := range res.Circles {
 		v.Circles[i] = CircleView{X: c.X, Y: c.Y, R: c.R}
+	}
+	for _, e := range res.Ellipses {
+		v.Ellipses = append(v.Ellipses, EllipseView{X: e.X, Y: e.Y, Rx: e.Rx, Ry: e.Ry, Theta: e.Theta})
 	}
 	for _, r := range res.Regions {
 		v.Regions = append(v.Regions, RegionView{

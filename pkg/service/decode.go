@@ -109,10 +109,30 @@ func decodeJSONSubmit(body []byte) (*jobSpec, *apiError) {
 		return nil, badRequest("scene noise %g outside [0, 1]", sc.Noise)
 	case sc.Clusters < 0 || sc.Clusters > sc.Count:
 		return nil, badRequest("scene clusters %d outside [0, count]", sc.Clusters)
+	case !isFinite(sc.AxisRatio) || sc.AxisRatio < 0 || sc.AxisRatio > 1 ||
+		(sc.AxisRatio != 0 && sc.AxisRatio < 0.5):
+		// The synthesizer clamps effective ratios to [0.5, 1] (minor
+		// axes must stay detectable); accepting a lower value would
+		// silently produce a different scene than requested.
+		return nil, badRequest("scene axis_ratio %g outside [0.5, 1] (0 = default)", sc.AxisRatio)
+	}
+	if sc.Shape != "" {
+		shape, err := parmcmc.ParseShape(sc.Shape)
+		if err != nil {
+			return nil, badRequest("unknown scene shape %q", sc.Shape)
+		}
+		sc.Shape = shape.String()
+	}
+	if sc.AxisRatio != 0 && sc.Shape != parmcmc.Ellipses.String() {
+		return nil, badRequest("scene axis_ratio requires shape \"ellipse\"")
 	}
 	spec := req.Options
 	if spec.MeanRadius == 0 {
 		spec.MeanRadius = sc.MeanRadius
+	}
+	if spec.Shape == "" {
+		// Detection defaults to the scene's artifact family.
+		spec.Shape = sc.Shape
 	}
 	opt, aerr := optionsFromSpec(&spec)
 	if aerr != nil {
@@ -286,6 +306,7 @@ func optionsFromQuery(q url.Values) (OptionsSpec, *apiError) {
 		return 0
 	}
 	spec.Strategy = q.Get("strategy")
+	spec.Shape = q.Get("shape")
 	spec.MeanRadius = getF("mean_radius", "radius")
 	spec.ExpectedCount = getF("expected_count", "count")
 	spec.Threshold = getF("threshold")
@@ -333,6 +354,14 @@ func optionsFromSpec(spec *OptionsSpec) (parmcmc.Options, *apiError) {
 		return parmcmc.Options{}, badRequest("unknown strategy %q", spec.Strategy)
 	}
 	spec.Strategy = strat.String()
+	if spec.Shape == "" {
+		spec.Shape = parmcmc.Discs.String()
+	}
+	shape, err := parmcmc.ParseShape(spec.Shape)
+	if err != nil {
+		return parmcmc.Options{}, badRequest("unknown shape %q", spec.Shape)
+	}
+	spec.Shape = shape.String()
 	switch {
 	case !isFinite(spec.MeanRadius, spec.ExpectedCount, spec.Threshold,
 		spec.GridSlack, spec.OverlapPenalty, spec.HeatStep):
@@ -353,6 +382,7 @@ func optionsFromSpec(spec *OptionsSpec) (parmcmc.Options, *apiError) {
 	}
 	return parmcmc.Options{
 		Strategy:        strat,
+		Shape:           shape,
 		MeanRadius:      spec.MeanRadius,
 		ExpectedCount:   spec.ExpectedCount,
 		Threshold:       spec.Threshold,

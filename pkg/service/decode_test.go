@@ -86,6 +86,11 @@ func TestDecodeSubmitErrors(t *testing.T) {
 		{"upload bad seed", "", string(pgm), "radius=5&seed=-1", http.StatusBadRequest},
 		{"upload bad converge", "", string(pgm), "radius=5&converge=maybe", http.StatusBadRequest},
 		{"upload bad strategy", "", string(pgm), "radius=5&strategy=warp", http.StatusBadRequest},
+		{"bad scene shape", "application/json", `{"scene":{"w":64,"h":64,"count":1,"mean_radius":5,"shape":"hexagon"}}`, "", http.StatusBadRequest},
+		{"bad options shape", "application/json", `{"scene":{"w":64,"h":64,"count":1,"mean_radius":5},"options":{"shape":"square"}}`, "", http.StatusBadRequest},
+		{"axis ratio out of range", "application/json", `{"scene":{"w":64,"h":64,"count":1,"mean_radius":5,"shape":"ellipse","axis_ratio":1.5}}`, "", http.StatusBadRequest},
+		{"axis ratio without ellipse", "application/json", `{"scene":{"w":64,"h":64,"count":1,"mean_radius":5,"axis_ratio":0.7}}`, "", http.StatusBadRequest},
+		{"upload bad shape", "", string(pgm), "radius=5&shape=blob", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -190,4 +195,41 @@ func TestSafeFloatJSON(t *testing.T) {
 func nan() float64 {
 	var zero float64
 	return zero / zero
+}
+
+// TestDecodeEllipseSubmit pins the accepted ellipse path: scene shape
+// canonicalised, detection shape defaulted from the scene, axis ratio
+// carried through.
+func TestDecodeEllipseSubmit(t *testing.T) {
+	body := `{"scene":{"w":96,"h":96,"count":4,"mean_radius":6,"shape":"ellipse","axis_ratio":0.6}}`
+	spec, aerr := decodeSubmit("application/json", []byte(body), nil)
+	if aerr != nil {
+		t.Fatalf("rejected: %v", aerr)
+	}
+	if spec.scene.Shape != parmcmc.Ellipses.String() {
+		t.Fatalf("scene shape %q", spec.scene.Shape)
+	}
+	if spec.spec.Shape != parmcmc.Ellipses.String() {
+		t.Fatalf("options shape %q (want defaulted from scene)", spec.spec.Shape)
+	}
+	if spec.opt.Shape != parmcmc.Ellipses {
+		t.Fatalf("parmcmc shape %v", spec.opt.Shape)
+	}
+	ps, err := spec.scene.toParmcmc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Shape != parmcmc.Ellipses || ps.AxisRatio != 0.6 {
+		t.Fatalf("scene mapping %+v", ps)
+	}
+	// Upload path: shape from query.
+	pgm := mustScenePGM(t)
+	q, _ := url.ParseQuery("radius=5&shape=ellipse")
+	up, aerr := decodeSubmit("", pgm, q)
+	if aerr != nil {
+		t.Fatalf("upload rejected: %v", aerr)
+	}
+	if up.opt.Shape != parmcmc.Ellipses {
+		t.Fatalf("upload shape %v", up.opt.Shape)
+	}
 }

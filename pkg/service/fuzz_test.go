@@ -26,6 +26,12 @@ func FuzzDecodeSubmit(f *testing.F) {
 	f.Add("", []byte("GIF89a"), "radius=5")
 	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=0&iters=-1&seed=x&workers=9999&grid_slack=nope")
 	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=NaN&threshold=Inf&heat_step=-inf")
+	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"shape":"ellipse","axis_ratio":0.6}}`), "")
+	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"shape":"hexagon"}}`), "")
+	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"axis_ratio":2}}`), "")
+	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"axis_ratio":0.5}}`), "")
+	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=5&shape=ellipse")
+	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=5&shape=square")
 
 	f.Fuzz(func(t *testing.T, ct string, body []byte, rawQuery string) {
 		if len(body) > 1<<20 {

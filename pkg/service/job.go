@@ -92,7 +92,13 @@ func (j *Job) pixels() ([]float64, int, int, error) {
 		return pix, w, h, nil
 	}
 	if j.scene != nil {
-		spix, _ := parmcmc.GenerateScene(j.scene.toParmcmc())
+		ps, err := j.scene.toParmcmc()
+		if err != nil {
+			// The decoder canonicalised the shape name at submit time, so
+			// this can only mean a corrupted spool record.
+			return nil, 0, 0, err
+		}
+		spix, _ := parmcmc.GenerateScene(ps)
 		return spix, j.scene.W, j.scene.H, nil
 	}
 	return nil, 0, 0, errors.New("service: job has no input")

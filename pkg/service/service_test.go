@@ -126,7 +126,11 @@ func expectedView(t *testing.T, scene SceneSpec, spec OptionsSpec) ResultView {
 	if aerr != nil {
 		t.Fatal(aerr)
 	}
-	pix, _ := parmcmc.GenerateScene(scene.toParmcmc())
+	ps, err := scene.toParmcmc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix, _ := parmcmc.GenerateScene(ps)
 	res, err := parmcmc.Detect(pix, scene.W, scene.H, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -372,7 +376,11 @@ func TestImageUpload(t *testing.T) {
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 
-	pix, _ := parmcmc.GenerateScene(testScene.toParmcmc())
+	ps, err := testScene.toParmcmc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix, _ := parmcmc.GenerateScene(ps)
 	img := &imaging.Image{W: testScene.W, H: testScene.H, Pix: pix}
 	var pgm, png bytes.Buffer
 	if err := img.WritePGM(&pgm); err != nil {
@@ -525,7 +533,11 @@ func TestSpoolRecoveryUpload(t *testing.T) {
 		t.Skip("runs full chains")
 	}
 	spool := t.TempDir()
-	pix, _ := parmcmc.GenerateScene(testScene.toParmcmc())
+	ps, err := testScene.toParmcmc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix, _ := parmcmc.GenerateScene(ps)
 	var pgm bytes.Buffer
 	if err := (&imaging.Image{W: testScene.W, H: testScene.H, Pix: pix}).WritePGM(&pgm); err != nil {
 		t.Fatal(err)
