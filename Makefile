@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service bench bench-json bench-check fuzz-smoke experiments-quick experiments
+.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check bench bench-json bench-check fuzz-smoke experiments-quick experiments
 
 all: build
 
@@ -44,21 +44,39 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: fmt-check vet build test-short race cover-service
+ci: fmt-check vet build test-short race cover-service cmdref-check
 
-# Coverage gate for the service layer: the black-box suite must keep
-# pkg/service at or above the floor (the daemon is the layer most
-# likely to grow untested handler branches). The profile lands in the
-# workspace (git-ignored), so concurrent runs in different checkouts
-# cannot clobber each other.
+# Coverage gate for the API stack: the black-box suites must keep the
+# contract (pkg/api), the client (pkg/client) and the daemon
+# (pkg/service) at or above the floor — these are the layers most
+# likely to grow untested handler/decoder branches. The profile lands
+# in the workspace (git-ignored), so concurrent runs in different
+# checkouts cannot clobber each other.
 SERVICE_COVER_FLOOR := 80.0
 SERVICE_COVER_PROFILE := service.cov
+SERVICE_COVER_PKGS := ./pkg/api,./pkg/client,./pkg/service
 cover-service:
-	$(GO) test -coverprofile=$(SERVICE_COVER_PROFILE) -covermode=atomic ./pkg/service
+	$(GO) test -coverprofile=$(SERVICE_COVER_PROFILE) -covermode=atomic \
+		-coverpkg=$(SERVICE_COVER_PKGS) ./pkg/api ./pkg/client ./pkg/service
 	@total=$$($(GO) tool cover -func=$(SERVICE_COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
-	echo "pkg/service coverage: $$total% (floor $(SERVICE_COVER_FLOOR)%)"; \
+	echo "API stack coverage: $$total% (floor $(SERVICE_COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v floor="$(SERVICE_COVER_FLOOR)" \
-		'BEGIN { if (t+0 < floor+0) { print "pkg/service coverage below floor"; exit 1 } }'
+		'BEGIN { if (t+0 < floor+0) { print "API stack coverage below floor"; exit 1 } }'
+
+# The mcmcctl command reference under docs/cmdref/ is generated from
+# the live command tree; cmdref-check regenerates it and fails on any
+# diff, so the committed docs can never drift from the CLI.
+cmdref:
+	$(GO) run ./cmd/mcmcctl cmdref -o docs/cmdref
+
+cmdref-check:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/mcmcctl cmdref -o $$tmp || exit 1; \
+	if ! diff -ru docs/cmdref $$tmp; then \
+		rm -rf $$tmp; \
+		echo "docs/cmdref is stale: run 'make cmdref' and commit the result"; exit 1; \
+	fi; \
+	rm -rf $$tmp
 
 # Benchmark smoke run: every benchmark in the module once, with
 # allocation counts. CI runs this so benchmarks can never bit-rot.

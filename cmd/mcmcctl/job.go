@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+func jobCommand() *command {
+	return &command{
+		name:  "job",
+		short: "Manage detection jobs",
+		sub: []*command{
+			jobSubmitCommand(),
+			jobListCommand(),
+			jobGetCommand(),
+			jobCancelCommand(),
+			jobEventsCommand(),
+		},
+	}
+}
+
+// submitFlags collects `job submit`'s inputs; the three sources (-f
+// spec file, -image upload, scene flags) are mutually exclusive.
+type submitFlags struct {
+	specFile string
+	image    string
+	wait     bool
+
+	scene api.SceneSpec
+	opts  api.OptionsSpec
+}
+
+func jobSubmitCommand() *command {
+	var sf submitFlags
+	return &command{
+		name:  "submit",
+		short: "Submit a detection job",
+		long: `Submits a job from one of three sources: a JSON job spec (-f, the
+POST /v1/jobs body format), a PNG/PGM image upload (-image, detection
+options from the flags), or a synthetic scene described entirely by
+the -scene-* flags. With -wait the command tails the job's SSE stream
+and exits when it completes, printing the terminal status.`,
+		flags: func(a *app, fs *flag.FlagSet) {
+			fs.StringVar(&sf.specFile, "f", "", "JSON job spec file (\"-\" for stdin); overrides scene flags")
+			fs.StringVar(&sf.image, "image", "", "PNG or PGM image file to upload")
+			fs.BoolVar(&sf.wait, "wait", false, "stream events until the job completes")
+			fs.IntVar(&sf.scene.W, "scene-w", 128, "synthetic scene width")
+			fs.IntVar(&sf.scene.H, "scene-h", 128, "synthetic scene height")
+			fs.IntVar(&sf.scene.Count, "scene-count", 8, "synthetic scene artifact count")
+			fs.Float64Var(&sf.scene.MeanRadius, "scene-radius", 8, "synthetic scene mean artifact radius")
+			fs.Float64Var(&sf.scene.Noise, "scene-noise", 0.05, "synthetic scene noise level")
+			fs.IntVar(&sf.scene.Clusters, "scene-clusters", 0, "synthetic scene cluster count (0 = uniform)")
+			fs.Uint64Var(&sf.scene.Seed, "scene-seed", 1, "synthetic scene generation seed")
+			fs.StringVar(&sf.scene.Shape, "scene-shape", "", "synthetic scene artifact shape (disc, ellipse)")
+			fs.Float64Var(&sf.scene.AxisRatio, "scene-axis-ratio", 0, "mean minor/major axis ratio for ellipse scenes")
+			fs.StringVar(&sf.opts.Strategy, "strategy", "", "detection strategy (see `mcmcctl version`)")
+			fs.StringVar(&sf.opts.Shape, "shape", "", "detection shape model (default: the scene's)")
+			fs.Float64Var(&sf.opts.MeanRadius, "radius", 0, "expected mean artifact radius (default: the scene's)")
+			fs.Float64Var(&sf.opts.ExpectedCount, "count", 0, "expected artifact count prior")
+			fs.IntVar(&sf.opts.Iterations, "iterations", 0, "chain iterations (0 = library default)")
+			fs.Uint64Var(&sf.opts.Seed, "seed", 0, "detection seed (0 = server-derived)")
+			fs.IntVar(&sf.opts.Workers, "workers", 0, "intra-job parallelism (0 = library default)")
+			fs.IntVar(&sf.opts.PartitionGrid, "partition-grid", 0, "partition grid for partitioned strategies")
+			fs.IntVar(&sf.opts.Chains, "chains", 0, "parallel-tempering chain count")
+			fs.BoolVar(&sf.opts.Converge, "converge", false, "run partitions to convergence instead of a fixed budget")
+		},
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 0 {
+				return usagef("job submit takes no arguments")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			st, err := submitFrom(ctx, c, &sf)
+			if err != nil {
+				return err
+			}
+			if !sf.wait {
+				if a.jsonOut {
+					return a.printJSON(st)
+				}
+				fmt.Fprintf(a.out, "submitted\t%s\tseed=%d\n", st.ID, st.Seed)
+				return nil
+			}
+			fmt.Fprintf(a.errw, "submitted %s (seed %d), waiting…\n", st.ID, st.Seed)
+			return tailJob(a, c, st.ID)
+		},
+	}
+}
+
+// submitFrom performs the actual submission for the selected source.
+func submitFrom(ctx context.Context, c *client.Client, sf *submitFlags) (*api.JobStatus, error) {
+	switch {
+	case sf.specFile != "" && sf.image != "":
+		return nil, usagef("-f and -image are mutually exclusive")
+	case sf.specFile != "":
+		blob, err := readFileOrStdin(sf.specFile)
+		if err != nil {
+			return nil, err
+		}
+		var spec api.JobSpec
+		if err := jsonUnmarshalStrict(blob, &spec); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", sf.specFile, err)
+		}
+		return c.Submit(ctx, spec)
+	case sf.image != "":
+		blob, err := os.ReadFile(sf.image)
+		if err != nil {
+			return nil, err
+		}
+		return c.SubmitImage(ctx, blob, sf.opts)
+	default:
+		return c.Submit(ctx, api.JobSpec{Scene: &sf.scene, Options: sf.opts})
+	}
+}
+
+func readFileOrStdin(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func jobListCommand() *command {
+	return &command{
+		name:  "list",
+		short: "List jobs",
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 0 {
+				return usagef("job list takes no arguments")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			jobs, err := c.Jobs(ctx)
+			if err != nil {
+				return err
+			}
+			if a.jsonOut {
+				return a.printJSON(jobs)
+			}
+			fmt.Fprintf(a.out, "%-14s %-10s %-16s %-20s %s\n", "ID", "STATE", "STRATEGY", "SEED", "SUBMITTED")
+			for _, j := range jobs {
+				fmt.Fprintf(a.out, "%-14s %-10s %-16s %-20d %s\n",
+					j.ID, j.State, j.Strategy, j.Seed, j.Submitted.Format(time.RFC3339))
+			}
+			return nil
+		},
+	}
+}
+
+func jobGetCommand() *command {
+	return &command{
+		name:  "get",
+		args:  "<job-id>",
+		short: "Show one job's status and result",
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 1 {
+				return usagef("job get takes exactly one job id")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			st, err := c.Job(ctx, args[0])
+			if err != nil {
+				return err
+			}
+			if a.jsonOut {
+				return a.printJSON(st)
+			}
+			printStatus(a, st)
+			return nil
+		},
+	}
+}
+
+func jobCancelCommand() *command {
+	return &command{
+		name:  "cancel",
+		args:  "<job-id>",
+		short: "Cancel a pending or running job",
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 1 {
+				return usagef("job cancel takes exactly one job id")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			st, err := c.Cancel(ctx, args[0])
+			if err != nil {
+				return err
+			}
+			if a.jsonOut {
+				return a.printJSON(st)
+			}
+			fmt.Fprintf(a.out, "%s\t%s\n", st.ID, st.State)
+			return nil
+		},
+	}
+}
+
+func jobEventsCommand() *command {
+	return &command{
+		name:  "events",
+		args:  "<job-id>",
+		short: "Tail a job's SSE progress stream",
+		long: `Streams the job's server-sent events until it reaches a terminal
+state, printing one line per event. The stream transparently
+reconnects (deduplicating replayed snapshots) if the connection drops
+— for example across a daemon restart that resumes the job from its
+checkpoint. -timeout does not apply; interrupt with ^C.`,
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 1 {
+				return usagef("job events takes exactly one job id")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			return tailJob(a, c, args[0])
+		},
+	}
+}
+
+// tailJob streams a job to completion, printing events as they arrive,
+// and ends with the terminal status (non-zero exit for failed jobs).
+func tailJob(a *app, c *client.Client, id string) error {
+	final, err := c.Wait(context.Background(), id, func(ev *client.Event) {
+		switch {
+		case ev.Progress != nil:
+			p := ev.Progress
+			fmt.Fprintf(a.out, "progress\tphase=%s iter=%d/%d log_post=%s circles=%d accept=%s\n",
+				p.Phase, p.Iter, p.Total, fmtFloat(p.LogPost), p.NumCircles, fmtFloat(p.AcceptRate))
+		case ev.Status != nil && ev.Name != "done":
+			fmt.Fprintf(a.out, "state\t%s\n", ev.Status.State)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if a.jsonOut {
+		return a.printJSON(final)
+	}
+	printStatus(a, final)
+	if final.State == api.StateFailed {
+		return fmt.Errorf("job %s failed: %s", final.ID, final.Error)
+	}
+	return nil
+}
+
+// printStatus renders a JobStatus for humans, decoding the embedded
+// result when present.
+func printStatus(a *app, st *api.JobStatus) {
+	fmt.Fprintf(a.out, "job\t%s\nstate\t%s\nstrategy\t%s\nseed\t%d\n", st.ID, st.State, st.Strategy, st.Seed)
+	if st.Error != "" {
+		fmt.Fprintf(a.out, "error\t%s\n", st.Error)
+	}
+	if p := st.Progress; p != nil && !st.State.Terminal() {
+		fmt.Fprintf(a.out, "phase\t%s\niter\t%d/%d\n", p.Phase, p.Iter, p.Total)
+	}
+	res, err := st.ResultView()
+	if err != nil {
+		fmt.Fprintf(a.errw, "mcmcctl: decoding result: %v\n", err)
+		return
+	}
+	if res == nil {
+		return
+	}
+	fmt.Fprintf(a.out, "circles\t%d\nlog_post\t%s\niterations\t%d\nelapsed\t%.3fs\naccept_rate\t%s\n",
+		len(res.Circles), fmtFloat(res.LogPost), res.Iterations, res.ElapsedSeconds, fmtFloat(res.AcceptRate))
+	for i, c := range res.Circles {
+		fmt.Fprintf(a.out, "circle[%d]\tx=%.2f y=%.2f r=%.2f\n", i, c.X, c.Y, c.R)
+	}
+}

@@ -1,0 +1,329 @@
+// Command mcmcctl is the operator CLI for the mcmcd detection daemon:
+// submit and manage jobs, tail their SSE progress streams, inspect
+// chain-convergence diagnostics and metrics, and examine a spool
+// directory offline. It speaks the versioned pkg/api contract through
+// pkg/client.
+//
+// Usage:
+//
+//	mcmcctl [-host URL] [-timeout 30s] [-json] <command> …
+//
+//	mcmcctl job submit    submit a job (JSON spec, image upload, or flags)
+//	mcmcctl job list      list jobs
+//	mcmcctl job get       one job's status and result
+//	mcmcctl job cancel    cancel a pending or running job
+//	mcmcctl job events    tail a job's SSE progress stream
+//	mcmcctl diag          chain-convergence diagnostics (R̂, ESS, rates)
+//	mcmcctl spool ls      inspect a spool directory (no daemon needed)
+//	mcmcctl metrics       daemon metrics summary
+//	mcmcctl version       client and server versions
+//	mcmcctl cmdref        regenerate the markdown command reference
+//
+// The daemon address comes from -host or the MCMCD_HOST environment
+// variable (default http://127.0.0.1:8080). The full reference lives
+// under docs/cmdref/, generated from this very command tree.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/pkg/api"
+)
+
+func main() {
+	a := newApp(os.Getenv)
+	root := rootCommand()
+	if err := root.dispatch(a, root.name, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "mcmcctl: %v\n", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func rootCommand() *command {
+	return &command{
+		name:  "mcmcctl",
+		short: "Operator CLI for the mcmcd detection daemon",
+		long: `mcmcctl drives a running mcmcd daemon over its versioned HTTP API:
+job submission and lifecycle, live SSE progress streams, chain
+convergence diagnostics and Prometheus metrics. The spool subcommands
+inspect a daemon's on-disk state directly and need no server.`,
+		sub: []*command{
+			jobCommand(),
+			diagCommand(),
+			spoolCommand(),
+			metricsCommand(),
+			versionCommand(),
+			cmdrefCommand(),
+		},
+	}
+}
+
+func versionCommand() *command {
+	return &command{
+		name:  "version",
+		short: "Show client and server versions",
+		long: `Prints the client's API version and, when a daemon is reachable, the
+server's version info including its registered strategies and shapes.`,
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 0 {
+				return usagef("version takes no arguments")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			info, err := c.Version(ctx)
+			if err != nil {
+				fmt.Fprintf(a.out, "client\tapi %s (%s)\n", api.Version, runtime.Version())
+				return fmt.Errorf("server at %s unreachable: %w", a.host, err)
+			}
+			if a.jsonOut {
+				return a.printJSON(info)
+			}
+			fmt.Fprintf(a.out, "client\tapi %s (%s)\n", api.Version, runtime.Version())
+			fmt.Fprintf(a.out, "server\t%s api %s (%s)\n", info.Service, info.API, info.GoVersion)
+			fmt.Fprintf(a.out, "strategies\t%s\n", strings.Join(info.Strategies, ", "))
+			fmt.Fprintf(a.out, "shapes\t%s\n", strings.Join(info.Shapes, ", "))
+			return nil
+		},
+	}
+}
+
+func diagCommand() *command {
+	return &command{
+		name:  "diag",
+		args:  "<job-id>",
+		short: "Chain-convergence diagnostics for a job",
+		long: `Reports a job's chain health: streaming split R-hat and effective
+sample size over its recent log-posterior window, the latest progress
+snapshot, and — once the job is done — result-level acceptance and
+swap rates plus per-region convergence. R-hat near 1 with a healthy
+accept rate indicates a mixing chain; R-hat well above 1 a still-
+trending one; R-hat near 1 with a collapsed accept rate a stuck one.`,
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 1 {
+				return usagef("diag takes exactly one job id")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			d, err := c.Diag(ctx, args[0])
+			if err != nil {
+				return err
+			}
+			if a.jsonOut {
+				return a.printJSON(d)
+			}
+			fmt.Fprintf(a.out, "job\t%s\nstate\t%s\nstrategy\t%s\nseed\t%d\n", d.ID, d.State, d.Strategy, d.Seed)
+			if d.Shape != "" {
+				fmt.Fprintf(a.out, "shape\t%s\n", d.Shape)
+			}
+			if p := d.Progress; p != nil {
+				fmt.Fprintf(a.out, "phase\t%s\niter\t%d/%d\nlog_post\t%s\n", p.Phase, p.Iter, p.Total, fmtFloat(p.LogPost))
+			}
+			fmt.Fprintf(a.out, "samples\t%d\nrhat\t%s\ness\t%s\n", d.Samples, fmtFloat(d.RHat), fmtFloat(d.ESS))
+			if d.State == api.StateDone {
+				fmt.Fprintf(a.out, "accept_rate\t%s\nglobal_reject_rate\t%s\nlocal_reject_rate\t%s\n",
+					fmtFloat(d.AcceptRate), fmtFloat(d.GlobalRejectRate), fmtFloat(d.LocalRejectRate))
+				if float64(d.SwapRate) != 0 && !math.IsNaN(float64(d.SwapRate)) {
+					fmt.Fprintf(a.out, "swap_rate\t%s\n", fmtFloat(d.SwapRate))
+				}
+				for i, r := range d.Regions {
+					fmt.Fprintf(a.out, "region[%d]\tcircles=%d iters=%d converged=%v\n", i, r.Circles, r.Iters, r.Converged)
+				}
+			}
+			if d.Error != "" {
+				fmt.Fprintf(a.out, "error\t%s\n", d.Error)
+			}
+			return nil
+		},
+	}
+}
+
+func spoolCommand() *command {
+	ls := &command{
+		name:  "ls",
+		short: "List the jobs recorded in a spool directory",
+		long: `Reads a daemon spool directly from disk — no running daemon needed —
+and lists every recorded job with its durable state: whether a
+resumable checkpoint and/or a final result are present. Useful for
+post-mortem inspection after a crash.`,
+		flags: func(a *app, fs *flag.FlagSet) {
+			fs.String("dir", "", "spool directory to inspect (required)")
+		},
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			dir := fs.Lookup("dir").Value.String()
+			if dir == "" {
+				return usagef("spool ls requires -dir")
+			}
+			if len(args) != 0 {
+				return usagef("spool ls takes no arguments")
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				return err
+			}
+			type row struct {
+				Record     api.JobRecord `json:"record"`
+				Checkpoint bool          `json:"checkpoint"`
+				Result     bool          `json:"result"`
+			}
+			var rows []row
+			for _, e := range entries {
+				if !e.IsDir() {
+					continue
+				}
+				blob, err := os.ReadFile(filepath.Join(dir, e.Name(), api.SpoolRecordFile))
+				if err != nil {
+					continue
+				}
+				var rec api.JobRecord
+				if err := jsonUnmarshalStrict(blob, &rec); err != nil {
+					fmt.Fprintf(a.errw, "mcmcctl: %s: corrupt record: %v\n", e.Name(), err)
+					continue
+				}
+				exists := func(name string) bool {
+					_, err := os.Stat(filepath.Join(dir, e.Name(), name))
+					return err == nil
+				}
+				rows = append(rows, row{
+					Record:     rec,
+					Checkpoint: exists(api.SpoolCheckpointFile),
+					Result:     exists(api.SpoolResultFile),
+				})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].Record.ID < rows[j].Record.ID })
+			if a.jsonOut {
+				return a.printJSON(rows)
+			}
+			fmt.Fprintf(a.out, "%-14s %-10s %-20s %-5s %-6s %s\n", "ID", "STATE", "SEED", "CKPT", "RESULT", "ERROR")
+			for _, r := range rows {
+				fmt.Fprintf(a.out, "%-14s %-10s %-20d %-5v %-6v %s\n",
+					r.Record.ID, r.Record.State, r.Record.Seed, r.Checkpoint, r.Result, r.Record.Error)
+			}
+			return nil
+		},
+	}
+	return &command{
+		name:  "spool",
+		short: "Inspect a daemon spool directory offline",
+		sub:   []*command{ls},
+	}
+}
+
+func metricsCommand() *command {
+	return &command{
+		name:  "metrics",
+		short: "Summarise the daemon's metrics",
+		long: `Fetches /metrics and prints a parsed summary: job/queue gauges plus
+quantile estimates for the queue-wait, job-duration and per-iteration
+latency histograms. With -json, the parsed structures; the raw
+Prometheus text is available with -raw.`,
+		flags: func(a *app, fs *flag.FlagSet) {
+			fs.Bool("raw", false, "print the raw Prometheus exposition unparsed")
+		},
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 0 {
+				return usagef("metrics takes no arguments")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			if fs.Lookup("raw").Value.String() == "true" {
+				text, err := c.MetricsText(ctx)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(a.out, text)
+				return nil
+			}
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				return err
+			}
+			if a.jsonOut {
+				return a.printJSON(m)
+			}
+			keys := make([]string, 0, len(m.Values))
+			for k := range m.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(a.out, "%s\t%g\n", k, m.Values[k])
+			}
+			hkeys := make([]string, 0, len(m.Histograms))
+			for k := range m.Histograms {
+				hkeys = append(hkeys, k)
+			}
+			sort.Strings(hkeys)
+			for _, k := range hkeys {
+				h := m.Histograms[k]
+				fmt.Fprintf(a.out, "%s\tcount=%d sum=%g p50=%g p90=%g p99=%g\n",
+					k, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+			}
+			return nil
+		},
+	}
+}
+
+func cmdrefCommand() *command {
+	return &command{
+		name:  "cmdref",
+		short: "Regenerate the markdown command reference",
+		long: `Writes one markdown page per command (mcmcctl.md,
+mcmcctl_job_submit.md, …) generated from the live command tree, so the
+docs cannot drift from the implementation. The CI gate regenerates
+them and fails on any diff.`,
+		flags: func(a *app, fs *flag.FlagSet) {
+			fs.String("o", "docs/cmdref", "output directory")
+		},
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 0 {
+				return usagef("cmdref takes no arguments")
+			}
+			// A hermetic app: the generated defaults must not depend on
+			// the generator's environment.
+			return writeCmdref(rootCommand(), newApp(func(string) string { return "" }), fs.Lookup("o").Value.String())
+		},
+	}
+}
+
+// fmtFloat renders an api.Float, showing NaN (the JSON null) as "-".
+func fmtFloat(f api.Float) string {
+	v := float64(f)
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// jsonUnmarshalStrict decodes rejecting unknown fields, surfacing
+// spool records written by an incompatible daemon version.
+func jsonUnmarshalStrict(blob []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -76,8 +76,10 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", mgr.Handler())
+	mgr.Register(mux)
 	if *pprofOn {
+		// The API owns "/" (typed 404s); pprof's more specific
+		// /debug/pprof/ prefix still wins on the mux.
 		profiling.Attach(mux)
 	}
 

@@ -1,0 +1,123 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden fixtures under testdata/ ARE the v1 wire contract: each
+// must strict-decode into its Go type and re-encode to the exact same
+// bytes. A failing round-trip means the contract changed — which is
+// only allowed together with a deliberate fixture update.
+func TestGoldenRoundTrip(t *testing.T) {
+	cases := []struct {
+		fixture string
+		value   any
+	}{
+		{"jobstatus.json", &JobStatus{}},
+		{"resultview.json", &ResultView{}},
+		{"jobrecord.json", &JobRecord{}},
+		{"diag.json", &DiagView{}},
+		{"envelope.json", &ErrorEnvelope{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			blob, err := os.ReadFile(filepath.Join("testdata", tc.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob = bytes.TrimSpace(blob)
+			dec := json.NewDecoder(bytes.NewReader(blob))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(tc.value); err != nil {
+				t.Fatalf("fixture no longer decodes: %v", err)
+			}
+			out, err := json.Marshal(tc.value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, blob) {
+				t.Errorf("round-trip drifted from the committed contract\nfixture: %s\nencoded: %s", blob, out)
+			}
+		})
+	}
+}
+
+func TestFloatJSON(t *testing.T) {
+	cases := []struct {
+		in   Float
+		want string
+	}{
+		{Float(1.5), "1.5"},
+		{Float(0), "0"},
+		{Float(-987.0625), "-987.0625"},
+		{Float(math.NaN()), "null"},
+		{Float(math.Inf(1)), "null"},
+		{Float(math.Inf(-1)), "null"},
+	}
+	for _, tc := range cases {
+		blob, err := json.Marshal(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != tc.want {
+			t.Errorf("Float(%v) marshalled %s, want %s", float64(tc.in), blob, tc.want)
+		}
+	}
+
+	// null decodes back to NaN; numbers decode to themselves.
+	var f Float
+	if err := json.Unmarshal([]byte("null"), &f); err != nil || !math.IsNaN(float64(f)) {
+		t.Errorf("null decoded to %v, %v", f, err)
+	}
+	if err := json.Unmarshal([]byte("-2.5"), &f); err != nil || float64(f) != -2.5 {
+		t.Errorf("-2.5 decoded to %v, %v", f, err)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &f); err == nil {
+		t.Error("string decoded into Float without error")
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, want := range map[JobState]bool{
+		StatePending: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+		JobState("bogus"): false,
+	} {
+		if state.Terminal() != want {
+			t.Errorf("%q.Terminal() = %v, want %v", state, !want, want)
+		}
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	env := &ErrorEnvelope{Code: CodeNotFound, Message: "no such job", Status: http.StatusNotFound}
+	if got, want := env.Error(), `not_found: no such job (HTTP 404)`; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	// Status never leaks onto the wire.
+	blob, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("404")) {
+		t.Errorf("HTTP status serialized into the envelope: %s", blob)
+	}
+}
+
+// ResultView on a status must tolerate absence and reject garbage.
+func TestJobStatusResultView(t *testing.T) {
+	var st JobStatus
+	if v, err := st.ResultView(); v != nil || err != nil {
+		t.Fatalf("empty result decoded to %v, %v", v, err)
+	}
+	st.Result = json.RawMessage(`{"strategy":`)
+	if _, err := st.ResultView(); err == nil {
+		t.Fatal("corrupt result decoded without error")
+	}
+}

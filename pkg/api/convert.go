@@ -1,0 +1,69 @@
+package api
+
+import "repro/pkg/parmcmc"
+
+// NewResultView converts a parmcmc.Result to its wire form — the
+// server uses it to encode results, and the black-box tests use it to
+// build the expected view from a direct Detect call and compare it to
+// the daemon's JSON bit-for-bit.
+func NewResultView(res *parmcmc.Result) ResultView {
+	v := ResultView{
+		Strategy:         res.Strategy.String(),
+		Shape:            res.Shape.String(),
+		Circles:          make([]CircleView, len(res.Circles)),
+		LogPost:          Float(res.LogPost),
+		Iterations:       res.Iterations,
+		ElapsedSeconds:   res.Elapsed.Seconds(),
+		Partitions:       res.Partitions,
+		AcceptRate:       Float(res.AcceptRate),
+		GlobalRejectRate: Float(res.GlobalRejectRate),
+		LocalRejectRate:  Float(res.LocalRejectRate),
+		Barriers:         res.Barriers,
+		SwapRate:         Float(res.SwapRate),
+		Merged:           res.Merged,
+		Disputed:         res.Disputed,
+	}
+	for i, c := range res.Circles {
+		v.Circles[i] = CircleView{X: c.X, Y: c.Y, R: c.R}
+	}
+	for _, e := range res.Ellipses {
+		v.Ellipses = append(v.Ellipses, EllipseView{X: e.X, Y: e.Y, Rx: e.Rx, Ry: e.Ry, Theta: e.Theta})
+	}
+	for _, r := range res.Regions {
+		v.Regions = append(v.Regions, RegionView{
+			X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1,
+			Area: r.Area, Lambda: r.Lambda, Circles: r.Circles,
+			Iters: r.Iters, Converged: r.Converged, Seconds: r.Seconds,
+		})
+	}
+	return v
+}
+
+// NewProgressEvent converts a parmcmc.Progress snapshot to its wire
+// form.
+func NewProgressEvent(p parmcmc.Progress) *ProgressEvent {
+	return &ProgressEvent{
+		Phase: p.Phase, Iter: p.Iter, Total: p.Total,
+		LogPost: Float(p.LogPost), NumCircles: p.NumCircles,
+		AcceptRate: Float(p.AcceptRate),
+		Partitions: p.Partitions, PartitionsDone: p.PartitionsDone,
+	}
+}
+
+// ToParmcmc maps the wire scene onto the library's; the shape
+// name must already be validated/canonicalised by the decoder.
+func (s SceneSpec) ToParmcmc() (parmcmc.SceneSpec, error) {
+	shape := parmcmc.Discs
+	if s.Shape != "" {
+		var err error
+		if shape, err = parmcmc.ParseShape(s.Shape); err != nil {
+			return parmcmc.SceneSpec{}, err
+		}
+	}
+	return parmcmc.SceneSpec{
+		W: s.W, H: s.H, Count: s.Count,
+		MeanRadius: s.MeanRadius, Noise: s.Noise,
+		Clusters: s.Clusters, Seed: s.Seed,
+		Shape: shape, AxisRatio: s.AxisRatio,
+	}, nil
+}

@@ -1,0 +1,47 @@
+package api
+
+import "fmt"
+
+// Error codes: the stable machine-readable half of every non-2xx
+// response. Clients branch on these, never on message text.
+const (
+	// CodeBadRequest rejects a malformed or out-of-range submission (400).
+	CodeBadRequest = "bad_request"
+	// CodeUnsupportedMedia rejects an upload that is neither JSON, PNG
+	// nor PGM (415).
+	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeBodyTooLarge rejects a body over the size cap (413).
+	CodeBodyTooLarge = "body_too_large"
+	// CodeNotFound reports an unknown path or job id (404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed reports a known route with the wrong HTTP
+	// method (405); the response carries an Allow header.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQueueFull reports submit-side backpressure (429); the
+	// response carries a Retry-After header.
+	CodeQueueFull = "queue_full"
+	// CodeShuttingDown reports a submission during graceful shutdown (503).
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal reports a server-side failure (500).
+	CodeInternal = "internal"
+)
+
+// ErrorEnvelope is the body of every non-2xx API response: a stable
+// machine-readable Code plus a human-oriented Message (serialized as
+// "error", the key the pre-v1 surface used, so old clients keep
+// parsing). It implements error, so typed clients can return server
+// failures directly; Status carries the HTTP status code client-side
+// and is never serialized.
+type ErrorEnvelope struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+	Status  int    `json:"-"`
+}
+
+// Error renders the envelope as "code: message (HTTP status)".
+func (e *ErrorEnvelope) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("%s: %s (HTTP %d)", e.Code, e.Message, e.Status)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}

@@ -1,0 +1,348 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+	"repro/pkg/service"
+)
+
+// newTestServer runs an in-process manager behind httptest and returns
+// a client for it — the full client surface against the real routes.
+func newTestServer(t *testing.T, cfg service.Config) (*client.Client, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	m, err := service.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Stop(ctx); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	})
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+var testScene = api.SceneSpec{W: 64, H: 64, Count: 4, MeanRadius: 6, Noise: 0.05, Seed: 5}
+
+func testSpec(iters int, seed uint64) api.JobSpec {
+	return api.JobSpec{Scene: &testScene, Options: api.OptionsSpec{
+		Strategy: "sequential", MeanRadius: 6, Iterations: iters, Seed: seed,
+	}}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full chains")
+	}
+	c, _ := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.API != api.Version || len(info.Strategies) == 0 {
+		t.Fatalf("version %+v", info)
+	}
+
+	st, err := c.Submit(ctx, testSpec(20000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("final state %q (%s)", final.State, final.Error)
+	}
+	res, err := final.ResultView()
+	if err != nil || res == nil || len(res.Circles) == 0 {
+		t.Fatalf("result %+v, %v", res, err)
+	}
+
+	// The same status through GET, and through the list.
+	got, err := c.Job(ctx, st.ID)
+	if err != nil || got.State != api.StateDone {
+		t.Fatalf("Job: %+v, %v", got, err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil || len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("Jobs: %+v, %v", jobs, err)
+	}
+
+	// Diagnostics for the done job carry the result-level rates.
+	d, err := c.Diag(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != st.ID || d.State != api.StateDone || math.IsNaN(float64(d.AcceptRate)) {
+		t.Fatalf("diag %+v", d)
+	}
+
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health %+v, %v", h, err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := m.Histograms["mcmcd_job_duration_seconds"]; h == nil || h.Count == 0 {
+		t.Fatalf("job-duration histogram %+v", h)
+	}
+
+	// Cancel a queued long job.
+	long, err := c.Submit(ctx, testSpec(100_000_000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := c.Cancel(ctx, long.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err := c.Wait(ctx, cancelled.ID, nil); err != nil || final.State != api.StateCancelled {
+		t.Fatalf("cancelled job ended %+v, %v", final, err)
+	}
+}
+
+func TestClientErrorEnvelopes(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	var env *api.ErrorEnvelope
+	if _, err := c.Job(ctx, "job-00009999"); !errors.As(err, &env) {
+		t.Fatalf("unknown job error %T: %v", err, err)
+	}
+	if env.Code != api.CodeNotFound || env.Status != http.StatusNotFound || env.Message == "" {
+		t.Fatalf("envelope %+v", env)
+	}
+
+	if _, err := c.Submit(ctx, api.JobSpec{}); !errors.As(err, &env) || env.Code != api.CodeBadRequest {
+		t.Fatalf("bad submit error %v", err)
+	}
+
+	// A non-JSON error (from something that isn't the daemon) still
+	// surfaces as a typed envelope.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer plain.Close()
+	pc, err := client.New(plain.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Version(ctx); !errors.As(err, &env) || env.Status != http.StatusBadGateway || env.Code != "unexpected_response" {
+		t.Fatalf("plain-text error %v", err)
+	}
+}
+
+func TestClientStrictDecoding(t *testing.T) {
+	// A server speaking a newer contract (extra fields) must fail loudly
+	// rather than silently dropping data.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"api":"v1","service":"mcmcd","go_version":"go","strategies":[],"shapes":[],"novel_field":1}`)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Version(context.Background()); err == nil {
+		t.Fatal("unknown field decoded without error")
+	}
+}
+
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "127.0.0.1:8080", "http://", "://x"} {
+		if _, err := client.New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	c, err := client.New("http://localhost:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseURL() != "http://localhost:8080" {
+		t.Errorf("base URL %q not normalized", c.BaseURL())
+	}
+}
+
+// sseFrame writes one SSE frame and flushes it.
+func sseFrame(w http.ResponseWriter, name, data string) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	w.(http.Flusher).Flush()
+}
+
+// Deterministic reconnect scenario: the first connection dies after
+// one progress snapshot; the second replays it (as a daemon restarted
+// from a checkpoint would) before advancing to completion. The stream
+// must splice the two connections into one monotone event sequence.
+func TestStreamReconnectResume(t *testing.T) {
+	var conns atomic.Int32
+	const id = "job-00000001"
+	state := `{"id":"` + id + `","state":"running","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z"}`
+	done := `{"id":"` + id + `","state":"done","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z","result":{"strategy":"sequential","shape":"disc","circles":[],"log_post":-1,"iterations":10000,"elapsed_seconds":0,"partitions":1,"accept_rate":0.5,"global_reject_rate":0.5,"local_reject_rate":null}}`
+	progress := func(iter int) string {
+		return fmt.Sprintf(`{"phase":"global","iter":%d,"log_post":-10.5,"num_circles":1,"accept_rate":0.5,"partitions":0,"partitions_done":0}`, iter)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.Prefix+"/jobs/"+id+"/events" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			sseFrame(w, "state", state)
+			sseFrame(w, "progress", progress(5000))
+			// Connection drops here — no done event.
+		default:
+			sseFrame(w, "state", state)
+			sseFrame(w, "progress", progress(5000)) // replay, must be deduplicated
+			sseFrame(w, "progress", progress(10000))
+			sseFrame(w, "done", done)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL, client.WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var iters []int64
+	final, err := c.Wait(context.Background(), id, func(ev *client.Event) {
+		names = append(names, ev.Name)
+		if ev.Progress != nil {
+			iters = append(iters, ev.Progress.Iter)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.State != api.StateDone {
+		t.Fatalf("final %+v", final)
+	}
+	wantNames := []string{"state", "progress", "state", "progress", "done"}
+	if fmt.Sprint(names) != fmt.Sprint(wantNames) {
+		t.Errorf("event sequence %v, want %v", names, wantNames)
+	}
+	if fmt.Sprint(iters) != fmt.Sprint([]int64{5000, 10000}) {
+		t.Errorf("progress iters %v (replay not deduplicated?)", iters)
+	}
+	if conns.Load() != 2 {
+		t.Errorf("%d connections, want 2", conns.Load())
+	}
+}
+
+// A terminal stream replays instantly: state then done on the first
+// connection, and Next returns io.EOF afterwards.
+func TestStreamTerminalReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full chains")
+	}
+	c, _ := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, testSpec(2000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Events(ctx, st.ID)
+	defer s.Close()
+	var names []string
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, ev.Name)
+	}
+	if len(names) == 0 || names[len(names)-1] != "done" {
+		t.Fatalf("terminal replay %v", names)
+	}
+	if s.Terminal() == nil || s.Terminal().State != api.StateDone {
+		t.Fatalf("terminal status %+v", s.Terminal())
+	}
+}
+
+// The retry budget bounds reconnection attempts: a dead server makes
+// Next fail after the configured number of consecutive failures.
+func TestStreamRetryExhaustion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing listens anymore
+	c, err := client.New(srv.URL, client.WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Events(context.Background(), "job-00000001")
+	defer s.Close()
+	if _, err := s.Next(); err == nil {
+		t.Fatal("Next succeeded against a dead server")
+	}
+}
+
+// Context cancellation interrupts a blocked stream promptly.
+func TestStreamContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseFrame(w, "state", `{"id":"x","state":"running","strategy":"s","seed":1,"submitted":"2026-08-08T12:00:00Z"}`)
+		<-r.Context().Done() // hold the connection open
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := c.Events(ctx, "x")
+	defer s.Close()
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	donec := make(chan error, 1)
+	go func() {
+		_, err := s.Next()
+		donec <- err
+	}()
+	select {
+	case err := <-donec:
+		if err == nil {
+			t.Fatal("Next returned an event after cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Next did not observe cancellation")
+	}
+}

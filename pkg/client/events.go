@@ -1,0 +1,246 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Event is one decoded SSE event from a job stream. Exactly one of
+// Status (for "state"/"done") and Progress (for "progress") is set.
+type Event struct {
+	Name     string // "state", "progress" or "done"
+	Status   *api.JobStatus
+	Progress *api.ProgressEvent
+}
+
+// Stream iterates a job's SSE events. Snapshots are self-contained, so
+// the stream survives connection loss transparently: it reconnects
+// with backoff and deduplicates replayed progress against an iteration
+// watermark — a consumer sees progress strictly advance even if the
+// daemon restarts mid-job (the respooled job replays from its
+// checkpoint). Close the stream when done; Next after the terminal
+// event returns io.EOF.
+type Stream struct {
+	c   *Client
+	ctx context.Context
+	id  string
+
+	body io.ReadCloser
+	br   *bufio.Reader
+
+	lastIter int64 // progress dedup watermark
+	haveIter bool
+	attempts int // consecutive failed connections
+	done     bool
+	terminal *api.JobStatus
+}
+
+// Events opens a streaming iterator over a job's SSE events. The first
+// event is always a "state" snapshot of the job as it is now; a
+// terminal job replays its state and final "done" immediately.
+func (c *Client) Events(ctx context.Context, id string) *Stream {
+	return &Stream{c: c, ctx: ctx, id: id}
+}
+
+// Terminal returns the final JobStatus once the "done" event has been
+// seen (nil before that).
+func (s *Stream) Terminal() *api.JobStatus { return s.terminal }
+
+// Close releases the underlying connection. Safe to call at any time.
+func (s *Stream) Close() error {
+	if s.body != nil {
+		err := s.body.Close()
+		s.body = nil
+		s.br = nil
+		return err
+	}
+	return nil
+}
+
+// Next returns the next event, blocking until one arrives, the context
+// ends, or reconnection is exhausted. After the "done" event it
+// returns io.EOF.
+func (s *Stream) Next() (*Event, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	for {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.br == nil {
+			if err := s.connect(); err != nil {
+				var tr *transient
+				if errors.As(err, &tr) {
+					continue // dial failed, retry budget remains
+				}
+				return nil, err
+			}
+		}
+		name, data, err := s.readFrame()
+		if err != nil {
+			// Connection lost mid-stream (daemon restart, proxy cut).
+			// The job may still be running on the other side: retry.
+			s.Close()
+			continue
+		}
+		s.attempts = 0
+		ev, err := s.decode(name, data)
+		if err != nil {
+			return nil, err
+		}
+		if ev == nil {
+			continue // deduplicated replay
+		}
+		return ev, nil
+	}
+}
+
+// connect (re)establishes the SSE request, applying backoff after the
+// first attempt and giving up after the configured retry budget.
+func (s *Stream) connect() error {
+	if s.attempts > 0 {
+		if s.attempts > s.c.retries {
+			return fmt.Errorf("client: event stream for %s: %d consecutive connection failures", s.id, s.attempts-1)
+		}
+		select {
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		case <-time.After(s.c.backoff):
+		}
+	}
+	s.attempts++
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet,
+		s.c.base+api.Prefix+"/jobs/"+url.PathEscape(s.id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		if s.ctx.Err() != nil {
+			return s.ctx.Err()
+		}
+		return s.connectRetry(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := decodeErr(resp)
+		resp.Body.Close()
+		// A 404 after a mid-job daemon crash would mean the spool lost
+		// the job — that is fatal, not transient.
+		return err
+	}
+	s.body = resp.Body
+	s.br = bufio.NewReader(resp.Body)
+	return nil
+}
+
+// connectRetry converts a transient dial failure into another loop
+// iteration, unless the retry budget is spent.
+func (s *Stream) connectRetry(err error) error {
+	if s.attempts > s.c.retries {
+		return fmt.Errorf("client: event stream for %s: %w", s.id, err)
+	}
+	// Leave br nil; Next's loop will call connect again (after backoff).
+	return s.transientf("%v", err)
+}
+
+// transient is the sentinel family for retryable stream errors; Next
+// never surfaces it.
+type transient struct{ msg string }
+
+func (t *transient) Error() string { return t.msg }
+
+func (s *Stream) transientf(format string, args ...any) error {
+	return &transient{msg: fmt.Sprintf(format, args...)}
+}
+
+// readFrame reads one SSE frame (event/data lines up to a blank line).
+func (s *Stream) readFrame() (name string, data []byte, _ error) {
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return "", nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if name != "" || data != nil {
+				return name, data, nil
+			}
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case strings.HasPrefix(line, ":"):
+			// comment/keepalive
+		}
+	}
+}
+
+// decode turns a frame into an Event, advancing the progress watermark
+// and suppressing replayed (already-seen) progress snapshots.
+func (s *Stream) decode(name string, data []byte) (*Event, error) {
+	switch name {
+	case "progress":
+		var p api.ProgressEvent
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("client: decoding progress event: %w", err)
+		}
+		if s.haveIter && p.Iter <= s.lastIter {
+			return nil, nil // replay after reconnect
+		}
+		s.lastIter, s.haveIter = p.Iter, true
+		return &Event{Name: name, Progress: &p}, nil
+	case "state", "done":
+		var st api.JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("client: decoding %s event: %w", name, err)
+		}
+		if st.Progress != nil && (!s.haveIter || st.Progress.Iter > s.lastIter) {
+			s.lastIter, s.haveIter = st.Progress.Iter, true
+		}
+		if name == "done" {
+			s.done = true
+			s.terminal = &st
+			s.Close()
+		}
+		return &Event{Name: name, Status: &st}, nil
+	default:
+		// Unknown event names are skipped, not fatal: the server may
+		// grow new event types within v1.
+		return nil, nil
+	}
+}
+
+// Wait streams a job to completion and returns its terminal status.
+// onEvent, when non-nil, observes every event along the way.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(*Event)) (*api.JobStatus, error) {
+	st := c.Events(ctx, id)
+	defer st.Close()
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			return st.Terminal(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Name == "done" {
+			return ev.Status, nil
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is a parsed Prometheus text exposition: scalar samples
+// (gauges/counters, keyed by their full name{labels} form) and
+// reassembled histograms. The daemon's /metrics endpoint is verified
+// round-trippable through this parser, so the exposition format cannot
+// silently regress.
+type Metrics struct {
+	// Values holds every non-histogram sample, keyed exactly as
+	// exposed: `mcmcd_workers`, `mcmcd_jobs{state="done"}`, …
+	Values map[string]float64
+	// Histograms are reassembled from their _bucket/_sum/_count series,
+	// keyed by base name.
+	Histograms map[string]*Histogram
+}
+
+// Histogram is one reassembled cumulative histogram.
+type Histogram struct {
+	// Bounds are the ascending bucket upper bounds, ending with +Inf.
+	Bounds []float64
+	// Counts are the cumulative counts per bound.
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Validate checks the Prometheus histogram invariants: at least the
+// +Inf bucket, strictly ascending bounds, non-decreasing cumulative
+// counts, and the +Inf bucket equal to _count.
+func (h *Histogram) Validate() error {
+	if len(h.Bounds) == 0 || !math.IsInf(h.Bounds[len(h.Bounds)-1], 1) {
+		return fmt.Errorf("histogram missing +Inf bucket")
+	}
+	if len(h.Counts) != len(h.Bounds) {
+		return fmt.Errorf("histogram has %d bounds but %d counts", len(h.Bounds), len(h.Counts))
+	}
+	for i := 1; i < len(h.Bounds); i++ {
+		if !(h.Bounds[i] > h.Bounds[i-1]) {
+			return fmt.Errorf("bucket bounds not ascending at %d", i)
+		}
+		if h.Counts[i] < h.Counts[i-1] {
+			return fmt.Errorf("cumulative counts decrease at %d", i)
+		}
+	}
+	if h.Counts[len(h.Counts)-1] != h.Count {
+		return fmt.Errorf("+Inf bucket %d != count %d", h.Counts[len(h.Counts)-1], h.Count)
+	}
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the owning bucket — the standard
+// histogram_quantile estimate. Returns NaN for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	for i, c := range h.Counts {
+		if float64(c) >= rank {
+			hi := h.Bounds[i]
+			if math.IsInf(hi, 1) {
+				// Open-ended bucket: report its lower bound.
+				if i == 0 {
+					return math.NaN()
+				}
+				return h.Bounds[i-1]
+			}
+			lo, prev := 0.0, uint64(0)
+			if i > 0 {
+				lo, prev = h.Bounds[i-1], h.Counts[i-1]
+			}
+			if c == prev {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-float64(prev))/float64(c-prev)
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// ParseMetrics parses a Prometheus text exposition. Unknown syntax is
+// an error — the parser is deliberately strict, it exists to pin the
+// daemon's output format.
+func ParseMetrics(text string) (*Metrics, error) {
+	m := &Metrics{
+		Values:     make(map[string]float64),
+		Histograms: make(map[string]*Histogram),
+	}
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	buckets := make(map[string][]bucket)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// `name{labels} value` or `name value`.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics line %d: no value: %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: bad value %q", ln+1, valStr)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			base := strings.TrimSuffix(name, "_bucket")
+			le, err := bucketLE(key)
+			if err != nil {
+				return nil, fmt.Errorf("metrics line %d: %v", ln+1, err)
+			}
+			if val < 0 || val != math.Trunc(val) {
+				return nil, fmt.Errorf("metrics line %d: bucket count %q not a non-negative integer", ln+1, valStr)
+			}
+			buckets[base] = append(buckets[base], bucket{le: le, cum: uint64(val)})
+			continue
+		}
+		if base := strings.TrimSuffix(name, "_sum"); base != name && len(buckets[base]) > 0 {
+			h := histOf(m, base)
+			h.Sum = val
+			continue
+		}
+		if base := strings.TrimSuffix(name, "_count"); base != name && len(buckets[base]) > 0 {
+			h := histOf(m, base)
+			h.Count = uint64(val)
+			continue
+		}
+		m.Values[key] = val
+	}
+	for base, bs := range buckets {
+		h := histOf(m, base)
+		sort.Slice(bs, func(a, b int) bool { return bs[a].le < bs[b].le })
+		for _, b := range bs {
+			h.Bounds = append(h.Bounds, b.le)
+			h.Counts = append(h.Counts, b.cum)
+		}
+	}
+	for base, h := range m.Histograms {
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("metrics histogram %s: %w", base, err)
+		}
+	}
+	return m, nil
+}
+
+func histOf(m *Metrics, base string) *Histogram {
+	h, ok := m.Histograms[base]
+	if !ok {
+		h = &Histogram{}
+		m.Histograms[base] = h
+	}
+	return h
+}
+
+// bucketLE extracts the le label of a _bucket series key.
+func bucketLE(key string) (float64, error) {
+	i := strings.Index(key, `le="`)
+	if i < 0 {
+		return 0, fmt.Errorf("bucket series %q has no le label", key)
+	}
+	rest := key[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, fmt.Errorf("bucket series %q has unterminated le label", key)
+	}
+	return strconv.ParseFloat(rest[:j], 64)
+}

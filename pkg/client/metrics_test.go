@@ -1,0 +1,90 @@
+package client
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP mcmcd_workers Worker goroutines.
+# TYPE mcmcd_workers gauge
+mcmcd_workers 2
+mcmcd_jobs{state="done"} 3
+# HELP mcmcd_queue_wait_seconds Time jobs spend queued.
+# TYPE mcmcd_queue_wait_seconds histogram
+mcmcd_queue_wait_seconds_bucket{le="0.1"} 1
+mcmcd_queue_wait_seconds_bucket{le="1"} 3
+mcmcd_queue_wait_seconds_bucket{le="+Inf"} 4
+mcmcd_queue_wait_seconds_sum 3.5
+mcmcd_queue_wait_seconds_count 4
+`
+
+func TestParseMetrics(t *testing.T) {
+	m, err := ParseMetrics(sampleExposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Values["mcmcd_workers"] != 2 {
+		t.Errorf("workers gauge %v", m.Values)
+	}
+	if m.Values[`mcmcd_jobs{state="done"}`] != 3 {
+		t.Errorf("labelled gauge %v", m.Values)
+	}
+	h := m.Histograms["mcmcd_queue_wait_seconds"]
+	if h == nil {
+		t.Fatal("histogram not reassembled")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 4 || h.Sum != 3.5 || len(h.Bounds) != 3 {
+		t.Errorf("histogram %+v", h)
+	}
+	// Median rank 2 falls in the (0.1, 1] bucket: interpolated between
+	// its bounds at (2-1)/(3-1) of the width.
+	if got, want := h.Quantile(0.5), 0.1+0.9*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p99 rank lands in the +Inf bucket, reported as its lower bound.
+	if got := h.Quantile(0.99); got != 1 {
+		t.Errorf("p99 = %v, want 1", got)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for name, text := range map[string]string{
+		"no value":          "mcmcd_workers\n",
+		"bad value":         "mcmcd_workers two\n",
+		"fractional bucket": `mcmcd_x_bucket{le="1"} 1.5` + "\n",
+		"bucket without le": `mcmcd_x_bucket{foo="1"} 1` + "\n",
+		"decreasing counts": `mcmcd_x_bucket{le="1"} 5` + "\n" +
+			`mcmcd_x_bucket{le="+Inf"} 3` + "\n" + "mcmcd_x_sum 1\nmcmcd_x_count 3\n",
+		"inf mismatch": `mcmcd_x_bucket{le="1"} 1` + "\n" +
+			`mcmcd_x_bucket{le="+Inf"} 2` + "\n" + "mcmcd_x_sum 1\nmcmcd_x_count 3\n",
+		"missing inf": `mcmcd_x_bucket{le="1"} 1` + "\n" + "mcmcd_x_sum 1\nmcmcd_x_count 1\n",
+	} {
+		if _, err := ParseMetrics(text); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, text)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := &Histogram{Bounds: []float64{1, math.Inf(1)}, Counts: []uint64{0, 0}}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+}
+
+func TestParseMetricsDaemonShape(t *testing.T) {
+	// A multi-histogram exposition in the daemon's emission order must
+	// reassemble every histogram independently.
+	text := strings.Replace(sampleExposition, "queue_wait", "job_duration", -1) + sampleExposition
+	m, err := ParseMetrics(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Histograms) != 2 {
+		t.Fatalf("histograms %v", m.Histograms)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/imaging"
+	"repro/pkg/api"
 	"repro/pkg/parmcmc"
 )
 
@@ -36,25 +37,26 @@ const (
 // bytes.
 type apiError struct {
 	status int
+	code   string // machine-readable api.Code* constant for the envelope
 	msg    string
 }
 
 func (e *apiError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 // jobSpec is a validated, normalized submission: the input (synthetic
 // scene or decoded upload), the wire options (strategy canonicalised,
 // mean radius resolved) and the corresponding parmcmc options.
 type jobSpec struct {
-	spec  OptionsSpec
+	spec  api.OptionsSpec
 	opt   parmcmc.Options
-	scene *SceneSpec // synthetic input, pixels synthesized at run time
-	input []byte     // raw uploaded bytes, spooled for crash recovery
-	ext   string     // upload format: "png" or "pgm"
-	pix   []float64  // decoded upload
+	scene *api.SceneSpec // synthetic input, pixels synthesized at run time
+	input []byte         // raw uploaded bytes, spooled for crash recovery
+	ext   string         // upload format: "png" or "pgm"
+	pix   []float64      // decoded upload
 	w, h  int
 }
 
@@ -83,7 +85,7 @@ func isJSONSubmit(contentType string, body []byte) bool {
 }
 
 func decodeJSONSubmit(body []byte) (*jobSpec, *apiError) {
-	var req SubmitRequest
+	var req api.JobSpec
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -178,6 +180,7 @@ func decodeImageBytes(contentType string, body []byte) (pix []float64, w, h int,
 	default:
 		return nil, 0, 0, "", &apiError{
 			status: http.StatusUnsupportedMediaType,
+			code:   api.CodeUnsupportedMedia,
 			msg:    fmt.Sprintf("unsupported body (content type %q): want JSON {\"scene\":…}, PNG or PGM", contentType),
 		}
 	}
@@ -278,8 +281,8 @@ func pgmDims(body []byte) (w, h int, _ *apiError) {
 // (the upload path's equivalent of the JSON "options" object). Keys
 // match the JSON field names, plus the mcmcimg flag aliases radius,
 // count and iters.
-func optionsFromQuery(q url.Values) (OptionsSpec, *apiError) {
-	var spec OptionsSpec
+func optionsFromQuery(q url.Values) (api.OptionsSpec, *apiError) {
+	var spec api.OptionsSpec
 	var aerr *apiError
 	getF := func(keys ...string) float64 {
 		for _, k := range keys {
@@ -336,16 +339,16 @@ func optionsFromQuery(q url.Values) (OptionsSpec, *apiError) {
 	spec.HeatStep = getF("heat_step")
 	spec.SwapEvery = getI("swap_every")
 	if aerr != nil {
-		return OptionsSpec{}, aerr
+		return api.OptionsSpec{}, aerr
 	}
 	return spec, nil
 }
 
-// optionsFromSpec validates an OptionsSpec and maps it onto
+// optionsFromSpec validates an api.OptionsSpec and maps it onto
 // parmcmc.Options, canonicalising the strategy name in place — the
 // normalized spec is what the spool records, and re-applying this
 // function to the record must reproduce the original Options exactly.
-func optionsFromSpec(spec *OptionsSpec) (parmcmc.Options, *apiError) {
+func optionsFromSpec(spec *api.OptionsSpec) (parmcmc.Options, *apiError) {
 	if spec.Strategy == "" {
 		spec.Strategy = parmcmc.Sequential.String()
 	}

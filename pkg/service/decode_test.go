@@ -6,10 +6,10 @@ import (
 	"net/http"
 	"net/url"
 	"reflect"
-	"strings"
 	"testing"
 
 	"repro/internal/imaging"
+	"repro/pkg/api"
 	"repro/pkg/parmcmc"
 )
 
@@ -24,9 +24,9 @@ func mustScenePGM(t *testing.T) []byte {
 }
 
 func TestDecodeSubmitJSON(t *testing.T) {
-	body, _ := json.Marshal(SubmitRequest{
-		Scene:   &SceneSpec{W: 64, H: 48, Count: 3, MeanRadius: 5, Seed: 2},
-		Options: OptionsSpec{Iterations: 1000, Seed: 7},
+	body, _ := json.Marshal(api.JobSpec{
+		Scene:   &api.SceneSpec{W: 64, H: 48, Count: 3, MeanRadius: 5, Seed: 2},
+		Options: api.OptionsSpec{Iterations: 1000, Seed: 7},
 	})
 	spec, aerr := decodeSubmit("application/json", body, nil)
 	if aerr != nil {
@@ -138,7 +138,7 @@ func TestDecodeUploadQueryOptions(t *testing.T) {
 // The options round trip the spool depends on: normalize → record →
 // optionsFromSpec must reproduce identical parmcmc.Options.
 func TestOptionsSpecRoundTrip(t *testing.T) {
-	spec := OptionsSpec{
+	spec := api.OptionsSpec{
 		Strategy: "periodic+spec", MeanRadius: 6.5, ExpectedCount: 12,
 		Threshold: 0.4, Iterations: 9000, Workers: 3, Seed: 77,
 		LocalPhaseIters: 250, PartitionGrid: 3, SpecWidth: 5,
@@ -153,7 +153,7 @@ func TestOptionsSpecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back OptionsSpec
+	var back api.OptionsSpec
 	if err := json.Unmarshal(blob, &back); err != nil {
 		t.Fatal(err)
 	}
@@ -164,37 +164,6 @@ func TestOptionsSpecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(opt1, opt2) {
 		t.Fatalf("round trip drifted:\n%+v\n%+v", opt1, opt2)
 	}
-}
-
-func TestSafeFloatJSON(t *testing.T) {
-	blob, err := json.Marshal(struct {
-		A safeFloat `json:"a"`
-		B safeFloat `json:"b"`
-	}{safeFloat(1.5), safeFloat(nan())})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := string(blob); got != `{"a":1.5,"b":null}` {
-		t.Fatalf("marshal %s", got)
-	}
-	var back struct {
-		A safeFloat `json:"a"`
-		B safeFloat `json:"b"`
-	}
-	if err := json.Unmarshal(blob, &back); err != nil {
-		t.Fatal(err)
-	}
-	if back.A != 1.5 || back.B == back.B { // NaN != NaN
-		t.Fatalf("unmarshal %+v", back)
-	}
-	if !strings.Contains(string(blob), "null") {
-		t.Fatal("NaN did not encode as null")
-	}
-}
-
-func nan() float64 {
-	var zero float64
-	return zero / zero
 }
 
 // TestDecodeEllipseSubmit pins the accepted ellipse path: scene shape
@@ -215,7 +184,7 @@ func TestDecodeEllipseSubmit(t *testing.T) {
 	if spec.opt.Shape != parmcmc.Ellipses {
 		t.Fatalf("parmcmc shape %v", spec.opt.Shape)
 	}
-	ps, err := spec.scene.toParmcmc()
+	ps, err := spec.scene.ToParmcmc()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,19 +4,12 @@
 // pending/running/done/failed/cancelled lifecycle) and the HTTP API
 // cmd/mcmcd serves in front of it.
 //
-// The API:
-//
-//	POST   /v1/jobs             submit a job — JSON {"scene":…,"options":…}
-//	                            body for a synthetic scene, or a raw
-//	                            PNG/PGM upload (options in query params);
-//	                            429 when the queue is full
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        status + result
-//	GET    /v1/jobs/{id}/events SSE stream of progress snapshots, ending
-//	                            with the final state
-//	DELETE /v1/jobs/{id}        cancel (pending or running)
-//	GET    /healthz             liveness + queue/job counts
-//	GET    /metrics             Prometheus-style text metrics
+// The wire contract — every request/response type, the route table and
+// the error envelope — lives in pkg/api; this package implements it.
+// Manager.Register mounts the explicit per-method routes (unknown
+// paths get a typed 404 envelope, wrong methods a 405 with an Allow
+// header), and pkg/client speaks the same contract from the other
+// side.
 //
 // Durability: with Config.SpoolDir set, every job's input and options
 // are recorded at submission and a resumable parmcmc Checkpoint is

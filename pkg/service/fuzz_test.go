@@ -1,10 +1,36 @@
 package service
 
 import (
+	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"net/url"
 	"testing"
+
+	"repro/pkg/api"
 )
+
+// assertEnvelope renders a decoder error exactly the way the HTTP layer
+// does and pins the wire guarantee: every 4xx body is a valid JSON
+// ErrorEnvelope with a non-empty machine-readable code and message, no
+// matter how hostile the input that produced it.
+func assertEnvelope(t *testing.T, aerr *apiError) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	writeError(rec, aerr.status, aerr.code, "%s", aerr.msg)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response content type %q", ct)
+	}
+	var env api.ErrorEnvelope
+	dec := json.NewDecoder(rec.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		t.Fatalf("error body is not a valid envelope: %v", err)
+	}
+	if env.Code == "" || env.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", env)
+	}
+}
 
 // FuzzDecodeSubmit pins the satellite guarantee on the API request
 // decoders: arbitrary bytes under every content-type branch must never
@@ -47,9 +73,13 @@ func FuzzDecodeSubmit(f *testing.F) {
 			if aerr.status < 400 || aerr.status > 499 {
 				t.Fatalf("non-4xx decoder error %d (%s)", aerr.status, aerr.msg)
 			}
+			if aerr.code == "" {
+				t.Fatalf("decoder error without machine-readable code (%s)", aerr.msg)
+			}
 			if spec != nil {
 				t.Fatal("spec returned alongside an error")
 			}
+			assertEnvelope(t, aerr)
 		case spec == nil:
 			t.Fatal("nil spec without error")
 		default:
@@ -87,8 +117,11 @@ func FuzzPGMDims(f *testing.F) {
 		if aerr == nil && (w <= 0 || h <= 0) {
 			t.Fatalf("accepted dimensions %dx%d", w, h)
 		}
-		if aerr != nil && aerr.status != http.StatusBadRequest {
-			t.Fatalf("status %d", aerr.status)
+		if aerr != nil {
+			if aerr.status != http.StatusBadRequest {
+				t.Fatalf("status %d", aerr.status)
+			}
+			assertEnvelope(t, aerr)
 		}
 	})
 }

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// histogram is a Prometheus-style cumulative histogram (the module has
+// no dependencies, so the type is hand-rolled, but the exposition it
+// writes is the standard text format any scraper — and the pkg/client
+// parser — understands). Observations are lock-guarded; exposition
+// takes a consistent snapshot.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// expBuckets returns n exponentially spaced upper bounds starting at
+// start, each factor times the previous.
+func expBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum); ±Inf land in the edge buckets.
+func (h *histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// write emits the histogram in Prometheus text exposition format:
+// cumulative _bucket series ending in le="+Inf", then _sum and _count.
+func (h *histogram) write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, n)
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// telemetry aggregates the daemon's request-path histograms.
+type telemetry struct {
+	// queueWait is submit→start latency in seconds.
+	queueWait *histogram
+	// jobDuration is start→terminal wall clock in seconds.
+	jobDuration *histogram
+	// iterLatency is seconds per chain iteration, observed per
+	// progress chunk (chunk wall time / chunk iterations).
+	iterLatency *histogram
+}
+
+func newTelemetry() *telemetry {
+	return &telemetry{
+		// 1ms … ~17min: queue waits from idle to deeply backlogged.
+		queueWait: newHistogram(expBuckets(0.001, 4, 11)),
+		// 10ms … ~45h: quick smoke jobs to the iteration cap.
+		jobDuration: newHistogram(expBuckets(0.01, 4, 13)),
+		// 10ns … ~0.6ms per iteration.
+		iterLatency: newHistogram(expBuckets(1e-8, 4, 12)),
+	}
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/pkg/client"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 100, math.Inf(1)} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	// Values at a bound land in that bound's bucket (le is inclusive).
+	if got := h.counts; got[0] != 2 || got[1] != 2 || got[2] != 2 {
+		t.Errorf("bucket counts %v", got)
+	}
+	if h.n != 6 {
+		t.Errorf("count %d, want 6", h.n)
+	}
+	if !math.IsInf(h.sum, 1) {
+		t.Errorf("sum %v", h.sum)
+	}
+}
+
+// The hand-rolled exposition must round-trip through the pkg/client
+// parser with the Prometheus invariants intact.
+func TestHistogramWriteParsesBack(t *testing.T) {
+	h := newHistogram(expBuckets(0.001, 4, 5))
+	for _, v := range []float64{0.0005, 0.002, 0.01, 0.3, 2} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.write(&b, "test_seconds", "Test latencies.")
+	m, err := client.ParseMetrics(b.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	parsed := m.Histograms["test_seconds"]
+	if parsed == nil {
+		t.Fatalf("histogram not found in:\n%s", b.String())
+	}
+	if err := parsed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Count != 5 || math.Abs(parsed.Sum-2.3125) > 1e-12 {
+		t.Errorf("parsed count %d sum %v", parsed.Count, parsed.Sum)
+	}
+	// 6 bounds: the 5 finite ones plus +Inf.
+	if len(parsed.Bounds) != 6 || !math.IsInf(parsed.Bounds[5], 1) {
+		t.Errorf("bounds %v", parsed.Bounds)
+	}
+	// Quantiles are usable straight off the parsed form.
+	if p50 := parsed.Quantile(0.5); math.IsNaN(p50) || p50 <= 0 {
+		t.Errorf("p50 %v", p50)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := expBuckets(0.001, 4, 3)
+	want := []float64{0.001, 0.004, 0.016}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("buckets %v, want %v", got, want)
+		}
+	}
+}

@@ -3,9 +3,12 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"sync"
 	"time"
 
+	"repro/internal/stats"
+	"repro/pkg/api"
 	"repro/pkg/parmcmc"
 )
 
@@ -15,20 +18,24 @@ type event struct {
 	data []byte
 }
 
+// convWindow bounds the per-job ring of streamed log-posterior samples
+// the diag endpoint computes R̂/ESS over.
+const convWindow = 1024
+
 // Job is one queued or running detection. All mutable fields are
 // guarded by mu; the input (scene/upload bytes/decoded pixels), seed
 // and options are immutable after construction.
 type Job struct {
 	id   string
 	seed uint64
-	spec OptionsSpec
+	spec api.OptionsSpec
 	opt  parmcmc.Options // resolved, Seed set to seed
 
 	// scene/ext are immutable; input and pix are released (under mu)
 	// once the job is terminal — the spool keeps the bytes, so a
 	// daemon that has served many uploads does not retain every pixel
 	// buffer for the life of the process.
-	scene *SceneSpec
+	scene *api.SceneSpec
 	input []byte
 	ext   string
 	pix   []float64
@@ -43,11 +50,12 @@ type Job struct {
 	spoolMu sync.Mutex
 
 	mu              sync.Mutex
-	state           State
+	state           api.JobState
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
 	progress        *parmcmc.Progress
+	conv            *stats.Stream // streamed log-posterior window for diag
 	lastIter        int64
 	resultJSON      json.RawMessage
 	errMsg          string
@@ -66,7 +74,8 @@ func newJob(id string, seed uint64, spec *jobSpec, submitted time.Time) *Job {
 		id: id, seed: seed, spec: wireSpec, opt: opt,
 		scene: spec.scene, input: spec.input, ext: spec.ext,
 		pix: spec.pix, w: spec.w, h: spec.h,
-		state: StatePending, submitted: submitted,
+		state: api.StatePending, submitted: submitted,
+		conv: stats.NewStream(convWindow),
 		subs: make(map[chan event]struct{}),
 		done: make(chan struct{}),
 	}
@@ -92,7 +101,7 @@ func (j *Job) pixels() ([]float64, int, int, error) {
 		return pix, w, h, nil
 	}
 	if j.scene != nil {
-		ps, err := j.scene.toParmcmc()
+		ps, err := j.scene.ToParmcmc()
 		if err != nil {
 			// The decoder canonicalised the shape name at submit time, so
 			// this can only mean a corrupted spool record.
@@ -115,34 +124,41 @@ func (j *Job) releaseInput() {
 }
 
 // claim moves a pending job to running; it fails when the job was
-// cancelled while queued.
-func (j *Job) claim(cancel func()) bool {
+// cancelled while queued. On success it returns the time the job spent
+// queued (for the queue-wait histogram).
+func (j *Job) claim(cancel func()) (time.Duration, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != StatePending {
-		return false
+	if j.state != api.StatePending {
+		return 0, false
 	}
-	j.state = StateRunning
+	j.state = api.StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
-	j.publishLocked("state", j.viewLocked())
-	return true
+	j.publishLocked("state", j.statusLocked())
+	return j.started.Sub(j.submitted), true
 }
 
 // finishTerminal moves the job to a terminal state. resultJSON may be
-// nil (failed/cancelled). Idempotent: only the first call wins.
-func (j *Job) finishTerminal(state State, resultJSON json.RawMessage, errMsg string) bool {
+// nil (failed/cancelled). Idempotent: only the first call wins. On the
+// first call it returns the job's start→terminal wall clock (zero for
+// jobs that never ran).
+func (j *Job) finishTerminal(state api.JobState, resultJSON json.RawMessage, errMsg string) (time.Duration, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.terminal() {
-		return false
+	if j.state.Terminal() {
+		return 0, false
 	}
 	j.state = state
 	j.resultJSON = resultJSON
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	close(j.done)
-	return true
+	var ran time.Duration
+	if !j.started.IsZero() {
+		ran = j.finished.Sub(j.started)
+	}
+	return ran, true
 }
 
 // requestCancel cancels a pending job outright, or asks a running one
@@ -152,13 +168,13 @@ func (j *Job) requestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
-	case StatePending:
-		j.state = StateCancelled
+	case api.StatePending:
+		j.state = api.StateCancelled
 		j.finished = time.Now()
 		close(j.done)
-		j.publishLocked("state", j.viewLocked())
+		j.publishLocked("state", j.statusLocked())
 		return true
-	case StateRunning:
+	case api.StateRunning:
 		j.cancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
@@ -174,13 +190,17 @@ func (j *Job) userCancelled() bool {
 }
 
 // observe records a progress snapshot, returning the iteration delta
-// since the previous one (for the manager's aggregate counters).
+// since the previous one (for the manager's aggregate counters). Each
+// finite log-posterior sample also feeds the job's convergence window.
 func (j *Job) observe(p parmcmc.Progress) int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.progress = &p
+	if !math.IsNaN(p.LogPost) && !math.IsInf(p.LogPost, 0) {
+		j.conv.Add(p.LogPost)
+	}
 	delta := j.accountItersLocked(p.Iter)
-	j.publishLocked("progress", progressView(p))
+	j.publishLocked("progress", api.NewProgressEvent(p))
 	return delta
 }
 
@@ -247,15 +267,15 @@ func (j *Job) publishLocked(name string, v any) {
 	}
 }
 
-// View returns the job's wire representation.
-func (j *Job) View() JobView {
+// Status returns the job's wire representation.
+func (j *Job) Status() api.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.viewLocked()
+	return j.statusLocked()
 }
 
-func (j *Job) viewLocked() JobView {
-	v := JobView{
+func (j *Job) statusLocked() api.JobStatus {
+	v := api.JobStatus{
 		ID:        j.id,
 		State:     j.state,
 		Strategy:  j.spec.Strategy,
@@ -273,7 +293,41 @@ func (j *Job) viewLocked() JobView {
 		v.Finished = &t
 	}
 	if j.progress != nil {
-		v.Progress = progressView(*j.progress)
+		v.Progress = api.NewProgressEvent(*j.progress)
 	}
 	return v
+}
+
+// Diag returns the job's chain diagnostics: the latest progress
+// snapshot, streaming split-R̂/ESS over the recent log-posterior
+// window, and — once the job is done — the result-level acceptance
+// and swap rates plus per-region convergence.
+func (j *Job) Diag() api.DiagView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := api.DiagView{
+		ID:       j.id,
+		State:    j.state,
+		Strategy: j.spec.Strategy,
+		Shape:    j.spec.Shape,
+		Seed:     j.seed,
+		Samples:  j.conv.Len(),
+		RHat:     api.Float(j.conv.RHat()),
+		ESS:      api.Float(j.conv.ESS()),
+		Error:    j.errMsg,
+	}
+	if j.progress != nil {
+		d.Progress = api.NewProgressEvent(*j.progress)
+	}
+	if j.state == api.StateDone && len(j.resultJSON) > 0 {
+		var rv api.ResultView
+		if err := json.Unmarshal(j.resultJSON, &rv); err == nil {
+			d.AcceptRate = rv.AcceptRate
+			d.GlobalRejectRate = rv.GlobalRejectRate
+			d.LocalRejectRate = rv.LocalRejectRate
+			d.SwapRate = rv.SwapRate
+			d.Regions = rv.Regions
+		}
+	}
+	return d
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/pkg/api"
 	"repro/pkg/parmcmc"
 )
 
@@ -88,6 +89,7 @@ type Manager struct {
 
 	started    time.Time
 	itersTotal atomic.Int64
+	tel        *telemetry
 
 	rateMu     sync.Mutex
 	lastScrape time.Time
@@ -108,6 +110,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		dispatchDone: make(chan struct{}),
 		jobs:         make(map[string]*Job),
 		started:      time.Now(),
+		tel:          newTelemetry(),
 	}
 	recovered, err := m.recoverSpool()
 	if err != nil {
@@ -234,11 +237,23 @@ func (m *Manager) dispatch() {
 func (m *Manager) run(job *Job) {
 	ctx, cancel := context.WithCancel(m.ctx)
 	defer cancel()
-	if !job.claim(cancel) {
+	wait, ok := job.claim(cancel)
+	if !ok {
 		return // cancelled while queued
 	}
+	m.tel.queueWait.Observe(wait.Seconds())
 	opt := job.opt
+	// Per-iteration latency is derived from consecutive progress
+	// snapshots: chunk wall time over chunk iterations. The observer
+	// runs on the job's own goroutine, so the tracking state is local.
+	var lastT time.Time
+	var lastI int64
 	opt.Observer = func(p parmcmc.Progress) {
+		now := time.Now()
+		if !lastT.IsZero() && p.Iter > lastI {
+			m.tel.iterLatency.Observe(now.Sub(lastT).Seconds() / float64(p.Iter-lastI))
+		}
+		lastT, lastI = now, p.Iter
 		m.itersTotal.Add(job.observe(p))
 	}
 	if m.spooling() {
@@ -265,43 +280,49 @@ func (m *Manager) run(job *Job) {
 		m.finish(job, res)
 	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
 		if job.userCancelled() {
-			m.terminate(job, StateCancelled, "cancelled")
+			m.terminate(job, api.StateCancelled, "cancelled")
 		}
 		// else: daemon shutdown — leave the job resumable.
 	default:
-		m.terminate(job, StateFailed, err.Error())
+		m.terminate(job, api.StateFailed, err.Error())
 	}
 }
 
 // finish lands a successful result.
 func (m *Manager) finish(job *Job, res *parmcmc.Result) {
 	m.itersTotal.Add(job.accountIters(res.Iterations))
-	view := NewResultView(res)
+	view := api.NewResultView(res)
 	raw, err := json.Marshal(view)
 	if err != nil {
-		m.terminate(job, StateFailed, fmt.Sprintf("encoding result: %v", err))
+		m.terminate(job, api.StateFailed, fmt.Sprintf("encoding result: %v", err))
 		return
 	}
-	if !job.finishTerminal(StateDone, raw, "") {
+	ran, ok := job.finishTerminal(api.StateDone, raw, "")
+	if !ok {
 		return
 	}
+	m.tel.jobDuration.Observe(ran.Seconds())
 	if err := m.spoolResult(job, raw); err != nil {
 		m.cfg.Logf("service: spooling result of %s: %v", job.id, err)
 	}
 	job.releaseInput()
-	job.publish("state", job.View())
+	job.publish("state", job.Status())
 }
 
 // terminate lands a failure or cancellation.
-func (m *Manager) terminate(job *Job, state State, msg string) {
-	if !job.finishTerminal(state, nil, msg) {
+func (m *Manager) terminate(job *Job, state api.JobState, msg string) {
+	ran, ok := job.finishTerminal(state, nil, msg)
+	if !ok {
 		return
+	}
+	if ran > 0 {
+		m.tel.jobDuration.Observe(ran.Seconds())
 	}
 	if err := m.spoolRecord(job); err != nil {
 		m.cfg.Logf("service: spooling %s: %v", job.id, err)
 	}
 	job.releaseInput()
-	job.publish("state", job.View())
+	job.publish("state", job.Status())
 }
 
 // Stop shuts the manager down: no new submissions, running jobs are
@@ -329,8 +350,8 @@ func (m *Manager) Uptime() time.Duration { return time.Since(m.started) }
 func (m *Manager) QueueDepth() (int, int) { return len(m.queue), cap(m.queue) }
 
 // StateCounts returns the number of jobs per state.
-func (m *Manager) StateCounts() map[State]int {
-	counts := make(map[State]int, 5)
+func (m *Manager) StateCounts() map[api.JobState]int {
+	counts := make(map[api.JobState]int, 5)
 	for _, job := range m.Jobs() {
 		job.mu.Lock()
 		counts[job.state]++

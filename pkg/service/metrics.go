@@ -3,18 +3,17 @@ package service
 import (
 	"fmt"
 	"net/http"
+
+	"repro/pkg/api"
 )
 
-// handleMetrics serves Prometheus-style text metrics: jobs by state,
-// queue depth/capacity, worker count, total chain iterations and the
-// scrape-to-scrape iteration rate. Hand-rolled — the module has no
-// dependencies — but the exposition format matches what any Prometheus
-// scraper expects.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return
-	}
+// metrics serves the Prometheus text exposition: jobs by state, queue
+// depth/capacity, worker count, aggregate iteration counters, and the
+// request-path histograms (queue wait, job duration, per-iteration
+// latency). Hand-rolled — the module has no dependencies — but the
+// format is the standard one; pkg/client.ParseMetrics parses it back
+// and the format test pins the histogram invariants.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	m := s.m
 	counts := m.StateCounts()
 	depth, capacity := m.QueueDepth()
@@ -22,7 +21,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP mcmcd_jobs Number of jobs by lifecycle state.\n")
 	fmt.Fprintf(w, "# TYPE mcmcd_jobs gauge\n")
-	for _, st := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, st := range []api.JobState{api.StatePending, api.StateRunning, api.StateDone, api.StateFailed, api.StateCancelled} {
 		fmt.Fprintf(w, "mcmcd_jobs{state=%q} %d\n", string(st), counts[st])
 	}
 	fmt.Fprintf(w, "# HELP mcmcd_queue_depth Jobs waiting in the bounded queue.\n")
@@ -43,4 +42,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP mcmcd_uptime_seconds Seconds since the manager started.\n")
 	fmt.Fprintf(w, "# TYPE mcmcd_uptime_seconds counter\n")
 	fmt.Fprintf(w, "mcmcd_uptime_seconds %g\n", m.Uptime().Seconds())
+
+	m.tel.queueWait.write(w, "mcmcd_queue_wait_seconds",
+		"Submit-to-start latency of jobs in seconds.")
+	m.tel.jobDuration.write(w, "mcmcd_job_duration_seconds",
+		"Start-to-terminal wall clock of jobs in seconds.")
+	m.tel.iterLatency.write(w, "mcmcd_iteration_seconds",
+		"Seconds per chain iteration, observed per progress chunk.")
 }

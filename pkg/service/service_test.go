@@ -18,15 +18,16 @@ import (
 	"time"
 
 	"repro/internal/imaging"
+	"repro/pkg/api"
 	"repro/pkg/parmcmc"
 )
 
 // testScene is the shared small synthetic workload: fast enough for
 // -race, big enough to exercise the chain.
-var testScene = SceneSpec{W: 96, H: 96, Count: 5, MeanRadius: 7, Noise: 0.05, Seed: 3}
+var testScene = api.SceneSpec{W: 96, H: 96, Count: 5, MeanRadius: 7, Noise: 0.05, Seed: 3}
 
-func testOptions(seed uint64, iters int) OptionsSpec {
-	return OptionsSpec{Strategy: "sequential", MeanRadius: 7, Iterations: iters, Seed: seed}
+func testOptions(seed uint64, iters int) api.OptionsSpec {
+	return api.OptionsSpec{Strategy: "sequential", MeanRadius: 7, Iterations: iters, Seed: seed}
 }
 
 func newTestManager(t *testing.T, cfg Config) *Manager {
@@ -48,7 +49,7 @@ func newTestManager(t *testing.T, cfg Config) *Manager {
 	return m
 }
 
-func submitJSON(t *testing.T, url string, req SubmitRequest) JobView {
+func submitJSON(t *testing.T, url string, req api.JobSpec) api.JobStatus {
 	t.Helper()
 	view, status := trySubmitJSON(t, url, req)
 	if status != http.StatusCreated {
@@ -57,7 +58,7 @@ func submitJSON(t *testing.T, url string, req SubmitRequest) JobView {
 	return view
 }
 
-func trySubmitJSON(t *testing.T, url string, req SubmitRequest) (JobView, int) {
+func trySubmitJSON(t *testing.T, url string, req api.JobSpec) (api.JobStatus, int) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -68,7 +69,7 @@ func trySubmitJSON(t *testing.T, url string, req SubmitRequest) (JobView, int) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var view JobView
+	var view api.JobStatus
 	if resp.StatusCode == http.StatusCreated {
 		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 			t.Fatal(err)
@@ -77,7 +78,7 @@ func trySubmitJSON(t *testing.T, url string, req SubmitRequest) (JobView, int) {
 	return view, resp.StatusCode
 }
 
-func getJob(t *testing.T, url, id string) JobView {
+func getJob(t *testing.T, url, id string) api.JobStatus {
 	t.Helper()
 	resp, err := http.Get(url + "/v1/jobs/" + id)
 	if err != nil {
@@ -87,30 +88,30 @@ func getJob(t *testing.T, url, id string) JobView {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET %s: status %d", id, resp.StatusCode)
 	}
-	var view JobView
+	var view api.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 		t.Fatal(err)
 	}
 	return view
 }
 
-func waitDone(t *testing.T, url, id string) JobView {
+func waitDone(t *testing.T, url, id string) api.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(120 * time.Second)
 	for time.Now().Before(deadline) {
 		view := getJob(t, url, id)
-		if view.State.terminal() {
+		if view.State.Terminal() {
 			return view
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("job %s did not finish", id)
-	return JobView{}
+	return api.JobStatus{}
 }
 
 // normalizeResult zeroes the wall-clock fields, which are the only
-// legitimately run-dependent parts of a ResultView.
-func normalizeResult(v ResultView) ResultView {
+// legitimately run-dependent parts of a api.ResultView.
+func normalizeResult(v api.ResultView) api.ResultView {
 	v.ElapsedSeconds = 0
 	for i := range v.Regions {
 		v.Regions[i].Seconds = 0
@@ -120,13 +121,13 @@ func normalizeResult(v ResultView) ResultView {
 
 // expectedView runs the same detection directly through parmcmc and
 // returns its normalized wire form.
-func expectedView(t *testing.T, scene SceneSpec, spec OptionsSpec) ResultView {
+func expectedView(t *testing.T, scene api.SceneSpec, spec api.OptionsSpec) api.ResultView {
 	t.Helper()
 	opt, aerr := optionsFromSpec(&spec)
 	if aerr != nil {
 		t.Fatal(aerr)
 	}
-	ps, err := scene.toParmcmc()
+	ps, err := scene.ToParmcmc()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,15 +136,15 @@ func expectedView(t *testing.T, scene SceneSpec, spec OptionsSpec) ResultView {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return normalizeResult(NewResultView(res))
+	return normalizeResult(api.NewResultView(res))
 }
 
-func decodeResult(t *testing.T, view JobView) ResultView {
+func decodeResult(t *testing.T, view api.JobStatus) api.ResultView {
 	t.Helper()
-	if view.State != StateDone {
+	if view.State != api.StateDone {
 		t.Fatalf("job %s state %q (error %q)", view.ID, view.State, view.Error)
 	}
-	var res ResultView
+	var res api.ResultView
 	if err := json.Unmarshal(view.Result, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestConcurrentClientsBitIdentical(t *testing.T) {
 	// Two clients share seed 7 (must agree with each other AND the
 	// serial run); the rest have distinct seeds and one uses the
 	// periodic strategy to cover a partitioned sampler over HTTP.
-	specs := []OptionsSpec{
+	specs := []api.OptionsSpec{
 		testOptions(7, 30000),
 		testOptions(7, 30000),
 		testOptions(11, 30000),
@@ -178,7 +179,7 @@ func TestConcurrentClientsBitIdentical(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			view, status := trySubmitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: specs[i]})
+			view, status := trySubmitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: specs[i]})
 			if status != http.StatusCreated {
 				t.Errorf("client %d: status %d", i, status)
 				return
@@ -212,8 +213,8 @@ func TestQueueFullBackpressure(t *testing.T) {
 	defer srv.Close()
 
 	// A long job occupies the single worker...
-	long := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(1, 5_000_000)})
-	waitState := func(id string, st State) {
+	long := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(1, 5_000_000)})
+	waitState := func(id string, st api.JobState) {
 		deadline := time.Now().Add(30 * time.Second)
 		for time.Now().Before(deadline) {
 			if getJob(t, srv.URL, id).State == st {
@@ -223,13 +224,13 @@ func TestQueueFullBackpressure(t *testing.T) {
 		}
 		t.Fatalf("job %s never reached %q", id, st)
 	}
-	waitState(long.ID, StateRunning)
+	waitState(long.ID, api.StateRunning)
 
 	// ...a second fills the queue...
-	queued := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(2, 1000)})
+	queued := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(2, 1000)})
 
 	// ...and the third bounces with 429 + Retry-After.
-	body, _ := json.Marshal(SubmitRequest{Scene: &testScene, Options: testOptions(3, 1000)})
+	body, _ := json.Marshal(api.JobSpec{Scene: &testScene, Options: testOptions(3, 1000)})
 	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -255,10 +256,10 @@ func TestQueueFullBackpressure(t *testing.T) {
 			t.Fatalf("cancel %s: status %d", id, resp.StatusCode)
 		}
 	}
-	if v := waitDone(t, srv.URL, queued.ID); v.State != StateCancelled {
+	if v := waitDone(t, srv.URL, queued.ID); v.State != api.StateCancelled {
 		t.Fatalf("queued job state %q after cancel", v.State)
 	}
-	if v := waitDone(t, srv.URL, long.ID); v.State != StateCancelled {
+	if v := waitDone(t, srv.URL, long.ID); v.State != api.StateCancelled {
 		t.Fatalf("running job state %q after cancel", v.State)
 	}
 }
@@ -275,7 +276,7 @@ func TestEventStream(t *testing.T) {
 
 	// Long enough that the stream reliably attaches while the chain is
 	// still running and sees mid-run progress snapshots.
-	view := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(21, 500000)})
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(21, 500000)})
 	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +287,7 @@ func TestEventStream(t *testing.T) {
 	}
 
 	events := map[string]int{}
-	var final JobView
+	var final api.JobStatus
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var name string
@@ -328,7 +329,7 @@ func TestEventStreamAfterCompletion(t *testing.T) {
 	m := newTestManager(t, Config{Workers: 1})
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
-	view := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(2, 2000)})
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(2, 2000)})
 	waitDone(t, srv.URL, view.ID)
 
 	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
@@ -376,7 +377,7 @@ func TestImageUpload(t *testing.T) {
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 
-	ps, err := testScene.toParmcmc()
+	ps, err := testScene.ToParmcmc()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +408,7 @@ func TestImageUpload(t *testing.T) {
 			if resp.StatusCode != http.StatusCreated {
 				t.Fatalf("status %d", resp.StatusCode)
 			}
-			var view JobView
+			var view api.JobStatus
 			if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 				t.Fatal(err)
 			}
@@ -425,7 +426,7 @@ func TestImageUpload(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := normalizeResult(NewResultView(res)); !reflect.DeepEqual(got, want) {
+			if want := normalizeResult(api.NewResultView(res)); !reflect.DeepEqual(got, want) {
 				t.Fatalf("upload result differs from direct Detect\ngot  %+v\nwant %+v", got, want)
 			}
 		})
@@ -442,8 +443,8 @@ func TestDerivedSeeds(t *testing.T) {
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 
-	a := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(0, 10000)})
-	b := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(0, 10000)})
+	a := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(0, 10000)})
+	b := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(0, 10000)})
 	if a.Seed == 0 || b.Seed == 0 || a.Seed == b.Seed {
 		t.Fatalf("derived seeds %d, %d", a.Seed, b.Seed)
 	}
@@ -474,9 +475,9 @@ func TestSpoolRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(m1.Handler())
-	quick := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(8, 1000)})
+	quick := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(8, 1000)})
 	quickDone := waitDone(t, srv.URL, quick.ID)
-	long := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: spec})
+	long := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: spec})
 
 	// Wait for a checkpoint, then stop the manager mid-job.
 	ckpt := filepath.Join(spool, long.ID, spoolCheckpointFile)
@@ -496,7 +497,7 @@ func TestSpoolRecovery(t *testing.T) {
 	if err := m1.Stop(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if got := getRecordState(t, spool, long.ID); got.terminal() {
+	if got := getRecordState(t, spool, long.ID); got.Terminal() {
 		t.Fatalf("interrupted job recorded as %q", got)
 	}
 
@@ -518,7 +519,7 @@ func TestSpoolRecovery(t *testing.T) {
 	}
 
 	// New submissions must not collide with recovered ids.
-	fresh := submitJSON(t, srv2.URL, SubmitRequest{Scene: &testScene, Options: testOptions(5, 1000)})
+	fresh := submitJSON(t, srv2.URL, api.JobSpec{Scene: &testScene, Options: testOptions(5, 1000)})
 	if fresh.ID == quick.ID || fresh.ID == long.ID {
 		t.Fatalf("id collision: %s", fresh.ID)
 	}
@@ -533,7 +534,7 @@ func TestSpoolRecoveryUpload(t *testing.T) {
 		t.Skip("runs full chains")
 	}
 	spool := t.TempDir()
-	ps, err := testScene.toParmcmc()
+	ps, err := testScene.ToParmcmc()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -552,7 +553,7 @@ func TestSpoolRecoveryUpload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var view JobView
+	var view api.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 		t.Fatal(err)
 	}
@@ -596,7 +597,7 @@ func TestSpoolRecoveryUpload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := normalizeResult(NewResultView(res)); !reflect.DeepEqual(got, want) {
+	if want := normalizeResult(api.NewResultView(res)); !reflect.DeepEqual(got, want) {
 		t.Fatal("recovered upload job's result differs from direct Detect")
 	}
 
@@ -619,7 +620,7 @@ func TestEventStreamEndsOnStop(t *testing.T) {
 	}
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
-	view := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(6, 5_000_000)})
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(6, 5_000_000)})
 	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
 	if err != nil {
 		t.Fatal(err)
@@ -640,18 +641,18 @@ func TestEventStreamEndsOnStop(t *testing.T) {
 	if err := <-stopped; err != nil {
 		t.Fatal(err)
 	}
-	if st := getJob(t, srv.URL, view.ID).State; st.terminal() {
+	if st := getJob(t, srv.URL, view.ID).State; st.Terminal() {
 		t.Fatalf("shutdown-interrupted job reached terminal state %q", st)
 	}
 }
 
-func getRecordState(t *testing.T, spool, id string) State {
+func getRecordState(t *testing.T, spool, id string) api.JobState {
 	t.Helper()
 	blob, err := os.ReadFile(filepath.Join(spool, id, spoolRecordFile))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec jobRecord
+	var rec api.JobRecord
 	if err := json.Unmarshal(blob, &rec); err != nil {
 		t.Fatal(err)
 	}
@@ -673,8 +674,8 @@ func TestNoGoroutineLeaks(t *testing.T) {
 		}
 		srv := httptest.NewServer(m.Handler())
 		defer srv.Close()
-		a := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(1, 5000)})
-		b := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(2, 4_000_000)})
+		a := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(1, 5000)})
+		b := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(2, 4_000_000)})
 		// One SSE subscriber on each.
 		for _, id := range []string{a.ID, b.ID} {
 			resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/events")
@@ -715,7 +716,7 @@ func TestAPIEndpoints(t *testing.T) {
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 
-	view := submitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(4, 500)})
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(4, 500)})
 	waitDone(t, srv.URL, view.ID)
 
 	get := func(path string) (int, string) {
@@ -786,7 +787,7 @@ func TestAPIEndpoints(t *testing.T) {
 			t.Fatalf("DELETE done job: %d", resp.StatusCode)
 		}
 	}
-	if v := getJob(t, srv.URL, view.ID); v.State != StateDone {
+	if v := getJob(t, srv.URL, view.ID); v.State != api.StateDone {
 		t.Fatalf("done job state changed to %q by cancel", v.State)
 	}
 
@@ -796,7 +797,7 @@ func TestAPIEndpoints(t *testing.T) {
 	if err := m.Stop(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, status := trySubmitJSON(t, srv.URL, SubmitRequest{Scene: &testScene, Options: testOptions(1, 100)}); status != http.StatusServiceUnavailable {
+	if _, status := trySubmitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(1, 100)}); status != http.StatusServiceUnavailable {
 		t.Fatalf("submit after stop: %d", status)
 	}
 }

@@ -7,15 +7,15 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/cliutil"
+	"repro/pkg/api"
 	"repro/pkg/parmcmc"
 )
 
 // Spool layout, one directory per job:
 //
-//	<spool>/<job-id>/job.json        submission record (jobRecord)
+//	<spool>/<job-id>/job.json        submission record (api.JobRecord)
 //	<spool>/<job-id>/input.png|pgm   raw uploaded image, if any
 //	<spool>/<job-id>/checkpoint.bin  latest resumable checkpoint
 //	<spool>/<job-id>/result.json     final ResultView once done
@@ -25,24 +25,10 @@ import (
 // truncated one.
 
 const (
-	spoolRecordFile     = "job.json"
-	spoolCheckpointFile = "checkpoint.bin"
-	spoolResultFile     = "result.json"
+	spoolRecordFile     = api.SpoolRecordFile
+	spoolCheckpointFile = api.SpoolCheckpointFile
+	spoolResultFile     = api.SpoolResultFile
 )
-
-// jobRecord is the persisted submission: everything needed to rebuild
-// the job after a restart. Non-terminal recorded states (pending,
-// running) mean "interrupted — resume me".
-type jobRecord struct {
-	ID        string      `json:"id"`
-	Seed      uint64      `json:"seed"`
-	State     State       `json:"state"`
-	Submitted time.Time   `json:"submitted"`
-	Options   OptionsSpec `json:"options"`
-	Scene     *SceneSpec  `json:"scene,omitempty"`
-	Input     string      `json:"input,omitempty"` // input file name
-	Error     string      `json:"error,omitempty"`
-}
 
 func (m *Manager) spooling() bool { return m.cfg.SpoolDir != "" }
 
@@ -67,7 +53,7 @@ func (m *Manager) spoolRecordLocked(job *Job) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	rec := jobRecord{
+	rec := api.JobRecord{
 		ID:        job.id,
 		Seed:      job.seed,
 		Submitted: job.submitted,
@@ -179,7 +165,7 @@ func (m *Manager) recoverJob(name string) (*Job, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	var rec jobRecord
+	var rec api.JobRecord
 	if err := json.Unmarshal(blob, &rec); err != nil {
 		return nil, false, fmt.Errorf("corrupt record: %w", err)
 	}
@@ -194,7 +180,7 @@ func (m *Manager) recoverJob(name string) (*Job, bool, error) {
 	js := &jobSpec{spec: spec, opt: opt, scene: rec.Scene}
 	// Terminal jobs never run again, so their (possibly large) input is
 	// not re-decoded — only resumable jobs pay for it.
-	if rec.Input != "" && !rec.State.terminal() {
+	if rec.Input != "" && !rec.State.Terminal() {
 		raw, err := os.ReadFile(filepath.Join(dir, rec.Input))
 		if err != nil {
 			return nil, false, err
@@ -210,10 +196,10 @@ func (m *Manager) recoverJob(name string) (*Job, bool, error) {
 	}
 	job := newJob(rec.ID, rec.Seed, js, rec.Submitted)
 
-	if rec.State.terminal() {
+	if rec.State.Terminal() {
 		job.state = rec.State
 		job.errMsg = rec.Error
-		if rec.State == StateDone {
+		if rec.State == api.StateDone {
 			res, err := os.ReadFile(filepath.Join(dir, spoolResultFile))
 			if err != nil {
 				return nil, false, fmt.Errorf("done job without result: %w", err)

@@ -2,8 +2,10 @@ package repro
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
@@ -14,22 +16,26 @@ import (
 	"testing"
 	"time"
 
+	"repro/pkg/api"
+	"repro/pkg/client"
 	"repro/pkg/parmcmc"
-	"repro/pkg/service"
 )
 
-// daemon is one running mcmcd process under test.
+// daemon is one running mcmcd process under test, plus the typed
+// client every assertion goes through — the black-box harness speaks
+// only the published pkg/api contract.
 type daemon struct {
 	cmd *exec.Cmd
 	url string
+	c   *client.Client
 }
 
-// startDaemon launches a freshly built mcmcd on an ephemeral port and
-// waits for its readiness line. The process is torn down (if still
-// alive) when the test ends.
-func startDaemon(t *testing.T, bin string, extraArgs ...string) *daemon {
+// startDaemon launches a freshly built mcmcd on addr (use
+// "127.0.0.1:0" for an ephemeral port) and waits for its readiness
+// line. The process is torn down (if still alive) when the test ends.
+func startDaemon(t *testing.T, bin, addr string, extraArgs ...string) *daemon {
 	t.Helper()
-	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	args := append([]string{"-addr", addr}, extraArgs...)
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -64,90 +70,72 @@ func startDaemon(t *testing.T, bin string, extraArgs ...string) *daemon {
 			t.Fatal("daemon exited before its readiness line")
 		}
 		i := strings.Index(line, "http://")
-		return &daemon{cmd: cmd, url: strings.TrimSpace(line[i:])}
+		url := strings.TrimSpace(line[i:])
+		c, err := client.New(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &daemon{cmd: cmd, url: url, c: c}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not become ready")
 		return nil
 	}
 }
 
-func (d *daemon) submitScene(t *testing.T, scene service.SceneSpec, opts service.OptionsSpec) service.JobView {
+func (d *daemon) submitScene(t *testing.T, scene api.SceneSpec, opts api.OptionsSpec) *api.JobStatus {
 	t.Helper()
-	body, err := json.Marshal(service.SubmitRequest{Scene: &scene, Options: opts})
+	st, err := d.c.Submit(context.Background(), api.JobSpec{Scene: &scene, Options: opts})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("submit: %v", err)
 	}
-	resp, err := http.Post(d.url+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		var buf bytes.Buffer
-		buf.ReadFrom(resp.Body)
-		t.Fatalf("submit: status %d: %s", resp.StatusCode, buf.String())
-	}
-	var view service.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		t.Fatal(err)
-	}
-	return view
+	return st
 }
 
-func (d *daemon) getJob(t *testing.T, id string) service.JobView {
+func (d *daemon) getJob(t *testing.T, id string) *api.JobStatus {
 	t.Helper()
-	resp, err := http.Get(d.url + "/v1/jobs/" + id)
+	st, err := d.c.Job(context.Background(), id)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("GET %s: %v", id, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: status %d", id, resp.StatusCode)
-	}
-	var view service.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		t.Fatal(err)
-	}
-	return view
+	return st
 }
 
-func (d *daemon) waitDone(t *testing.T, id string, timeout time.Duration) service.JobView {
+func (d *daemon) waitDone(t *testing.T, id string, timeout time.Duration) *api.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		view := d.getJob(t, id)
-		switch view.State {
-		case service.StateDone, service.StateFailed, service.StateCancelled:
-			return view
+		st := d.getJob(t, id)
+		if st.State.Terminal() {
+			return st
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
 	t.Fatalf("job %s did not finish within %v", id, timeout)
-	return service.JobView{}
+	return nil
 }
 
 // e2eResult extracts and normalizes a done job's result.
-func e2eResult(t *testing.T, view service.JobView) service.ResultView {
+func e2eResult(t *testing.T, st *api.JobStatus) api.ResultView {
 	t.Helper()
-	if view.State != service.StateDone {
-		t.Fatalf("job %s state %q (error %q)", view.ID, view.State, view.Error)
+	if st.State != api.StateDone {
+		t.Fatalf("job %s state %q (error %q)", st.ID, st.State, st.Error)
 	}
-	var res service.ResultView
-	if err := json.Unmarshal(view.Result, &res); err != nil {
+	res, err := st.ResultView()
+	if err != nil {
 		t.Fatal(err)
 	}
 	res.ElapsedSeconds = 0
 	for i := range res.Regions {
 		res.Regions[i].Seconds = 0
 	}
-	return res
+	return *res
 }
 
-// e2eScene/e2eOptions are the shared black-box workload, with the
+// e2eScene/e2eDirect are the shared black-box workload, with the
 // matching direct-library call it must be bit-identical to.
-var e2eScene = service.SceneSpec{W: 96, H: 96, Count: 6, MeanRadius: 7, Noise: 0.05, Seed: 11}
+var e2eScene = api.SceneSpec{W: 96, H: 96, Count: 6, MeanRadius: 7, Noise: 0.05, Seed: 11}
 
-func e2eDirect(t *testing.T, iters int, seed uint64) service.ResultView {
+func e2eDirect(t *testing.T, iters int, seed uint64) api.ResultView {
 	t.Helper()
 	pix, _ := parmcmc.GenerateScene(parmcmc.SceneSpec{
 		W: e2eScene.W, H: e2eScene.H, Count: e2eScene.Count,
@@ -160,87 +148,138 @@ func e2eDirect(t *testing.T, iters int, seed uint64) service.ResultView {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v := service.NewResultView(res)
+	v := api.NewResultView(res)
 	v.ElapsedSeconds = 0
 	return v
 }
 
-// End-to-end integration: submit a synthetic scene to a real mcmcd
-// process, consume the SSE stream to completion, and pin the final
-// result bit-identical to a direct parmcmc.Detect with the same seed.
+// End-to-end integration through the typed client: submit a synthetic
+// scene to a real mcmcd process, consume the SSE stream to completion,
+// pin the final result bit-identical to a direct parmcmc.Detect with
+// the same seed, and verify the diagnostics and telemetry surfaces.
 func TestServiceE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
 	}
 	bin := buildTool(t, "mcmcd")
-	d := startDaemon(t, bin, "-spool", t.TempDir(), "-job-slots", "2")
+	d := startDaemon(t, bin, "127.0.0.1:0", "-spool", t.TempDir(), "-job-slots", "2")
+	ctx := context.Background()
 
-	const iters, seed = 60000, 21
-	view := d.submitScene(t, e2eScene, service.OptionsSpec{
-		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: iters, Seed: seed,
-	})
-	if view.State != service.StatePending || view.Seed != seed {
-		t.Fatalf("submitted view %+v", view)
-	}
-
-	// Consume the SSE stream until the done event.
-	resp, err := http.Get(d.url + "/v1/jobs/" + view.ID + "/events")
+	// The capability registry answers before any job exists.
+	info, err := d.c.Version(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var (
-		progressEvents int
-		final          service.JobView
-		name           string
-	)
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() && final.ID == "" {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			name = strings.TrimPrefix(line, "event: ")
-			if name == "progress" {
-				progressEvents++
-			}
-		case strings.HasPrefix(line, "data: ") && name == "done":
-			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
-				t.Fatal(err)
-			}
+	if info.API != api.Version || len(info.Strategies) == 0 || len(info.Shapes) == 0 {
+		t.Fatalf("version info %+v", info)
+	}
+
+	const iters, seed = 60000, 21
+	st := d.submitScene(t, e2eScene, api.OptionsSpec{
+		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: iters, Seed: seed,
+	})
+	if st.State != api.StatePending || st.Seed != seed {
+		t.Fatalf("submitted status %+v", st)
+	}
+
+	var progressEvents int
+	final, err := d.c.Wait(ctx, st.ID, func(ev *client.Event) {
+		if ev.Name == "progress" {
+			progressEvents++
 		}
-	}
-	if err := sc.Err(); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
-	}
-	if final.ID == "" {
-		t.Fatal("SSE stream closed without a done event")
 	}
 	if progressEvents == 0 {
 		t.Fatal("no progress events on the SSE stream")
 	}
-
 	got := e2eResult(t, final)
 	if want := e2eDirect(t, iters, seed); !reflect.DeepEqual(got, want) {
 		t.Fatalf("daemon result differs from direct Detect\ngot  %+v\nwant %+v", got, want)
 	}
 
-	// Liveness endpoints answer on the same listener.
-	for _, path := range []string{"/healthz", "/metrics"} {
-		resp, err := http.Get(d.url + path)
-		if err != nil {
-			t.Fatal(err)
+	// Chain diagnostics: the finished job reports its convergence
+	// window (12 chunks for 60k iterations) with finite R̂/ESS, plus the
+	// result-level acceptance rate.
+	diag, err := d.c.Diag(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Samples < 8 {
+		t.Fatalf("diag window has %d samples", diag.Samples)
+	}
+	if math.IsNaN(float64(diag.RHat)) || math.IsNaN(float64(diag.ESS)) {
+		t.Fatalf("diag R̂/ESS missing: %+v", diag)
+	}
+	if math.IsNaN(float64(diag.AcceptRate)) {
+		t.Fatalf("done job diag without accept rate: %+v", diag)
+	}
+
+	// Health and metrics answer on the same listener; the exposition
+	// parses back with valid histograms that saw this job.
+	if h, err := d.c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz: %+v, %v", h, err)
+	}
+	m, err := d.c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mcmcd_queue_wait_seconds", "mcmcd_job_duration_seconds", "mcmcd_iteration_seconds"} {
+		h, ok := m.Histograms[name]
+		if !ok {
+			t.Fatalf("metrics missing histogram %s", name)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		if h.Count == 0 {
+			t.Fatalf("%s observed nothing after a completed job", name)
 		}
+	}
+	if m.Values[`mcmcd_jobs{state="done"}`] != 1 {
+		t.Fatalf("done gauge %v", m.Values)
+	}
+
+	// Typed error envelopes: unknown job, unknown route, wrong method.
+	_, err = d.c.Job(ctx, "job-99999999")
+	var env *api.ErrorEnvelope
+	if !errors.As(err, &env) || env.Code != api.CodeNotFound || env.Status != http.StatusNotFound {
+		t.Fatalf("unknown job error %v", err)
+	}
+	resp, err := http.Get(d.url + "/v1/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEnvelope(t, resp, http.StatusNotFound, api.CodeNotFound)
+	resp, err = http.Post(d.url+"/v1/version", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET" {
+		t.Fatalf("405 Allow header %q", allow)
+	}
+	assertEnvelope(t, resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed)
+}
+
+// assertEnvelope drains a response and pins the typed error contract.
+func assertEnvelope(t *testing.T, resp *http.Response, status int, code string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		t.Fatalf("status %d, want %d", resp.StatusCode, status)
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("non-envelope error body: %v", err)
+	}
+	if env.Code != code || env.Message == "" {
+		t.Fatalf("envelope %+v, want code %q", env, code)
 	}
 }
 
-// Crash durability: SIGKILL the daemon mid-job, restart it on the same
-// spool directory, and the resumed job must land the bit-identical
-// result of an uninterrupted run.
+// Crash durability AND client resilience in one scenario: a client SSE
+// stream is attached when the daemon is SIGKILLed mid-job; the daemon
+// restarts on the same address and spool; the stream must reconnect by
+// itself, deduplicate the checkpoint-replayed progress, and deliver
+// the terminal result — bit-identical to an uninterrupted run.
 func TestServiceCrashRestartDurability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
@@ -250,7 +289,7 @@ func TestServiceCrashRestartDurability(t *testing.T) {
 
 	// The uninterrupted reference runs concurrently with the daemon.
 	const iters, seed = 1_500_000, 33
-	wantCh := make(chan service.ResultView, 1)
+	wantCh := make(chan api.ResultView, 1)
 	go func() {
 		pix, _ := parmcmc.GenerateScene(parmcmc.SceneSpec{
 			W: e2eScene.W, H: e2eScene.H, Count: e2eScene.Count,
@@ -261,21 +300,43 @@ func TestServiceCrashRestartDurability(t *testing.T) {
 			Iterations: iters, Seed: seed,
 		})
 		if err != nil {
-			wantCh <- service.ResultView{}
+			wantCh <- api.ResultView{}
 			return
 		}
-		v := service.NewResultView(res)
+		v := api.NewResultView(res)
 		v.ElapsedSeconds = 0
 		wantCh <- v
 	}()
 
-	d1 := startDaemon(t, bin, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
-	view := d1.submitScene(t, e2eScene, service.OptionsSpec{
+	d1 := startDaemon(t, bin, "127.0.0.1:0", "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
+	st := d1.submitScene(t, e2eScene, api.OptionsSpec{
 		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: iters, Seed: seed,
 	})
 
+	// A reconnecting watcher rides through the whole crash. Generous
+	// retry budget: the restart below takes a moment.
+	watcher, err := client.New(d1.url, client.WithRetry(240, 250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type watchResult struct {
+		final *api.JobStatus
+		iters []int64
+		err   error
+	}
+	watchCh := make(chan watchResult, 1)
+	go func() {
+		var seen []int64
+		final, err := watcher.Wait(context.Background(), st.ID, func(ev *client.Event) {
+			if ev.Progress != nil {
+				seen = append(seen, ev.Progress.Iter)
+			}
+		})
+		watchCh <- watchResult{final: final, iters: seen, err: err}
+	}()
+
 	// Wait for at least one spooled checkpoint, then kill -9.
-	ckpt := filepath.Join(spool, view.ID, "checkpoint.bin")
+	ckpt := filepath.Join(spool, st.ID, api.SpoolCheckpointFile)
 	deadline := time.Now().Add(60 * time.Second)
 	for {
 		if _, err := os.Stat(ckpt); err == nil {
@@ -286,17 +347,19 @@ func TestServiceCrashRestartDurability(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if st := d1.getJob(t, view.ID).State; st != service.StateRunning {
-		t.Fatalf("job state %q at kill time", st)
+	if got := d1.getJob(t, st.ID).State; got != api.StateRunning {
+		t.Fatalf("job state %q at kill time", got)
 	}
 	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatal(err)
 	}
 	d1.cmd.Wait()
 
-	// Restart over the same spool: the job must come back and finish.
-	d2 := startDaemon(t, bin, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
-	final := d2.waitDone(t, view.ID, 180*time.Second)
+	// Restart over the same spool ON THE SAME ADDRESS, so the watcher's
+	// reconnects land on the reborn daemon.
+	addr := strings.TrimPrefix(d1.url, "http://")
+	d2 := startDaemon(t, bin, addr, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
+	final := d2.waitDone(t, st.ID, 180*time.Second)
 	got := e2eResult(t, final)
 	want := <-wantCh
 	if want.Strategy == "" {
@@ -308,6 +371,26 @@ func TestServiceCrashRestartDurability(t *testing.T) {
 	if got.Iterations != int64(iters) {
 		t.Fatalf("resumed run accounted %d iterations, want %d", got.Iterations, iters)
 	}
+
+	// The watcher must arrive at the same terminal result through its
+	// reconnected stream, with progress strictly increasing (no
+	// replayed duplicates from the pre-crash prefix).
+	select {
+	case w := <-watchCh:
+		if w.err != nil {
+			t.Fatalf("watcher: %v", w.err)
+		}
+		if sr := e2eResult(t, w.final); !reflect.DeepEqual(sr, want) {
+			t.Fatalf("stream result differs from polled result")
+		}
+		for i := 1; i < len(w.iters); i++ {
+			if w.iters[i] <= w.iters[i-1] {
+				t.Fatalf("stream progress not strictly increasing: %v", w.iters)
+			}
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("watcher did not finish after the daemon restart")
+	}
 }
 
 // Graceful shutdown: SIGTERM must drain the listener and leave a
@@ -318,11 +401,11 @@ func TestServiceGracefulShutdown(t *testing.T) {
 	}
 	bin := buildTool(t, "mcmcd")
 	spool := t.TempDir()
-	d := startDaemon(t, bin, "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
-	view := d.submitScene(t, e2eScene, service.OptionsSpec{
+	d := startDaemon(t, bin, "127.0.0.1:0", "-spool", spool, "-job-slots", "1", "-checkpoint-every", "10000")
+	st := d.submitScene(t, e2eScene, api.OptionsSpec{
 		Strategy: "sequential", MeanRadius: e2eScene.MeanRadius, Iterations: 5_000_000, Seed: 3,
 	})
-	ckpt := filepath.Join(spool, view.ID, "checkpoint.bin")
+	ckpt := filepath.Join(spool, st.ID, api.SpoolCheckpointFile)
 	deadline := time.Now().Add(60 * time.Second)
 	for {
 		if _, err := os.Stat(ckpt); err == nil {
@@ -346,20 +429,123 @@ func TestServiceGracefulShutdown(t *testing.T) {
 	}
 
 	// The spool must still describe a resumable job.
-	blob, err := os.ReadFile(filepath.Join(spool, view.ID, "job.json"))
+	blob, err := os.ReadFile(filepath.Join(spool, st.ID, api.SpoolRecordFile))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec struct {
-		State service.State `json:"state"`
-	}
+	var rec api.JobRecord
 	if err := json.Unmarshal(blob, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.State == service.StateDone || rec.State == service.StateFailed || rec.State == service.StateCancelled {
+	if rec.State.Terminal() {
 		t.Fatalf("shutdown recorded terminal state %q", rec.State)
 	}
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Fatalf("checkpoint gone after graceful shutdown: %v", err)
+	}
+}
+
+// runCtl executes one mcmcctl invocation against the daemon and
+// returns its stdout (stderr goes to the test log on failure).
+func runCtl(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("mcmcctl %s: %v\nstderr: %s", strings.Join(args, " "), err, errBuf.String())
+	}
+	return string(out)
+}
+
+// Operator-CLI end-to-end: drive a live daemon entirely through
+// mcmcctl — submit, tail the SSE stream, pull diagnostics (R̂/ESS must
+// be present), list, inspect the spool offline, and summarise metrics.
+func TestMcmcctlE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	daemonBin := buildTool(t, "mcmcd")
+	ctl := buildTool(t, "mcmcctl")
+	spool := t.TempDir()
+	d := startDaemon(t, daemonBin, "127.0.0.1:0", "-spool", spool, "-job-slots", "1")
+	host := "-host=" + d.url
+
+	// version reaches the live daemon.
+	if out := runCtl(t, ctl, host, "version"); !strings.Contains(out, "server\tmcmcd api v1") {
+		t.Fatalf("version output:\n%s", out)
+	}
+
+	// Submit a scene job via flags; -json returns the typed status.
+	out := runCtl(t, ctl, host, "job", "submit", "-json",
+		"-scene-w", "96", "-scene-h", "96", "-scene-count", "6", "-scene-radius", "7",
+		"-scene-noise", "0.05", "-scene-seed", "11",
+		"-strategy", "sequential", "-radius", "7", "-iterations", "400000", "-seed", "21")
+	var st api.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("submit -json output not a JobStatus: %v\n%s", err, out)
+	}
+	if st.ID == "" || st.Seed != 21 {
+		t.Fatalf("submitted %+v", st)
+	}
+
+	// Tail its SSE stream to completion; the tail must include live
+	// progress and end on the terminal status.
+	events := runCtl(t, ctl, host, "job", "events", st.ID)
+	if !strings.Contains(events, "progress\t") {
+		t.Fatalf("no progress lines in events output:\n%s", events)
+	}
+	if !strings.Contains(events, "state\tdone") {
+		t.Fatalf("events did not end on done:\n%s", events)
+	}
+
+	// diag: machine-readable R̂/ESS over the finished chain.
+	var diag api.DiagView
+	if err := json.Unmarshal([]byte(runCtl(t, ctl, host, "diag", "-json", st.ID)), &diag); err != nil {
+		t.Fatal(err)
+	}
+	if diag.Samples < 8 || math.IsNaN(float64(diag.RHat)) || math.IsNaN(float64(diag.ESS)) {
+		t.Fatalf("diag lacks convergence stats: %+v", diag)
+	}
+	human := runCtl(t, ctl, host, "diag", st.ID)
+	for _, want := range []string{"rhat\t", "ess\t", "accept_rate\t"} {
+		if !strings.Contains(human, want) {
+			t.Fatalf("diag output missing %q:\n%s", want, human)
+		}
+	}
+	if strings.Contains(human, "rhat\t-") {
+		t.Fatalf("diag reports missing R̂:\n%s", human)
+	}
+
+	// list shows the job; get decodes its result.
+	if out := runCtl(t, ctl, host, "job", "list"); !strings.Contains(out, st.ID) {
+		t.Fatalf("job list missing %s:\n%s", st.ID, out)
+	}
+	if out := runCtl(t, ctl, host, "job", "get", st.ID); !strings.Contains(out, "state\tdone") || !strings.Contains(out, "circles\t") {
+		t.Fatalf("job get output:\n%s", out)
+	}
+
+	// cancel a second, long job.
+	var long api.JobStatus
+	if err := json.Unmarshal([]byte(runCtl(t, ctl, host, "job", "submit", "-json",
+		"-scene-w", "96", "-scene-h", "96", "-scene-count", "6", "-scene-radius", "7",
+		"-radius", "7", "-iterations", "50000000")), &long); err != nil {
+		t.Fatal(err)
+	}
+	if out := runCtl(t, ctl, host, "job", "cancel", long.ID); !strings.Contains(out, long.ID) {
+		t.Fatalf("cancel output:\n%s", out)
+	}
+	d.waitDone(t, long.ID, 60*time.Second)
+
+	// spool ls inspects the on-disk records without the daemon.
+	spoolOut := runCtl(t, ctl, "spool", "ls", "-dir", spool)
+	if !strings.Contains(spoolOut, st.ID) || !strings.Contains(spoolOut, "done") {
+		t.Fatalf("spool ls output:\n%s", spoolOut)
+	}
+
+	// metrics parse and summarise.
+	if out := runCtl(t, ctl, host, "metrics"); !strings.Contains(out, "mcmcd_job_duration_seconds") {
+		t.Fatalf("metrics output:\n%s", out)
 	}
 }
