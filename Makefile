@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check bench bench-json bench-check fuzz-smoke experiments-quick experiments
+.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check bench bench-json bench-check bench-scaling fuzz-smoke experiments-quick experiments
 
 all: build
 
@@ -90,12 +90,29 @@ bench-json:
 
 # Bench regression gate: re-measure the kernel microbenchmarks and fail
 # on a >15% ns/op regression or any allocs/op regression vs the
-# committed BENCH_baseline.json (see cmd/benchjson -compare).
+# committed BENCH_baseline.json (see cmd/benchjson -compare; the
+# comparison is skipped with a warning when the baseline was recorded
+# on a host with a different CPU count). The scanline span kernels are
+# additionally required to be allocation-free in absolute terms
+# (-zero-alloc), not merely no worse than the baseline — the /naive
+# reference variants are exempt, they exist for correctness checks.
 bench-check:
 	$(GO) run ./cmd/benchjson \
 		-bench 'BenchmarkLikDelta|BenchmarkCoverMove|BenchmarkSequentialIteration|BenchmarkMoveKinds' \
 		-benchtime 0.3s -count 3 -o /tmp/BENCH_check.json \
+		-zero-alloc '(BenchmarkLikDelta|BenchmarkCoverMove).*/scanline' \
 		-compare BENCH_baseline.json -max-ns-regress 0.15
+
+# Throughput-per-core scaling curve (see BenchmarkThroughputScaling):
+# the benchmark runs once per GOMAXPROCS width and the report gains a
+# scaling section with ops/sec, speedup and parallel-efficiency rows.
+# CI uploads BENCH_scaling.json as a build artifact so the curve is
+# inspectable per run. Widths beyond the host's core count are still
+# measured — efficiency honestly collapses there.
+SCALING_CPUS := 1,2
+bench-scaling:
+	$(GO) run ./cmd/benchjson -bench BenchmarkThroughputScaling -pkg . \
+		-cpu $(SCALING_CPUS) -benchtime 0.3s -count 2 -o BENCH_scaling.json
 
 # Nightly fuzz smoke: run every Fuzz* target for FUZZ_TIME each (the
 # decode fuzzers, the PGM dimension guards, and the disc+ellipse

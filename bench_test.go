@@ -6,6 +6,7 @@ package repro
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -125,6 +126,34 @@ func BenchmarkMoveKinds(b *testing.B) {
 	run("ellipse/", geom.KindEllipse, []mcmc.Move{
 		mcmc.Birth, mcmc.Death, mcmc.Replace, mcmc.Shift,
 		mcmc.Resize, mcmc.AxisScale, mcmc.Rotate,
+	})
+}
+
+// BenchmarkThroughputScaling measures aggregate sampler throughput as
+// GOMAXPROCS grows: each worker goroutine owns an independent 128²
+// chain (the embarrassingly-parallel regime of §IX's multi-image
+// workload), so ideal scaling doubles ops/sec per core doubling. Run it
+// through cmd/benchjson -cpu 1,2,... to turn the per-width results into
+// a throughput-per-core curve with speedup and parallel-efficiency
+// columns; CI records the curve as a build artifact (make
+// bench-scaling).
+func BenchmarkThroughputScaling(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	engines := make(chan *mcmc.Engine, procs)
+	for i := 0; i < procs; i++ {
+		s := benchState(b, 128, 128, 8)
+		e := mcmc.MustNew(s, rng.New(uint64(1000+i)), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(10))
+		e.RunN(5000) // steady state
+		engines <- e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		e := <-engines
+		defer func() { engines <- e }()
+		for pb.Next() {
+			e.RunN(1)
+		}
 	})
 }
 

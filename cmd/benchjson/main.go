@@ -19,7 +19,21 @@
 // report: the run fails (exit 1) when any benchmark present in both
 // regresses by more than -max-ns-regress in ns/op, or regresses at all
 // in allocs/op. CI runs this over the kernel microbenchmarks so perf
-// regressions fail the pipeline instead of landing silently.
+// regressions fail the pipeline instead of landing silently. The gate
+// is skipped (with a loud warning) when the baseline was recorded on a
+// host with a different CPU count — cross-core-count timing comparisons
+// measure the machines, not the code.
+//
+// With -zero-alloc REGEXP, every matching benchmark must report exactly
+// 0 allocs/op; the hot-path kernels are allocation-free by design and
+// this keeps them that way.
+//
+// With -cpu 1,2,4 the benchmarks run once per GOMAXPROCS value and the
+// report additionally carries a throughput scaling curve (ops/sec,
+// speedup and parallel efficiency per core count) for every benchmark
+// measured at more than one width:
+//
+//	go run ./cmd/benchjson -bench ThroughputScaling -pkg . -cpu 1,2,4 -benchtime 0.5s
 package main
 
 import (
@@ -40,8 +54,12 @@ import (
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	Pkg         string             `json:"pkg"`
+	Name string `json:"name"`
+	Pkg  string `json:"pkg"`
+	// Procs is the GOMAXPROCS the result ran under (the benchmark
+	// line's -N suffix; 1 when the suffix is absent). Distinct Procs of
+	// the same benchmark — produced by -cpu — are separate results.
+	Procs       int                `json:"procs,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
@@ -49,18 +67,40 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// ScalingPoint is one row of a throughput-per-core scaling curve,
+// derived from a benchmark measured at several -cpu values.
+type ScalingPoint struct {
+	Bench     string  `json:"bench"`
+	Pkg       string  `json:"pkg"`
+	Procs     int     `json:"procs"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is ops/sec relative to the same benchmark at procs=1;
+	// Efficiency is Speedup/Procs (1.0 = perfect linear scaling). Both
+	// are 0 when no procs=1 measurement exists to normalise against.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
 // Report is the file schema.
 type Report struct {
-	Date      string      `json:"date"`
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	CPU       string      `json:"cpu,omitempty"`
-	Bench     string      `json:"bench_regexp"`
-	BenchTime string      `json:"benchtime"`
-	Packages  string      `json:"packages"`
-	Notes     string      `json:"notes,omitempty"`
-	Results   []Benchmark `json:"results"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// GoMaxProcs and NumCPU pin the parallelism environment the numbers
+	// were recorded under; -compare refuses to gate timings across
+	// reports with different NumCPU (see compareReports).
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	CPUList    string         `json:"cpu_list,omitempty"`
+	Bench      string         `json:"bench_regexp"`
+	BenchTime  string         `json:"benchtime"`
+	Packages   string         `json:"packages"`
+	Notes      string         `json:"notes,omitempty"`
+	Results    []Benchmark    `json:"results"`
+	Scaling    []ScalingPoint `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -75,6 +115,8 @@ func main() {
 		notes     = flag.String("notes", "", "free-form note recorded in the report")
 		compare   = flag.String("compare", "", "baseline report to compare against; regressions fail the run")
 		maxNs     = flag.Float64("max-ns-regress", 0.15, "with -compare: maximum tolerated fractional ns/op regression")
+		cpu       = flag.String("cpu", "", "comma-separated GOMAXPROCS list passed to go test -cpu; multiple values produce a scaling curve")
+		zeroAlloc = flag.String("zero-alloc", "", "regexp of benchmarks that must report 0 allocs/op; any allocation fails the run")
 	)
 	flag.Parse()
 
@@ -85,8 +127,12 @@ func main() {
 	args := []string{
 		"test", "-run", "^$", "-bench", *bench,
 		"-benchtime", *benchtime, "-benchmem", "-p", "1",
-		"-count", strconv.Itoa(*count), *pkgs,
+		"-count", strconv.Itoa(*count),
 	}
+	if *cpu != "" {
+		args = append(args, "-cpu", *cpu)
+	}
+	args = append(args, *pkgs)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -95,14 +141,17 @@ func main() {
 	}
 
 	report := Report{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Bench:     *bench,
-		BenchTime: *benchtime,
-		Packages:  *pkgs,
-		Notes:     *notes,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUList:    *cpu,
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+		Packages:   *pkgs,
+		Notes:      *notes,
 	}
 
 	pkg := ""
@@ -122,6 +171,7 @@ func main() {
 		}
 	}
 	report.Results = aggregateMin(report.Results)
+	report.Scaling = scalingCurve(report.Results)
 
 	path := *out
 	if path == "" {
@@ -137,10 +187,50 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(report.Results), path)
 
+	if *zeroAlloc != "" {
+		re, err := regexp.Compile(*zeroAlloc)
+		if err != nil {
+			log.Fatalf("-zero-alloc: %v", err)
+		}
+		var bad []string
+		matched := 0
+		for _, b := range report.Results {
+			if !re.MatchString(b.Name) {
+				continue
+			}
+			matched++
+			if b.AllocsPerOp != nil && *b.AllocsPerOp > 0 {
+				bad = append(bad, fmt.Sprintf("%s %s: %.0f allocs/op, must be 0",
+					b.Pkg, b.Name, *b.AllocsPerOp))
+			}
+		}
+		if matched == 0 {
+			log.Fatalf("-zero-alloc %q matched no benchmark result", *zeroAlloc)
+		}
+		for _, m := range bad {
+			fmt.Fprintf(os.Stderr, "ALLOC: %s\n", m)
+		}
+		if len(bad) > 0 {
+			log.Fatalf("%d benchmark(s) allocate but are required to be allocation-free", len(bad))
+		}
+		fmt.Fprintf(os.Stderr, "%d benchmark(s) verified allocation-free\n", matched)
+	}
+
 	if *compare != "" {
 		baseline, err := readReport(*compare)
 		if err != nil {
 			log.Fatal(err)
+		}
+		// Timings are only comparable on matching hardware parallelism:
+		// gating a 4-core run against a 1-core baseline (or vice versa)
+		// measures the machines, not the code. Refuse the gate — loudly,
+		// but without failing the run, so one committed baseline doesn't
+		// break every differently-sized environment.
+		if baseline.NumCPU != 0 && baseline.NumCPU != report.NumCPU {
+			fmt.Fprintf(os.Stderr,
+				"SKIPPED comparison vs %s: baseline recorded on %d CPUs, this host has %d — cross-core-count gating is meaningless\n",
+				*compare, baseline.NumCPU, report.NumCPU)
+			return
 		}
 		regressions := compareReports(baseline, report, *maxNs)
 		for _, r := range regressions {
@@ -151,6 +241,43 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", *compare)
 	}
+}
+
+// scalingCurve derives throughput-per-core rows for every benchmark
+// measured at more than one GOMAXPROCS (the -cpu list). Speedup and
+// efficiency are normalised against the benchmark's own procs=1 row
+// when present.
+func scalingCurve(results []Benchmark) []ScalingPoint {
+	type key struct{ pkg, name string }
+	distinct := make(map[key]map[int]bool)
+	base := make(map[key]float64) // ops/sec at procs=1
+	for _, b := range results {
+		k := key{b.Pkg, b.Name}
+		if distinct[k] == nil {
+			distinct[k] = make(map[int]bool)
+		}
+		distinct[k][b.Procs] = true
+		if b.Procs == 1 && b.NsPerOp > 0 {
+			base[k] = 1e9 / b.NsPerOp
+		}
+	}
+	var out []ScalingPoint
+	for _, b := range results {
+		k := key{b.Pkg, b.Name}
+		if len(distinct[k]) < 2 || b.NsPerOp <= 0 {
+			continue
+		}
+		p := ScalingPoint{
+			Bench: b.Name, Pkg: b.Pkg, Procs: b.Procs,
+			NsPerOp: b.NsPerOp, OpsPerSec: 1e9 / b.NsPerOp,
+		}
+		if s1 := base[k]; s1 > 0 && b.Procs > 0 {
+			p.Speedup = p.OpsPerSec / s1
+			p.Efficiency = p.Speedup / float64(b.Procs)
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // readReport loads a previously written report.
@@ -173,11 +300,14 @@ func readReport(path string) (Report, error) {
 // deterministic and identical across repetitions; the minimum is kept
 // for robustness. Order of first appearance is preserved.
 func aggregateMin(results []Benchmark) []Benchmark {
-	type key struct{ pkg, name string }
+	type key struct {
+		pkg, name string
+		procs     int
+	}
 	idx := make(map[key]int, len(results))
 	out := results[:0]
 	for _, b := range results {
-		k := key{b.Pkg, b.Name}
+		k := key{b.Pkg, b.Name, b.Procs}
 		if i, ok := idx[k]; ok {
 			if b.NsPerOp < out[i].NsPerOp {
 				out[i].NsPerOp = b.NsPerOp
@@ -206,16 +336,27 @@ func aggregateMin(results []Benchmark) []Benchmark {
 // gated benchmark could be renamed or deleted and the gate would
 // silently narrow.
 func compareReports(baseline, current Report, maxNsFrac float64) []string {
-	type key struct{ pkg, name string }
+	type key struct {
+		pkg, name string
+		procs     int
+	}
+	// Pre-Procs baselines recorded everything with Procs 0; read 0 as 1
+	// so they stay gateable.
+	norm := func(p int) int {
+		if p == 0 {
+			return 1
+		}
+		return p
+	}
 	base := make(map[key]Benchmark, len(baseline.Results))
 	for _, b := range baseline.Results {
-		base[key{b.Pkg, b.Name}] = b
+		base[key{b.Pkg, b.Name, norm(b.Procs)}] = b
 	}
 	seen := make(map[key]bool, len(current.Results))
 	var out []string
 	for _, c := range current.Results {
-		seen[key{c.Pkg, c.Name}] = true
-		b, ok := base[key{c.Pkg, c.Name}]
+		seen[key{c.Pkg, c.Name, norm(c.Procs)}] = true
+		b, ok := base[key{c.Pkg, c.Name, norm(c.Procs)}]
 		if !ok {
 			continue
 		}
@@ -234,7 +375,7 @@ func compareReports(baseline, current Report, maxNsFrac float64) []string {
 		scope = nil // unparseable scope: skip the missing-benchmark check
 	}
 	for _, b := range baseline.Results {
-		if seen[key{b.Pkg, b.Name}] {
+		if seen[key{b.Pkg, b.Name, norm(b.Procs)}] {
 			continue
 		}
 		if scope != nil && scope.MatchString(b.Name) {
@@ -255,9 +396,12 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	name := fields[0]
+	procs := 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the trailing -GOMAXPROCS suffix.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		// The trailing -N suffix is the GOMAXPROCS of the run (absent
+		// when it was 1); record it and strip it from the name.
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			procs = n
 			name = name[:i]
 		}
 	}
@@ -265,7 +409,7 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: name, Pkg: pkg, Iterations: iters}
+	b := Benchmark{Name: name, Pkg: pkg, Procs: procs, Iterations: iters}
 	// Remaining fields come in (value, unit) pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -339,7 +339,12 @@ func (pe *Engine) localPhase(n int) {
 		}
 		pe.SimLocalSeconds += sched.Makespan(costs, sched.LPTAssign(costs, pe.Opt.Workers))
 	} else {
+		// Concurrent workers write disjoint pixels but share occupancy
+		// blocks that straddle cell boundaries: switch the field's
+		// counter updates to atomics for the phase.
+		s.F.SetParallel(true)
 		sched.ForEach(len(active), pe.Opt.Workers, func(i int) { active[i].run() })
+		s.F.SetParallel(false)
 	}
 
 	pe.mergeWorkers(active)

@@ -62,8 +62,12 @@ type cellWorker struct {
 	dLik, dPrior float64
 	stats        mcmc.Stats
 
-	// props is the reusable speculative-batch buffer.
+	// props is the reusable speculative-batch buffer; prop is the
+	// non-speculative scratch slot. Each slot owns a MoveSpans cache, so
+	// an accepted move replays its evaluation's span tables and retried
+	// moves of the same owned shape skip recomputing the old table.
 	props []localProposal
+	prop  localProposal
 }
 
 // reset re-initialises the worker for a new local phase, keeping the
@@ -83,6 +87,12 @@ func (w *cellWorker) reset(s *model.State, cell geom.Rect, margin float64, steps
 	w.localWeights = localWeights
 	w.dLik, w.dPrior = 0, 0
 	w.stats = mcmc.Stats{}
+	// Span-table caches are only meaningful on the field they were built
+	// for; a pooled worker may be handed a different state next phase.
+	w.prop.ms.Invalidate()
+	for i := range w.props {
+		w.props[i].ms.Invalidate()
+	}
 }
 
 type workerEntry struct {
@@ -116,7 +126,10 @@ func (w *cellWorker) overlapSum(c geom.Ellipse, self int) float64 {
 	return total
 }
 
-// localProposal is one evaluated (but unapplied) local move.
+// localProposal is one evaluated (but unapplied) local move. Its ms
+// field caches the move's span tables between evaluation and apply (and
+// across retried proposals of the same shape); the slot is reused in
+// place so steady-state proposing allocates nothing.
 type localProposal struct {
 	move   mcmc.Move
 	idx    int // entries index of the target circle
@@ -124,6 +137,7 @@ type localProposal struct {
 	valid  bool
 	dLik   float64
 	dPrior float64
+	ms     model.MoveSpans
 }
 
 // localMoves maps Pick indices over localWeights to move kinds.
@@ -133,7 +147,7 @@ var localMoves = [4]mcmc.Move{mcmc.Shift, mcmc.Resize, mcmc.AxisScale, mcmc.Rota
 // current private state, read-only. The kernels mirror the sequential
 // engine's local proposals exactly (same perturbation structure, same
 // symmetric-kernel cancellations), restricted to owned features.
-func (w *cellWorker) propose() localProposal {
+func (w *cellWorker) propose(p *localProposal) {
 	move := localMoves[w.rng.Pick(w.localWeights[:])]
 	idx := w.ownedAt[w.rng.Intn(len(w.ownedAt))]
 	oldC := w.entries[idx].c
@@ -156,22 +170,25 @@ func (w *cellWorker) propose() localProposal {
 	case mcmc.Rotate:
 		newC.Theta = mcmc.WrapHalfTurn(oldC.Theta + w.rng.NormalAt(0, w.steps.RotateStd))
 	}
-	p := localProposal{move: move, idx: idx, newC: newC}
+	p.move, p.idx, p.newC = move, idx, newC
+	p.valid, p.dLik, p.dPrior = false, 0, 0
 
 	// Partition-boundary rule and prior support.
 	if !w.cell.ContainsEllipse(newC, w.margin) || !w.s.P.ShapeInSupport(newC) {
-		return p
+		return
 	}
 	p.valid = true
 	p.dPrior = w.s.P.LogShapePrior(newC) - w.s.P.LogShapePrior(oldC)
 	p.dPrior -= w.s.P.OverlapPenalty *
 		(w.overlapSum(newC, idx) - w.overlapSum(oldC, idx))
-	p.dLik = model.LikDeltaMove(w.s.Gain, w.s.GainSum, w.s.Cover, w.s.W, w.s.H, w.entries[idx].c, newC)
-	return p
+	// Field kernel: the occupancy skip prices the move, and the span
+	// tables land in p.ms for the apply. Retried moves of the same owned
+	// shape reuse the cached old-shape table.
+	p.dLik = w.s.F.LikDeltaMovePrepared(oldC, newC, &p.ms)
 }
 
 // accepts applies the Metropolis test to an evaluated proposal.
-func (w *cellWorker) accepts(p localProposal) bool {
+func (w *cellWorker) accepts(p *localProposal) bool {
 	if !p.valid {
 		return false
 	}
@@ -180,10 +197,11 @@ func (w *cellWorker) accepts(p localProposal) bool {
 }
 
 // apply commits an accepted proposal to the shared coverage buffer and
-// the worker's private circle copies.
-func (w *cellWorker) apply(p localProposal) {
+// the worker's private circle copies, replaying the span tables its
+// evaluation prepared.
+func (w *cellWorker) apply(p *localProposal) {
 	entry := &w.entries[p.idx]
-	model.CoverMove(w.s.Cover, w.s.W, w.s.H, entry.c, p.newC)
+	w.s.F.CoverMovePrepared(entry.c, p.newC, &p.ms)
 	entry.c = p.newC
 	w.dLik += p.dLik
 	w.dPrior += p.dPrior
@@ -204,8 +222,9 @@ func (w *cellWorker) run() {
 		w.runSpeculative()
 		return
 	}
+	p := &w.prop
 	for it := 0; it < w.iters; it++ {
-		p := w.propose()
+		w.propose(p)
 		w.stats.Proposed[p.move]++
 		if !p.valid {
 			w.stats.Invalid[p.move]++
@@ -223,22 +242,24 @@ func (w *cellWorker) run() {
 // applied and the batch consumed up to that point.
 func (w *cellWorker) runSpeculative() {
 	if cap(w.props) < w.specWidth {
-		w.props = make([]localProposal, 0, w.specWidth)
+		// Full-length slots so each keeps its MoveSpans backing array
+		// across batches.
+		w.props = make([]localProposal, w.specWidth)
 	}
-	props := w.props
 	consumed := 0
 	for consumed < w.iters {
 		width := w.specWidth
 		if rem := w.iters - consumed; rem < width {
 			width = rem
 		}
-		props = props[:0]
-		for i := 0; i < width; i++ {
-			props = append(props, w.propose())
+		props := w.props[:width]
+		for i := range props {
+			w.propose(&props[i])
 		}
 		w.batches++
 		w.evals += int64(width)
-		for _, p := range props {
+		for i := range props {
+			p := &props[i]
 			w.stats.Proposed[p.move]++
 			consumed++
 			if !p.valid {

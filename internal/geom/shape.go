@@ -130,6 +130,12 @@ func (e Ellipse) quad() (A, B, C, F float64) {
 	return
 }
 
+// QuadCoeffs exposes the implicit quadratic-form coefficients (see quad)
+// for consumers that classify whole regions against the ellipse — the
+// coarse-to-fine screen in internal/model hoists them once per proposal.
+// Only meaningful for a non-degenerate, non-circular ellipse.
+func (e Ellipse) QuadCoeffs() (A, B, C, F float64) { return e.quad() }
+
 // Contains reports whether the point (x, y) lies inside or on the
 // ellipse. The circular case evaluates the historical disc predicate
 // bit-exactly. An ellipse with a non-positive semi-axis is empty (a
@@ -323,18 +329,29 @@ func (e Ellipse) RowSpan(y, x0, x1 int) (xa, xb int) {
 		return 0, 0
 	}
 	A, B, C, F := e.quad()
-	return e.rowSpanQuad(A, B, C, F, y, x0, x1)
+	return e.rowSpanQuad(A, B, C, F, 1/(2*A), y, x0, x1)
 }
 
+// spanQuadEps scales the quadratic path's certainty margin: ~4500 ulp,
+// orders of magnitude above the handful of roundings in the seed
+// arithmetic and the predicate, yet far below the typical fractional
+// distance of a span edge from a pixel boundary. Edges within the
+// margin of an integer — and every near-tangent row, where the margin
+// blows up — take the exact predicate-pinned path instead.
+const spanQuadEps = 1e-12
+
 // rowSpanQuad is the non-circular row-span body with hoisted quadratic
-// coefficients (AppendShapeSpans hoists them out of its row loop).
+// coefficients and reciprocal (AppendShapeSpans hoists them out of its
+// row loop; RowSpan computes them per call).
 //
 // For the row through pixel centres at dy = y+0.5−Y, coverage in dx is
 // A·dx² + (B·dy)·dx + (C·dy² − F) ≤ 0 — a positive parabola, so the
-// covered set is a single interval between its roots. The sqrt only
-// seeds the boundary search; both edges are then fixed up against the
-// predicate, so float rounding can never shift a span edge.
-func (e Ellipse) rowSpanQuad(A, B, C, F float64, y, x0, x1 int) (xa, xb int) {
+// covered set is a single interval between its roots. The fast path
+// takes both edges straight from the sqrt when they are provably
+// further from an integer than float rounding could displace them; any
+// ambiguity falls back to pinning against the exact predicate, so the
+// result always equals a per-pixel scan of CoversPixel.
+func (e Ellipse) rowSpanQuad(A, B, C, F, inv2A float64, y, x0, x1 int) (xa, xb int) {
 	if x0 >= x1 {
 		return 0, 0
 	}
@@ -345,16 +362,59 @@ func (e Ellipse) rowSpanQuad(A, B, C, F float64, y, x0, x1 int) (xa, xb int) {
 	if disc < 0 {
 		return 0, 0
 	}
-	half := math.Sqrt(disc) / (2 * A)
-	mid := -b / (2 * A)
-	// Seed edges in pixel-index space: pixel x is covered when
-	// dx = x+0.5−X lies in [mid−half, mid+half].
+	// errScale bounds the absolute rounding error of disc (up to the ulp
+	// factor): for interior rows (c < 0) it equals disc itself, so the
+	// relative-health guard below always passes; only rows near tangency
+	// fail it, and those must consult the predicate anyway.
+	errScale := b*b + math.Abs(4*A*c)
+	if disc > 1e-10*errScale {
+		half := math.Sqrt(disc) * inv2A
+		mid := -b * inv2A
+		lo := e.X + mid - half - 0.5
+		hi := e.X + mid + half - 0.5
+		flo := math.Floor(lo)
+		fhi := math.Floor(hi)
+		// Certainty margin, multiplied through by half to stay division-
+		// free. Disc round-off maps to the edge through the boundary slope
+		// 2A·half; the predicate's own evaluation error (∝ the magnitude
+		// sum s of its terms over the row's dx range) maps through the
+		// same slope; the additive seed arithmetic contributes position
+		// ulps directly.
+		am := math.Abs(mid)
+		hm := am + half + 1
+		s := A*hm*hm + math.Abs(b)*hm + math.Abs(c) + 2*F
+		ebH := spanQuadEps * (0.5*errScale*inv2A + s*inv2A + (hm+math.Abs(e.X))*half)
+		fl := (lo - flo) * half
+		fh := (hi - fhi) * half
+		if fl > ebH && fl < half-ebH && fh > ebH && fh < half-ebH {
+			xa = int(flo) + 1
+			xb = int(fhi) + 1
+			if xa < x0 {
+				xa = x0
+			}
+			if xb > x1 {
+				xb = x1
+			}
+			if xa >= xb {
+				return 0, 0
+			}
+			return xa, xb
+		}
+	}
+	return e.rowSpanQuadExact(A, B, C, F, inv2A, dy, x0, x1)
+}
+
+// rowSpanQuadExact seeds the edges from the sqrt and pins both to the
+// exact coverage predicate (identical structure to the circle's
+// rowSpanExact). Only boundary-ambiguous and near-tangent rows reach it.
+func (e Ellipse) rowSpanQuadExact(A, B, C, F, inv2A, dy float64, x0, x1 int) (xa, xb int) {
+	b := B * dy
+	half := math.Sqrt(b*b-4*A*(C*dy*dy-F)) * inv2A
+	mid := -b * inv2A
 	lo := e.X + mid - half - 0.5
 	hi := e.X + mid + half - 0.5
 	xa = clampSpan(int(math.Ceil(lo)), x0, x1)
 	xb = clampSpan(int(math.Floor(hi))+1, x0, x1)
-	// Pin both edges to the exact predicate (identical structure to the
-	// circle's rowSpanExact).
 	for xa > x0 && coveredEll(e.X, A, B, C, F, dy, xa-1) {
 		xa--
 	}
@@ -384,6 +444,7 @@ type RowSpanner struct {
 	circular   bool
 	empty      bool
 	A, B, C, F float64
+	inv2A      float64
 }
 
 // Spanner returns the hoisted row-span evaluator for e.
@@ -403,6 +464,7 @@ func (e Ellipse) Spanner() RowSpanner {
 		return s
 	}
 	s.A, s.B, s.C, s.F = e.quad()
+	s.inv2A = 1 / (2 * s.A)
 	return s
 }
 
@@ -415,7 +477,7 @@ func (s *RowSpanner) RowSpan(y, x0, x1 int) (xa, xb int) {
 	if s.empty {
 		return 0, 0
 	}
-	return s.e.rowSpanQuad(s.A, s.B, s.C, s.F, y, x0, x1)
+	return s.e.rowSpanQuad(s.A, s.B, s.C, s.F, s.inv2A, y, x0, x1)
 }
 
 // EllipseSpans calls fn(y, xa, xb) for every image row y on which e
@@ -439,8 +501,9 @@ func EllipseSpans(w, h int, e Ellipse, fn func(y, xa, xb int)) {
 		return
 	}
 	A, B, C, F := e.quad()
+	inv2A := 1 / (2 * A)
 	for y := y0; y < y1; y++ {
-		if xa, xb := e.rowSpanQuad(A, B, C, F, y, x0, x1); xa < xb {
+		if xa, xb := e.rowSpanQuad(A, B, C, F, inv2A, y, x0, x1); xa < xb {
 			fn(y, xa, xb)
 		}
 	}
@@ -458,8 +521,22 @@ func AppendShapeSpans(dst []Span, w, h int, e Ellipse) []Span {
 	if e.Rx < 0 || e.Ry < 0 || (!e.Circular() && (e.Rx == 0 || e.Ry == 0)) {
 		return dst
 	}
-	x0, x1 := e.PixelCols(w)
-	y0, y1 := e.PixelRows(h)
+	// The bounding half-extents come from the quadratic form directly:
+	// the form's determinant A·C − B²/4 equals F, which collapses the
+	// extent formulae to ex = √C, ey = √A — the same values halfExtents
+	// computes via two hypots and a second round of trigonometry. The
+	// relative inflation keeps the box conservative against the last-ulp
+	// rounding differences; spans are pinned to the predicate, so a
+	// too-large box only costs an empty RowSpan per extra row.
+	A, B, C, F := e.quad()
+	ex := math.Sqrt(C)
+	ey := math.Sqrt(A)
+	ex += ex * 1e-12
+	ey += ey * 1e-12
+	x0 := clampSpan(int(math.Floor(e.X-ex-0.5)), 0, w)
+	x1 := clampSpan(int(math.Ceil(e.X+ex+0.5)), 0, w)
+	y0 := clampSpan(int(math.Floor(e.Y-ey-0.5)), 0, h)
+	y1 := clampSpan(int(math.Ceil(e.Y+ey+0.5)), 0, h)
 	if x0 >= x1 || y0 >= y1 {
 		return dst
 	}
@@ -471,9 +548,9 @@ func AppendShapeSpans(dst []Span, w, h int, e Ellipse) []Span {
 	}
 	out := dst[:base+(y1-y0)]
 	n := base
-	A, B, C, F := e.quad()
+	inv2A := 1 / (2 * A)
 	for y := y0; y < y1; y++ {
-		xa, xb := e.rowSpanQuad(A, B, C, F, y, x0, x1)
+		xa, xb := e.rowSpanQuad(A, B, C, F, inv2A, y, x0, x1)
 		if xa >= xb {
 			continue
 		}

@@ -32,6 +32,9 @@ type Options struct {
 	SwapEvery int
 	// Workers bounds the goroutines running chains concurrently.
 	Workers int
+	// ScreenMinArea is forwarded to every chain's engine (see
+	// mcmc.Engine.ScreenMinArea); 0 disables coarse-to-fine screening.
+	ScreenMinArea float64
 }
 
 // Validate reports whether the options are usable.
@@ -109,6 +112,7 @@ func New(img *imaging.Image, p model.Params, w mcmc.Weights, steps mcmc.StepSize
 		}
 		beta := 1 / (1 + opt.HeatStep*float64(k))
 		e.Beta = beta
+		e.ScreenMinArea = opt.ScreenMinArea
 		s.Engines = append(s.Engines, e)
 		s.Betas = append(s.Betas, beta)
 	}

@@ -43,7 +43,11 @@ func RestoreTrace(d TraceDump) *Trace {
 // temperature, and the attached trace (if any). Weights and step sizes
 // are configuration, not state — the restorer supplies them.
 type EngineDump struct {
-	R     rng.Saved
+	R rng.Saved
+	// KindR is the dedicated move-kind stream RunN draws from (see
+	// Engine.kindR); it advances independently of R and must be restored
+	// alongside it for a resumed chain to match an uninterrupted one.
+	KindR rng.Saved
 	Stats Stats
 	Iter  int64
 	Beta  float64
@@ -57,6 +61,7 @@ type EngineDump struct {
 func (e *Engine) Dump() EngineDump {
 	d := EngineDump{
 		R:     e.R.Save(),
+		KindR: e.kindR.Save(),
 		Stats: e.Stats,
 		Iter:  e.Iter,
 		Beta:  e.Beta,
@@ -77,6 +82,7 @@ func (e *Engine) Restore(d EngineDump) error {
 		return err
 	}
 	e.R.Restore(d.R)
+	e.kindR.Restore(d.KindR)
 	e.Stats = d.Stats
 	e.Iter = d.Iter
 	e.Beta = d.Beta

@@ -42,6 +42,18 @@ type Proposal struct {
 	nRem, nAdd   int8
 	remIDs       [2]int
 	newCs        [2]geom.Ellipse
+
+	// deferred marks a coarse-screened proposal: dLik (and with it DPost
+	// and LogAlpha) holds a pyramid *upper bound* on the true likelihood
+	// delta, valid for rejection only. The acceptance test refines it at
+	// full resolution before any acceptance (see Engine.AcceptsP); apply
+	// panics on a still-deferred proposal.
+	deferred bool
+	// ms points at the proposing engine's span-table cache for in-place
+	// moves, so an accepted move replays the tables its evaluation
+	// prepared. Replay is keyed on the exact (old, new) pair and falls
+	// back to recomputation on mismatch, so a stale pointer is safe.
+	ms *model.MoveSpans
 }
 
 // apply commits the proposal's move to the engine's state. Birth, death
@@ -49,13 +61,16 @@ type Proposal struct {
 // move must preserve the circle's ID); split and merge go through the
 // general exchange.
 func (p *Proposal) apply(e *Engine) {
+	if p.deferred {
+		panic("mcmc: apply of a deferred (coarse-screened) proposal without refinement")
+	}
 	switch p.Move {
 	case Birth:
 		e.S.ApplyAdd(p.newCs[0], p.dLik, p.dPrior)
 	case Death:
 		e.S.ApplyRemove(p.remIDs[0], p.dLik, p.dPrior)
 	case Replace, Shift, Resize, AxisScale, Rotate:
-		e.S.ApplyMove(p.remIDs[0], p.newCs[0], p.dLik, p.dPrior)
+		e.S.ApplyMoveCached(p.remIDs[0], p.newCs[0], p.dLik, p.dPrior, p.ms)
 	case Split, Merge:
 		e.S.ApplyExchange(p.remIDs[:p.nRem], p.newCs[:p.nAdd], p.dLik, p.dPrior)
 	default:
@@ -142,6 +157,14 @@ type Engine struct {
 	// are never tempered.
 	Beta float64
 
+	// ScreenMinArea enables the coarse-to-fine likelihood screen: birth
+	// and replace proposals whose shape covers at least this many pixels
+	// (πR_xR_y) are priced with the pyramid upper bound first and refined
+	// at full resolution only when the bound survives the rejection test.
+	// 0 disables screening. The sampled chain is bit-identical either
+	// way (see AcceptsP); only the work changes.
+	ScreenMinArea float64
+
 	wNorm  Weights
 	trace  *Trace
 	accum  *PosteriorAccumulator
@@ -152,7 +175,24 @@ type Engine struct {
 	// Shadow engines get their own (see Shadow), so concurrent
 	// speculative Propose calls never share scratch.
 	partners []int
+
+	// ms caches the span tables of the most recent in-place move
+	// proposal (replace/shift/resize/axis-scale/rotate), so an accepted
+	// move replays them instead of recomputing every row span. Per
+	// engine for the same reason as partners.
+	ms model.MoveSpans
+
+	// kindR is a dedicated stream for RunN's chunked move-kind draws,
+	// split off the acceptance stream at construction. Keeping the kind
+	// draws out of the main stream makes the chain invariant to how
+	// callers slice their RunN calls, with the uniforms prefetched
+	// kindChunk at a time (see RunN).
+	kindR   *rng.RNG
+	kindBuf [kindChunk]float64
 }
+
+// kindChunk is how many move-kind uniforms RunN prefetches per refill.
+const kindChunk = 64
 
 // New constructs an engine. It validates the weights and step sizes
 // against the state's shape family: split/merge exist only for discs
@@ -171,7 +211,14 @@ func New(s *model.State, r *rng.RNG, w Weights, steps StepSizes) (*Engine, error
 	if s.P.Shape == geom.KindDisc && (w[AxisScale] > 0 || w[Rotate] > 0) {
 		return nil, fmt.Errorf("mcmc: axis-scale/rotate moves are ellipse-only (shape %v)", s.P.Shape)
 	}
-	return &Engine{S: s, R: r, W: w, Steps: steps.WithEllipseDefaults(), Beta: 1, wNorm: w.Normalised()}, nil
+	// The kind stream starts 2^192 steps ahead of r's current state:
+	// disjoint from anything r will produce, without advancing r itself.
+	kindR := rng.NewFrom(r)
+	kindR.LongJump()
+	return &Engine{
+		S: s, R: r, W: w, Steps: steps.WithEllipseDefaults(), Beta: 1,
+		wNorm: w.Normalised(), kindR: kindR,
+	}, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -190,7 +237,9 @@ func MustNew(s *model.State, r *rng.RNG, w Weights, steps StepSizes) *Engine {
 func (e *Engine) Shadow() *Engine {
 	s := *e
 	s.R = e.R.Split()
+	s.kindR = e.kindR.Split()
 	s.partners = nil
+	s.ms = model.MoveSpans{}
 	return &s
 }
 
@@ -206,15 +255,56 @@ func (e *Engine) Step() bool {
 	return e.Decide(p)
 }
 
-// RunN performs n iterations and returns the number accepted.
+// RunN performs n iterations and returns the number accepted. Move
+// kinds are drawn from the dedicated kind stream with the uniforms
+// prefetched kindChunk at a time; each refill draws exactly what the
+// remaining iterations need, so a run split across several RunN calls
+// consumes both streams identically to one big call.
 func (e *Engine) RunN(n int) int {
 	acc := 0
-	for i := 0; i < n; i++ {
-		if e.Step() {
-			acc++
+	for done := 0; done < n; {
+		want := n - done
+		if want > kindChunk {
+			want = kindChunk
 		}
+		e.kindR.Fill(e.kindBuf[:want])
+		for _, u := range e.kindBuf[:want] {
+			if e.Decide(e.Propose(e.moveFromUniform(u))) {
+				acc++
+			}
+		}
+		done += want
 	}
 	return acc
+}
+
+// moveFromUniform maps one uniform draw to a move kind with exactly
+// rng.Pick's arithmetic over the normalised weights, so the chunked and
+// one-at-a-time paths pick identical kinds from identical uniforms.
+func (e *Engine) moveFromUniform(u float64) Move {
+	total := 0.0
+	for _, w := range e.wNorm {
+		if w > 0 {
+			total += w
+		}
+	}
+	target := u * total
+	acc := 0.0
+	for i, w := range e.wNorm {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return Move(i)
+		}
+	}
+	for i := len(e.wNorm) - 1; i >= 0; i-- {
+		if e.wNorm[i] > 0 {
+			return Move(i)
+		}
+	}
+	panic("mcmc: no positive move weights")
 }
 
 // logAccept returns the tempered log acceptance ratio of p.
@@ -232,7 +322,7 @@ func (e *Engine) Decide(p Proposal) bool {
 	e.Iter++
 	accepted := false
 	if p.Valid {
-		if la := e.logAccept(p); la >= 0 || math.Log(e.R.Positive()) < la {
+		if e.acceptTest(&p) {
 			p.apply(e)
 			e.Stats.Accepted[p.Move]++
 			accepted = true
@@ -242,6 +332,61 @@ func (e *Engine) Decide(p Proposal) bool {
 	}
 	e.observers()
 	return accepted
+}
+
+// acceptTest runs the Metropolis–Hastings test on a valid proposal,
+// refining a deferred (coarse-screened) one at full resolution exactly
+// when needed. The RNG stream it consumes is identical to an unscreened
+// chain's:
+//
+//   - Bound already non-negative: an exact test might accept without
+//     drawing, so refine first and then run the ordinary test.
+//   - Bound negative: the exact ratio is ≤ the bound (upper bound), so
+//     the exact test would certainly draw u — draw it now, against the
+//     bound. If u already rejects the bound it rejects the exact ratio
+//     too, and the full-resolution pricing is skipped entirely; this is
+//     the screen's entire saving. Otherwise refine and re-test the SAME
+//     u against the exact ratio.
+//
+// Either way the proposal leaves refined whenever the test passes, so
+// apply always commits exact deltas.
+func (e *Engine) acceptTest(p *Proposal) bool {
+	if !p.deferred {
+		la := e.logAccept(*p)
+		return la >= 0 || math.Log(e.R.Positive()) < la
+	}
+	if la := e.logAccept(*p); la < 0 {
+		lu := math.Log(e.R.Positive())
+		if lu >= la {
+			return false // rejected on the bound: never priced exactly
+		}
+		e.refine(p)
+		return lu < e.logAccept(*p)
+	}
+	e.refine(p)
+	la := e.logAccept(*p)
+	return la >= 0 || math.Log(e.R.Positive()) < la
+}
+
+// refine replaces a deferred proposal's bounded likelihood delta with
+// the exact full-resolution one, updating every derived term. The
+// refined proposal is indistinguishable from one evaluated without
+// screening.
+func (e *Engine) refine(p *Proposal) {
+	var exact float64
+	switch p.Move {
+	case Birth:
+		exact = e.S.LikDeltaAddExact(p.newCs[0])
+	case Replace:
+		exact = e.S.LikDeltaMoveExact(p.remIDs[0], p.newCs[0], p.ms)
+	default:
+		panic(fmt.Sprintf("mcmc: refine of unscreened move %v", p.Move))
+	}
+	diff := exact - p.dLik
+	p.dLik = exact
+	p.DPost += diff
+	p.LogAlpha += diff
+	p.deferred = false
 }
 
 // NotifyExternalIterations informs the attached observers (trace,
@@ -260,15 +405,30 @@ func (e *Engine) observers() {
 	}
 }
 
-// Accepts applies the acceptance test only (no state mutation, no stats);
-// the speculative executor uses it to test pre-evaluated proposals in
-// order.
+// Accepts applies the acceptance test only (no state mutation, no
+// stats). It cannot test a deferred proposal — the refinement must be
+// visible to the caller who will apply it — so those callers use
+// AcceptsP.
 func (e *Engine) Accepts(p Proposal) bool {
+	if p.deferred {
+		panic("mcmc: Accepts on a deferred (coarse-screened) proposal; use AcceptsP")
+	}
 	if !p.Valid {
 		return false
 	}
 	la := e.logAccept(p)
 	return la >= 0 || math.Log(e.R.Positive()) < la
+}
+
+// AcceptsP is Accepts for proposals tested in place: a deferred
+// proposal that survives the bound test is refined through p, so a
+// subsequent Commit(*p) applies exact deltas. The speculative executor
+// uses it to test pre-evaluated proposals in order.
+func (e *Engine) AcceptsP(p *Proposal) bool {
+	if !p.Valid {
+		return false
+	}
+	return e.acceptTest(p)
 }
 
 // Commit applies a previously evaluated proposal without re-testing it
@@ -344,6 +504,13 @@ func (e *Engine) drawPriorShape() geom.Ellipse {
 	}
 }
 
+// screens reports whether the coarse-to-fine screen applies to a
+// proposal exchanging shape c.
+func (e *Engine) screens(c geom.Ellipse) bool {
+	return e.ScreenMinArea > 0 && math.Pi*c.Rx*c.Ry >= e.ScreenMinArea &&
+		e.S.CanScreen()
+}
+
 func (e *Engine) proposeBirth() Proposal {
 	c := e.drawPriorShape()
 	logPos := -e.S.LogAreaTerm() // uniform position proposal density
@@ -351,7 +518,14 @@ func (e *Engine) proposeBirth() Proposal {
 		c.X, c.Y = e.births.Sample(e.R)
 		logPos = e.births.LogDensity(c.X, c.Y)
 	}
-	dLik, dPrior := e.S.EvalAdd(c)
+	var dLik, dPrior float64
+	deferred := e.screens(c)
+	if deferred {
+		// Coarse pass: dLik is an upper bound, marked for refinement.
+		dLik, dPrior = e.S.EvalAddCoarse(c)
+	} else {
+		dLik, dPrior = e.S.EvalAdd(c)
+	}
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Birth, Valid: false}
 	}
@@ -370,6 +544,7 @@ func (e *Engine) proposeBirth() Proposal {
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
 		dLik: dLik, dPrior: dPrior,
 		nAdd: 1, newCs: [2]geom.Ellipse{c},
+		deferred: deferred,
 	}
 }
 
@@ -405,7 +580,15 @@ func (e *Engine) proposeReplace() Proposal {
 	id := e.S.Cfg.IDAt(e.R.Intn(n))
 	oldC := e.S.Cfg.Get(id)
 	newC := e.drawPriorShape()
-	dLik, dPrior := e.S.EvalMove(id, newC)
+	var dLik, dPrior float64
+	// Screen on the union of both shapes' work: either being large makes
+	// the exact pricing expensive enough to defer.
+	deferred := e.screens(oldC) || e.screens(newC)
+	if deferred {
+		dLik, dPrior = e.S.EvalMoveCoarse(id, newC)
+	} else {
+		dLik, dPrior = e.S.EvalMoveCached(id, newC, &e.ms)
+	}
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Replace, Valid: false}
 	}
@@ -419,6 +602,7 @@ func (e *Engine) proposeReplace() Proposal {
 		LogAlpha: dPost + hastings, DPost: dPost, LogHastings: hastings,
 		dLik: dLik, dPrior: dPrior,
 		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+		deferred: deferred, ms: &e.ms,
 	}
 }
 
@@ -432,7 +616,7 @@ func (e *Engine) proposeShift() Proposal {
 	newC := oldC
 	newC.X += e.R.NormalAt(0, e.Steps.ShiftStd)
 	newC.Y += e.R.NormalAt(0, e.Steps.ShiftStd)
-	dLik, dPrior := e.S.EvalMove(id, newC)
+	dLik, dPrior := e.S.EvalMoveCached(id, newC, &e.ms)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Shift, Valid: false}
 	}
@@ -442,6 +626,7 @@ func (e *Engine) proposeShift() Proposal {
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
 		dLik: dLik, dPrior: dPrior,
 		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+		ms: &e.ms,
 	}
 }
 
@@ -459,7 +644,7 @@ func (e *Engine) proposeResize() Proposal {
 	d := e.R.NormalAt(0, e.Steps.ResizeStd)
 	newC.Rx = oldC.Rx + d
 	newC.Ry = oldC.Ry + d
-	dLik, dPrior := e.S.EvalMove(id, newC)
+	dLik, dPrior := e.S.EvalMoveCached(id, newC, &e.ms)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Resize, Valid: false}
 	}
@@ -468,6 +653,7 @@ func (e *Engine) proposeResize() Proposal {
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
 		dLik: dLik, dPrior: dPrior,
 		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+		ms: &e.ms,
 	}
 }
 
@@ -491,7 +677,7 @@ func (e *Engine) proposeAxisScale() Proposal {
 	} else {
 		newC.Ry = oldC.Ry + d
 	}
-	dLik, dPrior := e.S.EvalMove(id, newC)
+	dLik, dPrior := e.S.EvalMoveCached(id, newC, &e.ms)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: AxisScale, Valid: false}
 	}
@@ -500,6 +686,7 @@ func (e *Engine) proposeAxisScale() Proposal {
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
 		dLik: dLik, dPrior: dPrior,
 		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+		ms: &e.ms,
 	}
 }
 
@@ -520,7 +707,7 @@ func (e *Engine) proposeRotate() Proposal {
 	oldC := e.S.Cfg.Get(id)
 	newC := oldC
 	newC.Theta = WrapHalfTurn(oldC.Theta + e.R.NormalAt(0, e.Steps.RotateStd))
-	dLik, dPrior := e.S.EvalMove(id, newC)
+	dLik, dPrior := e.S.EvalMoveCached(id, newC, &e.ms)
 	if math.IsInf(dPrior, -1) {
 		return Proposal{Move: Rotate, Valid: false}
 	}
@@ -529,6 +716,7 @@ func (e *Engine) proposeRotate() Proposal {
 		LogAlpha: dLik + dPrior, DPost: dLik + dPrior,
 		dLik: dLik, dPrior: dPrior,
 		nRem: 1, nAdd: 1, remIDs: [2]int{id}, newCs: [2]geom.Ellipse{newC},
+		ms: &e.ms,
 	}
 }
 

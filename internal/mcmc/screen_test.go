@@ -1,0 +1,150 @@
+package mcmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestScreenEngages verifies the coarse-to-fine screen actually fires
+// under a realistic threshold — birth proposals of typical size must
+// come back deferred, or the bit-identity tests below would be vacuous.
+func TestScreenEngages(t *testing.T) {
+	s, _ := sceneState(t, 31, 6)
+	e := MustNew(s, rng.New(3), DefaultWeights(), DefaultStepSizes(9))
+	e.ScreenMinArea = 80 // mean radius 9 → typical area ≈ 254 px²
+	if !s.CanScreen() {
+		t.Fatal("scene state cannot screen")
+	}
+	deferred, births := 0, 0
+	for i := 0; i < 2000; i++ {
+		p := e.Propose(Birth)
+		if !p.Valid {
+			continue
+		}
+		births++
+		if p.deferred {
+			deferred++
+		}
+		e.Decide(p)
+	}
+	if births == 0 {
+		t.Fatal("no valid births proposed")
+	}
+	if deferred == 0 {
+		t.Fatalf("screen never engaged over %d births", births)
+	}
+	t.Logf("screen engaged on %d/%d births", deferred, births)
+}
+
+// TestScreenedChainBitIdentical runs the same chain with the screen off
+// and on: every aspect of the trajectory — configuration, posterior,
+// acceptance statistics, both RNG streams — must match exactly, because
+// the lazy-refinement acceptance test consumes uniforms in the same
+// order whether or not a proposal was priced coarse first.
+func TestScreenedChainBitIdentical(t *testing.T) {
+	run := func(minArea float64) *Engine {
+		s, _ := sceneState(t, 32, 7)
+		e := MustNew(s, rng.New(5), DefaultWeights(), DefaultStepSizes(9))
+		e.ScreenMinArea = minArea
+		for e.Iter < 30000 {
+			e.RunN(1000)
+		}
+		return e
+	}
+	plain := run(0)
+	screened := run(60)
+
+	if plain.Iter != screened.Iter {
+		t.Fatalf("iterations differ: %d vs %d", plain.Iter, screened.Iter)
+	}
+	if plain.Stats != screened.Stats {
+		t.Fatalf("stats differ:\n%+v\n%+v", plain.Stats, screened.Stats)
+	}
+	if math.Float64bits(plain.S.LogPost()) != math.Float64bits(screened.S.LogPost()) {
+		t.Fatalf("log-posterior differs: %v vs %v", plain.S.LogPost(), screened.S.LogPost())
+	}
+	a, b := plain.S.Cfg.Circles(), screened.S.Cfg.Circles()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d circles", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("circle %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if plain.R.Save() != screened.R.Save() {
+		t.Fatal("acceptance RNG streams diverged")
+	}
+	if plain.kindR.Save() != screened.kindR.Save() {
+		t.Fatal("move-kind RNG streams diverged")
+	}
+	// The screen must also leave checkpoints interchangeable.
+	if err := screened.Restore(plain.Dump()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunNInvariantToSlicing pins the dedicated move-kind stream
+// contract: a chain advanced in uneven RunN slices matches one advanced
+// in a single call, so callers may chunk however they like.
+func TestRunNInvariantToSlicing(t *testing.T) {
+	build := func() *Engine {
+		s, _ := sceneState(t, 33, 6)
+		return MustNew(s, rng.New(9), DefaultWeights(), DefaultStepSizes(9))
+	}
+	whole := build()
+	whole.RunN(9000)
+
+	sliced := build()
+	for _, n := range []int{1, 7, 63, 64, 65, 800, 1999, 2000, 4001} {
+		sliced.RunN(n)
+	}
+
+	if whole.Iter != sliced.Iter {
+		t.Fatalf("iterations differ: %d vs %d", whole.Iter, sliced.Iter)
+	}
+	if whole.Stats != sliced.Stats {
+		t.Fatal("stats differ between slicings")
+	}
+	if math.Float64bits(whole.S.LogPost()) != math.Float64bits(sliced.S.LogPost()) {
+		t.Fatalf("log-posterior differs: %v vs %v", whole.S.LogPost(), sliced.S.LogPost())
+	}
+	a, b := whole.S.Cfg.Circles(), sliced.S.Cfg.Circles()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d circles", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("circle %d differs", i)
+		}
+	}
+	if whole.R.Save() != sliced.R.Save() || whole.kindR.Save() != sliced.kindR.Save() {
+		t.Fatal("RNG streams diverged between slicings")
+	}
+}
+
+// TestAcceptsPanicsOnDeferred: the value-receiver Accepts cannot refine
+// in place, so committing through it would silently apply a coarse
+// upper bound as if it were exact. It must refuse.
+func TestAcceptsPanicsOnDeferred(t *testing.T) {
+	s, _ := sceneState(t, 34, 5)
+	e := MustNew(s, rng.New(11), DefaultWeights(), DefaultStepSizes(9))
+	e.ScreenMinArea = 1 // screen everything
+	var p Proposal
+	for i := 0; i < 5000; i++ {
+		if p = e.Propose(Birth); p.Valid && p.deferred {
+			break
+		}
+	}
+	if !p.deferred {
+		t.Fatal("could not obtain a deferred proposal")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Accepts accepted a deferred proposal without panicking")
+		}
+	}()
+	e.Accepts(p)
+}

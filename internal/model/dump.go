@@ -146,6 +146,9 @@ func (s *State) Restore(d StateDump) error {
 	s.Cfg.ForEach(func(_ int, c geom.Ellipse) {
 		CoverAdd(s.Cover, s.W, s.H, c, +1)
 	})
+	// The free CoverAdd above bypasses the Field's occupancy counters;
+	// rebuild them from the restored coverage.
+	s.F.InitOcc()
 	s.logLik = d.LogLik
 	s.logPrior = d.LogPrior
 	return nil

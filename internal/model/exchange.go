@@ -25,101 +25,161 @@ const likMultiSpans = 8
 // circles, cover ≥ dRem, which is what lets net-loss segments reduce to
 // a single coverage-equality sum.
 func LikDeltaMulti(gain, gsum []float64, cover []int32, w, h int, removed, added []geom.Ellipse) float64 {
+	f := fieldView(gain, gsum, cover, w, h)
+	return f.LikDeltaMulti(removed, added)
+}
+
+// LikDeltaMulti prices an atomic exchange (see the free function above)
+// with the field's occupancy skip. Read-only.
+func (f *Field) LikDeltaMulti(removed, added []geom.Ellipse) float64 {
+	return f.exchangeWalk(removed, added, true, false)
+}
+
+// FusedExchangeCover performs the exchange and returns its likelihood
+// delta in the same span walk: every constant-multiplicity segment is
+// priced and then written with its net coverage change. Bit-identical to
+// LikDeltaMulti on the pre-mutation state followed by per-circle
+// CoverAdd calls.
+func (f *Field) FusedExchangeCover(removed, added []geom.Ellipse) float64 {
+	return f.exchangeWalk(removed, added, true, true)
+}
+
+// coverExchange applies the exchange's net coverage update without
+// pricing it (the delta was already computed by a matching
+// LikDeltaMulti).
+func (f *Field) coverExchange(removed, added []geom.Ellipse) {
+	f.exchangeWalk(removed, added, false, true)
+}
+
+// exchangeWalk is the shared body: one pass over the union of the
+// shapes' scanline spans, cutting each row into constant-multiplicity
+// segments; doSum accumulates the likelihood delta, doApply writes the
+// net coverage change. Segments are disjoint, so pricing-then-writing a
+// segment cannot disturb any other segment's sum and the fused walk
+// equals eval-then-apply bitwise.
+func (f *Field) exchangeWalk(removed, added []geom.Ellipse, doSum, doApply bool) float64 {
+	w, h := f.W, f.H
 	nRem, nAdd := len(removed), len(added)
 	n := nRem + nAdd
 	if n == 0 {
 		return 0
 	}
-	// Union row range.
-	y0, y1 := h, 0
-	for _, c := range removed {
-		cy0, cy1 := c.PixelRows(h)
-		y0, y1 = minInt(y0, cy0), maxInt(y1, cy1)
-	}
-	for _, c := range added {
-		cy0, cy1 := c.PixelRows(h)
-		y0, y1 = minInt(y0, cy0), maxInt(y1, cy1)
-	}
-	if y1 <= y0 {
-		return 0
-	}
-	// circles/cols[0:nRem] describe the removed circles, [nRem:n] the
-	// added ones; cols hoists each circle's clipped column bounds out of
-	// the row loop. spans holds the per-row spans; cuts the row's sorted
-	// span endpoints — they divide it into at most 2n+1 segments with
-	// constant (dRem, dAdd) multiplicities, so the per-pixel work inside
-	// a segment reduces to a coverage compare and a conditional gain add.
-	var cBuf [likMultiSpans]geom.RowSpanner
-	var colBuf, buf [likMultiSpans][2]int
-	var cutBuf [2 * likMultiSpans]int
-	circles := cBuf[:n]
-	cols := colBuf[:n]
-	spans := buf[:n]
-	cutsAll := cutBuf[:]
+	// Batched span tables: one AppendShapeSpans call per shape (the
+	// division-free disc path, hoisted quadratic coefficients for
+	// ellipses) instead of one RowSpan call per shape per row.
+	// starts[i]:starts[i+1] delimits shape i's table in all; cur[i]
+	// walks it as the row loop advances, so rows a shape does not touch
+	// cost it one integer compare.
+	//
+	// Per row, span endpoints become open/close events (x in the high
+	// bits, event kind in the low two), insertion-sorted; walking them
+	// with running (dRem, dAdd) multiplicities yields the row's
+	// constant-multiplicity segments directly, with no per-segment scan
+	// over the shapes. Events at equal x may process in any relative
+	// order: the multiplicities of the segment starting at x are read
+	// only after every event at x has been applied.
+	var spanBuf [2 * spanStack]geom.Span
+	var startBuf [likMultiSpans + 1]int
+	var curBuf [likMultiSpans]int
+	var evBuf [2 * likMultiSpans]int
+	all := spanBuf[:0]
+	starts := startBuf[:]
+	cur := curBuf[:n]
+	events := evBuf[:]
 	if n > likMultiSpans {
-		circles = make([]geom.RowSpanner, n)
-		cols = make([][2]int, n)
-		spans = make([][2]int, n)
-		cutsAll = make([]int, 2*n)
+		all = make([]geom.Span, 0, n*spanStack)
+		starts = make([]int, n+1)
+		cur = make([]int, n)
+		events = make([]int, 2*n)
 	}
-	for i, c := range removed {
-		circles[i] = c.Spanner()
-		cols[i][0], cols[i][1] = c.PixelCols(w)
+	const (
+		evRemOpen = iota
+		evRemClose
+		evAddOpen
+		evAddClose
+		evKinds
+	)
+	for i := 0; i < n; i++ {
+		var c geom.Ellipse
+		if i < nRem {
+			c = removed[i]
+		} else {
+			c = added[i-nRem]
+		}
+		starts[i] = len(all)
+		all = geom.AppendShapeSpans(all, w, h, c)
+		cur[i] = starts[i]
 	}
-	for i, c := range added {
-		circles[nRem+i] = c.Spanner()
-		cols[nRem+i][0], cols[nRem+i][1] = c.PixelCols(w)
-	}
+	starts[n] = len(all)
+	const noRow = int32(math.MaxInt32)
 	delta := 0.0
-	for y := y0; y < y1; y++ {
-		nc := 0
+	for {
+		// Next row: the minimum unconsumed table row across all shapes.
+		y32 := noRow
 		for i := 0; i < n; i++ {
-			xa, xb := circles[i].RowSpan(y, cols[i][0], cols[i][1])
-			spans[i] = [2]int{xa, xb}
-			if xa < xb {
-				// Insertion-sort both endpoints into cuts; n is tiny.
-				for _, v := range [2]int{xa, xb} {
-					j := nc
-					for j > 0 && cutsAll[j-1] > v {
-						cutsAll[j] = cutsAll[j-1]
+			if cur[i] < starts[i+1] && all[cur[i]].Y < y32 {
+				y32 = all[cur[i]].Y
+			}
+		}
+		if y32 == noRow {
+			break
+		}
+		y := int(y32)
+		ne := 0
+		for i := 0; i < n; i++ {
+			if cur[i] < starts[i+1] && all[cur[i]].Y == y32 {
+				sp := all[cur[i]]
+				cur[i]++
+				open, close := evRemOpen, evRemClose
+				if i >= nRem {
+					open, close = evAddOpen, evAddClose
+				}
+				// Insertion-sort both events; n is tiny.
+				for _, v := range [2]int{int(sp.X0)*evKinds + open, int(sp.X1)*evKinds + close} {
+					j := ne
+					for j > 0 && events[j-1] > v {
+						events[j] = events[j-1]
 						j--
 					}
-					cutsAll[j] = v
-					nc++
+					events[j] = v
+					ne++
 				}
 			}
 		}
-		if nc == 0 {
-			continue
-		}
-		cuts := cutsAll[:nc]
-		for k := 0; k+1 < len(cuts); k++ {
-			a, b := cuts[k], cuts[k+1]
-			if a == b {
-				continue
-			}
-			// Multiplicities are constant on [a, b); sample at a.
-			var dRem, dAdd int32
-			for i := 0; i < nRem; i++ {
-				if a >= spans[i][0] && a < spans[i][1] {
-					dRem++
+		var dRem, dAdd int32
+		prev := 0
+		for k := 0; k < ne; k++ {
+			x := events[k] / evKinds
+			if x > prev && (dRem != 0 || dAdd != 0) {
+				// Segment [prev, x) has constant multiplicities. Only the
+				// net change matters: d > 0 covers the segment's uncovered
+				// pixels; d == 0 (gap or wash) changes nothing. For d < 0,
+				// cover ≥ dRem throughout the segment, so a pixel is
+				// uncovered iff nothing is added here and its coverage is
+				// exactly dRem.
+				d := dAdd - dRem
+				if doSum {
+					switch {
+					case d > 0:
+						delta += f.sumSpan(y, prev, x, 0)
+					case d < 0 && dAdd == 0:
+						delta -= f.sumSpan(y, prev, x, dRem)
+					}
+				}
+				if doApply {
+					f.coverAddRange(y, prev, x, d)
 				}
 			}
-			for i := nRem; i < n; i++ {
-				if a >= spans[i][0] && a < spans[i][1] {
-					dAdd++
-				}
-			}
-			// Only the net multiplicity change matters: d > 0 covers the
-			// segment's uncovered pixels; d == 0 (gap or wash) changes
-			// nothing. For d < 0, cover ≥ dRem throughout the segment, so
-			// a pixel is uncovered iff nothing is added here and its
-			// coverage is exactly dRem.
-			switch d := dAdd - dRem; {
-			case d > 0:
-				delta += sumCoverEq(gain, gsum, cover, w, y, a, b, 0)
-			case d < 0 && dAdd == 0:
-				delta -= sumCoverEq(gain, gsum, cover, w, y, a, b, dRem)
+			prev = x
+			switch events[k] % evKinds {
+			case evRemOpen:
+				dRem++
+			case evRemClose:
+				dRem--
+			case evAddOpen:
+				dAdd++
+			case evAddClose:
+				dAdd--
 			}
 		}
 	}
@@ -199,22 +259,32 @@ func (s *State) EvalExchange(removedIDs []int, added []geom.Ellipse) (dLik, dPri
 	}
 	dPrior -= s.P.OverlapPenalty * dOverlap
 
-	dLik = LikDeltaMulti(s.Gain, s.GainSum, s.Cover, s.W, s.H, removed, added)
+	dLik = s.F.LikDeltaMulti(removed, added)
 	return dLik, dPrior
 }
 
 // ApplyExchange performs the exchange evaluated by EvalExchange and
-// returns the IDs of the added circles.
+// returns the IDs of the added circles. The coverage update runs as a
+// single fused span walk over all exchanged shapes (each constant-
+// multiplicity segment written once with its net change) instead of one
+// pass per shape.
 func (s *State) ApplyExchange(removedIDs []int, added []geom.Ellipse, dLik, dPrior float64) []int {
+	var rbuf [2]geom.Ellipse
+	removed := rbuf[:0]
+	if len(removedIDs) > len(rbuf) {
+		removed = make([]geom.Ellipse, 0, len(removedIDs))
+	}
+	for _, id := range removedIDs {
+		removed = append(removed, s.Cfg.Get(id))
+	}
+	s.F.coverExchange(removed, added)
 	for _, id := range removedIDs {
 		c := s.Cfg.Get(id)
-		CoverAdd(s.Cover, s.W, s.H, c, -1)
 		s.Index.Remove(id, c.X, c.Y)
 		s.Cfg.Remove(id)
 	}
 	ids := make([]int, len(added))
 	for i, c := range added {
-		CoverAdd(s.Cover, s.W, s.H, c, +1)
 		ids[i] = s.Cfg.Add(c)
 		s.Index.Insert(ids[i], c.X, c.Y)
 	}

@@ -24,14 +24,14 @@ import (
 //
 // # Scanline kernels and span invariants
 //
-// Every kernel walks the disc as analytic scanline spans (geom.Ellipse.
-// RowSpan): for each pixel row, one sqrt yields the covered x-interval
-// [xa, xb), and the inner loops run branch-minimally over gain/cover
-// sub-slices — roughly π/4 of the bounding-box pixels, with no per-pixel
-// multiply-compare. The spans obey two invariants the rest of the package
-// leans on:
+// Every kernel walks the disc as analytic scanline spans (geom.
+// AppendShapeSpans): for each pixel row, one sqrt yields the covered
+// x-interval [xa, xb), gathered into a fixed-size span table whose inner
+// loops run branch-minimally over gain/cover sub-slices — roughly π/4 of
+// the bounding-box pixels, with no per-pixel multiply-compare. The spans
+// obey two invariants the rest of the package leans on:
 //
-//  1. Exactness: RowSpan pins its edges to the canonical coverage
+//  1. Exactness: span edges are pinned to the canonical coverage
 //     predicate (dx²+dy² ≤ r² at the pixel centre), so span kernels visit
 //     *exactly* the pixels the historical per-pixel scans visited. The
 //     retained naive reference kernels in naive.go are pinned to the span
@@ -42,17 +42,12 @@ import (
 //     unchanged — owned circles still touch only pixels strictly inside
 //     their cell.
 //
-// Move kernels (LikDeltaMove, CoverMove) intersect the old and new spans
-// per row, so the symmetric difference of the two discs is enumerated as
-// at most four sub-intervals per row without classifying individual
-// pixels.
-
-// discSpan returns the clipped integer pixel range of c's bounding box.
-func discSpan(w, h int, c geom.Ellipse) (x0, y0, x1, y1 int) {
-	x0, x1 = c.PixelCols(w)
-	y0, y1 = c.PixelRows(h)
-	return
-}
+// The batched kernel bodies live on Field (field.go), which adds the 8×8
+// block occupancy skip and the fused eval+apply walks. The free
+// functions below are thin views over the same buffers with occupancy
+// tracking disabled; they produce bit-identical results and keep
+// external callers and the historical differential tests compiling
+// unchanged.
 
 // BuildGainRowSums returns per-row prefix sums of gain with stride w+1:
 // sums[y*(w+1)+x] = Σ_{x'<x} gain[y*w+x']. Gain is immutable, so the
@@ -74,184 +69,62 @@ func BuildGainRowSums(gain []float64, w, h int) []float64 {
 	return sums
 }
 
-// sumCoverEq returns Σ gain[i] over pixels x in [xa, xb) of row y whose
-// coverage equals want, using the identity
-//
-//	Σ_{cover==want} gain = Σ gain − Σ_{cover≠want} gain,
-//
-// where the first term comes from the gsum prefix table in O(1) and the
-// second is a correction scan that loads gain only at deviating pixels.
-// Callers arrange want to be the span's typical coverage (0 when adding
-// over mostly-empty area, 1 when removing a live disc), so the
-// correction branch is rarely taken and the hot loop is one int32
-// compare per pixel — no float loads, no add chain.
-func sumCoverEq(gain, gsum []float64, cover []int32, w, y, xa, xb int, want int32) float64 {
-	p := y * (w + 1)
-	total := gsum[p+xb] - gsum[p+xa]
-	a, b := y*w+xa, y*w+xb
-	g := gain[a:b]
-	corr := 0.0
-	for i, cv := range cover[a:b] {
-		if cv != want {
-			corr += g[i]
-		}
-	}
-	return total - corr
+// discSpan returns the clipped integer pixel range of c's bounding box
+// (the naive reference kernels scan it per pixel).
+func discSpan(w, h int, c geom.Ellipse) (x0, y0, x1, y1 int) {
+	x0, x1 = c.PixelCols(w)
+	y0, y1 = c.PixelRows(h)
+	return
 }
 
-// spanStack is the per-call stack capacity for batched disc spans: discs
-// up to r ≈ 47 px stay allocation-free; larger ones spill to the heap,
-// where the O(r²) pixel work amortises the allocation.
+// spanStack is the per-call stack capacity for batched shape spans:
+// shapes up to r ≈ 47 px stay allocation-free; larger ones spill to the
+// heap, where the O(r²) pixel work amortises the allocation.
 const spanStack = 96
 
-// likDeltaDisc sums the gain of c's span pixels whose coverage equals
-// want — the shared body of LikDeltaAdd (want 0) and LikDeltaRemove
-// (want 1), so both directions run the identical compiled hot loop.
-func likDeltaDisc(gain, gsum []float64, cover []int32, w, h int, c geom.Ellipse, want int32) float64 {
-	var buf [spanStack]geom.Span
-	delta := 0.0
-	for _, sp := range geom.AppendShapeSpans(buf[:0], w, h, c) {
-		delta += sumCoverEq(gain, gsum, cover, w, int(sp.Y), int(sp.X0), int(sp.X1), want)
-	}
-	return delta
+// fieldView wraps raw buffers in a Field without occupancy tracking.
+func fieldView(gain, gsum []float64, cover []int32, w, h int) Field {
+	return Field{W: w, H: h, Gain: gain, GainSum: gsum, Cover: cover}
 }
 
 // LikDeltaAdd returns the change in relative log-likelihood from adding
 // circle c, given the current coverage. Read-only. gsum must be the
 // BuildGainRowSums table of gain.
 func LikDeltaAdd(gain, gsum []float64, cover []int32, w, h int, c geom.Ellipse) float64 {
-	return likDeltaDisc(gain, gsum, cover, w, h, c, 0)
+	f := fieldView(gain, gsum, cover, w, h)
+	return f.LikDeltaAdd(c)
 }
 
 // LikDeltaRemove returns the change in relative log-likelihood from
 // removing circle c (which must currently be part of the coverage).
 func LikDeltaRemove(gain, gsum []float64, cover []int32, w, h int, c geom.Ellipse) float64 {
-	return -likDeltaDisc(gain, gsum, cover, w, h, c, 1)
+	f := fieldView(gain, gsum, cover, w, h)
+	return f.LikDeltaRemove(c)
 }
 
 // LikDeltaMove returns the change in relative log-likelihood from
-// replacing old with new (old must be covered). Overlapping bounding
-// boxes are visited once, intersecting the two discs' row spans so only
-// the symmetric difference is scanned; disjoint boxes (the replace move
-// relocates circles across the whole image) are processed separately so
-// the cost is O(area of the two discs), never O(image).
+// replacing old with new (old must be covered). The two span tables are
+// merge-walked by row, so only the symmetric difference of the shapes is
+// scanned and the cost is O(area of the two discs), never O(image).
 func LikDeltaMove(gain, gsum []float64, cover []int32, w, h int, oldC, newC geom.Ellipse) float64 {
-	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
-	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
-	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
-		// Disjoint pixel regions: the removal and addition cannot
-		// interact, so evaluate them separately. LikDeltaAdd must see
-		// the coverage without oldC's contribution, but oldC's disc
-		// does not reach newC's box, so the buffers agree there.
-		return LikDeltaRemove(gain, gsum, cover, w, h, oldC) +
-			LikDeltaAdd(gain, gsum, cover, w, h, newC)
-	}
-	y0, y1 := minInt(oy0, ny0), maxInt(oy1, ny1)
-	oldS, newS := oldC.Spanner(), newC.Spanner()
-	delta := 0.0
-	for y := y0; y < y1; y++ {
-		oa, ob := oldS.RowSpan(y, ox0, ox1)
-		na, nb := newS.RowSpan(y, nx0, nx1)
-		if oa >= ob { // nothing lost on this row
-			if na < nb {
-				delta += sumCoverEq(gain, gsum, cover, w, y, na, nb, 0)
-			}
-			continue
-		}
-		if na >= nb { // nothing gained on this row
-			delta -= sumCoverEq(gain, gsum, cover, w, y, oa, ob, 1)
-			continue
-		}
-		// Gained: new \ old (up to two pieces).
-		if r := minInt(nb, oa); na < r {
-			delta += sumCoverEq(gain, gsum, cover, w, y, na, r, 0)
-		}
-		if l := maxInt(na, ob); l < nb {
-			delta += sumCoverEq(gain, gsum, cover, w, y, l, nb, 0)
-		}
-		// Lost: old \ new.
-		if r := minInt(ob, na); oa < r {
-			delta -= sumCoverEq(gain, gsum, cover, w, y, oa, r, 1)
-		}
-		if l := maxInt(oa, nb); l < ob {
-			delta -= sumCoverEq(gain, gsum, cover, w, y, l, ob, 1)
-		}
-	}
-	return delta
-}
-
-// coverAddRange adds d to cover[a:b], panicking if a count would go
-// negative — that means the caller's bookkeeping desynchronised.
-func coverAddRange(cover []int32, a, b int, d int32) {
-	seg := cover[a:b]
-	if d >= 0 {
-		for i := range seg {
-			seg[i] += d
-		}
-		return
-	}
-	for i := range seg {
-		seg[i] += d
-		if seg[i] < 0 {
-			panic("model: negative coverage count")
-		}
-	}
+	f := fieldView(gain, gsum, cover, w, h)
+	return f.LikDeltaMove(oldC, newC)
 }
 
 // CoverAdd adjusts the coverage counts for circle c by d (+1 to add the
 // circle, -1 to remove it). It panics if a count would go negative — that
 // means the caller's bookkeeping desynchronised.
 func CoverAdd(cover []int32, w, h int, c geom.Ellipse, d int32) {
-	var buf [spanStack]geom.Span
-	for _, sp := range geom.AppendShapeSpans(buf[:0], w, h, c) {
-		row := int(sp.Y) * w
-		coverAddRange(cover, row+int(sp.X0), row+int(sp.X1), d)
-	}
+	f := fieldView(nil, nil, cover, w, h)
+	f.CoverAdd(c, d)
 }
 
-// CoverMove updates the coverage for a move from old to new in one pass
-// over the union bounding box, or two passes when the boxes are disjoint
-// (so relocation moves never scan the space between the discs). Per row
-// only the symmetric difference of the two spans is touched.
+// CoverMove updates the coverage for a move from old to new in one walk
+// over the two span tables; per row only the symmetric difference of the
+// two spans is touched.
 func CoverMove(cover []int32, w, h int, oldC, newC geom.Ellipse) {
-	ox0, oy0, ox1, oy1 := discSpan(w, h, oldC)
-	nx0, ny0, nx1, ny1 := discSpan(w, h, newC)
-	if ox1 <= nx0 || nx1 <= ox0 || oy1 <= ny0 || ny1 <= oy0 {
-		CoverAdd(cover, w, h, oldC, -1)
-		CoverAdd(cover, w, h, newC, +1)
-		return
-	}
-	y0, y1 := minInt(oy0, ny0), maxInt(oy1, ny1)
-	oldS, newS := oldC.Spanner(), newC.Spanner()
-	for y := y0; y < y1; y++ {
-		oa, ob := oldS.RowSpan(y, ox0, ox1)
-		na, nb := newS.RowSpan(y, nx0, nx1)
-		row := y * w
-		if oa >= ob {
-			if na < nb {
-				coverAddRange(cover, row+na, row+nb, +1)
-			}
-			continue
-		}
-		if na >= nb {
-			coverAddRange(cover, row+oa, row+ob, -1)
-			continue
-		}
-		// Gained: new \ old.
-		if r := minInt(nb, oa); na < r {
-			coverAddRange(cover, row+na, row+r, +1)
-		}
-		if l := maxInt(na, ob); l < nb {
-			coverAddRange(cover, row+l, row+nb, +1)
-		}
-		// Lost: old \ new.
-		if r := minInt(ob, na); oa < r {
-			coverAddRange(cover, row+oa, row+r, -1)
-		}
-		if l := maxInt(oa, nb); l < ob {
-			coverAddRange(cover, row+l, row+ob, -1)
-		}
-	}
+	f := fieldView(nil, nil, cover, w, h)
+	f.CoverMove(oldC, newC)
 }
 
 func minInt(a, b int) int {

@@ -8,9 +8,11 @@ import (
 )
 
 // Kernel microbenchmarks: each LikDelta*/Cover* kernel benchmarked in its
-// scanline form against the retained naive bounding-box reference, on the
-// workload-typical disc size (r = 10, the bead/nuclei scale). The
-// scanline/naive ratio is the kernel speedup tracked by BENCH_*.json.
+// production scanline form — the Field layer with block occupancy
+// counters, exactly what every engine runs — against the retained naive
+// bounding-box reference, on the workload-typical disc size (r = 10, the
+// bead/nuclei scale). The scanline/naive ratio is the kernel speedup
+// tracked by BENCH_*.json.
 
 func benchBuffers(b *testing.B, w, h int) (gain, gsum []float64, cover []int32) {
 	b.Helper()
@@ -29,14 +31,24 @@ func benchBuffers(b *testing.B, w, h int) (gain, gsum []float64, cover []int32) 
 	return gain, BuildGainRowSums(gain, w, h), cover
 }
 
+// benchField wraps the shared bench buffers in the production kernel
+// layer: occupancy counters built, exactly as NewState would.
+func benchField(b *testing.B, w, h int) (*Field, []float64, []int32) {
+	b.Helper()
+	gain, gsum, cover := benchBuffers(b, w, h)
+	f := &Field{W: w, H: h, Gain: gain, GainSum: gsum, Cover: cover}
+	f.InitOcc()
+	return f, gain, cover
+}
+
 func BenchmarkLikDeltaAdd(b *testing.B) {
-	gain, gsum, cover := benchBuffers(b, 512, 512)
+	f, gain, cover := benchField(b, 512, 512)
 	c := geom.Disc(256.3, 255.7, 10)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink += LikDeltaAdd(gain, gsum, cover, 512, 512, c)
+			sink += f.LikDeltaAdd(c)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -49,14 +61,14 @@ func BenchmarkLikDeltaAdd(b *testing.B) {
 }
 
 func BenchmarkLikDeltaRemove(b *testing.B) {
-	gain, gsum, cover := benchBuffers(b, 512, 512)
+	f, gain, cover := benchField(b, 512, 512)
 	c := geom.Disc(256.3, 255.7, 10)
-	NaiveCoverAdd(cover, 512, 512, c, +1)
+	f.CoverAdd(c, +1)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink += LikDeltaRemove(gain, gsum, cover, 512, 512, c)
+			sink += f.LikDeltaRemove(c)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -69,15 +81,16 @@ func BenchmarkLikDeltaRemove(b *testing.B) {
 }
 
 func BenchmarkLikDeltaMove(b *testing.B) {
-	gain, gsum, cover := benchBuffers(b, 512, 512)
+	f, gain, cover := benchField(b, 512, 512)
 	oldC := geom.Disc(256.3, 255.7, 10)
 	newC := oldC.Translate(1.7, -2.1) // typical accepted shift: boxes overlap
-	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	f.CoverAdd(oldC, +1)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
+		var ms MoveSpans
 		for i := 0; i < b.N; i++ {
-			sink += LikDeltaMove(gain, gsum, cover, 512, 512, oldC, newC)
+			sink += f.LikDeltaMovePrepared(oldC, newC, &ms)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -90,19 +103,19 @@ func BenchmarkLikDeltaMove(b *testing.B) {
 }
 
 func BenchmarkLikDeltaMulti(b *testing.B) {
-	gain, gsum, cover := benchBuffers(b, 512, 512)
+	f, gain, cover := benchField(b, 512, 512)
 	// Split-shaped exchange: one disc out, two half-area discs in.
 	removed := []geom.Ellipse{geom.Disc(256.3, 255.7, 10)}
 	added := []geom.Ellipse{
 		geom.Disc(252.1, 254.2, 7.2),
 		geom.Disc(260.8, 257.9, 6.9),
 	}
-	NaiveCoverAdd(cover, 512, 512, removed[0], +1)
+	f.CoverAdd(removed[0], +1)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink += LikDeltaMulti(gain, gsum, cover, 512, 512, removed, added)
+			sink += f.LikDeltaMulti(removed, added)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -115,16 +128,31 @@ func BenchmarkLikDeltaMulti(b *testing.B) {
 }
 
 func BenchmarkCoverMove(b *testing.B) {
-	_, _, cover := benchBuffers(b, 512, 512)
+	f, _, cover := benchField(b, 512, 512)
 	oldC := geom.Disc(256.3, 255.7, 10)
 	newC := oldC.Translate(1.7, -2.1)
-	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	f.CoverAdd(oldC, +1)
+	// scanline measures the production apply: an accepted move replays
+	// the span tables its evaluation prepared (State.EvalMoveCached →
+	// ApplyMoveCached), so no row span is computed twice. cold recomputes
+	// the spans, the pre-span-cache behaviour.
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
+		var there, back MoveSpans
+		f.LikDeltaMovePrepared(oldC, newC, &there)
+		f.LikDeltaMovePrepared(newC, oldC, &back)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			// Move there and back: leaves cover unchanged between pairs.
-			CoverMove(cover, 512, 512, oldC, newC)
-			CoverMove(cover, 512, 512, newC, oldC)
+			f.CoverMovePrepared(oldC, newC, &there)
+			f.CoverMovePrepared(newC, oldC, &back)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.CoverMove(oldC, newC)
+			f.CoverMove(newC, oldC)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -146,13 +174,13 @@ func benchEllipse() geom.Ellipse {
 }
 
 func BenchmarkLikDeltaAddEllipse(b *testing.B) {
-	gain, gsum, cover := benchBuffers(b, 512, 512)
+	f, gain, cover := benchField(b, 512, 512)
 	e := benchEllipse()
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink += LikDeltaAdd(gain, gsum, cover, 512, 512, e)
+			sink += f.LikDeltaAdd(e)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -165,15 +193,16 @@ func BenchmarkLikDeltaAddEllipse(b *testing.B) {
 }
 
 func BenchmarkLikDeltaMoveEllipse(b *testing.B) {
-	gain, gsum, cover := benchBuffers(b, 512, 512)
+	f, gain, cover := benchField(b, 512, 512)
 	oldC := benchEllipse()
 	newC := oldC.Translate(1.7, -2.1)
-	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	f.CoverAdd(oldC, +1)
 	var sink float64
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
+		var ms MoveSpans
 		for i := 0; i < b.N; i++ {
-			sink += LikDeltaMove(gain, gsum, cover, 512, 512, oldC, newC)
+			sink += f.LikDeltaMovePrepared(oldC, newC, &ms)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -186,16 +215,27 @@ func BenchmarkLikDeltaMoveEllipse(b *testing.B) {
 }
 
 func BenchmarkCoverMoveEllipse(b *testing.B) {
-	_, _, cover := benchBuffers(b, 512, 512)
+	f, _, cover := benchField(b, 512, 512)
 	oldC := benchEllipse()
 	newC := oldC.Translate(1.7, -2.1)
 	newC.Theta = 0.7
-	NaiveCoverAdd(cover, 512, 512, oldC, +1)
+	f.CoverAdd(oldC, +1)
 	b.Run("scanline", func(b *testing.B) {
 		b.ReportAllocs()
+		var there, back MoveSpans
+		f.LikDeltaMovePrepared(oldC, newC, &there)
+		f.LikDeltaMovePrepared(newC, oldC, &back)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			CoverMove(cover, 512, 512, oldC, newC)
-			CoverMove(cover, 512, 512, newC, oldC)
+			f.CoverMovePrepared(oldC, newC, &there)
+			f.CoverMovePrepared(newC, oldC, &back)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.CoverMove(oldC, newC)
+			f.CoverMove(newC, oldC)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
@@ -205,4 +245,32 @@ func BenchmarkCoverMoveEllipse(b *testing.B) {
 			NaiveCoverMove(cover, 512, 512, newC, oldC)
 		}
 	})
+}
+
+// BenchmarkFusedMoveCover tracks the one-shot fused eval+apply walk
+// (unconditional moves price and write each symmetric-difference segment
+// once) against its split equivalent.
+func BenchmarkFusedMoveCover(b *testing.B) {
+	f, _, _ := benchField(b, 512, 512)
+	oldC := geom.Disc(256.3, 255.7, 10)
+	newC := oldC.Translate(1.7, -2.1)
+	f.CoverAdd(oldC, +1)
+	var sink float64
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += f.FusedMoveCover(oldC, newC)
+			sink += f.FusedMoveCover(newC, oldC)
+		}
+	})
+	b.Run("split", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += f.LikDeltaMove(oldC, newC)
+			f.CoverMove(oldC, newC)
+			sink += f.LikDeltaMove(newC, oldC)
+			f.CoverMove(newC, oldC)
+		}
+	})
+	_ = sink
 }

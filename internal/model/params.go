@@ -1,20 +1,3 @@
-// Package model implements the case-study posterior of §III: a marked
-// point process of shapes (discs or ellipses, per Params.Shape) over a
-// filtered grayscale image, with a Poisson count prior, truncated-Normal
-// size priors (the radius for discs; both semi-axes plus a uniform
-// rotation for ellipses), pairwise overlap penalty and a two-level
-// Gaussian pixel likelihood.
-//
-// The package exposes two layers:
-//
-//   - Primitive delta evaluators (LikDeltaAdd, LikDeltaMove, CoverAdd, ...)
-//     that operate on raw gain/coverage buffers. The parallel engines call
-//     these directly from partition workers, which own disjoint pixel
-//     regions of the shared buffers.
-//   - State, a cached full configuration (shapes + coverage + running
-//     log-posterior + spatial index) used by the sequential engine and as
-//     the merge target for parallel phases. State.Recompute provides the
-//     ground truth that every incremental path is tested against.
 package model
 
 import (

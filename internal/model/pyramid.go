@@ -1,0 +1,271 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Pyramid is the static coarse level of the coarse-to-fine likelihood:
+// the gain image decimated to the Field's 8×8 occupancy blocks, with two
+// row-sum-style aggregates per block,
+//
+//	Sum[b] = Σ gain over the block's pixels
+//	Pos[b] = Σ max(gain, 0) over the block's pixels
+//
+// (Σ min(gain, 0) is Sum − Pos). Combined with the Field's dynamic block
+// occupancy counters these give cheap upper bounds on birth and move
+// likelihood deltas: a proposal whose *bound* already fails the
+// Metropolis test is rejected without ever pricing it at full
+// resolution.
+//
+// # Exactness guard
+//
+// The bounds are used only to reject; any acceptance candidate is
+// refined with the exact full-resolution kernels before the decision is
+// finalised, and the accept draw is shared between the coarse and exact
+// tests (see mcmc.Engine). The sampled chain — states, posteriors and
+// RNG stream — is therefore bit-identical to an unscreened run; the
+// pyramid can only save work, never change a result. The determinism
+// and differential-fuzz suites pin this.
+//
+// Gain is immutable, so the pyramid is built once per State alongside
+// GainSum and never updated.
+type Pyramid struct {
+	bW, bH int
+	Sum    []float64
+	Pos    []float64
+}
+
+// NewPyramid decimates the gain image into per-block aggregates.
+func NewPyramid(gain []float64, w, h int) *Pyramid {
+	bW, bH := blocksPerRow(w), blocksPerRow(h)
+	p := &Pyramid{
+		bW:  bW,
+		bH:  bH,
+		Sum: make([]float64, bW*bH),
+		Pos: make([]float64, bW*bH),
+	}
+	for y := 0; y < h; y++ {
+		row := y * w
+		base := (y >> blockShift) * bW
+		for x := 0; x < w; x++ {
+			g := gain[row+x]
+			b := base + x>>blockShift
+			p.Sum[b] += g
+			if g > 0 {
+				p.Pos[b] += g
+			}
+		}
+	}
+	return p
+}
+
+// screenSlack is added to every coarse bound. The block aggregates are
+// summed in a different order than the exact row kernels, so on
+// configurations where the bound is mathematically tight (every block
+// classified exactly) float round-off could otherwise push the computed
+// bound a few ulps below the computed exact value; the slack — orders of
+// magnitude above any accumulated round-off, orders of magnitude below
+// any likelihood delta that matters — keeps the bound an upper bound in
+// floating point too.
+const screenSlack = 1e-6
+
+// classifyMargin is the geometric safety margin (in pixels / relative
+// quad-form units) for block classification: a block is only treated as
+// fully inside or fully outside a shape when it is so by a clear margin,
+// so predicate round-off at the boundary can never flip a block into a
+// class that would weaken the bound's soundness. Borderline blocks fall
+// into the partial class, whose Pos contribution is always a valid upper
+// bound.
+const classifyMargin = 1e-6
+
+const (
+	blockOut = iota
+	blockPartial
+	blockIn
+)
+
+// blockClass is the per-proposal classifier state: the shape's disc
+// parameters or quadratic coefficients, hoisted once per bound.
+type blockClass struct {
+	circular   bool
+	cx, cy, r  float64
+	A, B, C, F float64
+	bnd        geom.Rect
+}
+
+func newBlockClass(c geom.Ellipse) blockClass {
+	bc := blockClass{cx: c.X, cy: c.Y, bnd: c.Bounds()}
+	if c.Circular() {
+		bc.circular = true
+		bc.r = c.Rx
+		return bc
+	}
+	bc.A, bc.B, bc.C, bc.F = c.QuadCoeffs()
+	return bc
+}
+
+// classify places the block whose pixel centres span [pxLo, pxHi] ×
+// [pyLo, pyHi] relative to the shape: certainly disjoint from every
+// pixel centre, certainly containing every pixel centre, or unknown
+// (partial). Convexity makes the four-corner containment test exact for
+// the ellipse case.
+func (bc *blockClass) classify(pxLo, pxHi, pyLo, pyHi float64) int {
+	if bc.circular {
+		bcx, bcy := (pxLo+pxHi)/2, (pyLo+pyHi)/2
+		hd := math.Hypot((pxHi-pxLo)/2, (pyHi-pyLo)/2)
+		d := math.Hypot(bcx-bc.cx, bcy-bc.cy)
+		if d-hd > bc.r+classifyMargin {
+			return blockOut
+		}
+		if d+hd < bc.r-classifyMargin {
+			return blockIn
+		}
+		return blockPartial
+	}
+	if pxHi < bc.bnd.X0-classifyMargin || pxLo > bc.bnd.X1+classifyMargin ||
+		pyHi < bc.bnd.Y0-classifyMargin || pyLo > bc.bnd.Y1+classifyMargin {
+		return blockOut
+	}
+	// Quad-form margin relative to F (the boundary level): corners must
+	// be inside by a clear relative margin before the whole block is
+	// trusted as inside.
+	lim := bc.F * (1 - 1e-9)
+	for _, dx := range [2]float64{pxLo - bc.cx, pxHi - bc.cx} {
+		for _, dy := range [2]float64{pyLo - bc.cy, pyHi - bc.cy} {
+			if bc.A*dx*dx+bc.B*dx*dy+bc.C*dy*dy > lim {
+				return blockPartial
+			}
+		}
+	}
+	return blockIn
+}
+
+// CanScreen reports whether the state carries the structures the coarse
+// screen needs.
+func (s *State) CanScreen() bool { return s.Pyr != nil && s.F.occ != nil }
+
+// EvalAddCoarse is the coarse-level counterpart of EvalAdd: the prior
+// delta is exact, the likelihood delta is replaced by the pyramid upper
+// bound UpperBoundAdd. The caller must treat the result as a bound —
+// reject-only — and refine acceptance candidates with LikDeltaAddExact.
+func (s *State) EvalAddCoarse(c geom.Ellipse) (dLikUB, dPrior float64) {
+	dPrior = s.priorDeltaAdd(c)
+	if math.IsInf(dPrior, -1) {
+		return 0, dPrior
+	}
+	return s.UpperBoundAdd(c), dPrior
+}
+
+// EvalMoveCoarse is the coarse-level counterpart of EvalMove, with the
+// likelihood delta replaced by UpperBoundMove. Reject-only; refine with
+// LikDeltaMoveExact.
+func (s *State) EvalMoveCoarse(id int, newC geom.Ellipse) (dLikUB, dPrior float64) {
+	oldC := s.Cfg.Get(id)
+	if !s.validPosition(newC) {
+		return 0, math.Inf(-1)
+	}
+	dPrior = s.P.LogShapePrior(newC) - s.P.LogShapePrior(oldC)
+	if math.IsInf(dPrior, -1) {
+		return 0, dPrior
+	}
+	dPrior -= s.P.OverlapPenalty * (s.OverlapSum(newC, id) - s.OverlapSum(oldC, id))
+	return s.UpperBoundMove(oldC, newC), dPrior
+}
+
+// LikDeltaAddExact refines a screened birth at full resolution: the same
+// kernel EvalAdd uses, so the refined delta is bit-identical to an
+// unscreened evaluation.
+func (s *State) LikDeltaAddExact(c geom.Ellipse) float64 {
+	return s.F.LikDeltaAdd(c)
+}
+
+// LikDeltaMoveExact refines a screened move at full resolution, leaving
+// the span tables in ms for the apply (same contract as EvalMoveCached).
+func (s *State) LikDeltaMoveExact(id int, newC geom.Ellipse, ms *MoveSpans) float64 {
+	return s.F.LikDeltaMovePrepared(s.Cfg.Get(id), newC, ms)
+}
+
+// UpperBoundAdd returns an upper bound on LikDeltaAdd(c): per touched
+// block, the exact block total when the block is certainly fully gained
+// (fully inside the shape and fully uncovered), the block's positive
+// mass otherwise, and nothing for disjoint blocks.
+func (s *State) UpperBoundAdd(c geom.Ellipse) float64 {
+	return s.ubGain(c) + screenSlack
+}
+
+func (s *State) ubGain(c geom.Ellipse) float64 {
+	x0, x1 := c.PixelCols(s.W)
+	y0, y1 := c.PixelRows(s.H)
+	if x0 >= x1 || y0 >= y1 {
+		return 0
+	}
+	p, f := s.Pyr, &s.F
+	bc := newBlockClass(c)
+	ub := 0.0
+	for by := y0 >> blockShift; by <= (y1-1)>>blockShift; by++ {
+		pyLo := float64(by<<blockShift) + 0.5
+		pyHi := float64(minInt((by+1)<<blockShift, s.H)-1) + 0.5
+		base := by * p.bW
+		for bx := x0 >> blockShift; bx <= (x1-1)>>blockShift; bx++ {
+			switch bc.classify(float64(bx<<blockShift)+0.5,
+				float64(minInt((bx+1)<<blockShift, s.W)-1)+0.5, pyLo, pyHi) {
+			case blockOut:
+			case blockIn:
+				b := base + bx
+				if f.occ[2*b] == 0 {
+					ub += p.Sum[b] // exact: the whole block flips to covered
+				} else {
+					ub += p.Pos[b]
+				}
+			default:
+				ub += p.Pos[base+bx]
+			}
+		}
+	}
+	return ub
+}
+
+// UpperBoundMove returns an upper bound on LikDeltaMove(oldC, newC)
+// (oldC must be covered): the gain bound of the new shape plus, per
+// block touched by the old shape, the worst-case loss −Σ min(gain, 0) —
+// tightened to the exact −Sum when the whole block is certainly lost
+// (fully inside the old shape, every pixel covered exactly once, and
+// disjoint from the new shape's bounding box).
+func (s *State) UpperBoundMove(oldC, newC geom.Ellipse) float64 {
+	ub := s.ubGain(newC)
+	x0, x1 := oldC.PixelCols(s.W)
+	y0, y1 := oldC.PixelRows(s.H)
+	if x0 >= x1 || y0 >= y1 {
+		return ub + screenSlack
+	}
+	p, f := s.Pyr, &s.F
+	bc := newBlockClass(oldC)
+	nb := newC.Bounds()
+	for by := y0 >> blockShift; by <= (y1-1)>>blockShift; by++ {
+		pyLo := float64(by<<blockShift) + 0.5
+		pyHi := float64(minInt((by+1)<<blockShift, s.H)-1) + 0.5
+		base := by * p.bW
+		for bx := x0 >> blockShift; bx <= (x1-1)>>blockShift; bx++ {
+			pxLo := float64(bx<<blockShift) + 0.5
+			pxHi := float64(minInt((bx+1)<<blockShift, s.W)-1) + 0.5
+			cls := bc.classify(pxLo, pxHi, pyLo, pyHi)
+			if cls == blockOut {
+				continue
+			}
+			b := base + bx
+			if cls == blockIn && f.occ[2*b] == f.occ[2*b+1] &&
+				(pxHi < nb.X0-classifyMargin || pxLo > nb.X1+classifyMargin ||
+					pyHi < nb.Y0-classifyMargin || pyLo > nb.Y1+classifyMargin) {
+				// Certainly lost wholesale: every pixel covered exactly
+				// once by a shape that certainly covers the whole block,
+				// and the new shape certainly cannot reach it.
+				ub -= p.Sum[b]
+				continue
+			}
+			ub += p.Pos[b] - p.Sum[b] // −Σ min(gain,0) ≥ any partial loss
+		}
+	}
+	return ub + screenSlack
+}

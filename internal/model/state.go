@@ -32,6 +32,16 @@ type State struct {
 	// disjoint regions of this buffer during parallel local phases.
 	Cover []int32
 
+	// F is the batched kernel layer viewing Gain/GainSum/Cover, with 8×8
+	// block occupancy counters kept in sync with Cover. All coverage
+	// mutations must flow through F once the state is built, or the
+	// counters (and with them the kernels' scan-skip decisions) go stale.
+	F Field
+	// Pyr is the static coarse level of the coarse-to-fine likelihood
+	// (block-decimated gain aggregates; see pyramid.go). Built once from
+	// Gain, never updated.
+	Pyr *Pyramid
+
 	Cfg   *Config
 	Index *BucketIndex
 
@@ -63,6 +73,9 @@ func NewState(img *imaging.Image, p Params) (*State, error) {
 		s.Gain[i] = p.PixelGain(v)
 	}
 	s.GainSum = BuildGainRowSums(s.Gain, s.W, s.H)
+	s.F = Field{W: s.W, H: s.H, Gain: s.Gain, GainSum: s.GainSum, Cover: s.Cover}
+	s.F.InitOcc()
+	s.Pyr = NewPyramid(s.Gain, s.W, s.H)
 	// Empty configuration: lik 0 (relative), prior = count term for n=0.
 	s.logPrior = 0 // 0·logλ − lgamma(1) − 0·logA = 0
 	return s, nil
@@ -156,14 +169,14 @@ func (s *State) EvalAdd(c geom.Ellipse) (dLik, dPrior float64) {
 	if math.IsInf(dPrior, -1) {
 		return 0, dPrior
 	}
-	dLik = LikDeltaAdd(s.Gain, s.GainSum, s.Cover, s.W, s.H, c)
+	dLik = s.F.LikDeltaAdd(c)
 	return dLik, dPrior
 }
 
 // ApplyAdd inserts c and updates every cache; it returns the new ID.
 // The deltas must come from a matching EvalAdd on the unchanged state.
 func (s *State) ApplyAdd(c geom.Ellipse, dLik, dPrior float64) int {
-	CoverAdd(s.Cover, s.W, s.H, c, +1)
+	s.F.CoverAdd(c, +1)
 	id := s.Cfg.Add(c)
 	s.Index.Insert(id, c.X, c.Y)
 	s.logLik += dLik
@@ -175,14 +188,14 @@ func (s *State) ApplyAdd(c geom.Ellipse, dLik, dPrior float64) int {
 func (s *State) EvalRemove(id int) (dLik, dPrior float64) {
 	c := s.Cfg.Get(id)
 	dPrior = s.priorDeltaRemove(id)
-	dLik = LikDeltaRemove(s.Gain, s.GainSum, s.Cover, s.W, s.H, c)
+	dLik = s.F.LikDeltaRemove(c)
 	return dLik, dPrior
 }
 
 // ApplyRemove deletes circle id and updates every cache.
 func (s *State) ApplyRemove(id int, dLik, dPrior float64) {
 	c := s.Cfg.Get(id)
-	CoverAdd(s.Cover, s.W, s.H, c, -1)
+	s.F.CoverAdd(c, -1)
 	s.Index.Remove(id, c.X, c.Y)
 	s.Cfg.Remove(id)
 	s.logLik += dLik
@@ -201,14 +214,46 @@ func (s *State) EvalMove(id int, newC geom.Ellipse) (dLik, dPrior float64) {
 		return 0, dPrior
 	}
 	dPrior -= s.P.OverlapPenalty * (s.OverlapSum(newC, id) - s.OverlapSum(oldC, id))
-	dLik = LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, oldC, newC)
+	dLik = s.F.LikDeltaMove(oldC, newC)
+	return dLik, dPrior
+}
+
+// EvalMoveCached is EvalMove with span-table retention: the old and new
+// span tables computed during pricing are left in ms, so a matching
+// ApplyMoveCached replays the coverage update from the tables instead of
+// recomputing every row span. The engines thread a per-engine scratch
+// through here; the likelihood delta is bit-identical to EvalMove's.
+func (s *State) EvalMoveCached(id int, newC geom.Ellipse, ms *MoveSpans) (dLik, dPrior float64) {
+	oldC := s.Cfg.Get(id)
+	if !s.validPosition(newC) {
+		return 0, math.Inf(-1)
+	}
+	dPrior = s.P.LogShapePrior(newC) - s.P.LogShapePrior(oldC)
+	if math.IsInf(dPrior, -1) {
+		return 0, dPrior
+	}
+	dPrior -= s.P.OverlapPenalty * (s.OverlapSum(newC, id) - s.OverlapSum(oldC, id))
+	dLik = s.F.LikDeltaMovePrepared(oldC, newC, ms)
 	return dLik, dPrior
 }
 
 // ApplyMove replaces circle id with newC and updates every cache.
 func (s *State) ApplyMove(id int, newC geom.Ellipse, dLik, dPrior float64) {
 	oldC := s.Cfg.Get(id)
-	CoverMove(s.Cover, s.W, s.H, oldC, newC)
+	s.F.CoverMove(oldC, newC)
+	s.Index.Move(id, oldC.X, oldC.Y, newC.X, newC.Y)
+	s.Cfg.Update(id, newC)
+	s.logLik += dLik
+	s.logPrior += dPrior
+}
+
+// ApplyMoveCached is ApplyMove reusing the span tables a matching
+// EvalMoveCached left in ms; on any key mismatch (e.g. a speculative
+// executor committing a shadow's proposal) it falls back to recomputing
+// the spans, so it is always safe to call.
+func (s *State) ApplyMoveCached(id int, newC geom.Ellipse, dLik, dPrior float64, ms *MoveSpans) {
+	oldC := s.Cfg.Get(id)
+	s.F.CoverMovePrepared(oldC, newC, ms)
 	s.Index.Move(id, oldC.X, oldC.Y, newC.X, newC.Y)
 	s.Cfg.Update(id, newC)
 	s.logLik += dLik
@@ -263,12 +308,14 @@ func (s *State) RecomputeCover() []int32 {
 }
 
 // CheckConsistency recomputes everything and reports the maximum absolute
-// cache error; tests assert it stays at floating-point noise.
+// cache error; tests assert it stays at floating-point noise. coverOK
+// also requires the block occupancy counters to match a fresh rebuild
+// from Cover, so every incremental mutation path is pinned.
 func (s *State) CheckConsistency() (likErr, priorErr float64, coverOK bool) {
 	lik, prior := s.Recompute()
 	likErr = math.Abs(lik - s.logLik)
 	priorErr = math.Abs(prior - s.logPrior)
-	coverOK = true
+	coverOK = s.F.occConsistent()
 	for i, v := range s.RecomputeCover() {
 		if v != s.Cover[i] {
 			coverOK = false

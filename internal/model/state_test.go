@@ -251,10 +251,11 @@ func TestCommitMovedKeepsIndexConsistent(t *testing.T) {
 	dl, dp := s.EvalAdd(c)
 	id := s.ApplyAdd(c, dl, dp)
 	// Simulate an external (worker) move: cover + deltas handled by the
-	// worker, then committed.
+	// worker through the state's Field (so the occupancy counters stay in
+	// sync), then committed.
 	newC := geom.Disc(70, 70, 8)
-	dLik := LikDeltaMove(s.Gain, s.GainSum, s.Cover, s.W, s.H, c, newC)
-	CoverMove(s.Cover, s.W, s.H, c, newC)
+	dLik := s.F.LikDeltaMove(c, newC)
+	s.F.CoverMove(c, newC)
 	dPrior := s.P.LogShapePrior(newC) - s.P.LogShapePrior(c)
 	s.CommitMoved(id, newC)
 	s.AddDeltas(dLik, dPrior)

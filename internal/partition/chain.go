@@ -70,6 +70,7 @@ func NewChain(img *imaging.Image, region geom.Rect, cfg Config, r *rng.RNG) (*Ch
 	if err != nil {
 		return nil, err
 	}
+	e.ScreenMinArea = cfg.ScreenMinArea
 	e.AttachTrace(mcmc.NewTrace(cfg.MaxIters/400 + 1))
 	c.Eng = e
 	c.detector = cfg.Plateau

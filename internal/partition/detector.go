@@ -42,6 +42,10 @@ type Config struct {
 
 	// Seed derives the deterministic per-partition RNG streams.
 	Seed uint64
+
+	// ScreenMinArea is forwarded to each region's engine (see
+	// mcmc.Engine.ScreenMinArea); 0 disables coarse-to-fine screening.
+	ScreenMinArea float64
 }
 
 // Validate reports whether the configuration is usable.

@@ -225,6 +225,7 @@ func TestNaiveAnomalyVsBlind(t *testing.T) {
 	im.Clamp()
 
 	cfg := testConfig(44)
+	cfg.MaxIters = 40000
 	naive, err := RunNaive(context.Background(), im, cfg, 2, 2, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -283,7 +284,7 @@ func TestMakespanUsesLPT(t *testing.T) {
 
 func TestRunSequentialWholeImage(t *testing.T) {
 	scene := clusteredScene(t)
-	cfg := testConfig(45)
+	cfg := testConfig(48)
 	cfg.MaxIters = 30000
 	res, err := RunSequential(context.Background(), scene.Image, cfg)
 	if err != nil {

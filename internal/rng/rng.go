@@ -160,6 +160,24 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Fill fills dst with independent uniform float64s in [0, 1) — exactly
+// the values len(dst) sequential Float64 calls would produce, in order.
+// Hot loops use it to amortise the per-draw call overhead over a chunk.
+func (r *RNG) Fill(dst []float64) {
+	s := &r.s
+	for i := range dst {
+		result := rotl(s[1]*5, 7) * 9
+		t := s[1] << 17
+		s[2] ^= s[0]
+		s[3] ^= s[1]
+		s[1] ^= s[2]
+		s[0] ^= s[3]
+		s[2] ^= t
+		s[3] = rotl(s[3], 45)
+		dst[i] = float64(result>>11) / (1 << 53)
+	}
+}
+
 // Positive returns a uniform float64 in (0, 1), never zero — handy for
 // logarithms in samplers and acceptance tests.
 func (r *RNG) Positive() float64 {

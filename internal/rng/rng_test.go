@@ -404,3 +404,35 @@ func BenchmarkPoissonLarge(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestFillMatchesFloat64(t *testing.T) {
+	a := New(77)
+	b := New(77)
+	// Uneven chunk sizes, including zero-length and larger-than-typical
+	// buffers, must consume the stream exactly like scalar draws.
+	buf := make([]float64, 0, 257)
+	for _, n := range []int{1, 0, 7, 64, 63, 257, 2} {
+		buf = buf[:n]
+		a.Fill(buf)
+		for i, got := range buf {
+			if want := b.Float64(); got != want {
+				t.Fatalf("chunk %d, index %d: Fill %v, Float64 %v", n, i, got, want)
+			}
+		}
+	}
+	// The streams must stay aligned afterwards.
+	if a.Float64() != b.Float64() {
+		t.Fatal("streams diverged after Fill")
+	}
+}
+
+func TestFillValuesInRange(t *testing.T) {
+	r := New(78)
+	buf := make([]float64, 4096)
+	r.Fill(buf)
+	for i, v := range buf {
+		if v < 0 || v >= 1 {
+			t.Fatalf("buf[%d] = %v out of [0, 1)", i, v)
+		}
+	}
+}

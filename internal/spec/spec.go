@@ -130,9 +130,11 @@ func (x *Executor) StepBatch(width int) (consumed int, applied bool) {
 		props[i] = x.shadows[i].Propose(kinds[i])
 	})
 	// Apply the acceptance tests in order; at most one state change.
+	// AcceptsP refines coarse-screened proposals in place, so a
+	// committed proposal always carries exact deltas.
 	x.Batches++
 	for i := 0; i < width; i++ {
-		if x.host.Accepts(props[i]) {
+		if x.host.AcceptsP(&props[i]) {
 			x.host.Commit(props[i])
 			x.Consumed += int64(i + 1)
 			return i + 1, true

@@ -73,6 +73,9 @@ type OptionsSnapshot struct {
 	Chains           int
 	HeatStep         float64
 	SwapEvery        int
+	// ScreenMinArea does not affect chain results (the screen is exact),
+	// but a resumed run should do the same work as the original.
+	ScreenMinArea float64
 }
 
 func snapshotOptions(o Options) OptionsSnapshot {
@@ -85,6 +88,7 @@ func snapshotOptions(o Options) OptionsSnapshot {
 		SimulateParallel: o.SimulateParallel, Converge: o.Converge,
 		OverlapPenalty: o.OverlapPenalty,
 		Chains:         o.Chains, HeatStep: o.HeatStep, SwapEvery: o.SwapEvery,
+		ScreenMinArea: o.ScreenMinArea,
 	}
 }
 
@@ -106,6 +110,7 @@ func (s OptionsSnapshot) toOptions(strategy Strategy) (Options, error) {
 		SimulateParallel: s.SimulateParallel, Converge: s.Converge,
 		OverlapPenalty: s.OverlapPenalty,
 		Chains:         s.Chains, HeatStep: s.HeatStep, SwapEvery: s.SwapEvery,
+		ScreenMinArea: s.ScreenMinArea,
 	}, nil
 }
 

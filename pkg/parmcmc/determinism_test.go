@@ -307,3 +307,32 @@ func TestPartitionedLogPostComparable(t *testing.T) {
 		}
 	}
 }
+
+// TestScreenInvariance pins the coarse-to-fine guarantee end to end:
+// enabling the pyramid screen changes the work per proposal but never
+// the sampled chain. Every strategy must produce bit-identical results
+// with ScreenMinArea set low enough that real proposals take the
+// screened path.
+func TestScreenInvariance(t *testing.T) {
+	_, w, h, cases := determinismCases(t)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			pix := tc.pix
+			plain, err := Detect(pix, w, h, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			screened := tc.opt
+			// Mean radius 7 → typical area ≈ 154 px²; every birth and
+			// most replacements clear this threshold, so the screen is
+			// genuinely exercised rather than vacuously bypassed.
+			screened.ScreenMinArea = 80
+			withScreen, err := Detect(pix, w, h, screened)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, tc.name, plain, withScreen)
+		})
+	}
+}

@@ -129,6 +129,17 @@ type Options struct {
 	// models. Chain results are unaffected.
 	SimulateParallel bool
 
+	// ScreenMinArea enables the coarse-to-fine likelihood screen: birth
+	// and replace proposals whose shape covers at least this many pixels
+	// (π·Rx·Ry) are priced against the 8×8 block pyramid first and
+	// refined at full resolution only when the coarse upper bound
+	// survives the rejection test. Results are bit-identical with the
+	// screen on or off — only the work per proposal changes. 0 (the
+	// default) disables screening; a typical setting is a few times the
+	// mean artifact area, so only unusually large proposals pay for the
+	// coarse pass. Applies to every strategy.
+	ScreenMinArea float64
+
 	// Converge makes a Sequential run terminate at plateau convergence
 	// (capped at Iterations) and report per-region convergence metadata,
 	// like the partitioned strategies do. Ignored by other strategies,

@@ -168,13 +168,14 @@ func drive(ctx context.Context, env *runEnv, smp sampler, prior time.Duration) (
 func (env *runEnv) partitionConfig() partition.Config {
 	o := env.opt
 	return partition.Config{
-		Theta:      o.Threshold,
-		BaseParams: env.params,
-		Weights:    env.weights,
-		Steps:      env.steps,
-		MaxIters:   o.Iterations,
-		Plateau:    mcmc.PlateauDetector{Window: 12, Tol: 0.5, MinIters: 1500},
-		Seed:       o.Seed,
+		Theta:         o.Threshold,
+		BaseParams:    env.params,
+		Weights:       env.weights,
+		Steps:         env.steps,
+		MaxIters:      o.Iterations,
+		Plateau:       mcmc.PlateauDetector{Window: 12, Tol: 0.5, MinIters: 1500},
+		Seed:          o.Seed,
+		ScreenMinArea: o.ScreenMinArea,
 	}
 }
 

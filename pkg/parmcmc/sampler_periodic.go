@@ -30,6 +30,7 @@ func newPeriodicSampler(speculative bool) samplerFactory {
 		if err != nil {
 			return nil, err
 		}
+		e.ScreenMinArea = o.ScreenMinArea
 		timer := trace.NewPhaseTimer()
 		copt := core.Options{
 			LocalPhaseIters:  o.LocalPhaseIters,

@@ -34,6 +34,7 @@ func newSequentialSampler(env *runEnv) (sampler, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.ScreenMinArea = env.opt.ScreenMinArea
 	return &seqSampler{env: env, e: e}, nil
 }
 

@@ -25,6 +25,7 @@ func newTemperedSampler(env *runEnv) (sampler, error) {
 	if o.SwapEvery > 0 {
 		mopt.SwapEvery = o.SwapEvery
 	}
+	mopt.ScreenMinArea = o.ScreenMinArea
 	s, err := mc3.New(env.im, env.params, env.weights, env.steps, mopt, o.Seed)
 	if err != nil {
 		return nil, err
