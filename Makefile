@@ -103,16 +103,28 @@ bench-check:
 		-zero-alloc '(BenchmarkLikDelta|BenchmarkCoverMove).*/scanline' \
 		-compare BENCH_baseline.json -max-ns-regress 0.15
 
-# Throughput-per-core scaling curve (see BenchmarkThroughputScaling):
-# the benchmark runs once per GOMAXPROCS width and the report gains a
-# scaling section with ops/sec, speedup and parallel-efficiency rows.
+# Throughput-per-core scaling curve (see BenchmarkThroughputScaling and
+# BenchmarkSamplerScaling): each benchmark runs once per GOMAXPROCS
+# width and the report gains a scaling section — measured rows (ops/sec,
+# speedup, parallel efficiency per core count) plus simulated rows from
+# the sampler's simulated parallel machine, which are host-independent.
 # CI uploads BENCH_scaling.json as a build artifact so the curve is
 # inspectable per run. Widths beyond the host's core count are still
-# measured — efficiency honestly collapses there.
-SCALING_CPUS := 1,2
+# measured — efficiency honestly collapses there (benchjson marks those
+# sections hardware_saturated).
+#
+# The -scaling-gate floors fail the run when the speculative sampler's
+# simulated end-to-end speedup drops below 1.4x at 2 procs / 1.6x at 4,
+# or when measured thread-throughput scaling falls below 1.1x at 2 procs
+# — the measured gate skips (loudly) on hosts with fewer cores.
+SCALING_CPUS := 1,2,4
 bench-scaling:
-	$(GO) run ./cmd/benchjson -bench BenchmarkThroughputScaling -pkg . \
-		-cpu $(SCALING_CPUS) -benchtime 0.3s -count 2 -o BENCH_scaling.json
+	$(GO) run ./cmd/benchjson \
+		-bench 'BenchmarkThroughputScaling|BenchmarkSamplerScaling' -pkg . \
+		-cpu $(SCALING_CPUS) -benchtime 0.3s -count 2 -o BENCH_scaling.json \
+		-scaling-gate 'BenchmarkSamplerScaling/.*/width=adaptive@2:1.4' \
+		-scaling-gate 'BenchmarkSamplerScaling/.*/width=adaptive@4:1.6' \
+		-scaling-gate 'BenchmarkThroughputScaling@2:1.1:measured'
 
 # Nightly fuzz smoke: run every Fuzz* target for FUZZ_TIME each (the
 # decode fuzzers, the PGM dimension guards, and the disc+ellipse

@@ -19,6 +19,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/spec"
 	"repro/internal/trace"
+	"repro/pkg/parmcmc"
 )
 
 // runExperiment executes a registered experiment once per benchmark
@@ -137,6 +138,17 @@ func BenchmarkMoveKinds(b *testing.B) {
 // a throughput-per-core curve with speedup and parallel-efficiency
 // columns; CI records the curve as a build artifact (make
 // bench-scaling).
+//
+// The curve is only meaningful up to the host's physical core count: at
+// GOMAXPROCS above NumCPU the goroutines time-slice one core and the
+// measured "speedup" pins at ~1.0x — that is the host saturating, not a
+// scaling defect (the flat 1.01x curve recorded by early BENCH_scaling
+// artifacts came from exactly this: a 1-core container). benchjson
+// marks such sections saturated, and measured scaling gates skip —
+// loudly — when the host has fewer cores than the gated point. The
+// committed BENCH_scaling.json therefore carries, alongside these
+// measured rows, simulated rows from BenchmarkSamplerScaling, which are
+// host-independent.
 func BenchmarkThroughputScaling(b *testing.B) {
 	procs := runtime.GOMAXPROCS(0)
 	engines := make(chan *mcmc.Engine, procs)
@@ -155,6 +167,69 @@ func BenchmarkThroughputScaling(b *testing.B) {
 			e.RunN(1)
 		}
 	})
+}
+
+// BenchmarkSamplerScaling measures the end-to-end speculative sampler
+// on the paper's two §VI workload shapes — an intelligent-partitioning
+// bead image (Table I) and a uniform blind-partitioning field (fig. 4)
+// — under the simulated parallel machine (DESIGN.md §7): every local
+// cell and speculative lane is timed individually and scheduled onto
+// GOMAXPROCS simulated workers by LPT, so the reported sim-speedup is
+// the wall-clock ratio a real GOMAXPROCS-core host would see, measured
+// accurately even on a 1-core runner. Run through cmd/benchjson
+// -cpu 1,2,4 it yields the committed scaling curve's simulated rows;
+// the spec-* metrics additionally record the executor's realized eq. 3
+// iterations-per-batch and its (fixed or adaptive) width, so the
+// adaptive controller can be compared against every fixed width on the
+// same workload.
+func BenchmarkSamplerScaling(b *testing.B) {
+	workloads := []struct {
+		name string
+		spec parmcmc.SceneSpec
+	}{
+		{"table1", parmcmc.SceneSpec{W: 512, H: 384, Count: 48, MeanRadius: 9, Noise: 0.07, Clusters: 6, Seed: 2010}},
+		{"fig4", parmcmc.SceneSpec{W: 512, H: 512, Count: 40, MeanRadius: 10, Noise: 0.06, Seed: 2011}},
+	}
+	widthName := func(w int) string {
+		if w == 0 {
+			return "adaptive"
+		}
+		return itoa(w)
+	}
+	for _, wl := range workloads {
+		wl := wl
+		pix, _ := parmcmc.GenerateScene(wl.spec)
+		for _, width := range []int{1, 2, 4, 0} {
+			width := width
+			b.Run(wl.name+"/width="+widthName(width), func(b *testing.B) {
+				// GOMAXPROCS must be read inside the leaf: -cpu reruns
+				// leaves, not this closure's enclosing scope.
+				procs := runtime.GOMAXPROCS(0)
+				var res *parmcmc.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = parmcmc.Detect(pix, wl.spec.W, wl.spec.H, parmcmc.Options{
+						Strategy: parmcmc.PeriodicSpeculative, MeanRadius: wl.spec.MeanRadius,
+						Iterations: 40000, Seed: 7, Workers: procs, PartitionGrid: 3,
+						SpecWidth: width, SimulateParallel: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				serial := res.LocalSeconds + res.SimGlobalSerialSeconds
+				par := res.SimLocalSeconds + res.SimGlobalSeconds
+				if par > 0 {
+					b.ReportMetric(serial/par, "sim-speedup")
+				}
+				b.ReportMetric(float64(procs), "sim-procs")
+				if res.SpecBatches > 0 {
+					b.ReportMetric(res.SpecSpeedup, "spec-iters-per-batch")
+					b.ReportMetric(float64(res.SpecWidth), "spec-width")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkPeriodicVsSequential is the headline ablation: the same
@@ -197,6 +272,7 @@ func BenchmarkSpeculativeExecutor(b *testing.B) {
 			e := mcmc.MustNew(s, rng.New(1), mcmc.DefaultWeights(), mcmc.DefaultStepSizes(10))
 			e.RunN(10000)
 			x := spec.NewExecutor(e, width, nil)
+			defer x.Close()
 			b.ResetTimer()
 			x.RunN(b.N)
 		})

@@ -68,18 +68,33 @@ type Benchmark struct {
 }
 
 // ScalingPoint is one row of a throughput-per-core scaling curve,
-// derived from a benchmark measured at several -cpu values.
+// derived from a benchmark measured at several -cpu values
+// ("measured") or from a benchmark's sim-speedup/sim-procs metrics
+// ("simulated" — the DESIGN.md §7 simulated parallel machine, valid on
+// any host).
 type ScalingPoint struct {
 	Bench     string  `json:"bench"`
 	Pkg       string  `json:"pkg"`
 	Procs     int     `json:"procs"`
-	NsPerOp   float64 `json:"ns_per_op"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	// Speedup is ops/sec relative to the same benchmark at procs=1;
-	// Efficiency is Speedup/Procs (1.0 = perfect linear scaling). Both
-	// are 0 when no procs=1 measurement exists to normalise against.
+	NsPerOp   float64 `json:"ns_per_op,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// Speedup is ops/sec relative to the same benchmark at procs=1
+	// (measured rows; 0 when no procs=1 measurement exists) or the
+	// simulated wall-clock ratio (simulated rows); Efficiency is
+	// Speedup/Procs (1.0 = perfect linear scaling).
 	Speedup    float64 `json:"speedup"`
 	Efficiency float64 `json:"efficiency"`
+	// Source is "measured" or "simulated".
+	Source string `json:"source,omitempty"`
+}
+
+// RunSection pins the parallelism of one -cpu section: the GOMAXPROCS
+// the benchmarks ran under, and whether that oversubscribed the host
+// (procs > NumCPU), which makes the section's measured timings describe
+// time-slicing rather than scaling.
+type RunSection struct {
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Saturated  bool `json:"hardware_saturated,omitempty"`
 }
 
 // Report is the file schema.
@@ -91,10 +106,14 @@ type Report struct {
 	CPU       string `json:"cpu,omitempty"`
 	// GoMaxProcs and NumCPU pin the parallelism environment the numbers
 	// were recorded under; -compare refuses to gate timings across
-	// reports with different NumCPU (see compareReports).
-	GoMaxProcs int            `json:"gomaxprocs"`
+	// reports with different NumCPU (see compareReports). With -cpu the
+	// driver's own GOMAXPROCS is meaningless for the results, so
+	// GoMaxProcs is omitted and Runs records each section's proc count
+	// instead.
+	GoMaxProcs int            `json:"gomaxprocs,omitempty"`
 	NumCPU     int            `json:"num_cpu"`
 	CPUList    string         `json:"cpu_list,omitempty"`
+	Runs       []RunSection   `json:"runs,omitempty"`
 	Bench      string         `json:"bench_regexp"`
 	BenchTime  string         `json:"benchtime"`
 	Packages   string         `json:"packages"`
@@ -117,7 +136,10 @@ func main() {
 		maxNs     = flag.Float64("max-ns-regress", 0.15, "with -compare: maximum tolerated fractional ns/op regression")
 		cpu       = flag.String("cpu", "", "comma-separated GOMAXPROCS list passed to go test -cpu; multiple values produce a scaling curve")
 		zeroAlloc = flag.String("zero-alloc", "", "regexp of benchmarks that must report 0 allocs/op; any allocation fails the run")
+		gates     gateFlags
 	)
+	flag.Var(&gates, "scaling-gate",
+		"repeatable scaling floor 'BENCHREGEX@PROCS:MINSPEEDUP[:SOURCE]' (source simulated|measured, default simulated); a matching scaling row below the floor, or no matching row at all, fails the run — measured gates skip when the host has fewer cores than PROCS")
 	flag.Parse()
 
 	// -p 1 serializes the per-package test binaries: concurrent
@@ -153,6 +175,21 @@ func main() {
 		Packages:   *pkgs,
 		Notes:      *notes,
 	}
+	if *cpu != "" {
+		// The per-section proc counts are what the results ran under;
+		// the driver process's own GOMAXPROCS would only mislead.
+		report.GoMaxProcs = 0
+		for _, part := range strings.Split(*cpu, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				log.Fatalf("-cpu: bad GOMAXPROCS value %q", part)
+			}
+			report.Runs = append(report.Runs, RunSection{
+				GoMaxProcs: n,
+				Saturated:  n > report.NumCPU,
+			})
+		}
+	}
 
 	pkg := ""
 	sc := bufio.NewScanner(bytes.NewReader(raw))
@@ -171,7 +208,7 @@ func main() {
 		}
 	}
 	report.Results = aggregateMin(report.Results)
-	report.Scaling = scalingCurve(report.Results)
+	report.Scaling = append(scalingCurve(report.Results), simulatedScaling(report.Results)...)
 
 	path := *out
 	if path == "" {
@@ -186,6 +223,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(report.Results), path)
+
+	if len(gates) > 0 {
+		failures := applyGates(report, gates)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "SCALING: %s\n", f)
+		}
+		if len(failures) > 0 {
+			log.Fatalf("%d scaling gate failure(s)", len(failures))
+		}
+		fmt.Fprintf(os.Stderr, "%d scaling gate(s) passed\n", len(gates))
+	}
 
 	if *zeroAlloc != "" {
 		re, err := regexp.Compile(*zeroAlloc)
@@ -270,12 +318,148 @@ func scalingCurve(results []Benchmark) []ScalingPoint {
 		p := ScalingPoint{
 			Bench: b.Name, Pkg: b.Pkg, Procs: b.Procs,
 			NsPerOp: b.NsPerOp, OpsPerSec: 1e9 / b.NsPerOp,
+			Source: "measured",
 		}
 		if s1 := base[k]; s1 > 0 && b.Procs > 0 {
 			p.Speedup = p.OpsPerSec / s1
 			p.Efficiency = p.Speedup / float64(b.Procs)
 		}
 		out = append(out, p)
+	}
+	return out
+}
+
+// simulatedScaling derives scaling rows from benchmarks reporting the
+// sim-speedup/sim-procs metric pair (the simulated parallel machine:
+// per-task wall clock scheduled onto sim-procs workers by LPT). The
+// simulated machine is deterministic in shape, so when -cpu runs the
+// same benchmark under several GOMAXPROCS sections, duplicate
+// (pkg, bench, sim-procs) rows are collapsed to the section with the
+// lowest GOMAXPROCS — the least scheduler-perturbed timing source.
+func simulatedScaling(results []Benchmark) []ScalingPoint {
+	type key struct {
+		pkg, name string
+		simProcs  int
+	}
+	best := make(map[key]Benchmark)
+	var order []key
+	for _, b := range results {
+		sp, ok := b.Metrics["sim-speedup"]
+		if !ok {
+			continue
+		}
+		procs, ok := b.Metrics["sim-procs"]
+		if !ok || procs < 1 || sp <= 0 {
+			continue
+		}
+		k := key{b.Pkg, b.Name, int(procs)}
+		prev, seen := best[k]
+		if !seen {
+			order = append(order, k)
+		}
+		if !seen || b.Procs < prev.Procs {
+			best[k] = b
+		}
+	}
+	var out []ScalingPoint
+	for _, k := range order {
+		b := best[k]
+		sp := b.Metrics["sim-speedup"]
+		out = append(out, ScalingPoint{
+			Bench: b.Name, Pkg: b.Pkg, Procs: k.simProcs,
+			Speedup:    sp,
+			Efficiency: sp / float64(k.simProcs),
+			Source:     "simulated",
+		})
+	}
+	return out
+}
+
+// gateFlags collects repeated -scaling-gate specs.
+type gateFlags []scalingGate
+
+// scalingGate is one parsed -scaling-gate spec: the minimum Speedup a
+// scaling row matching (bench regexp, procs, source) must reach.
+type scalingGate struct {
+	spec   string
+	bench  *regexp.Regexp
+	procs  int
+	min    float64
+	source string
+}
+
+func (g *gateFlags) String() string {
+	var specs []string
+	for _, gate := range *g {
+		specs = append(specs, gate.spec)
+	}
+	return strings.Join(specs, " ")
+}
+
+func (g *gateFlags) Set(spec string) error {
+	at := strings.LastIndex(spec, "@")
+	if at < 1 {
+		return fmt.Errorf("want 'BENCHREGEX@PROCS:MINSPEEDUP[:SOURCE]', got %q", spec)
+	}
+	re, err := regexp.Compile(spec[:at])
+	if err != nil {
+		return err
+	}
+	parts := strings.Split(spec[at+1:], ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want 'BENCHREGEX@PROCS:MINSPEEDUP[:SOURCE]', got %q", spec)
+	}
+	procs, err := strconv.Atoi(parts[0])
+	if err != nil || procs < 1 {
+		return fmt.Errorf("bad procs in %q", spec)
+	}
+	min, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("bad min speedup in %q", spec)
+	}
+	source := "simulated"
+	if len(parts) == 3 {
+		source = parts[2]
+		if source != "simulated" && source != "measured" {
+			return fmt.Errorf("source must be simulated or measured in %q", spec)
+		}
+	}
+	*g = append(*g, scalingGate{spec: spec, bench: re, procs: procs, min: min, source: source})
+	return nil
+}
+
+// applyGates checks every -scaling-gate against the report's scaling
+// rows, returning failure messages. Measured gates above the host's
+// core count are skipped with a loud warning — on such hosts the
+// "measured" number describes time-slicing, not scaling (the simulated
+// rows exist precisely so those hosts still gate something real).
+func applyGates(report Report, gates []scalingGate) []string {
+	var out []string
+	for _, g := range gates {
+		if g.source == "measured" && report.NumCPU < g.procs {
+			fmt.Fprintf(os.Stderr,
+				"SKIPPED scaling gate %q: host has %d CPU(s), gate needs %d — measured speedup on an oversubscribed host is meaningless\n",
+				g.spec, report.NumCPU, g.procs)
+			continue
+		}
+		matched := false
+		for _, p := range report.Scaling {
+			src := p.Source
+			if src == "" {
+				src = "measured"
+			}
+			if src != g.source || p.Procs != g.procs || !g.bench.MatchString(p.Bench) {
+				continue
+			}
+			matched = true
+			if p.Speedup < g.min {
+				out = append(out, fmt.Sprintf("%s %s @%d (%s): speedup %.2fx below the %.2fx floor",
+					p.Pkg, p.Bench, p.Procs, src, p.Speedup, g.min))
+			}
+		}
+		if !matched {
+			out = append(out, fmt.Sprintf("gate %q matched no scaling row (renamed benchmark, missing -cpu value, or metrics not reported?)", g.spec))
+		}
 	}
 	return out
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLineSimMetrics(t *testing.T) {
+	line := "BenchmarkSamplerScaling/table1/width=adaptive-2 \t 1\t75424534 ns/op\t 2.000 sim-procs\t 1.798 sim-speedup"
+	b, ok := parseBenchLine(line, "repro")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkSamplerScaling/table1/width=adaptive" || b.Procs != 2 {
+		t.Fatalf("name/procs: %q %d", b.Name, b.Procs)
+	}
+	if b.Metrics["sim-procs"] != 2 || b.Metrics["sim-speedup"] != 1.798 {
+		t.Fatalf("metrics: %v", b.Metrics)
+	}
+}
+
+func TestSimulatedScalingDedup(t *testing.T) {
+	mk := func(procs int, simProcs, speedup float64) Benchmark {
+		return Benchmark{
+			Name: "BenchmarkSamplerScaling/table1/width=adaptive", Pkg: "repro",
+			Procs: procs, NsPerOp: 1,
+			Metrics: map[string]float64{"sim-procs": simProcs, "sim-speedup": speedup},
+		}
+	}
+	rows := simulatedScaling([]Benchmark{
+		mk(4, 4, 2.8), // same sim-procs measured under a noisier section...
+		mk(1, 4, 3.0), // ...loses to the GOMAXPROCS=1 section
+		mk(1, 2, 1.7),
+		{Name: "BenchmarkOther", Pkg: "repro", Procs: 1, NsPerOp: 1}, // no metrics: no row
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].Procs != 4 || rows[0].Speedup != 3.0 || rows[0].Source != "simulated" {
+		t.Fatalf("dedup kept the wrong section: %+v", rows[0])
+	}
+	if rows[1].Procs != 2 || rows[1].Speedup != 1.7 {
+		t.Fatalf("row 1: %+v", rows[1])
+	}
+	if eff := rows[0].Efficiency; eff != 3.0/4 {
+		t.Fatalf("efficiency: %v", eff)
+	}
+}
+
+func TestGateFlagParsing(t *testing.T) {
+	var g gateFlags
+	for _, spec := range []string{
+		"SamplerScaling.*adaptive@2:1.4",
+		"SamplerScaling.*adaptive@4:1.6:simulated",
+		"ThroughputScaling@2:1.1:measured",
+	} {
+		if err := g.Set(spec); err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+	}
+	if len(g) != 3 || g[0].source != "simulated" || g[2].source != "measured" || g[1].procs != 4 {
+		t.Fatalf("parsed: %+v", g)
+	}
+	for _, bad := range []string{"", "@2:1.4", "X@0:1.4", "X@2:-1", "X@2:1.4:guessed", "X@2", "[@2:1.4"} {
+		if err := g.Set(bad); err == nil {
+			t.Fatalf("%q parsed but should not", bad)
+		}
+	}
+}
+
+func TestApplyGates(t *testing.T) {
+	report := Report{
+		NumCPU: 2,
+		Scaling: []ScalingPoint{
+			{Bench: "BenchmarkSamplerScaling/table1/width=adaptive", Pkg: "repro", Procs: 2, Speedup: 1.8, Source: "simulated"},
+			{Bench: "BenchmarkSamplerScaling/table1/width=adaptive", Pkg: "repro", Procs: 4, Speedup: 1.5, Source: "simulated"},
+			{Bench: "BenchmarkThroughputScaling", Pkg: "repro", Procs: 2, Speedup: 1.9, Source: "measured"},
+		},
+	}
+	var g gateFlags
+	mustSet := func(spec string) {
+		t.Helper()
+		if err := g.Set(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet("SamplerScaling.*adaptive@2:1.4")   // passes (1.8 >= 1.4)
+	mustSet("SamplerScaling.*adaptive@4:1.6")   // fails (1.5 < 1.6)
+	mustSet("ThroughputScaling@4:1.5:measured") // skipped: host has 2 CPUs
+	mustSet("ThroughputScaling@2:1.1:measured") // passes
+	mustSet("NoSuchBench@2:1.0")                // fails: no matching row
+	failures := applyGates(report, g)
+	if len(failures) != 2 {
+		t.Fatalf("failures: %v", failures)
+	}
+	if !strings.Contains(failures[0], "below the 1.60x floor") {
+		t.Fatalf("failure 0: %s", failures[0])
+	}
+	if !strings.Contains(failures[1], "matched no scaling row") {
+		t.Fatalf("failure 1: %s", failures[1])
+	}
+}

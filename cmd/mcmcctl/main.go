@@ -141,6 +141,9 @@ trending one; R-hat near 1 with a collapsed accept rate a stuck one.`,
 				fmt.Fprintf(a.out, "phase\t%s\niter\t%d/%d\nlog_post\t%s\n", p.Phase, p.Iter, p.Total, fmtFloat(p.LogPost))
 			}
 			fmt.Fprintf(a.out, "samples\t%d\nrhat\t%s\ness\t%s\n", d.Samples, fmtFloat(d.RHat), fmtFloat(d.ESS))
+			if d.SpecWidth > 0 {
+				fmt.Fprintf(a.out, "spec_width\t%d\nspec_speedup\t%s\n", d.SpecWidth, fmtFloat(d.SpecSpeedup))
+			}
 			if d.State == api.StateDone {
 				fmt.Fprintf(a.out, "accept_rate\t%s\nglobal_reject_rate\t%s\nlocal_reject_rate\t%s\n",
 					fmtFloat(d.AcceptRate), fmtFloat(d.GlobalRejectRate), fmtFloat(d.LocalRejectRate))

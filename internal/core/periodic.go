@@ -35,6 +35,15 @@ type Options struct {
 	// that many concurrent proposal evaluations (eq. 3).
 	SpecWidth int
 
+	// SpecAdaptive enables speculative global moves with the width picked
+	// adaptively from the windowed rejection rate and measured per-batch
+	// costs (see spec.Config). It overrides SpecWidth.
+	SpecAdaptive bool
+
+	// SpecMaxWidth caps the adaptive width search; 0 means
+	// spec.DefaultMaxWidth. Ignored unless SpecAdaptive is set.
+	SpecMaxWidth int
+
 	// LocalSpecWidth > 1 additionally runs speculative batches *inside*
 	// each partition worker (the §VI suggestion for spare threads,
 	// eq. 4). With SimulateParallel the per-cell cost is credited with
@@ -85,6 +94,9 @@ func (o Options) Validate() error {
 	if o.SpecWidth < 0 {
 		return fmt.Errorf("core: SpecWidth must be >= 0")
 	}
+	if o.SpecMaxWidth < 0 {
+		return fmt.Errorf("core: SpecMaxWidth must be >= 0")
+	}
 	if o.LocalSpecWidth < 0 {
 		return fmt.Errorf("core: LocalSpecWidth must be >= 0")
 	}
@@ -112,6 +124,14 @@ type Engine struct {
 	globalMoves []mcmc.Move
 	exec        *spec.Executor
 	margin      float64
+
+	// gang is the persistent local-phase worker group, created on the
+	// first parallel phase. Reusing one goroutine set across fork/join
+	// cycles replaces ForEach's per-phase goroutine+channel setup with a
+	// single barrier release — the rest of the phase (grid draw,
+	// ownership assignment, merge) is inherently serial chain work, so
+	// the dispatch was the only removable serialization at the barrier.
+	gang *sched.Gang
 
 	// globalWeights mirrors the host weights restricted to globalMoves,
 	// computed once so global phases draw kinds without allocating.
@@ -160,18 +180,40 @@ func NewEngine(host *mcmc.Engine, opt Options) (*Engine, error) {
 		globalWeights: weights,
 		margin:        host.S.P.LocalityMargin(),
 	}
-	if opt.SpecWidth > 1 && len(globals) > 0 {
-		pe.exec = spec.NewExecutor(host, opt.SpecWidth, globals)
+	if (opt.SpecAdaptive || opt.SpecWidth > 1) && len(globals) > 0 {
+		cfg := spec.Config{
+			Workers:  opt.Workers,
+			Simulate: opt.SimulateParallel,
+		}
+		if opt.SpecAdaptive {
+			cfg.MaxWidth = opt.SpecMaxWidth
+		} else {
+			cfg.Width = opt.SpecWidth
+		}
+		pe.exec = spec.NewExecutorOpts(host, cfg, globals)
 	}
 	return pe, nil
+}
+
+// Close releases the engine's persistent worker goroutines (the local-
+// phase gang and the speculative executor's eval lanes). The engine must
+// not be used afterwards; Close is idempotent.
+func (pe *Engine) Close() {
+	if pe.exec != nil {
+		pe.exec.Close()
+	}
+	if pe.gang != nil {
+		pe.gang.Close()
+		pe.gang = nil
+	}
 }
 
 // QGlobal returns the chain's global-move probability q_g.
 func (pe *Engine) QGlobal() float64 { return pe.qg }
 
 // Executor returns the speculative executor driving global phases, or
-// nil when SpecWidth <= 1. Checkpointing uses it to capture the shadow
-// RNG streams.
+// nil when speculation is disabled. Checkpointing captures its batch
+// counters; telemetry reads its current width and measured speedup.
 func (pe *Engine) Executor() *spec.Executor { return pe.exec }
 
 // GlobalPhaseIters returns the global phase length paired with the
@@ -343,7 +385,10 @@ func (pe *Engine) localPhase(n int) {
 		// blocks that straddle cell boundaries: switch the field's
 		// counter updates to atomics for the phase.
 		s.F.SetParallel(true)
-		sched.ForEach(len(active), pe.Opt.Workers, func(i int) { active[i].run() })
+		if pe.gang == nil {
+			pe.gang = sched.NewGang(pe.Opt.Workers)
+		}
+		pe.gang.Run(len(active), func(_, i int) { active[i].run() })
 		s.F.SetParallel(false)
 	}
 

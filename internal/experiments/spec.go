@@ -53,6 +53,7 @@ func Spec(ctx context.Context, o Options) (*Result, error) {
 		tb.Add(width, x.MeasuredIterationsPerBatch(),
 			spec.ExpectedIterationsPerBatch(e.Stats.RejectionRate(), width),
 			spec.Speedup(e.Stats.RejectionRate(), width))
+		x.Close()
 	}
 	var sb strings.Builder
 	if err := tb.Write(&sb); err != nil {

@@ -243,6 +243,21 @@ func (e *Engine) Shadow() *Engine {
 	return &s
 }
 
+// ShadowScratch is Shadow without the stream split: the copy's RNGs are
+// placeholders the caller must Reseed before every use. Because it draws
+// nothing from the host's streams, the host chain is invariant to how
+// many scratch shadows exist — the property the speculative executor
+// needs so that speculation width (and worker count) can never alter the
+// realized chain.
+func (e *Engine) ShadowScratch() *Engine {
+	s := *e
+	s.R = rng.New(0)
+	s.kindR = rng.New(1)
+	s.partners = nil
+	s.ms = model.MoveSpans{}
+	return &s
+}
+
 // PickMove draws a move kind from the proposal mixture.
 func (e *Engine) PickMove() Move {
 	return Move(e.R.Pick(e.wNorm[:]))

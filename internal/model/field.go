@@ -52,6 +52,15 @@ import (
 // unnecessary scan of pixels it owns anyway) but never a spurious
 // uniform one. occ==nil disables the occupancy layer entirely; kernels
 // then behave exactly like the historical free functions.
+//
+// In the compact sequential layout eight blocks' counters share one
+// 64-byte cache line, so neighbouring workers' atomic updates would
+// ping-pong the line even though their pixel regions are disjoint.
+// SetParallel therefore also relayouts the table: parallel phases run on
+// a padded copy with one cache line per block (parStride words), and the
+// barrier relayouts back to the compact form so the sequential kernels
+// keep their dense, prefetch-friendly indexing. Both directions reuse a
+// pooled spare buffer; steady-state phase flips allocate nothing.
 type Field struct {
 	W, H int
 
@@ -62,10 +71,13 @@ type Field struct {
 	// Cover holds the per-pixel coverage counts.
 	Cover []int32
 
-	// occ holds the per-block occupancy counters (2 per block, row-major
-	// blocks, bW per block row); nil disables occupancy tracking.
+	// occ holds the per-block occupancy counters (row-major blocks, bW
+	// per block row); nil disables occupancy tracking. Stride 2 in
+	// sequential mode, parStride during parallel phases (see SetParallel).
 	occ []int32
-	bW  int
+	// occSpare pools the inactive layout's buffer between phase flips.
+	occSpare []int32
+	bW       int
 	// par switches occ access to atomics; toggled only at phase barriers.
 	par bool
 }
@@ -77,6 +89,13 @@ const (
 	// thinSpan is the segment width below which sumSpan scans directly
 	// instead of probing the occupancy blocks first.
 	thinSpan = blockSize
+
+	// parStride is the per-block word stride of the padded parallel
+	// layout: 16 int32 = 64 bytes, one cache line per block (mass at
+	// word 0, covered count at word 1, the rest padding). Go's allocator
+	// page-aligns the large-image tables where contention matters, so
+	// block lines don't straddle.
+	parStride = 16
 )
 
 // blocksPerRow returns the occupancy-grid width for an image width w.
@@ -108,12 +127,50 @@ func (f *Field) InitOcc() {
 			}
 		}
 	}
+	if f.par {
+		f.relayoutOcc(true)
+	}
 }
 
 // SetParallel switches the occupancy counters between plain (sequential)
-// and atomic (parallel local phase) access. It must only be called at a
-// barrier, with no kernel running concurrently.
-func (f *Field) SetParallel(on bool) { f.par = on }
+// and atomic (parallel local phase) access, relayouting the table so
+// each block owns a full cache line while workers hammer it with
+// atomics (see the false-sharing note in the type doc). It must only be
+// called at a barrier, with no kernel running concurrently.
+func (f *Field) SetParallel(on bool) {
+	if on == f.par {
+		return
+	}
+	f.par = on
+	if f.occ != nil {
+		f.relayoutOcc(on)
+	}
+}
+
+// relayoutOcc rewrites the active occupancy table from the compact
+// (stride-2) to the padded (stride-parStride) layout or back, swapping
+// with the pooled spare buffer. Padding words are never read, so they
+// are left stale.
+func (f *Field) relayoutOcc(toPadded bool) {
+	from, to := parStride, 2
+	if toPadded {
+		from, to = 2, parStride
+	}
+	nb := len(f.occ) / from
+	need := nb * to
+	buf := f.occSpare
+	if cap(buf) >= need {
+		buf = buf[:need]
+	} else {
+		buf = make([]int32, need)
+	}
+	for b := 0; b < nb; b++ {
+		buf[to*b] = f.occ[from*b]
+		buf[to*b+1] = f.occ[from*b+1]
+	}
+	f.occSpare = f.occ[:0]
+	f.occ = buf
+}
 
 // occUniform reports whether every block touched by row-y span [xa, xb)
 // is provably uniform for the given want (0: fully uncovered; 1: every
@@ -125,12 +182,12 @@ func (f *Field) occUniform(y, xa, xb int, want int32) bool {
 	b1 := base + (xb-1)>>blockShift
 	if f.par {
 		for b := b0; b <= b1; b++ {
-			s := atomic.LoadInt32(&f.occ[2*b])
+			s := atomic.LoadInt32(&f.occ[parStride*b])
 			if want == 0 {
 				if s != 0 {
 					return false
 				}
-			} else if s != atomic.LoadInt32(&f.occ[2*b+1]) {
+			} else if s != atomic.LoadInt32(&f.occ[parStride*b+1]) {
 				return false
 			}
 		}
@@ -240,9 +297,9 @@ func (f *Field) coverAddRange(y, xa, xb int, d int32) {
 				}
 			}
 		}
-		n := 2 * (base + bx)
 		ds := d * int32(len(seg))
 		if f.par {
+			n := parStride * (base + bx)
 			if d > 0 {
 				atomic.AddInt32(&f.occ[n], ds)
 				if trans != 0 {
@@ -255,6 +312,7 @@ func (f *Field) coverAddRange(y, xa, xb int, d int32) {
 				atomic.AddInt32(&f.occ[n], ds)
 			}
 		} else {
+			n := 2 * (base + bx)
 			f.occ[n] += ds
 			f.occ[n+1] += trans
 		}
@@ -285,9 +343,9 @@ func (f *Field) coverAddRange(y, xa, xb int, d int32) {
 				}
 			}
 		}
-		n := 2 * (base + bx)
 		ds := d * int32(end-i)
 		if f.par {
+			n := parStride * (base + bx)
 			if d > 0 {
 				atomic.AddInt32(&f.occ[n], ds)
 				if trans != 0 {
@@ -300,6 +358,7 @@ func (f *Field) coverAddRange(y, xa, xb int, d int32) {
 				atomic.AddInt32(&f.occ[n], ds)
 			}
 		} else {
+			n := 2 * (base + bx)
 			f.occ[n] += ds
 			f.occ[n+1] += trans
 		}
@@ -364,12 +423,12 @@ func (f *Field) spansUniform(spans []geom.Span, want int32) bool {
 		for by := by0; by <= by1; by++ {
 			row := by * f.bW
 			for b := row + bx0; b <= row+bx1; b++ {
-				s := atomic.LoadInt32(&f.occ[2*b])
+				s := atomic.LoadInt32(&f.occ[parStride*b])
 				if want == 0 {
 					if s != 0 {
 						return false
 					}
-				} else if s != atomic.LoadInt32(&f.occ[2*b+1]) {
+				} else if s != atomic.LoadInt32(&f.occ[parStride*b+1]) {
 					return false
 				}
 			}
@@ -757,13 +816,18 @@ func (f *Field) occConsistent() bool {
 	if f.occ == nil {
 		return true
 	}
+	stride := 2
+	if f.par {
+		stride = parStride
+	}
 	ref := Field{W: f.W, H: f.H, Cover: f.Cover}
 	ref.InitOcc()
-	if len(ref.occ) != len(f.occ) {
+	nb := len(ref.occ) / 2
+	if len(f.occ) != stride*nb {
 		return false
 	}
-	for i, v := range ref.occ {
-		if f.occ[i] != v {
+	for b := 0; b < nb; b++ {
+		if f.occ[stride*b] != ref.occ[2*b] || f.occ[stride*b+1] != ref.occ[2*b+1] {
 			return false
 		}
 	}

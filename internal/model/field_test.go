@@ -326,3 +326,46 @@ func TestMoveSpansCacheReplay(t *testing.T) {
 		t.Fatal("occupancy counters drifted")
 	}
 }
+
+// TestSetParallelRelayout pins the padded-layout switch: toggling
+// parallel mode must preserve the counters exactly (occConsistent checks
+// the layout-appropriate stride), kernels must agree with sequential
+// mode in both layouts, and repeated flips must reuse the pooled buffers.
+func TestSetParallelRelayout(t *testing.T) {
+	r := rng.New(31)
+	f := testField(r, 120, 90, 12, geom.KindDisc)
+	if !f.occConsistent() {
+		t.Fatal("inconsistent before any toggle")
+	}
+	c := diffShape(r, 120, 90, geom.KindDisc)
+	wantAdd := f.LikDeltaAdd(c)
+	for round := 0; round < 3; round++ {
+		f.SetParallel(true)
+		if !f.occConsistent() {
+			t.Fatalf("round %d: inconsistent after SetParallel(true)", round)
+		}
+		if got := f.LikDeltaAdd(c); math.Float64bits(got) != math.Float64bits(wantAdd) {
+			t.Fatalf("round %d: padded LikDeltaAdd %v, sequential %v", round, got, wantAdd)
+		}
+		// Mutate while padded so the relayout back carries real updates.
+		mv := diffShape(r, 120, 90, geom.KindDisc)
+		f.CoverAdd(mv, +1)
+		f.CoverAdd(mv, -1)
+		if !f.occConsistent() {
+			t.Fatalf("round %d: inconsistent after padded mutations", round)
+		}
+		f.SetParallel(false)
+		if !f.occConsistent() {
+			t.Fatalf("round %d: inconsistent after SetParallel(false)", round)
+		}
+		if got := f.LikDeltaAdd(c); math.Float64bits(got) != math.Float64bits(wantAdd) {
+			t.Fatalf("round %d: compact LikDeltaAdd %v, want %v", round, got, wantAdd)
+		}
+	}
+	// Redundant toggles are no-ops.
+	f.SetParallel(false)
+	f.SetParallel(false)
+	if !f.occConsistent() {
+		t.Fatal("inconsistent after redundant toggles")
+	}
+}

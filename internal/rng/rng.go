@@ -58,6 +58,22 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Reseed resets r in place to the state New(seed) would produce, clearing
+// any cached Normal variate. It exists so hot paths can re-derive a
+// deterministic stream per logical unit of work (one speculative iteration,
+// say) without allocating a generator per unit.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.hasGauss = false
+	r.gauss = 0
+}
+
 // NewFrom returns a generator whose state is copied from r. The copy and
 // the original then evolve independently (they will produce identical
 // streams; use Jump or Split for disjoint ones).

@@ -436,3 +436,24 @@ func TestFillValuesInRange(t *testing.T) {
 		}
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	// Burn arbitrary state, including the Normal cache.
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+		r.Normal()
+	}
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		r.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 50; i++ {
+			if a, b := r.Uint64(), fresh.Uint64(); a != b {
+				t.Fatalf("seed %d: Reseed stream diverges at %d: %x != %x", seed, i, a, b)
+			}
+			if a, b := r.Normal(), fresh.Normal(); a != b {
+				t.Fatalf("seed %d: Normal diverges at %d", seed, i)
+			}
+		}
+	}
+}

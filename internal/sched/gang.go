@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Gang is a persistent worker group for tight fork/join loops: the same
+// set of goroutines is released once per round through an atomic-epoch
+// barrier instead of being spawned per round as ForEach does. At the
+// batch sizes the speculative executor runs (a handful of likelihood
+// evaluations per barrier, microseconds apart), per-round goroutine and
+// channel setup dominates ForEach's cost; a Gang amortises it to one
+// atomic increment plus at most one channel wake per parked worker.
+//
+// The calling goroutine participates as worker 0, so a Gang of W workers
+// runs W-1 background goroutines. Tasks within a round are claimed from a
+// shared atomic counter, so uneven task costs balance dynamically exactly
+// as with ForEach. Run blocks until every task of the round has returned.
+//
+// A Gang must be released with Close when no longer needed; background
+// workers otherwise park forever (the service's goroutine-leak checks
+// would trip). Run and Close must be called from a single goroutine at a
+// time; the task function is invoked concurrently from all workers.
+type Gang struct {
+	workers int
+	started bool
+	closing atomic.Bool
+
+	// Round state: written by the releaser strictly before the epoch
+	// increment, read by workers strictly after observing it — the
+	// sequentially consistent epoch RMW/load pair publishes them.
+	fn    func(worker, task int)
+	tasks int
+
+	// Hot shared words, each padded onto its own cache line so worker
+	// task-claiming traffic does not false-share with the barrier epoch.
+	epoch   padUint64
+	next    padInt64
+	pending padInt64
+
+	done  chan struct{}
+	slots []gangSlot
+}
+
+// gangSlot is one background worker's parking state, padded to a cache
+// line so that neighbouring workers' park/wake flags never false-share.
+type gangSlot struct {
+	parked atomic.Uint64
+	wake   chan struct{}
+	_      [64 - 8 - 8]byte
+}
+
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type padInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Spin budget before a worker parks: a short burst of plain re-checks
+// (cheap when another core releases the barrier within nanoseconds), then
+// a few scheduler yields so a single-core host is not starved by the
+// spin, then a channel park.
+const (
+	gangSpinLoads  = 128
+	gangSpinYields = 4
+)
+
+// NewGang creates a gang of the given width. Background goroutines are
+// spawned lazily on the first Run that needs them, so constructing a Gang
+// that ends up unused (or used only with tasks <= 1) costs nothing.
+func NewGang(workers int) *Gang {
+	if workers < 1 {
+		panic("sched: NewGang needs at least one worker")
+	}
+	g := &Gang{workers: workers, done: make(chan struct{}, 1)}
+	g.slots = make([]gangSlot, workers)
+	for i := range g.slots {
+		g.slots[i].wake = make(chan struct{}, 1)
+	}
+	return g
+}
+
+// Workers returns the gang width.
+func (g *Gang) Workers() int { return g.workers }
+
+// Run executes fn(worker, task) for task in [0, tasks) across the gang
+// and blocks until all calls return. worker identifies the executing lane
+// in [0, g.Workers()) so callers can index per-worker scratch without
+// synchronisation. Rounds with a single task (or a single-worker gang)
+// run inline on the caller.
+func (g *Gang) Run(tasks int, fn func(worker, task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if g.workers == 1 || tasks == 1 {
+		for t := 0; t < tasks; t++ {
+			fn(0, t)
+		}
+		return
+	}
+	if g.closing.Load() {
+		panic("sched: Gang.Run after Close")
+	}
+	if !g.started {
+		g.started = true
+		// Hand each worker the pre-round epoch explicitly: a worker that
+		// is slow to start must still see this round's increment as new.
+		base := g.epoch.v.Load()
+		for i := 1; i < g.workers; i++ {
+			go g.work(i, base)
+		}
+	}
+	g.fn, g.tasks = fn, tasks
+	g.next.v.Store(0)
+	g.pending.v.Store(int64(g.workers))
+	g.epoch.v.Add(1)
+	// Wake parked workers. The Dekker pair with work(): a worker stores
+	// parked=1 and then re-loads the epoch before blocking; we increment
+	// the epoch and then load parked. Both orders are seq-cst, so either
+	// the worker sees the new epoch (and never blocks on a missing token)
+	// or we see parked=1 and hand it a token. Tokens are buffered and
+	// consumed with a re-check, so a stale token merely costs one spin.
+	for i := 1; i < g.workers; i++ {
+		sl := &g.slots[i]
+		if sl.parked.Load() != 0 {
+			select {
+			case sl.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	g.drain(0)
+	if g.pending.v.Add(-1) == 0 {
+		g.done <- struct{}{}
+	}
+	<-g.done
+	g.fn = nil
+}
+
+// drain claims and runs tasks for the current round until none remain.
+func (g *Gang) drain(worker int) {
+	for {
+		t := g.next.v.Add(1) - 1
+		if t >= int64(g.tasks) {
+			return
+		}
+		g.fn(worker, int(t))
+	}
+}
+
+// work is the background worker loop: wait for a new epoch, run the
+// round, report completion, repeat until Close.
+func (g *Gang) work(self int, seen uint64) {
+	sl := &g.slots[self]
+	for {
+		for spins := 0; ; spins++ {
+			cur := g.epoch.v.Load()
+			if cur != seen {
+				seen = cur
+				break
+			}
+			switch {
+			case spins < gangSpinLoads:
+			case spins < gangSpinLoads+gangSpinYields:
+				runtime.Gosched()
+			default:
+				sl.parked.Store(1)
+				if g.epoch.v.Load() == seen {
+					<-sl.wake
+				}
+				sl.parked.Store(0)
+				spins = 0
+			}
+		}
+		if g.closing.Load() {
+			return
+		}
+		g.drain(self)
+		if g.pending.v.Add(-1) == 0 {
+			g.done <- struct{}{}
+		}
+	}
+}
+
+// Close releases the background workers. It must not be called
+// concurrently with Run; calling Close more than once is harmless.
+func (g *Gang) Close() {
+	if !g.started || g.closing.Load() {
+		g.closing.Store(true)
+		return
+	}
+	g.closing.Store(true)
+	g.epoch.v.Add(1)
+	for i := 1; i < g.workers; i++ {
+		sl := &g.slots[i]
+		select {
+		case sl.wake <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, tasks := range []int{0, 1, 2, 7, 64, 1000} {
+			g := NewGang(workers)
+			counts := make([]atomic.Int64, tasks)
+			g.Run(tasks, func(_, task int) { counts[task].Add(1) })
+			g.Close()
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d tasks=%d: task %d ran %d times", workers, tasks, i, got)
+				}
+			}
+		}
+	}
+}
+
+// Many consecutive rounds through the same gang: the barrier must hand
+// every round to the workers exactly once, including back-to-back rounds
+// where workers race between parking and the next release.
+func TestGangRepeatedRounds(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	var total atomic.Int64
+	const rounds, tasks = 500, 9
+	for r := 0; r < rounds; r++ {
+		g.Run(tasks, func(_, task int) { total.Add(int64(task + 1)) })
+	}
+	want := int64(rounds * tasks * (tasks + 1) / 2)
+	if got := total.Load(); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}
+
+// The worker lane index must be in range and stable enough to index
+// per-worker scratch: two tasks observed on the same lane must never run
+// concurrently.
+func TestGangWorkerLaneExclusive(t *testing.T) {
+	const workers = 4
+	g := NewGang(workers)
+	defer g.Close()
+	inLane := make([]atomic.Int64, workers)
+	for r := 0; r < 50; r++ {
+		g.Run(workers*8, func(worker, _ int) {
+			if worker < 0 || worker >= workers {
+				panic("lane out of range")
+			}
+			if inLane[worker].Add(1) != 1 {
+				t.Error("two tasks active on one lane")
+			}
+			runtime.Gosched()
+			inLane[worker].Add(-1)
+		})
+	}
+}
+
+func TestGangCloseIdempotentAndUnstarted(t *testing.T) {
+	g := NewGang(3)
+	g.Close()
+	g.Close() // never started, closed twice: must not hang or panic
+
+	g2 := NewGang(3)
+	g2.Run(6, func(_, _ int) {})
+	g2.Close()
+	g2.Close()
+}
+
+func TestGangRunAfterClosePanics(t *testing.T) {
+	g := NewGang(2)
+	g.Run(4, func(_, _ int) {})
+	g.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	g.Run(4, func(_, _ int) {})
+}
+
+func TestGangPanicArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGang(0) did not panic")
+		}
+	}()
+	NewGang(0)
+}
+
+func BenchmarkGangRound(b *testing.B) {
+	for _, workers := range []int{2, 4} {
+		b.Run("gang/w="+strconv.Itoa(workers), func(b *testing.B) {
+			g := NewGang(workers)
+			defer g.Close()
+			var sink atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Run(workers, func(_, _ int) { sink.Add(1) })
+			}
+		})
+		b.Run("foreach/w="+strconv.Itoa(workers), func(b *testing.B) {
+			var sink atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ForEach(workers, workers, func(int) { sink.Add(1) })
+			}
+		})
+	}
+}

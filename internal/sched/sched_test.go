@@ -134,47 +134,4 @@ func TestMakespanEmpty(t *testing.T) {
 	}
 }
 
-func TestStealingRunnerExecutesAll(t *testing.T) {
-	r := NewStealingRunner(4)
-	if r.Workers() != 4 {
-		t.Fatalf("Workers = %d", r.Workers())
-	}
-	const n = 500
-	var hits [n]int32
-	for i := 0; i < n; i++ {
-		i := i
-		r.Submit(i%4, func() { atomic.AddInt32(&hits[i], 1) })
-	}
-	r.Run()
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("task %d ran %d times", i, h)
-		}
-	}
-}
-
-func TestStealingRunnerImbalanced(t *testing.T) {
-	// All tasks on one deque: the other workers must steal them.
-	r := NewStealingRunner(4)
-	var cnt int32
-	for i := 0; i < 100; i++ {
-		r.Submit(0, func() { atomic.AddInt32(&cnt, 1) })
-	}
-	r.Run()
-	if cnt != 100 {
-		t.Fatalf("executed %d tasks", cnt)
-	}
-}
-
-func TestStealingRunnerEmpty(t *testing.T) {
-	NewStealingRunner(2).Run() // must not hang
-}
-
-func TestStealingRunnerPanicsOnZeroWorkers(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	NewStealingRunner(0)
-}
+// The StealingRunner's dedicated coverage lives in stealing_test.go.

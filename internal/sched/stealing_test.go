@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStealingRunnerRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, tasks := range []int{0, 1, 3, 50, 200} {
+			r := NewStealingRunner(workers)
+			counts := make([]atomic.Int64, tasks)
+			for i := 0; i < tasks; i++ {
+				i := i
+				r.Submit(i, func() { counts[i].Add(1) })
+			}
+			r.Run()
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d tasks=%d: task %d ran %d times", workers, tasks, i, got)
+				}
+			}
+		}
+	}
+}
+
+// Submit spreads by worker index modulo the deque count; out-of-range
+// worker indices must still land somewhere and run.
+func TestStealingRunnerSubmitWraps(t *testing.T) {
+	r := NewStealingRunner(3)
+	var n atomic.Int64
+	for i := 0; i < 30; i++ {
+		r.Submit(i+1000, func() { n.Add(1) })
+	}
+	r.Run()
+	if n.Load() != 30 {
+		t.Fatalf("ran %d of 30 tasks", n.Load())
+	}
+}
+
+// Load all tasks onto one deque and make the tasks slow enough that the
+// idle workers must steal: more than one goroutine has to end up
+// executing tasks, and the victim deque must drain completely.
+func TestStealingRunnerStealsUnderSkew(t *testing.T) {
+	const workers, tasks = 4, 32
+	r := NewStealingRunner(workers)
+	var done, concurrent, peak atomic.Int64
+	for i := 0; i < tasks; i++ {
+		r.Submit(0, func() {
+			c := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			concurrent.Add(-1)
+			done.Add(1)
+		})
+	}
+	r.Run()
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d: idle workers never stole from the loaded deque", peak.Load())
+	}
+	if done.Load() != tasks {
+		t.Fatalf("ran %d of %d tasks", done.Load(), tasks)
+	}
+}
+
+// Workers sweep other deques after their own: with every deque loaded
+// and task costs wildly skewed, the runner must still finish everything
+// (no lost tasks when pop and steal race on the same deque).
+func TestStealingRunnerSkewedCostsAllDeques(t *testing.T) {
+	const workers = 4
+	r := NewStealingRunner(workers)
+	var n atomic.Int64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 25; i++ {
+			d := time.Duration(0)
+			if w == 0 {
+				d = time.Millisecond
+			}
+			r.Submit(w, func() {
+				if d > 0 {
+					time.Sleep(d)
+				}
+				n.Add(1)
+			})
+		}
+	}
+	r.Run()
+	if n.Load() != workers*25 {
+		t.Fatalf("ran %d of %d tasks", n.Load(), workers*25)
+	}
+}
+
+func TestStealingRunnerEmpty(t *testing.T) {
+	NewStealingRunner(2).Run() // no submissions: must not hang
+}
+
+func TestStealingRunnerPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStealingRunner(0) did not panic")
+		}
+	}()
+	NewStealingRunner(0)
+}
+
+func TestStealingRunnerWorkers(t *testing.T) {
+	if got := NewStealingRunner(5).Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+}

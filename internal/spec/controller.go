@@ -1,0 +1,117 @@
+package spec
+
+import "math"
+
+// controller picks the speculation width that maximises expected
+// committed chain iterations per second under the eq. 3 model, net of
+// measured per-batch overhead:
+//
+//	score(n) = E[consumed | p_r, n] / (overhead + τ_eval · ⌈n/workers⌉)
+//
+// where E is ExpectedIterationsPerBatch, p_r the windowed rejection rate
+// of the restricted move-set, τ_eval the smoothed per-proposal
+// evaluation cost and overhead the smoothed per-batch dispatch+barrier
+// cost. ⌈n/workers⌉ counts evaluation waves: widths beyond the worker
+// count still help (deeper speculation), but each extra wave costs a
+// full τ_eval, which is exactly the trade eq. 3 leaves out.
+//
+// Because the realized chain is width-invariant (see the package doc),
+// the controller is free to consume wall-clock measurements: its
+// decisions affect throughput only, never results, so checkpoint resume
+// needs no replay of the decision sequence.
+type controller struct {
+	maxWidth int
+	workers  int
+
+	// Decaying window of acceptance outcomes for the restricted
+	// move-set, seeded with a pseudo-count prior at the paper's case
+	// study rate (p_r = 0.75) so early decisions are sane.
+	tested   float64
+	rejected float64
+
+	perEval  float64 // EWMA seconds per proposal evaluation
+	overhead float64 // EWMA seconds per batch of dispatch+barrier cost
+
+	width   int
+	batches int // batches since the last decision
+}
+
+const (
+	// ctlDecideEvery is how many batches each width decision holds for.
+	ctlDecideEvery = 32
+	// ctlDecay halves the acceptance window at every decision, so the
+	// rejection-rate estimate tracks the chain's current regime (early
+	// exploration accepts far more than equilibrium).
+	ctlDecay = 0.5
+	// ctlHysteresis: only switch widths for a ≥5% predicted gain, so
+	// near-ties don't oscillate.
+	ctlHysteresis = 1.05
+	// ctlEWMA is the smoothing factor for the cost estimates.
+	ctlEWMA = 0.2
+)
+
+func newController(maxWidth, workers int) *controller {
+	c := &controller{
+		maxWidth: maxWidth,
+		workers:  max(workers, 1),
+		// Prior: 8 pseudo-batches at the paper's p_r ≈ 0.75.
+		tested:   8,
+		rejected: 6,
+		perEval:  1e-6,
+		overhead: 2e-6,
+	}
+	c.width = min(4, maxWidth)
+	return c
+}
+
+// observe folds one batch's outcome into the windowed estimates and
+// re-decides the width at the decision cadence. tested counts proposals
+// whose acceptance test ran; rejected counts those that failed it.
+// evalSecs is the measured evaluation time over evals proposals, and
+// overhead the batch's dispatch+barrier cost sample (both may be 0 when
+// nothing was timed).
+func (c *controller) observe(tested, rejected int, evalSecs float64, evals int, overhead float64) {
+	c.tested += float64(tested)
+	c.rejected += float64(rejected)
+	if evals > 0 && evalSecs > 0 {
+		c.perEval += ctlEWMA * (evalSecs/float64(evals) - c.perEval)
+	}
+	if overhead > 0 {
+		c.overhead += ctlEWMA * (overhead - c.overhead)
+	}
+	if c.batches++; c.batches >= ctlDecideEvery {
+		c.batches = 0
+		c.decide()
+		c.tested *= ctlDecay
+		c.rejected *= ctlDecay
+	}
+}
+
+// score is the predicted committed iterations per second at width n.
+func (c *controller) score(pr float64, n int) float64 {
+	waves := (n + c.workers - 1) / c.workers
+	cost := c.overhead + c.perEval*float64(waves)
+	if cost <= 0 {
+		cost = math.SmallestNonzeroFloat64
+	}
+	return ExpectedIterationsPerBatch(pr, n) / cost
+}
+
+func (c *controller) decide() {
+	pr := c.rejected / c.tested
+	if pr < 0 {
+		pr = 0
+	}
+	if pr > 0.999 {
+		pr = 0.999
+	}
+	best, bestScore := 1, c.score(pr, 1)
+	for n := 2; n <= c.maxWidth; n++ {
+		if s := c.score(pr, n); s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	if best != c.width && bestScore > c.score(pr, c.width)*ctlHysteresis {
+		c.width = best
+	}
+}

@@ -12,26 +12,104 @@
 // spent — so the chain's law is untouched while wall-clock time shrinks
 // toward 1 iteration per batch. Under a rejection rate p_r the expected
 // speedup is (1 − p_r^n)/(1 − p_r) (eq. 3's correction term).
+//
+// # Width invariance
+//
+// The realized chain is *exactly* the same for every speculation width,
+// not merely equal in law. Chain iteration k draws its move kind and
+// proposal parameters from a private stream reseeded to a deterministic
+// function of (seqBase, k), where seqBase is drawn once from the host
+// stream at construction; acceptance uniforms come from the host stream
+// in consumed-iteration order (only tested proposals draw, and they are
+// tested in iteration order). By induction, the proposal evaluated at
+// iteration k is a function of seed_k and the state S_k alone — neither
+// depends on how iterations were grouped into batches — so any width
+// schedule, including one driven by wall-clock measurements, yields the
+// same committed chain. That is what lets the adaptive controller
+// (controller.go) pick widths from timing data while checkpoint resume
+// stays bit-identical: width decisions need not be replayed, because
+// they cannot influence the chain.
 package spec
 
 import (
-	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/mcmc"
-	"repro/internal/rng"
 	"repro/internal/sched"
 )
+
+// DefaultMaxWidth caps the adaptive controller's width search. Eq. 3
+// saturates at 1/(1−p_r) — 4 for the paper's p_r ≈ 0.75 — so widths past
+// 8 buy nothing for realistic rejection rates.
+const DefaultMaxWidth = 8
+
+// DefaultSimOverhead is the modelled per-batch dispatch+barrier cost
+// charged by Simulate mode, in seconds. The value is the measured cost
+// of one persistent-gang round trip on commodity hardware; Config can
+// override it.
+const DefaultSimOverhead = 1e-6
+
+// Config configures an Executor beyond the basic fixed-width case.
+type Config struct {
+	// Width is the fixed speculation width (>= 1). 0 selects the
+	// adaptive controller, which re-picks the width from the windowed
+	// rejection rate and measured per-batch costs (see controller.go).
+	Width int
+	// MaxWidth caps the adaptive width search; 0 means DefaultMaxWidth.
+	// Ignored when Width > 0.
+	MaxWidth int
+	// Workers is the degree of evaluation parallelism. In normal runs it
+	// bounds the gang of persistent eval goroutines; in Simulate mode it
+	// is the modelled machine width for the makespan accounting. 0
+	// defaults to min(width cap, GOMAXPROCS) — or the width cap itself
+	// in Simulate mode, where no real goroutines are spawned.
+	Workers int
+	// Simulate runs evaluations serially but timed, accumulating
+	// SimSeqSeconds/SimSpecSeconds — the single-machine device DESIGN.md
+	// §7 uses to report honest multi-core numbers from a one-core host.
+	Simulate bool
+	// SimOverhead overrides DefaultSimOverhead (seconds per batch).
+	SimOverhead float64
+}
+
+// laneClock accumulates one gang lane's evaluation time, padded so
+// concurrent lanes never share a cache line.
+type laneClock struct {
+	secs  float64
+	evals int64
+	_     [48]byte
+}
 
 // Executor evaluates proposals speculatively against a host engine.
 type Executor struct {
 	host *mcmc.Engine
-	// shadows are per-slot engine copies sharing the host's state but
-	// owning disjoint RNG streams, so Propose can run concurrently.
-	shadows []*mcmc.Engine
+	// slots are per-lane engine copies sharing the host's state but
+	// owning private scratch, so Propose can run concurrently. Their RNG
+	// is reseeded per iteration (see package doc); they hold no stream
+	// state across iterations.
+	slots []*mcmc.Engine
 	// moves restricts the kinds drawn (nil = the host's full mixture).
 	moves   []mcmc.Move
 	weights []float64
+
+	// seqBase salts the per-iteration proposal streams. Drawn once from
+	// the host stream at construction — exactly one draw regardless of
+	// width, worker count or GOMAXPROCS, so construction advances the
+	// host identically on every machine.
+	seqBase uint64
+
+	// gang is the persistent eval worker group (nil when evaluation is
+	// serial: single lane or Simulate mode).
+	gang  *sched.Gang
+	lanes []laneClock
+
+	ctl *controller // nil for fixed width
+
+	simulate    bool
+	simOverhead float64
+	workers     int
 
 	// Batches and Consumed accumulate how many speculative rounds ran
 	// and how many chain iterations they covered; their ratio is the
@@ -39,21 +117,63 @@ type Executor struct {
 	Batches  int64
 	Consumed int64
 
-	// kinds/props are reusable batch buffers so steady-state speculative
+	// SimSeqSeconds and SimSpecSeconds accumulate only in Simulate mode:
+	// the serial-equivalent cost of the consumed iterations (what a
+	// sequential chain would have evaluated) and the modelled parallel
+	// cost of each batch (LPT makespan of all evaluations over Workers
+	// lanes, plus SimOverhead). Their ratio is the simulated speedup.
+	SimSeqSeconds  float64
+	SimSpecSeconds float64
+
+	// props is the reusable batch buffer so steady-state speculative
 	// rounds allocate nothing.
-	kinds []mcmc.Move
-	props []mcmc.Proposal
+	props    []mcmc.Proposal
+	evalSecs []float64
 }
 
-// NewExecutor builds an executor of the given speculation width over the
-// host engine. If moves is non-nil, proposals are drawn only from that
-// subset (the periodic engine passes M_g here), with probabilities
-// proportional to the host's weights restricted to the subset.
+// NewExecutor builds a fixed-width executor over the host engine. If
+// moves is non-nil, proposals are drawn only from that subset (the
+// periodic engine passes M_g here), with probabilities proportional to
+// the host's weights restricted to the subset.
 func NewExecutor(host *mcmc.Engine, width int, moves []mcmc.Move) *Executor {
 	if width < 1 {
 		panic("spec: width must be >= 1")
 	}
-	x := &Executor{host: host, moves: moves}
+	return NewExecutorOpts(host, Config{Width: width}, moves)
+}
+
+// NewExecutorOpts builds an executor from a full Config; Width 0 selects
+// the adaptive controller. The executor owns background goroutines when
+// evaluation is parallel — release them with Close.
+func NewExecutorOpts(host *mcmc.Engine, cfg Config, moves []mcmc.Move) *Executor {
+	if cfg.Width < 0 {
+		panic("spec: width must be >= 1 (or 0 for adaptive)")
+	}
+	maxW := cfg.Width
+	if maxW == 0 {
+		maxW = cfg.MaxWidth
+		if maxW <= 0 {
+			maxW = DefaultMaxWidth
+		}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		if cfg.Simulate {
+			workers = maxW
+		} else {
+			workers = min(maxW, runtime.GOMAXPROCS(0))
+		}
+	}
+	x := &Executor{
+		host:        host,
+		moves:       moves,
+		simulate:    cfg.Simulate,
+		simOverhead: cfg.SimOverhead,
+		workers:     workers,
+	}
+	if x.simOverhead <= 0 {
+		x.simOverhead = DefaultSimOverhead
+	}
 	if moves != nil {
 		if len(moves) == 0 {
 			panic("spec: empty move restriction")
@@ -63,94 +183,192 @@ func NewExecutor(host *mcmc.Engine, width int, moves []mcmc.Move) *Executor {
 			x.weights[i] = host.W[m]
 		}
 	}
-	x.shadows = make([]*mcmc.Engine, width)
-	for i := range x.shadows {
-		// Shadow gives each slot its own RNG stream and scratch buffers;
-		// a plain struct copy would share the host's scratch and race.
-		x.shadows[i] = host.Shadow()
+	x.seqBase = host.R.Uint64()
+	lanes := 1
+	if !cfg.Simulate && maxW > 1 {
+		lanes = min(workers, maxW)
 	}
-	x.kinds = make([]mcmc.Move, width)
-	x.props = make([]mcmc.Proposal, width)
+	x.slots = make([]*mcmc.Engine, lanes)
+	for i := range x.slots {
+		x.slots[i] = host.ShadowScratch()
+	}
+	if lanes > 1 {
+		x.gang = sched.NewGang(lanes)
+		x.lanes = make([]laneClock, lanes)
+	}
+	if cfg.Width == 0 {
+		x.ctl = newController(maxW, workers)
+	}
+	x.props = make([]mcmc.Proposal, maxW)
+	if cfg.Simulate {
+		x.evalSecs = make([]float64, maxW)
+	}
 	return x
 }
 
-// Width returns the speculation width.
-func (x *Executor) Width() int { return len(x.shadows) }
-
-// ShadowStates returns the RNG state of every shadow slot. Shadow
-// streams advance as proposals are evaluated, so a checkpoint must
-// capture them alongside the host engine's stream.
-func (x *Executor) ShadowStates() []rng.Saved {
-	states := make([]rng.Saved, len(x.shadows))
-	for i, s := range x.shadows {
-		states[i] = s.R.Save()
+// Width returns the width the next batch will run at: the fixed width,
+// or the adaptive controller's current pick.
+func (x *Executor) Width() int {
+	if x.ctl != nil {
+		return x.ctl.width
 	}
-	return states
+	return len(x.props)
 }
 
-// RestoreShadowStates overwrites every shadow slot's RNG state.
-func (x *Executor) RestoreShadowStates(states []rng.Saved) error {
-	if len(states) != len(x.shadows) {
-		return fmt.Errorf("spec: %d shadow states for width %d", len(states), len(x.shadows))
+// MaxWidth returns the widest batch the executor can run.
+func (x *Executor) MaxWidth() int { return len(x.props) }
+
+// Adaptive reports whether the width is controller-driven.
+func (x *Executor) Adaptive() bool { return x.ctl != nil }
+
+// Close releases the persistent eval workers. The executor must not be
+// used afterwards; Close is idempotent.
+func (x *Executor) Close() {
+	if x.gang != nil {
+		x.gang.Close()
 	}
-	for i, s := range x.shadows {
-		s.R.Restore(states[i])
-	}
-	return nil
 }
 
-// pickMove draws a move kind honouring the restriction.
-func (x *Executor) pickMove() mcmc.Move {
+// iterSeed derives chain iteration k's proposal-stream seed. The
+// multiplier is the splitmix64 increment; Reseed mixes the product
+// through three xor-multiply rounds per state word, so consecutive k
+// yield decorrelated streams.
+func iterSeed(base uint64, k int64) uint64 {
+	return base + uint64(k)*0x9e3779b97f4a7c15
+}
+
+// evalOne evaluates the proposal for chain iteration base+i on the given
+// lane's slot engine.
+func (x *Executor) evalOne(lane int, base int64, i int) {
+	sh := x.slots[lane]
+	sh.R.Reseed(iterSeed(x.seqBase, base+int64(i)))
+	var kind mcmc.Move
 	if x.moves == nil {
-		return x.host.PickMove()
+		kind = sh.PickMove()
+	} else {
+		kind = x.moves[sh.R.Pick(x.weights)]
 	}
-	return x.moves[x.host.R.Pick(x.weights)]
+	x.props[i] = sh.Propose(kind)
 }
 
 // StepBatch runs one speculative round of up to `width` proposals and
 // returns how many chain iterations it consumed (1..width) and whether a
-// proposal was applied. Proposal kinds and acceptance randomness come
-// from the host RNG in iteration order, so the chain's law matches the
-// sequential sampler's.
+// proposal was applied. Acceptance randomness comes from the host RNG in
+// consumed-iteration order and proposal randomness from the reseeded
+// per-iteration streams, so the chain matches the sequential sampler's
+// regardless of batching (see the package doc).
 func (x *Executor) StepBatch(width int) (consumed int, applied bool) {
-	if width > len(x.shadows) {
-		width = len(x.shadows)
-	}
 	if width < 1 {
 		width = 1
 	}
-	// Draw kinds serially from the host stream (cheap), then evaluate
-	// the expensive likelihood deltas concurrently on the frozen state.
-	kinds := x.kinds[:width]
-	for i := range kinds {
-		kinds[i] = x.pickMove()
+	if width > len(x.props) {
+		width = len(x.props)
 	}
 	props := x.props[:width]
-	sched.ForEach(width, width, func(i int) {
-		props[i] = x.shadows[i].Propose(kinds[i])
-	})
+	base := x.host.Iter
+
+	// Evaluate the expensive likelihood deltas concurrently (or serially
+	// but timed, in Simulate mode) on the frozen state.
+	var evalWall, laneSum, laneMax float64
+	var evalsTimed int
+	switch {
+	case x.simulate:
+		secs := x.evalSecs[:width]
+		for i := range props {
+			t0 := time.Now()
+			x.evalOne(0, base, i)
+			secs[i] = time.Since(t0).Seconds()
+		}
+	case x.gang != nil && width > 1:
+		if x.ctl != nil {
+			for l := range x.lanes {
+				x.lanes[l].secs, x.lanes[l].evals = 0, 0
+			}
+			t0 := time.Now()
+			x.gang.Run(width, func(lane, i int) {
+				s := time.Now()
+				x.evalOne(lane, base, i)
+				lc := &x.lanes[lane]
+				lc.secs += time.Since(s).Seconds()
+				lc.evals++
+			})
+			evalWall = time.Since(t0).Seconds()
+			for l := range x.lanes {
+				laneSum += x.lanes[l].secs
+				laneMax = math.Max(laneMax, x.lanes[l].secs)
+				evalsTimed += int(x.lanes[l].evals)
+			}
+		} else {
+			x.gang.Run(width, func(lane, i int) { x.evalOne(lane, base, i) })
+		}
+	default:
+		if x.ctl != nil {
+			t0 := time.Now()
+			for i := range props {
+				x.evalOne(0, base, i)
+			}
+			evalWall = time.Since(t0).Seconds()
+			laneSum, laneMax, evalsTimed = evalWall, evalWall, width
+		} else {
+			for i := range props {
+				x.evalOne(0, base, i)
+			}
+		}
+	}
+
 	// Apply the acceptance tests in order; at most one state change.
 	// AcceptsP refines coarse-screened proposals in place, so a
 	// committed proposal always carries exact deltas.
 	x.Batches++
-	for i := 0; i < width; i++ {
+	for i := range props {
 		if x.host.AcceptsP(&props[i]) {
 			x.host.Commit(props[i])
-			x.Consumed += int64(i + 1)
-			return i + 1, true
+			consumed, applied = i+1, true
+			break
 		}
 		x.host.RecordRejected(props[i])
 	}
-	x.Consumed += int64(width)
-	return width, false
+	if !applied {
+		consumed = width
+	}
+	x.Consumed += int64(consumed)
+
+	if x.simulate {
+		secs := x.evalSecs[:width]
+		// A sequential chain would have evaluated exactly the consumed
+		// proposals (they are width-invariant); the speculative machine
+		// pays the makespan of all of them over Workers lanes.
+		for _, s := range secs[:consumed] {
+			x.SimSeqSeconds += s
+		}
+		x.SimSpecSeconds += sched.Makespan(secs, sched.LPTAssign(secs, x.workers)) + x.simOverhead
+	}
+	if x.ctl != nil {
+		rejected := consumed
+		if applied {
+			rejected--
+		}
+		var evalSecs, overhead float64
+		var evals int
+		if x.simulate {
+			for _, s := range x.evalSecs[:width] {
+				evalSecs += s
+			}
+			evals, overhead = width, x.simOverhead
+		} else {
+			evalSecs, evals = laneSum, evalsTimed
+			overhead = math.Max(0, evalWall-laneMax)
+		}
+		x.ctl.observe(consumed, rejected, evalSecs, evals, overhead)
+	}
+	return consumed, applied
 }
 
 // RunN advances the chain by exactly n iterations using speculative
 // batches, clamping the final batch so the count is exact.
 func (x *Executor) RunN(n int) {
-	done := 0
-	for done < n {
-		width := len(x.shadows)
+	for done := 0; done < n; {
+		width := x.Width()
 		if rem := n - done; rem < width {
 			width = rem
 		}
@@ -160,7 +378,7 @@ func (x *Executor) RunN(n int) {
 }
 
 // MeasuredIterationsPerBatch returns the average iterations covered per
-// speculative round so far (1 means speculation never helped, Width
+// speculative round so far (1 means speculation never helped, the width
 // means every batch was fully consumed).
 func (x *Executor) MeasuredIterationsPerBatch() float64 {
 	if x.Batches == 0 {

@@ -47,6 +47,7 @@ func NewProgressEvent(p parmcmc.Progress) *ProgressEvent {
 		LogPost: Float(p.LogPost), NumCircles: p.NumCircles,
 		AcceptRate: Float(p.AcceptRate),
 		Partitions: p.Partitions, PartitionsDone: p.PartitionsDone,
+		SpecWidth: p.SpecWidth, SpecSpeedup: Float(p.SpecSpeedup),
 	}
 }
 

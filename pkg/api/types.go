@@ -109,6 +109,15 @@ type ProgressEvent struct {
 	AcceptRate     Float  `json:"accept_rate"`
 	Partitions     int    `json:"partitions"`
 	PartitionsDone int    `json:"partitions_done"`
+
+	// Speculative-executor telemetry (PeriodicSpeculative runs only):
+	// the speculation width the next batch runs at — the adaptive
+	// controller's current pick, or the configured fixed width — and the
+	// measured committed-iterations-per-batch speedup so far. Telemetry
+	// only: the sampled chain is identical for every width, so these
+	// never appear in ResultView.
+	SpecWidth   int   `json:"spec_width,omitempty"`
+	SpecSpeedup Float `json:"spec_speedup,omitempty"`
 }
 
 // CircleView is one detected artifact in disc form (equal-area radius
@@ -188,6 +197,14 @@ type DiagView struct {
 	Samples int   `json:"samples"`
 	RHat    Float `json:"rhat"`
 	ESS     Float `json:"ess"`
+
+	// Speculative-executor telemetry, lifted from the latest progress
+	// snapshot of PeriodicSpeculative runs (absent otherwise): the
+	// current speculation width and the measured iterations-per-batch
+	// speedup. Also exported as the mcmcd_spec_width/mcmcd_spec_speedup
+	// per-job gauges on /metrics.
+	SpecWidth   int   `json:"spec_width,omitempty"`
+	SpecSpeedup Float `json:"spec_speedup,omitempty"`
 
 	// Result-level diagnostics, present once the job is done.
 	AcceptRate       Float        `json:"accept_rate,omitempty"`

@@ -64,6 +64,16 @@ func determinismCasesShaped(t *testing.T, shape Shape) ([]float64, int, int, []d
 			MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
 		},
 	})
+	// The Strategies() loop above covers the adaptive executor
+	// (SpecWidth 0); this case pins the fixed-width path too.
+	cases = append(cases, detCase{
+		name: prefix + "periodic+spec/width-3",
+		pix:  pix,
+		opt: Options{
+			Strategy: PeriodicSpeculative, Shape: shape, SpecWidth: 3,
+			MeanRadius: 7, Iterations: 16000, Seed: 11, Workers: 2,
+		},
+	})
 	return pix, w, h, cases
 }
 

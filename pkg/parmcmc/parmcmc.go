@@ -112,8 +112,13 @@ type Options struct {
 	// Periodic and Blind (default 2).
 	LocalPhaseIters int
 	PartitionGrid   int
-	// SpecWidth is the speculation width for PeriodicSpeculative
-	// (default 4).
+	// SpecWidth is the speculation width for PeriodicSpeculative. 0 (the
+	// default) picks the width adaptively: a controller tracks the
+	// windowed rejection rate of the global move-set and re-picks the
+	// width maximizing expected committed iterations per second under
+	// the paper's eq. 3 model, net of measured per-batch overhead. The
+	// realized chain is identical for every width (and for the adaptive
+	// schedule) — only throughput changes.
 	SpecWidth int
 	// LocalSpecWidth > 1 additionally runs speculative batches inside
 	// each periodic partition worker (eq. 4's per-machine threads).
@@ -193,9 +198,6 @@ func (o Options) withDefaults() Options {
 	if o.PartitionGrid == 0 {
 		o.PartitionGrid = 2
 	}
-	if o.SpecWidth == 0 {
-		o.SpecWidth = 4
-	}
 	if o.GridSlack == 0 {
 		o.GridSlack = 1.01
 	}
@@ -260,6 +262,22 @@ type Result struct {
 	GlobalSeconds   float64
 	LocalSeconds    float64
 	SimLocalSeconds float64
+
+	// Speculative-executor metadata for PeriodicSpeculative runs.
+	// SpecBatches counts speculative rounds; SpecSpeedup is the measured
+	// consumed-iterations-per-batch (the realized eq. 3 gain); SpecWidth
+	// is the width the executor ended at (the fixed width, or the
+	// adaptive controller's final pick — the latter is timing-driven and
+	// so not deterministic, unlike the chain itself). With
+	// Options.SimulateParallel, SimGlobalSeconds is the simulated
+	// Workers-way global-phase wall-clock (per-batch LPT makespan plus
+	// overhead) and SimGlobalSerialSeconds the serial-equivalent cost of
+	// the same consumed iterations.
+	SpecBatches            int64
+	SpecSpeedup            float64
+	SpecWidth              int
+	SimGlobalSeconds       float64
+	SimGlobalSerialSeconds float64
 
 	// Ellipses carries the full shape parameters of every detection —
 	// always populated, with Rx == Ry for disc runs; Circles mirrors it

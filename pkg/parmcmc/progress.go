@@ -32,4 +32,13 @@ type Progress struct {
 	// many have converged or hit their cap (whole-image strategies
 	// report 1 and 0-or-1).
 	Partitions, PartitionsDone int
+
+	// Speculative-executor telemetry, populated only by the
+	// PeriodicSpeculative strategy: the width the next batch will run at
+	// (the adaptive controller's current pick, or the fixed width) and
+	// the measured consumed-iterations-per-batch so far — the realized
+	// eq. 3 speedup, 1 meaning speculation never helped. Telemetry only:
+	// the sampled chain is identical for every width schedule.
+	SpecWidth   int
+	SpecSpeedup float64
 }

@@ -116,6 +116,12 @@ func newRunEnv(pix []float64, w, h int, opt Options) (*runEnv, error) {
 // its final state. prior carries wall-clock accumulated by earlier
 // segments of a resumed run.
 func drive(ctx context.Context, env *runEnv, smp sampler, prior time.Duration) (*Result, error) {
+	// Samplers backed by persistent worker goroutines (the periodic
+	// engine's gang, the speculative executor's eval lanes) release them
+	// here, on every exit path.
+	if c, ok := smp.(interface{ Close() }); ok {
+		defer c.Close()
+	}
 	o := env.opt
 	start := time.Now()
 	chunk := smp.AlignChunk(ctxCheckIters)

@@ -42,7 +42,11 @@ func newPeriodicSampler(speculative bool) samplerFactory {
 			SimulateParallel: o.SimulateParallel,
 		}
 		if speculative {
-			copt.SpecWidth = o.SpecWidth
+			if o.SpecWidth == 0 {
+				copt.SpecAdaptive = true
+			} else {
+				copt.SpecWidth = o.SpecWidth
+			}
 		}
 		sp := &periodicSampler{env: env, e: e, timer: timer}
 		copt.OnBarrier = func(info core.BarrierInfo) { sp.lastBarrier = info }
@@ -69,9 +73,15 @@ type periodicSampler struct {
 	lastBarrier core.BarrierInfo
 
 	// baseGlobalSecs/baseLocalSecs carry phase wall-clock from resumed
-	// segments (the in-memory timer restarts at zero).
-	baseGlobalSecs, baseLocalSecs float64
+	// segments (the in-memory timer restarts at zero); the Sim bases do
+	// the same for the executor's simulated-global accumulators.
+	baseGlobalSecs, baseLocalSecs              float64
+	baseSimGlobalSecs, baseSimGlobalSerialSecs float64
 }
+
+// Close releases the engine's persistent worker goroutines; drive calls
+// it on every exit path.
+func (sp *periodicSampler) Close() { sp.pe.Close() }
 
 // AlignChunk rounds the chunk to whole multiples of the global+local
 // cycle, keeping the alternating schedule identical to a single Run
@@ -101,7 +111,7 @@ func (sp *periodicSampler) Snapshot() Progress {
 	if sp.e.Iter >= int64(sp.env.opt.Iterations) {
 		done = 1
 	}
-	return Progress{
+	p := Progress{
 		Strategy: sp.env.opt.Strategy,
 		Phase:    fmt.Sprintf("cycle %d", sp.lastBarrier.Barriers),
 		Iter:     sp.e.Iter, Total: int64(sp.env.opt.Iterations),
@@ -109,6 +119,11 @@ func (sp *periodicSampler) Snapshot() Progress {
 		AcceptRate: 1 - sp.e.Stats.RejectionRate(),
 		Partitions: 1, PartitionsDone: done,
 	}
+	if exec := sp.pe.Executor(); exec != nil {
+		p.SpecWidth = exec.Width()
+		p.SpecSpeedup = exec.MeasuredIterationsPerBatch()
+	}
+	return p
 }
 
 func (sp *periodicSampler) Finish(res *Result) error {
@@ -120,21 +135,41 @@ func (sp *periodicSampler) Finish(res *Result) error {
 	res.GlobalSeconds = sp.baseGlobalSecs + sp.timer.Total("global").Seconds()
 	res.LocalSeconds = sp.baseLocalSecs + sp.timer.Total("local").Seconds()
 	res.SimLocalSeconds = sp.pe.SimLocalSeconds
+	if exec := sp.pe.Executor(); exec != nil {
+		res.SpecBatches = exec.Batches
+		res.SpecSpeedup = exec.MeasuredIterationsPerBatch()
+		res.SpecWidth = exec.Width()
+		res.SimGlobalSeconds = sp.baseSimGlobalSecs + exec.SimSpecSeconds
+		res.SimGlobalSerialSeconds = sp.baseSimGlobalSerialSecs + exec.SimSeqSeconds
+	} else if o.SimulateParallel {
+		// Serial global phases: the simulated machine runs them as-is.
+		res.SimGlobalSeconds = res.GlobalSeconds
+		res.SimGlobalSerialSeconds = res.GlobalSeconds
+	}
 	return nil
 }
 
 // periodicDump is the periodic strategies' checkpoint payload: the host
-// engine, the speculative executor's shadow RNG streams and efficiency
-// counters, and the engine-level bookkeeping.
+// engine, the speculative executor's efficiency counters, and the
+// engine-level bookkeeping. The executor needs no RNG state of its own:
+// per-iteration proposal streams are re-derived from the host stream's
+// construction-time draw, and the realized chain is width-invariant, so
+// adaptive width decisions need no replay either (see package spec).
+//
+// Shadows carried the pre-adaptive executor's per-slot RNG streams; the
+// field survives so old checkpoints still decode, but its contents are
+// ignored — the chain they described is re-derived, not replayed.
 type periodicDump struct {
-	Host            mcmc.EngineDump
-	Shadows         []rng.Saved
-	ExecBatches     int64
-	ExecConsumed    int64
-	Barriers        int64
-	SimLocalSeconds float64
-	GlobalSeconds   float64
-	LocalSeconds    float64
+	Host                   mcmc.EngineDump
+	Shadows                []rng.Saved
+	ExecBatches            int64
+	ExecConsumed           int64
+	Barriers               int64
+	SimLocalSeconds        float64
+	GlobalSeconds          float64
+	LocalSeconds           float64
+	SimGlobalSeconds       float64
+	SimGlobalSerialSeconds float64
 }
 
 func (sp *periodicSampler) Checkpoint() ([]byte, error) {
@@ -146,9 +181,10 @@ func (sp *periodicSampler) Checkpoint() ([]byte, error) {
 		LocalSeconds:    sp.baseLocalSecs + sp.timer.Total("local").Seconds(),
 	}
 	if exec := sp.pe.Executor(); exec != nil {
-		d.Shadows = exec.ShadowStates()
 		d.ExecBatches = exec.Batches
 		d.ExecConsumed = exec.Consumed
+		d.SimGlobalSeconds = sp.baseSimGlobalSecs + exec.SimSpecSeconds
+		d.SimGlobalSerialSeconds = sp.baseSimGlobalSerialSecs + exec.SimSeqSeconds
 	}
 	return encodePayload(d)
 }
@@ -163,12 +199,11 @@ func (sp *periodicSampler) Resume(data []byte) error {
 	}
 	exec := sp.pe.Executor()
 	if exec != nil {
-		if err := exec.RestoreShadowStates(d.Shadows); err != nil {
-			return err
-		}
 		exec.Batches = d.ExecBatches
 		exec.Consumed = d.ExecConsumed
-	} else if len(d.Shadows) > 0 {
+		sp.baseSimGlobalSecs = d.SimGlobalSeconds
+		sp.baseSimGlobalSerialSecs = d.SimGlobalSerialSeconds
+	} else if d.ExecBatches > 0 {
 		return fmt.Errorf("parmcmc: checkpoint carries speculative state but the run has no executor")
 	}
 	sp.pe.Barriers = d.Barriers

@@ -298,6 +298,19 @@ func (j *Job) statusLocked() api.JobStatus {
 	return v
 }
 
+// specTelemetry returns the speculative-executor telemetry of the
+// job's latest progress snapshot; ok is false for jobs that never
+// reported a speculation width (non-speculative strategies, or no
+// progress yet). The metrics endpoint exports these as per-job gauges.
+func (j *Job) specTelemetry() (width int, speedup float64, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.progress == nil || j.progress.SpecWidth == 0 {
+		return 0, 0, false
+	}
+	return j.progress.SpecWidth, j.progress.SpecSpeedup, true
+}
+
 // Diag returns the job's chain diagnostics: the latest progress
 // snapshot, streaming split-R̂/ESS over the recent log-posterior
 // window, and — once the job is done — the result-level acceptance
@@ -318,6 +331,8 @@ func (j *Job) Diag() api.DiagView {
 	}
 	if j.progress != nil {
 		d.Progress = api.NewProgressEvent(*j.progress)
+		d.SpecWidth = j.progress.SpecWidth
+		d.SpecSpeedup = api.Float(j.progress.SpecSpeedup)
 	}
 	if j.state == api.StateDone && len(j.resultJSON) > 0 {
 		var rv api.ResultView

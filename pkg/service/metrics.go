@@ -43,6 +43,36 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mcmcd_uptime_seconds counter\n")
 	fmt.Fprintf(w, "mcmcd_uptime_seconds %g\n", m.Uptime().Seconds())
 
+	// Per-job speculative-executor telemetry, from each job's latest
+	// progress snapshot (running and terminal jobs alike; only jobs that
+	// ever reported a speculation width appear).
+	first := true
+	for _, job := range m.Jobs() {
+		width, _, ok := job.specTelemetry()
+		if !ok {
+			continue
+		}
+		if first {
+			fmt.Fprintf(w, "# HELP mcmcd_spec_width Current speculation width of the job's global phases (adaptive controller's pick, or the fixed configured width).\n")
+			fmt.Fprintf(w, "# TYPE mcmcd_spec_width gauge\n")
+			first = false
+		}
+		fmt.Fprintf(w, "mcmcd_spec_width{job=%q} %d\n", job.ID(), width)
+	}
+	first = true
+	for _, job := range m.Jobs() {
+		_, speedup, ok := job.specTelemetry()
+		if !ok {
+			continue
+		}
+		if first {
+			fmt.Fprintf(w, "# HELP mcmcd_spec_speedup Measured committed-iterations-per-batch of the job's speculative executor (eq. 3 speedup; 1 means speculation never helped).\n")
+			fmt.Fprintf(w, "# TYPE mcmcd_spec_speedup gauge\n")
+			first = false
+		}
+		fmt.Fprintf(w, "mcmcd_spec_speedup{job=%q} %g\n", job.ID(), speedup)
+	}
+
 	m.tel.queueWait.write(w, "mcmcd_queue_wait_seconds",
 		"Submit-to-start latency of jobs in seconds.")
 	m.tel.jobDuration.write(w, "mcmcd_job_duration_seconds",

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/imaging"
 	"repro/pkg/api"
+	"repro/pkg/client"
 	"repro/pkg/parmcmc"
 )
 
@@ -799,5 +800,62 @@ func TestAPIEndpoints(t *testing.T) {
 	}
 	if _, status := trySubmitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(1, 100)}); status != http.StatusServiceUnavailable {
 		t.Fatalf("submit after stop: %d", status)
+	}
+}
+
+// A speculative job's executor telemetry must surface through both
+// operator paths: the diag endpoint's spec_width/spec_speedup fields
+// and the per-job mcmcd_spec_width/mcmcd_spec_speedup gauges on
+// /metrics — and the exposition must parse back through pkg/client.
+func TestSpecTelemetryDiagAndMetrics(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := api.OptionsSpec{
+		Strategy: "periodic+spec", MeanRadius: 7,
+		Iterations: 6000, Seed: 3, PartitionGrid: 2,
+	}
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: spec})
+	waitDone(t, srv.URL, view.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diag api.DiagView
+	err = json.NewDecoder(resp.Body).Decode(&diag)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.SpecWidth < 1 {
+		t.Fatalf("diag spec_width = %d, want >= 1", diag.SpecWidth)
+	}
+	if diag.SpecSpeedup < 1 {
+		t.Fatalf("diag spec_speedup = %v, want >= 1", diag.SpecSpeedup)
+	}
+	if diag.Progress == nil || diag.Progress.SpecWidth != diag.SpecWidth {
+		t.Fatalf("diag progress does not carry the spec width: %+v", diag.Progress)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	parsed, err := client.ParseMetrics(buf.String())
+	if err != nil {
+		t.Fatalf("daemon exposition does not parse back: %v\n%s", err, buf.String())
+	}
+	widthKey := fmt.Sprintf("mcmcd_spec_width{job=%q}", view.ID)
+	speedupKey := fmt.Sprintf("mcmcd_spec_speedup{job=%q}", view.ID)
+	if got := parsed.Values[widthKey]; got != float64(diag.SpecWidth) {
+		t.Fatalf("%s = %v, diag reports %d\n%s", widthKey, got, diag.SpecWidth, buf.String())
+	}
+	if got := parsed.Values[speedupKey]; got < 1 {
+		t.Fatalf("%s = %v, want >= 1", speedupKey, got)
 	}
 }
