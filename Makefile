@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check bench bench-json bench-check bench-scaling fuzz-smoke experiments-quick experiments
+.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check bench bench-json bench-check bench-scaling fuzz-smoke e2e e2e-smoke e2e-case experiments-quick experiments
 
 all: build
 
@@ -135,6 +135,21 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeSubmit -fuzztime=$(FUZZ_TIME) ./pkg/service
 	$(GO) test -run=^$$ -fuzz=FuzzPGMDims -fuzztime=$(FUZZ_TIME) ./pkg/service
 	$(GO) test -run=^$$ -fuzz=FuzzLikDeltaDifferential -fuzztime=$(FUZZ_TIME) ./internal/model
+
+# E2E case matrix over the real binaries (catalog: test/doc/cases.md).
+# e2e-smoke runs the smoke-tagged subset (what PR CI gates on);
+# e2e runs the full matrix (what nightly runs); e2e-case runs one
+# cataloged case by ID. Set E2E_ARTIFACTS=DIR to collect spool dirs and
+# daemon logs from failing cases.
+e2e-smoke:
+	$(GO) test ./test/e2e -run 'TestCases|TestCatalogMatchesDoc' -count=1 -v
+
+e2e:
+	E2E_MATRIX=full $(GO) test ./test/e2e -run 'TestCases|TestCatalogMatchesDoc' -count=1 -v
+
+e2e-case:
+	@test -n "$(CASE)" || { echo "usage: make e2e-case CASE=C00103"; exit 1; }
+	E2E_MATRIX=full $(GO) test ./test/e2e -run 'TestCases/$(CASE)$$' -count=1 -v
 
 # Reproduce every paper figure through the Runner (quick ≈ seconds,
 # full ≈ minutes).

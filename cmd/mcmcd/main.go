@@ -87,7 +87,9 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv := &http.Server{Handler: mux}
+	// No write/idle timeouts: SSE streams are legitimately long-lived.
+	// The header timeout alone closes the slowloris window.
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,46 @@
+// Package testcorpus holds the shared malformed-submit corpus: one list
+// of hostile/edge-case POST /v1/jobs payloads used both as the fuzz
+// seed corpus (pkg/service) and as the live-daemon sweep in the E2E
+// case matrix (test/e2e, case C00301). Keeping them identical means
+// every input the fuzzer has ever minimized a failure to is replayed
+// against a real daemon on every full matrix run.
+package testcorpus
+
+// SubmitEntry is one submission attempt: a content type, a body, and a
+// raw query string, exactly the triple the service decoder branches on.
+// Entries are NOT labelled valid/invalid — the contract under test is
+// weaker and stabler: the daemon never answers 5xx, never panics, and
+// every rejection is a typed JSON ErrorEnvelope.
+type SubmitEntry struct {
+	Name        string
+	ContentType string
+	Body        []byte
+	RawQuery    string
+}
+
+// Submit returns the shared corpus. The slice is freshly allocated;
+// callers may reorder it.
+func Submit() []SubmitEntry {
+	return []SubmitEntry{
+		{"json_minimal_valid", "application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5},"options":{"iterations":100}}`), ""},
+		{"json_truncated", "application/json", []byte(`{"scene":{"w":64,"h":64`), ""},
+		{"json_null_scene", "application/json", []byte(`{"scene":null,"options":{}}`), ""},
+		{"json_sniffed_bad_dims", "", []byte(`  {"scene":{"w":-1,"h":1e9,"count":2,"mean_radius":5}}`), ""},
+		{"png_truncated_header", "image/png", []byte("\x89PNG\r\n\x1a\n\x00\x00\x00\rIHDR"), "radius=5"},
+		{"png_garbage_ihdr", "image/png", []byte("\x89PNG\r\n\x1a\nIHDR\xff\xff\xff\xff\xff\xff\xff\xff"), "radius=5"},
+		{"pgm_overflow_dims", "", []byte("P5 4294967295 4294967295 255\n"), "radius=5"},
+		{"pgm_short_payload", "", []byte("P5\n# comment\n8 8 255\n0123456789"), "radius=5"},
+		{"pgm_ascii_small", "", []byte("P2 3 2 255\n0 1 2 3 4 5"), "radius=5&strategy=periodic"},
+		{"pgm_zero_maxval", "", []byte("P5 8 8 0\n"), "radius=5"},
+		{"empty_body", "application/octet-stream", []byte{}, ""},
+		{"gif_magic", "", []byte("GIF89a"), "radius=5"},
+		{"query_garbage_numerics", "", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=0&iters=-1&seed=x&workers=9999&grid_slack=nope"},
+		{"query_nonfinite", "", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=NaN&threshold=Inf&heat_step=-inf"},
+		{"json_ellipse_scene", "application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"shape":"ellipse","axis_ratio":0.6}}`), ""},
+		{"json_unknown_shape", "application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"shape":"hexagon"}}`), ""},
+		{"json_axis_ratio_too_big", "application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"axis_ratio":2}}`), ""},
+		{"json_axis_ratio_ok", "application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"axis_ratio":0.5}}`), ""},
+		{"query_shape_ellipse", "", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=5&shape=ellipse"},
+		{"query_shape_unknown", "", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=5&shape=square"},
+	}
+}

@@ -20,6 +20,7 @@ func TestGoldenRoundTrip(t *testing.T) {
 		value   any
 	}{
 		{"jobstatus.json", &JobStatus{}},
+		{"jobstatus_restarted.json", &JobStatus{}},
 		{"resultview.json", &ResultView{}},
 		{"jobrecord.json", &JobRecord{}},
 		{"diag.json", &DiagView{}},

@@ -82,6 +82,14 @@ type JobStatus struct {
 	Progress  *ProgressEvent  `json:"progress,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Restarted reports that a daemon recovered this job without a
+	// usable checkpoint: every pre-crash iteration was discarded and the
+	// run starts over from iteration zero. Streaming clients use it to
+	// rewind their progress watermark — without it, a dedup watermark
+	// from the pre-crash run would silently suppress all re-run
+	// progress. Checkpoint-resumed jobs do NOT set it (their replayed
+	// window is deduplicated instead).
+	Restarted bool `json:"restarted,omitempty"`
 }
 
 // ResultView decodes the embedded Result, or returns nil for a job

@@ -346,3 +346,196 @@ func TestStreamContextCancel(t *testing.T) {
 		t.Fatal("Next did not observe cancellation")
 	}
 }
+
+// A draining daemon (or a proxy in front of a restarting one) answers
+// 503/502 — the reconnect loop the Stream documents must treat those
+// as transient within the retry budget, not kill the watcher the
+// moment a restart begins.
+func TestStreamSurvivesTransient5xx(t *testing.T) {
+	var conns atomic.Int32
+	const id = "job-00000001"
+	state := `{"id":"` + id + `","state":"running","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z"}`
+	done := `{"id":"` + id + `","state":"done","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z"}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch conns.Add(1) {
+		case 1:
+			w.Header().Set("Content-Type", "text/event-stream")
+			sseFrame(w, "state", state)
+			// Connection drops; the daemon is now "restarting".
+		case 2:
+			http.Error(w, `{"code":"shutting_down","error":"draining"}`, http.StatusServiceUnavailable)
+		case 3:
+			http.Error(w, "bad gateway", http.StatusBadGateway)
+		case 4:
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+		default:
+			w.Header().Set("Content-Type", "text/event-stream")
+			sseFrame(w, "state", state)
+			sseFrame(w, "done", done)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL, client.WithRetry(10, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(context.Background(), id, nil)
+	if err != nil {
+		t.Fatalf("stream died on a transient 5xx/429: %v", err)
+	}
+	if final == nil || final.State != api.StateDone {
+		t.Fatalf("final %+v", final)
+	}
+	if conns.Load() != 5 {
+		t.Errorf("%d connections, want 5", conns.Load())
+	}
+}
+
+// Transient 5xx responses still count against the retry budget: a
+// permanently broken proxy must not retry forever.
+func TestStream5xxExhaustsRetryBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL, client.WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Events(context.Background(), "job-00000001")
+	defer s.Close()
+	if _, err := s.Next(); err == nil {
+		t.Fatal("Next succeeded against a permanent 502")
+	}
+}
+
+// A 404 stays fatal: after a crash it means the spool lost the job, and
+// retrying cannot bring it back.
+func TestStream404Fatal(t *testing.T) {
+	var conns atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"code":"not_found","error":"no job"}`)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL, client.WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Events(context.Background(), "job-00000001")
+	defer s.Close()
+	var env *api.ErrorEnvelope
+	if _, err := s.Next(); !errors.As(err, &env) || env.Status != http.StatusNotFound {
+		t.Fatalf("404 error %v", err)
+	}
+	if conns.Load() != 1 {
+		t.Errorf("client retried a 404 (%d connections)", conns.Load())
+	}
+}
+
+// Scratch-restart watermark rewind: the daemon crashed before (or
+// corrupted) its first checkpoint, recovered the job with Restarted
+// set, and re-ran it from iteration zero. The stream must surface the
+// re-run's progress immediately — before the fix, the pre-crash
+// watermark silently suppressed every event until the re-run passed
+// it, freezing the stream for most of the job.
+func TestStreamScratchRestartRewindsWatermark(t *testing.T) {
+	var conns atomic.Int32
+	const id = "job-00000001"
+	running := `{"id":"` + id + `","state":"running","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z"}`
+	restarted := `{"id":"` + id + `","state":"running","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z","restarted":true}`
+	done := `{"id":"` + id + `","state":"done","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z","restarted":true}`
+	progress := func(iter int) string {
+		return fmt.Sprintf(`{"phase":"global","iter":%d,"log_post":-10.5,"num_circles":1,"accept_rate":0.5,"partitions":0,"partitions_done":0}`, iter)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			sseFrame(w, "state", running)
+			sseFrame(w, "progress", progress(40000))
+			sseFrame(w, "progress", progress(50000))
+			// SIGKILL: connection drops, no checkpoint was spooled.
+		default:
+			sseFrame(w, "state", restarted)
+			sseFrame(w, "progress", progress(5000))
+			sseFrame(w, "progress", progress(15000))
+			sseFrame(w, "done", done)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL, client.WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int64
+	var sawRestart bool
+	final, err := c.Wait(context.Background(), id, func(ev *client.Event) {
+		if ev.Progress != nil {
+			iters = append(iters, ev.Progress.Iter)
+		}
+		if ev.Status != nil && ev.Status.Restarted {
+			sawRestart = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.State != api.StateDone {
+		t.Fatalf("final %+v", final)
+	}
+	if !sawRestart {
+		t.Fatal("restarted state snapshot not delivered")
+	}
+	want := []int64{40000, 50000, 5000, 15000}
+	if fmt.Sprint(iters) != fmt.Sprint(want) {
+		t.Fatalf("progress iters %v, want %v (watermark not rewound after scratch restart?)", iters, want)
+	}
+}
+
+// A checkpoint-resumed job (Restarted NOT set) keeps the old contract:
+// replayed progress below the watermark stays deduplicated.
+func TestStreamCheckpointResumeStillDedups(t *testing.T) {
+	var conns atomic.Int32
+	const id = "job-00000001"
+	running := `{"id":"` + id + `","state":"running","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z"}`
+	done := `{"id":"` + id + `","state":"done","strategy":"sequential","seed":1,"submitted":"2026-08-08T12:00:00Z"}`
+	progress := func(iter int) string {
+		return fmt.Sprintf(`{"phase":"global","iter":%d,"log_post":-10.5,"num_circles":1,"accept_rate":0.5,"partitions":0,"partitions_done":0}`, iter)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			sseFrame(w, "state", running)
+			sseFrame(w, "progress", progress(50000))
+			// Crash; the daemon resumes from its 45000-iteration checkpoint.
+		default:
+			sseFrame(w, "state", running)
+			sseFrame(w, "progress", progress(47500)) // re-run of the checkpointed window
+			sseFrame(w, "progress", progress(55000))
+			sseFrame(w, "done", done)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL, client.WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int64
+	if _, err := c.Wait(context.Background(), id, func(ev *client.Event) {
+		if ev.Progress != nil {
+			iters = append(iters, ev.Progress.Iter)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(iters) != fmt.Sprint([]int64{50000, 55000}) {
+		t.Fatalf("progress iters %v, want [50000 55000] (checkpoint replay not deduplicated)", iters)
+	}
+}

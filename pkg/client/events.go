@@ -25,11 +25,17 @@ type Event struct {
 
 // Stream iterates a job's SSE events. Snapshots are self-contained, so
 // the stream survives connection loss transparently: it reconnects
-// with backoff and deduplicates replayed progress against an iteration
-// watermark — a consumer sees progress strictly advance even if the
-// daemon restarts mid-job (the respooled job replays from its
-// checkpoint). Close the stream when done; Next after the terminal
-// event returns io.EOF.
+// with backoff (dial failures, 5xx and 429 all count against the retry
+// budget; other 4xx are fatal) and deduplicates replayed progress
+// against an iteration watermark — a consumer sees progress strictly
+// advance even if the daemon restarts mid-job (the respooled job
+// replays from its checkpoint). The one deliberate exception: a
+// "state" snapshot with Restarted set means the daemon recovered the
+// job without a usable checkpoint and re-ran it from iteration zero;
+// the watermark rewinds with it, so the consumer observes the restart
+// (progress drops, then advances strictly again) instead of a stream
+// frozen until the re-run passes its pre-crash high-water mark. Close
+// the stream when done; Next after the terminal event returns io.EOF.
 type Stream struct {
 	c   *Client
 	ctx context.Context
@@ -136,8 +142,14 @@ func (s *Stream) connect() error {
 	if resp.StatusCode != http.StatusOK {
 		err := decodeErr(resp)
 		resp.Body.Close()
-		// A 404 after a mid-job daemon crash would mean the spool lost
-		// the job — that is fatal, not transient.
+		// 5xx and 429 are transient: a draining daemon answers 503, a
+		// proxy in front of a restarting one 502/504, and both resolve
+		// within the retry budget — exactly the window the reconnect
+		// loop exists for. A 404 after a mid-job daemon crash would mean
+		// the spool lost the job — that (like any other 4xx) is fatal.
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return s.connectRetry(err)
+		}
 		return err
 	}
 	s.body = resp.Body
@@ -166,26 +178,42 @@ func (s *Stream) transientf(format string, args ...any) error {
 }
 
 // readFrame reads one SSE frame (event/data lines up to a blank line).
+// Per the SSE spec, a field value loses at most ONE leading space after
+// the colon (further whitespace is payload), and multiple data lines
+// concatenate with a "\n" between them — a multi-line JSON payload must
+// survive the framing byte-for-byte.
 func (s *Stream) readFrame() (name string, data []byte, _ error) {
+	haveData := false
 	for {
 		line, err := s.br.ReadString('\n')
 		if err != nil {
 			return "", nil, err
 		}
-		line = strings.TrimRight(line, "\r\n")
+		line = strings.TrimSuffix(line, "\n")
+		line = strings.TrimSuffix(line, "\r")
 		switch {
 		case line == "":
-			if name != "" || data != nil {
+			if name != "" || haveData {
 				return name, data, nil
 			}
 		case strings.HasPrefix(line, "event:"):
-			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+			name = sseFieldValue(line, "event:")
 		case strings.HasPrefix(line, "data:"):
-			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+			if haveData {
+				data = append(data, '\n')
+			}
+			data = append(data, sseFieldValue(line, "data:")...)
+			haveData = true
 		case strings.HasPrefix(line, ":"):
 			// comment/keepalive
 		}
 	}
+}
+
+// sseFieldValue extracts an SSE field value: everything after the field
+// prefix, minus a single optional leading space.
+func sseFieldValue(line, prefix string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(line, prefix), " ")
 }
 
 // decode turns a frame into an Event, advancing the progress watermark
@@ -207,7 +235,19 @@ func (s *Stream) decode(name string, data []byte) (*Event, error) {
 		if err := json.Unmarshal(data, &st); err != nil {
 			return nil, fmt.Errorf("client: decoding %s event: %w", name, err)
 		}
-		if st.Progress != nil && (!s.haveIter || st.Progress.Iter > s.lastIter) {
+		if st.Restarted && !st.State.Terminal() {
+			// The daemon recovered this job without a usable checkpoint:
+			// the run starts over from iteration zero, so a watermark
+			// from the pre-crash run would suppress every progress event
+			// until the re-run passed it again — the stream would appear
+			// frozen for most of the job. Rewind to what this snapshot
+			// proves instead; progress advances strictly from here.
+			if st.Progress != nil {
+				s.lastIter, s.haveIter = st.Progress.Iter, true
+			} else {
+				s.lastIter, s.haveIter = 0, false
+			}
+		} else if st.Progress != nil && (!s.haveIter || st.Progress.Iter > s.lastIter) {
 			s.lastIter, s.haveIter = st.Progress.Iter, true
 		}
 		if name == "done" {

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// frameFrom runs readFrame over a literal byte stream.
+func frameFrom(t *testing.T, raw string) (string, string) {
+	t.Helper()
+	s := &Stream{br: bufio.NewReader(strings.NewReader(raw))}
+	name, data, err := s.readFrame()
+	if err != nil {
+		t.Fatalf("readFrame(%q): %v", raw, err)
+	}
+	return name, string(data)
+}
+
+// The SSE spec joins multiple data: lines with a single "\n" and strips
+// at most ONE leading space after the colon — anything beyond that is
+// payload. The old implementation concatenated lines bare and
+// TrimSpace'd each, silently corrupting multi-line or space-significant
+// payloads.
+func TestReadFrameDataJoining(t *testing.T) {
+	cases := []struct {
+		raw      string
+		wantName string
+		wantData string
+	}{
+		// Two data lines join with the spec-mandated newline.
+		{"event: progress\ndata: {\"a\":1,\ndata: \"b\":2}\n\n", "progress", "{\"a\":1,\n\"b\":2}"},
+		// Only one leading space is eaten; the second is payload.
+		{"data:  indented\n\n", "", " indented"},
+		// Trailing whitespace is payload, never trimmed.
+		{"data: keep \n\n", "", "keep "},
+		// No space after the colon at all.
+		{"data:bare\n\n", "", "bare"},
+		// CRLF line endings (a proxy may rewrite them).
+		{"event: state\r\ndata: x\r\n\r\n", "state", "x"},
+		// Comment lines are ignored, not data.
+		{": keepalive\ndata: y\n\n", "", "y"},
+		// An empty data line still contributes its separator.
+		{"data: a\ndata:\ndata: b\n\n", "", "a\n\nb"},
+	}
+	for _, tc := range cases {
+		name, data := frameFrom(t, tc.raw)
+		if name != tc.wantName || data != tc.wantData {
+			t.Errorf("frame %q = (%q, %q), want (%q, %q)", tc.raw, name, data, tc.wantName, tc.wantData)
+		}
+	}
+}
+
+// A frame consisting only of an empty data field is still a frame (the
+// blank line terminates it), and event names survive exotic spacing.
+func TestReadFrameEdgeFraming(t *testing.T) {
+	s := &Stream{br: bufio.NewReader(strings.NewReader("data:\n\n"))}
+	name, data, err := s.readFrame()
+	if err != nil {
+		t.Fatalf("empty-data frame: %v", err)
+	}
+	if name != "" || len(data) != 0 {
+		t.Errorf("empty-data frame = (%q, %q)", name, data)
+	}
+}

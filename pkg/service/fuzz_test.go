@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"testing"
 
+	"repro/internal/testcorpus"
 	"repro/pkg/api"
 )
 
@@ -36,28 +37,13 @@ func assertEnvelope(t *testing.T, aerr *apiError) {
 // decoders: arbitrary bytes under every content-type branch must never
 // panic and must only ever produce typed 4xx errors. `go test` runs
 // the seed corpus; `go test -fuzz FuzzDecodeSubmit ./pkg/service`
-// explores further.
+// explores further. The seed corpus is shared with the E2E malformed
+// sweep (test/e2e case C00301) via internal/testcorpus, so every entry
+// is also replayed against a live daemon.
 func FuzzDecodeSubmit(f *testing.F) {
-	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5},"options":{"iterations":100}}`), "")
-	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64`), "")
-	f.Add("application/json", []byte(`{"scene":null,"options":{}}`), "")
-	f.Add("", []byte(`  {"scene":{"w":-1,"h":1e9,"count":2,"mean_radius":5}}`), "")
-	f.Add("image/png", []byte("\x89PNG\r\n\x1a\n\x00\x00\x00\rIHDR"), "radius=5")
-	f.Add("image/png", []byte("\x89PNG\r\n\x1a\nIHDR\xff\xff\xff\xff\xff\xff\xff\xff"), "radius=5")
-	f.Add("", []byte("P5 4294967295 4294967295 255\n"), "radius=5")
-	f.Add("", []byte("P5\n# comment\n8 8 255\n0123456789"), "radius=5")
-	f.Add("", []byte("P2 3 2 255\n0 1 2 3 4 5"), "radius=5&strategy=periodic")
-	f.Add("", []byte("P5 8 8 0\n"), "radius=5")
-	f.Add("application/octet-stream", []byte{}, "")
-	f.Add("", []byte("GIF89a"), "radius=5")
-	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=0&iters=-1&seed=x&workers=9999&grid_slack=nope")
-	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=NaN&threshold=Inf&heat_step=-inf")
-	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"shape":"ellipse","axis_ratio":0.6}}`), "")
-	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"shape":"hexagon"}}`), "")
-	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"axis_ratio":2}}`), "")
-	f.Add("application/json", []byte(`{"scene":{"w":64,"h":64,"count":2,"mean_radius":5,"axis_ratio":0.5}}`), "")
-	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=5&shape=ellipse")
-	f.Add("", []byte("P5 8 8 255\n0000000000000000000000000000000000000000000000000000000000000000"), "radius=5&shape=square")
+	for _, e := range testcorpus.Submit() {
+		f.Add(e.ContentType, e.Body, e.RawQuery)
+	}
 
 	f.Fuzz(func(t *testing.T, ct string, body []byte, rawQuery string) {
 		if len(body) > 1<<20 {

@@ -45,6 +45,14 @@ type Job struct {
 	// continues from.
 	resume *parmcmc.Checkpoint
 
+	// restarted marks a recovered job that had no usable checkpoint:
+	// its pre-crash iterations are lost and the run starts over from
+	// zero. Exposed on the wire (JobStatus.Restarted) so streaming
+	// clients rewind their progress watermark instead of suppressing
+	// the whole re-run. Set before the job is published; immutable
+	// afterwards.
+	restarted bool
+
 	// spoolMu serializes this job's spool-record writes (Submit's
 	// pending record vs the worker's terminal record).
 	spoolMu sync.Mutex
@@ -170,6 +178,10 @@ func (j *Job) requestCancel() bool {
 	switch j.state {
 	case api.StatePending:
 		j.state = api.StateCancelled
+		// Same wire contract as a running job cancelled by the manager
+		// (see Manager.run): the queued path must not report an empty
+		// Error for the same outcome.
+		j.errMsg = "cancelled"
 		j.finished = time.Now()
 		close(j.done)
 		j.publishLocked("state", j.statusLocked())
@@ -283,6 +295,7 @@ func (j *Job) statusLocked() api.JobStatus {
 		Submitted: j.submitted,
 		Result:    j.resultJSON,
 		Error:     j.errMsg,
+		Restarted: j.restarted,
 	}
 	if !j.started.IsZero() {
 		t := j.started

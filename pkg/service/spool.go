@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cliutil"
@@ -212,7 +213,10 @@ func (m *Manager) recoverJob(name string) (*Job, bool, error) {
 
 	// Interrupted: resume from the latest checkpoint when one exists
 	// (and still parses); otherwise restart from scratch — both paths
-	// produce the bit-identical final result.
+	// produce the bit-identical final result. A scratch restart is
+	// flagged on the job (JobStatus.Restarted) so a streaming client
+	// that watched the pre-crash run rewinds its progress watermark
+	// instead of silently suppressing the whole re-run.
 	if blob, err := os.ReadFile(filepath.Join(dir, spoolCheckpointFile)); err == nil {
 		var cp parmcmc.Checkpoint
 		if err := cp.UnmarshalBinary(blob); err != nil {
@@ -221,15 +225,24 @@ func (m *Manager) recoverJob(name string) (*Job, bool, error) {
 			job.resume = &cp
 		}
 	}
+	job.restarted = job.resume == nil
 	return job, false, nil
 }
 
-// parseJobSeq extracts the numeric suffix of a "job-%08d" id.
+// parseJobSeq extracts the numeric suffix of a "job-%08d" id. The
+// suffix must be digits only and nothing else: Sscanf-style parsing
+// accepted trailing garbage ("job-00000012x" → 12), which would let a
+// stray spool directory silently steal a live job's sequence number.
 func parseJobSeq(id string, out *uint64) bool {
 	const prefix = "job-"
-	if !strings.HasPrefix(id, prefix) {
+	rest, ok := strings.CutPrefix(id, prefix)
+	if !ok || rest == "" {
 		return false
 	}
-	n, err := fmt.Sscanf(id[len(prefix):], "%d", out)
-	return err == nil && n == 1
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return false
+	}
+	*out = n
+	return true
 }

@@ -1,0 +1,114 @@
+package e2e
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/parmcmc"
+)
+
+var checkpointCases = []e2eCase{
+	{
+		ID:       "C00201",
+		Title:    "Committed v2 golden checkpoint still resumes bit-identically",
+		Priority: 1,
+		Smoke:    true,
+		Run:      caseGoldenV2Resume,
+	},
+	{
+		ID:       "C00202",
+		Title:    "v1 checkpoint in the spool triggers a loud scratch restart",
+		Priority: 1,
+		Smoke:    false,
+		Run:      caseV1CheckpointUpgrade,
+	},
+}
+
+// goldenCheckpointDir holds the committed checkpoint fixtures; they are
+// generated (and regenerated with -update) by pkg/parmcmc's compat
+// tests, whose goldenScene/goldenOptions these constants must mirror.
+const goldenCheckpointDir = "../../pkg/parmcmc/testdata"
+
+var goldenScene = parmcmc.SceneSpec{W: 96, H: 96, Count: 5, MeanRadius: 7, Noise: 0.05, Seed: 3}
+
+func goldenOptions() parmcmc.Options {
+	return parmcmc.Options{Strategy: parmcmc.Sequential, MeanRadius: 7, Iterations: 16000, Seed: 11}
+}
+
+// C00201: the cross-release durability contract. A checkpoint written
+// by the CURRENT format (the committed golden fixture stands in for
+// "persisted by an earlier deploy of this version") must still decode
+// and resume to the bit-identical result. This is the case that fails
+// first when someone changes the checkpoint wire shape without bumping
+// the version.
+func caseGoldenV2Resume(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join(goldenCheckpointDir, "checkpoint_v2.golden"))
+	if err != nil {
+		t.Fatalf("reading golden v2 checkpoint: %v", err)
+	}
+	var cp parmcmc.Checkpoint
+	if err := cp.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("committed v2 checkpoint no longer decodes: %v", err)
+	}
+
+	pix, _ := parmcmc.GenerateScene(goldenScene)
+	baseline, err := parmcmc.Detect(pix, goldenScene.W, goldenScene.H, goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := parmcmc.DetectResume(context.Background(), pix, goldenScene.W, goldenScene.H, parmcmc.Options{}, &cp)
+	if err != nil {
+		t.Fatalf("committed v2 checkpoint no longer resumes: %v", err)
+	}
+	got, want := normalize(api.NewResultView(resumed)), normalize(api.NewResultView(baseline))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden-checkpoint resume differs from uninterrupted run\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// C00202: the upgrade path. A daemon restarted over a spool holding a
+// v1-era checkpoint must refuse the blob (v1 payloads would silently
+// decode wrong) and restart the job from scratch, marked Restarted,
+// still landing the exact result. The v1 fixture must also keep
+// failing direct decodes with the version-specific error.
+func caseV1CheckpointUpgrade(t *testing.T) {
+	v1, err := os.ReadFile(filepath.Join(goldenCheckpointDir, "checkpoint_v1.golden"))
+	if err != nil {
+		t.Fatalf("reading golden v1 checkpoint: %v", err)
+	}
+	var cp parmcmc.Checkpoint
+	if derr := cp.UnmarshalBinary(v1); derr == nil || !strings.Contains(derr.Error(), "unsupported checkpoint version 1") {
+		t.Fatalf("v1 checkpoint not rejected loudly: %v", derr)
+	}
+
+	const iters, seed = 400_000, 88
+	want := directViewAsync(t, iters, seed)
+
+	// Run a real job far enough to be mid-flight, kill the daemon, then
+	// plant the v1 blob as its checkpoint — exactly what a spool looks
+	// like after a v1->v2 daemon upgrade mid-job.
+	d := startDaemon(t, t.TempDir(), "127.0.0.1:0", "-job-slots", "1", "-checkpoint-every", "2000000000")
+	st := d.submit(t, matrixScene, matrixOptions(iters, seed))
+	d.waitState(t, st.ID, api.StateRunning)
+	d.kill(t, syscall.SIGKILL)
+	if err := os.WriteFile(d.checkpointPath(st.ID), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := restartDaemon(t, d, "-job-slots", "1", "-checkpoint-every", "2000000000")
+	final := d2.waitDone(t, st.ID, 180*time.Second)
+	if !final.Restarted {
+		t.Fatal("v1-checkpoint recovery not marked Restarted")
+	}
+	got := doneResult(t, final)
+	if w := want(); !reflect.DeepEqual(got, w) {
+		t.Fatalf("post-upgrade scratch restart produced a different result\ngot  %+v\nwant %+v", got, w)
+	}
+}

@@ -1,0 +1,128 @@
+package e2e
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+var streamCases = []e2eCase{
+	{
+		ID:       "C00401",
+		Title:    "Cancelled jobs report one wire contract, queued or running",
+		Priority: 1,
+		Smoke:    true,
+		Run:      caseCancelContract,
+	},
+	{
+		ID:       "C00402",
+		Title:    "SSE stream survives a flapping proxy (503s and cut connections)",
+		Priority: 2,
+		Smoke:    false,
+		Run:      caseFlakyProxyStream,
+	},
+}
+
+// C00401: the e2e pin of the cancel-consistency fix. One job is
+// cancelled while running, another while still queued behind it; both
+// must report state "cancelled" AND error "cancelled" — a client must
+// not need to know where in the pipeline the cancel landed.
+func caseCancelContract(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), "127.0.0.1:0", "-job-slots", "1", "-queue", "4")
+	ctx := context.Background()
+
+	running := d.submit(t, matrixScene, matrixOptions(100_000_000, 1))
+	queued := d.submit(t, matrixScene, matrixOptions(100_000_000, 2))
+	d.waitState(t, running.ID, api.StateRunning)
+	if st := d.getJob(t, queued.ID); st.State != api.StatePending {
+		t.Fatalf("second job is %q, want pending", st.State)
+	}
+
+	if _, err := d.c.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.c.Cancel(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	q := d.waitDone(t, queued.ID, 60*time.Second)
+	r := d.waitDone(t, running.ID, 60*time.Second)
+	for name, st := range map[string]*api.JobStatus{"queued": q, "running": r} {
+		if st.State != api.StateCancelled {
+			t.Errorf("%s-cancelled job state %q", name, st.State)
+		}
+		if st.Error != "cancelled" {
+			t.Errorf("%s-cancelled job error %q, want %q", name, st.Error, "cancelled")
+		}
+	}
+}
+
+// C00402: the reconnect budget must absorb infrastructure flaps, not
+// just daemon restarts. A reverse proxy in front of the daemon answers
+// 503 on every other stream attempt and cuts one streaming connection
+// mid-flight; the client's Wait must ride it out and deliver the
+// terminal result, with the 503s consumed as transient retries (the
+// pre-fix client died on the first 503).
+func caseFlakyProxyStream(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), "127.0.0.1:0", "-job-slots", "1", "-checkpoint-every", "10000")
+
+	target, err := url.Parse(d.url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	rp.FlushInterval = -1 // stream SSE bytes through immediately
+
+	var streamConns, rejected atomic.Int64
+	var cutOnce atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") == "text/event-stream" {
+			n := streamConns.Add(1)
+			if n%2 == 1 { // every odd attempt bounces
+				rejected.Add(1)
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			if n == 2 && !cutOnce.Swap(true) {
+				// Cut the first successful stream mid-flight: proxy it
+				// with a short deadline so the copy is severed while the
+				// job is still running.
+				ctx, cancel := context.WithTimeout(r.Context(), 500*time.Millisecond)
+				defer cancel()
+				rp.ServeHTTP(w, r.WithContext(ctx))
+				return
+			}
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	c, err := client.New(proxy.URL, client.WithRetry(120, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters, seed = 2_000_000, 12
+	st, err := c.Submit(context.Background(), api.JobSpec{Scene: &matrixScene, Options: matrixOptions(iters, seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(context.Background(), st.ID, nil)
+	if err != nil {
+		t.Fatalf("stream did not survive the flapping proxy: %v", err)
+	}
+	doneResult(t, final)
+	if rejected.Load() == 0 {
+		t.Fatal("proxy never flapped; the case exercised nothing")
+	}
+	if streamConns.Load() < 3 {
+		t.Fatalf("only %d stream attempts; reconnection never happened", streamConns.Load())
+	}
+	t.Logf("stream attempts %d, 503 flaps %d", streamConns.Load(), rejected.Load())
+}
