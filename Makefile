@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check bench bench-json bench-check bench-scaling fuzz-smoke e2e e2e-smoke e2e-case experiments-quick experiments
+.PHONY: all build fmt fmt-check vet lint test test-short race ci cover-service cmdref cmdref-check docs-check bench bench-json bench-check bench-scaling fuzz-smoke e2e e2e-smoke e2e-case experiments-quick experiments
 
 all: build
 
@@ -44,7 +44,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: fmt-check vet build test-short race cover-service cmdref-check
+ci: fmt-check vet build test-short race cover-service cmdref-check docs-check
 
 # Coverage gate for the API stack: the black-box suites must keep the
 # contract (pkg/api), the client (pkg/client) and the daemon
@@ -54,10 +54,10 @@ ci: fmt-check vet build test-short race cover-service cmdref-check
 # checkouts cannot clobber each other.
 SERVICE_COVER_FLOOR := 80.0
 SERVICE_COVER_PROFILE := service.cov
-SERVICE_COVER_PKGS := ./pkg/api,./pkg/client,./pkg/service
+SERVICE_COVER_PKGS := ./pkg/api,./pkg/client,./pkg/service,./pkg/service/coordinator,./pkg/service/worker
 cover-service:
 	$(GO) test -coverprofile=$(SERVICE_COVER_PROFILE) -covermode=atomic \
-		-coverpkg=$(SERVICE_COVER_PKGS) ./pkg/api ./pkg/client ./pkg/service
+		-coverpkg=$(SERVICE_COVER_PKGS) ./pkg/api ./pkg/client ./pkg/service ./pkg/service/coordinator ./pkg/service/worker
 	@total=$$($(GO) tool cover -func=$(SERVICE_COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "API stack coverage: $$total% (floor $(SERVICE_COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v floor="$(SERVICE_COVER_FLOOR)" \
@@ -77,6 +77,13 @@ cmdref-check:
 		echo "docs/cmdref is stale: run 'make cmdref' and commit the result"; exit 1; \
 	fi; \
 	rm -rf $$tmp
+
+# The hand-written docs (README, docs/architecture.md,
+# docs/operations.md, test/doc/cases.md) are gated against rot: every
+# backticked repo path, pkg.Symbol anchor and relative markdown link
+# must resolve against the current tree (see test/doccheck).
+docs-check:
+	$(GO) test ./test/doccheck -count=1
 
 # Benchmark smoke run: every benchmark in the module once, with
 # allocation counts. CI runs this so benchmarks can never bit-rot.

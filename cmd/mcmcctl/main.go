@@ -14,6 +14,7 @@
 //	mcmcctl job cancel    cancel a pending or running job
 //	mcmcctl job events    tail a job's SSE progress stream
 //	mcmcctl diag          chain-convergence diagnostics (R̂, ESS, rates)
+//	mcmcctl node ls       list a coordinator's registered workers
 //	mcmcctl spool ls      inspect a spool directory (no daemon needed)
 //	mcmcctl metrics       daemon metrics summary
 //	mcmcctl version       client and server versions
@@ -64,6 +65,7 @@ inspect a daemon's on-disk state directly and need no server.`,
 		sub: []*command{
 			jobCommand(),
 			diagCommand(),
+			nodeCommand(),
 			spoolCommand(),
 			metricsCommand(),
 			versionCommand(),

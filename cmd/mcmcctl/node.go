@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+func nodeCommand() *command {
+	ls := &command{
+		name:  "ls",
+		short: "List the workers registered with a coordinator",
+		long: `Fetches /v1/nodes from a distributed-mode coordinator and lists every
+registered worker: its state (alive, or lost after missing heartbeats),
+slot count, the jobs it currently holds leases on, the age of its last
+heartbeat and how many jobs it has completed. A standalone daemon has
+no worker registry and answers not_found.`,
+		run: func(a *app, fs *flag.FlagSet, args []string) error {
+			if len(args) != 0 {
+				return usagef("node ls takes no arguments")
+			}
+			c, err := a.client()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := a.unaryCtx()
+			defer cancel()
+			nodes, err := c.Nodes(ctx)
+			if err != nil {
+				return err
+			}
+			if a.jsonOut {
+				return a.printJSON(nodes)
+			}
+			fmt.Fprintf(a.out, "%-8s %-16s %-6s %-5s %-7s %-9s %s\n",
+				"ID", "NAME", "STATE", "SLOTS", "AGE", "COMPLETED", "LEASES")
+			for _, n := range nodes {
+				leases := strings.Join(n.Leases, ",")
+				if leases == "" {
+					leases = "-"
+				}
+				fmt.Fprintf(a.out, "%-8s %-16s %-6s %-5d %-7s %-9d %s\n",
+					n.ID, n.Name, n.State, n.Slots,
+					fmt.Sprintf("%.1fs", n.LastHeartbeatAgeSeconds), n.JobsCompleted, leases)
+			}
+			return nil
+		},
+	}
+	return &command{
+		name:  "node",
+		short: "Inspect a coordinator's worker registry",
+		sub:   []*command{ls},
+	}
+}

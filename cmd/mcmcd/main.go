@@ -5,18 +5,35 @@
 //
 // Usage:
 //
-//	mcmcd [-addr :8080] [-spool DIR] [-job-slots 2] [-queue 16]
-//	      [-checkpoint-every 25000] [-base-seed 1] [-pprof]
+//	mcmcd [-role standalone] [-addr :8080] [-spool DIR] [-job-slots 2]
+//	      [-queue 16] [-checkpoint-every 25000] [-base-seed 1] [-pprof]
+//	mcmcd -role coordinator -spool DIR [-addr :8080] [-lease-ttl 15s]
+//	mcmcd -role worker -coordinator URL -spool DIR [-job-slots 2]
+//	      [-worker-name NAME]
 //
-// The daemon prints "mcmcd: listening on http://HOST:PORT" once ready
-// (with -addr :0 the kernel picks the port). With -spool, every job is
-// durable: inputs and options are recorded at submission, checkpoints
-// every -checkpoint-every iterations, and a restart against the same
-// spool directory resumes interrupted jobs to bit-identical results.
+// The default role, standalone, is the single-process daemon: queue,
+// spool and job execution all in one binary, exactly as before roles
+// existed. -role coordinator serves the same public API but runs no
+// jobs itself — stateless -role worker processes lease jobs from it
+// over /internal/v1 and execute them against the SHARED spool
+// directory (both sides need the same -spool path on a shared
+// filesystem). See docs/architecture.md for the protocol and
+// docs/operations.md for deployment recipes.
+//
+// Listening roles print "mcmcd: listening on http://HOST:PORT" once
+// ready (with -addr :0 the kernel picks the port); workers print
+// "mcmcd: worker ready id=W coordinator=URL" after registering. Both
+// lines are machine-readable readiness signals. With -spool, every job
+// is durable: inputs and options are recorded at submission,
+// checkpoints every -checkpoint-every iterations, and a restart
+// against the same spool directory resumes interrupted jobs to
+// bit-identical results — in distributed mode the re-run may happen on
+// a different worker, with the same result.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, new
 // submissions get 503, running jobs stop at their next chunk boundary
-// with their latest checkpoint intact.
+// with their latest checkpoint intact. A killed worker's jobs are
+// re-leased to surviving workers once its lease expires.
 package main
 
 import (
@@ -34,22 +51,29 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/profiling"
+	"repro/pkg/api"
 	"repro/pkg/service"
+	"repro/pkg/service/coordinator"
+	"repro/pkg/service/worker"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mcmcd: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-		spool     = flag.String("spool", "", "spool directory for durable jobs (empty = no durability)")
-		jobSlots  = flag.Int("job-slots", 2, "jobs running concurrently")
-		queue     = flag.Int("queue", 16, "pending-job queue bound (full queue = HTTP 429)")
-		ckptEvery = flag.Int("checkpoint-every", 25000, "approximate iterations between spooled checkpoints")
-		baseSeed  = flag.Uint64("base-seed", 1, "base for per-job derived seeds")
-		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
-		profiles  = cliutil.AddProfileFlags(nil)
+		role       = flag.String("role", "standalone", "standalone (queue+execution in one process), coordinator (queue only), or worker (execution only)")
+		addr       = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		spool      = flag.String("spool", "", "spool directory for durable jobs (empty = no durability; required and shared in distributed roles)")
+		jobSlots   = flag.Int("job-slots", 2, "jobs running concurrently")
+		queue      = flag.Int("queue", 16, "pending-job queue bound (full queue = HTTP 429)")
+		ckptEvery  = flag.Int("checkpoint-every", 25000, "approximate iterations between spooled checkpoints")
+		baseSeed   = flag.Uint64("base-seed", 1, "base for per-job derived seeds")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		coordURL   = flag.String("coordinator", "", "coordinator base URL (worker role)")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "lease survival after a worker's last heartbeat (coordinator role)")
+		workerName = flag.String("worker-name", "", "worker display name in `mcmcctl node ls` (default hostname)")
+		profiles   = cliutil.AddProfileFlags(nil)
 	)
 	flag.Parse()
 
@@ -64,63 +88,110 @@ func main() {
 		os.Exit(1)
 	}
 
-	mgr, err := service.NewManager(service.Config{
-		Workers:         *jobSlots,
-		QueueSize:       *queue,
-		SpoolDir:        *spool,
-		BaseSeed:        *baseSeed,
-		CheckpointEvery: *ckptEvery,
-	})
-	if err != nil {
-		fatalf("%v", err)
-	}
-
-	mux := http.NewServeMux()
-	mgr.Register(mux)
-	if *pprofOn {
-		// The API owns "/" (typed 404s); pprof's more specific
-		// /debug/pprof/ prefix still wins on the mux.
-		profiling.Attach(mux)
-	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	// No write/idle timeouts: SSE streams are legitimately long-lived.
-	// The header timeout alone closes the slowloris window.
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	// The listen line is the machine-readable readiness signal: the
-	// black-box harness (and scripts) parse the port out of it.
-	fmt.Printf("mcmcd: listening on http://%s\n", ln.Addr())
-	if *spool != "" {
-		log.Printf("spooling jobs under %s", *spool)
-	}
+	switch *role {
+	case "standalone", "coordinator":
+		svcCfg := service.Config{
+			Workers:         *jobSlots,
+			QueueSize:       *queue,
+			SpoolDir:        *spool,
+			BaseSeed:        *baseSeed,
+			CheckpointEvery: *ckptEvery,
+		}
+		var register func(*http.ServeMux)
+		var stopper func(context.Context) error
+		if *role == "coordinator" {
+			co, err := coordinator.New(coordinator.Config{Service: svcCfg, LeaseTTL: *leaseTTL})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			register, stopper = co.Register, co.Stop
+		} else {
+			m, err := service.NewManager(svcCfg)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			register, stopper = m.Register, m.Stop
+		}
 
-	select {
-	case err := <-errc:
-		fatalf("%v", err)
-	case <-ctx.Done():
-	}
+		mux := http.NewServeMux()
+		register(mux)
+		if *pprofOn {
+			// The API owns "/" (typed 404s); pprof's more specific
+			// /debug/pprof/ prefix still wins on the mux.
+			profiling.Attach(mux)
+		}
 
-	log.Printf("shutting down (budget %v)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	// Stop the manager first: it interrupts running jobs at their next
-	// chunk boundary (leaving their spool resumable) and unblocks any
-	// open SSE streams — which Shutdown would otherwise wait on for the
-	// whole drain budget.
-	if err := mgr.Stop(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("manager shutdown: %v", err)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// No write/idle timeouts: SSE streams are legitimately long-lived.
+		// The header timeout alone closes the slowloris window.
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		// The listen line is the machine-readable readiness signal: the
+		// black-box harness (and scripts) parse the port out of it.
+		fmt.Printf("mcmcd: listening on http://%s\n", ln.Addr())
+		if *spool != "" {
+			log.Printf("spooling jobs under %s", *spool)
+		}
+		if *role == "coordinator" {
+			log.Printf("coordinating (lease ttl %v); waiting for workers", *leaseTTL)
+		}
+
+		select {
+		case err := <-errc:
+			fatalf("%v", err)
+		case <-ctx.Done():
+		}
+
+		log.Printf("shutting down (budget %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop the manager first: it interrupts running jobs at their next
+		// chunk boundary (leaving their spool resumable) and unblocks any
+		// open SSE streams — which Shutdown would otherwise wait on for the
+		// whole drain budget.
+		if err := stopper(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("manager shutdown: %v", err)
+		}
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		log.Printf("bye")
+
+	case "worker":
+		if *coordURL == "" {
+			fatalf("-role worker requires -coordinator URL")
+		}
+		if *spool == "" {
+			fatalf("-role worker requires -spool (the coordinator's shared spool directory)")
+		}
+		w, err := worker.New(worker.Config{
+			Coordinator: *coordURL,
+			SpoolDir:    *spool,
+			Slots:       *jobSlots,
+			Name:        *workerName,
+			OnRegister: func(id api.WorkerIdentity) {
+				// Machine-readable readiness signal, the worker-role
+				// analogue of the listen line.
+				fmt.Printf("mcmcd: worker ready id=%s coordinator=%s\n", id.ID, *coordURL)
+			},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			fatalf("%v", err)
+		}
+		log.Printf("bye")
+
+	default:
+		fatalf("unknown -role %q (want standalone, coordinator, or worker)", *role)
 	}
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
-	}
-	log.Printf("bye")
 }

@@ -25,6 +25,8 @@ func TestGoldenRoundTrip(t *testing.T) {
 		{"jobrecord.json", &JobRecord{}},
 		{"diag.json", &DiagView{}},
 		{"envelope.json", &ErrorEnvelope{}},
+		{"nodeview.json", &NodeView{}},
+		{"leasegrant.json", &LeaseGrant{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

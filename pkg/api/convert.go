@@ -51,6 +51,21 @@ func NewProgressEvent(p parmcmc.Progress) *ProgressEvent {
 	}
 }
 
+// ToParmcmc maps a wire progress snapshot back onto the library type —
+// the coordinator uses it to feed worker-reported progress into the
+// same job bookkeeping a local run's Observer feeds. Strategy is not
+// on the wire and stays zero; nothing downstream of the wire form
+// consumes it.
+func (p ProgressEvent) ToParmcmc() parmcmc.Progress {
+	return parmcmc.Progress{
+		Phase: p.Phase, Iter: p.Iter, Total: p.Total,
+		LogPost: float64(p.LogPost), NumCircles: p.NumCircles,
+		AcceptRate: float64(p.AcceptRate),
+		Partitions: p.Partitions, PartitionsDone: p.PartitionsDone,
+		SpecWidth: p.SpecWidth, SpecSpeedup: float64(p.SpecSpeedup),
+	}
+}
+
 // ToParmcmc maps the wire scene onto the library's; the shape
 // name must already be validated/canonicalised by the decoder.
 func (s SceneSpec) ToParmcmc() (parmcmc.SceneSpec, error) {

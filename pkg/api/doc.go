@@ -19,9 +19,15 @@
 //	                            (ProgressEvent) and a final "done"
 //	                            (JobStatus) event
 //	GET    /v1/jobs/{id}/diag   chain diagnostics → DiagView
+//	GET    /v1/nodes            worker registry → []NodeView
+//	                            (coordinator role only)
 //	GET    /v1/version          contract + build info → VersionInfo
 //	GET    /healthz             liveness → Health
 //	GET    /metrics             Prometheus text exposition
+//
+// A coordinator additionally serves the internal worker-facing
+// protocol under /internal/v1 (register, heartbeat, lease, progress,
+// complete) — see worker.go for the routes and types.
 //
 // Every non-2xx response body is an ErrorEnvelope: a stable,
 // machine-readable Code plus a human-oriented message. Wrong methods

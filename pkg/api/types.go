@@ -90,6 +90,9 @@ type JobStatus struct {
 	// progress. Checkpoint-resumed jobs do NOT set it (their replayed
 	// window is deduplicated instead).
 	Restarted bool `json:"restarted,omitempty"`
+	// Worker is the ID of the worker currently holding the job's lease
+	// (coordinator role only; empty standalone and for queued jobs).
+	Worker string `json:"worker,omitempty"`
 }
 
 // ResultView decodes the embedded Result, or returns nil for a job
@@ -233,6 +236,9 @@ type VersionInfo struct {
 	GoVersion  string   `json:"go_version"`
 	Strategies []string `json:"strategies"`
 	Shapes     []string `json:"shapes"`
+	// Role is the process role serving this API: "standalone",
+	// "coordinator" or "worker" (empty from servers predating roles).
+	Role string `json:"role,omitempty"`
 }
 
 // Health is the response of GET /healthz.

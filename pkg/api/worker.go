@@ -1,0 +1,169 @@
+package api
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Internal worker API (coordinator/worker control plane).
+//
+// A coordinator serves these routes under /internal/v1 next to the
+// public /v1 surface. Workers are stateless: everything durable (the
+// queue, the spool, checkpoints) lives with the coordinator; a worker
+// holds only the leases it is currently running. The protocol:
+//
+//	POST /internal/v1/workers                register → WorkerIdentity
+//	POST /internal/v1/workers/{id}/heartbeat liveness → HeartbeatAck
+//	POST /internal/v1/leases                 lease next job (long-poll)
+//	                                         → LeaseGrant, or 204 when
+//	                                         no work arrived in the
+//	                                         poll window
+//	POST /internal/v1/leases/{id}/progress   ProgressReport → ProgressAck
+//	POST /internal/v1/leases/{id}/complete   CompleteReport → 204
+//
+// Liveness is heartbeat-based: a worker whose heartbeat is silent past
+// the lease TTL is marked lost and its leases expire — each expired
+// lease's job is re-leased from its latest spooled checkpoint (or from
+// scratch, Restarted set, when none exists). Progress/complete calls
+// under an expired or unknown lease are rejected with CodeLeaseExpired
+// so an orphaned worker knows to abandon the run.
+//
+// The public surface grows one read-only route:
+//
+//	GET /v1/nodes  worker registry → []NodeView (coordinator role only;
+//	               standalone answers a typed 404)
+
+// InternalPrefix is the URL prefix of the coordinator's internal
+// worker-facing routes. It is versioned independently of the public
+// Prefix: the worker protocol can evolve without a client-visible
+// contract bump, but never silently — same golden-fixture rules.
+const InternalPrefix = "/internal/" + Version
+
+// Internal error codes (in addition to the public set in errors.go).
+const (
+	// CodeUnknownWorker rejects a heartbeat or lease request from a
+	// worker ID the coordinator does not know — typically after a
+	// coordinator restart (the registry is in-memory). The worker
+	// re-registers under a fresh ID (404).
+	CodeUnknownWorker = "unknown_worker"
+	// CodeLeaseExpired rejects progress or completion under a lease
+	// that expired or was never granted. The worker must abandon the
+	// run: the job has been re-leased elsewhere (410).
+	CodeLeaseExpired = "lease_expired"
+)
+
+// WorkerRegistration is the body of POST /internal/v1/workers.
+type WorkerRegistration struct {
+	// Name is a human-oriented label for `mcmcctl node ls` (defaults
+	// to the worker's hostname); it need not be unique — the
+	// coordinator-assigned ID is the identity.
+	Name string `json:"name,omitempty"`
+	// Slots is how many jobs the worker runs concurrently.
+	Slots int `json:"slots"`
+}
+
+// WorkerIdentity is the coordinator's reply to a registration: the
+// assigned worker ID plus the liveness contract the worker must obey.
+type WorkerIdentity struct {
+	ID string `json:"id"`
+	// LeaseTTLSeconds is how long the coordinator waits after the last
+	// heartbeat before expiring the worker's leases.
+	LeaseTTLSeconds float64 `json:"lease_ttl_seconds"`
+	// HeartbeatSeconds is the cadence the worker should beat at
+	// (a fraction of the TTL, so one dropped beat is survivable).
+	HeartbeatSeconds float64 `json:"heartbeat_seconds"`
+}
+
+// HeartbeatAck is the reply to a worker heartbeat.
+type HeartbeatAck struct {
+	// CancelledLeases lists lease IDs whose jobs were cancelled by a
+	// client; the worker stops those runs at the next chunk boundary.
+	CancelledLeases []string `json:"cancelled_leases,omitempty"`
+}
+
+// LeaseRequest is the body of POST /internal/v1/leases: a long-poll
+// for the next runnable job.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Lease identifies one grant of one job to one worker. Lease IDs are
+// unique across re-leases of the same job, so a stale worker's
+// progress/complete calls are distinguishable from the current
+// holder's.
+type Lease struct {
+	ID       string `json:"id"`
+	JobID    string `json:"job_id"`
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseGrant is the coordinator's reply to a successful lease request:
+// the lease plus everything the worker needs to run the job.
+type LeaseGrant struct {
+	Lease Lease `json:"lease"`
+	// Record is the job's durable submission record. The worker
+	// materialises the input from it: the synthetic scene spec, or the
+	// named input file read from the shared spool.
+	Record JobRecord `json:"record"`
+	// Checkpoint is the spooled checkpoint to resume from, inline
+	// (base64 under JSON). Empty means run from scratch. The
+	// coordinator reads the spool exactly once, at grant time — it is
+	// the single authority on resume-vs-scratch.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// Restarted is set when a re-leased job had no usable checkpoint
+	// and restarts from iteration zero (mirrors JobStatus.Restarted).
+	Restarted bool `json:"restarted,omitempty"`
+	// CheckpointEvery is the coordinator's spool cadence: approximate
+	// iterations between checkpoint writes.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// ProgressReport is the body of POST /internal/v1/leases/{id}/progress.
+type ProgressReport struct {
+	WorkerID string `json:"worker_id"`
+	// Progress is the chunk-boundary snapshot, in the same wire form
+	// the public SSE stream uses — the coordinator fans it out to
+	// /v1/jobs/{id}/events subscribers unchanged.
+	Progress ProgressEvent `json:"progress"`
+}
+
+// ProgressAck is the reply to a progress report.
+type ProgressAck struct {
+	// Cancel tells the worker to stop this run at the next chunk
+	// boundary: a client cancelled the job.
+	Cancel bool `json:"cancel,omitempty"`
+}
+
+// CompleteReport is the body of POST /internal/v1/leases/{id}/complete:
+// the job's terminal outcome.
+type CompleteReport struct {
+	WorkerID string `json:"worker_id"`
+	// Result is the encoded ResultView of a successful run; nil when
+	// Error is set.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure message of an unsuccessful run ("cancelled"
+	// for runs stopped by a cancellation).
+	Error string `json:"error,omitempty"`
+}
+
+// NodeView is one worker in GET /v1/nodes: the operator-facing view of
+// the registry (`mcmcctl node ls`).
+type NodeView struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// State is "alive" (heartbeating) or "lost" (missed the lease TTL;
+	// kept listed so operators can see what died).
+	State string `json:"state"`
+	Slots int    `json:"slots"`
+	// Leases lists the job IDs the worker currently holds.
+	Leases                  []string  `json:"leases,omitempty"`
+	RegisteredAt            time.Time `json:"registered_at"`
+	LastHeartbeatAgeSeconds float64   `json:"last_heartbeat_age_seconds"`
+	JobsCompleted           int64     `json:"jobs_completed"`
+}
+
+// Node states.
+const (
+	NodeAlive = "alive"
+	NodeLost  = "lost"
+)

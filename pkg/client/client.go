@@ -214,6 +214,17 @@ func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
 	return out, nil
 }
 
+// Nodes lists the worker registry of a distributed-mode coordinator.
+// Standalone daemons answer a typed 404 (the endpoint exists only in
+// coordinator role).
+func (c *Client) Nodes(ctx context.Context) ([]api.NodeView, error) {
+	var out []api.NodeView
+	if err := c.do(ctx, http.MethodGet, api.Prefix+"/nodes", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Cancel cancels a pending or running job and returns its status.
 func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) {
 	var st api.JobStatus

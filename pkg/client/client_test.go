@@ -158,6 +158,38 @@ func TestClientErrorEnvelopes(t *testing.T) {
 	}
 }
 
+func TestClientNodes(t *testing.T) {
+	// Against a coordinator, Nodes decodes the registry; a standalone
+	// daemon (no registry) answers the typed not_found.
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/nodes" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `[{"id":"w-0001","name":"box","state":"alive","slots":2,"leases":["job-00000001"],"registered_at":"2026-01-01T00:00:00Z","last_heartbeat_age_seconds":1.5,"jobs_completed":3}]`)
+	}))
+	defer fake.Close()
+	fc, err := client.New(fake.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := fc.Nodes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].ID != "w-0001" || nodes[0].State != api.NodeAlive ||
+		nodes[0].JobsCompleted != 3 || len(nodes[0].Leases) != 1 {
+		t.Fatalf("nodes %+v", nodes)
+	}
+
+	c, _ := newTestServer(t, service.Config{Workers: 1})
+	var env *api.ErrorEnvelope
+	if _, err := c.Nodes(context.Background()); !errors.As(err, &env) || env.Code != api.CodeNotFound {
+		t.Fatalf("standalone nodes error %v", err)
+	}
+}
+
 func TestClientStrictDecoding(t *testing.T) {
 	// A server speaking a newer contract (extra fields) must fail loudly
 	// rather than silently dropping data.

@@ -1,0 +1,240 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/pkg/service"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Service configures the embedded job manager. SpoolDir is
+	// required: the shared spool is how checkpoints travel between the
+	// coordinator and its workers, and re-lease-from-checkpoint is the
+	// whole point of the split.
+	Service service.Config
+	// LeaseTTL is how long after a worker's last heartbeat its leases
+	// survive (default 15s). Workers are told to beat at a third of
+	// it, so a single dropped beat never expires a lease.
+	LeaseTTL time.Duration
+	// PollWindow bounds the lease long-poll: a lease request with no
+	// runnable job returns 204 after this long (default 10s).
+	PollWindow time.Duration
+
+	// now is the clock, injectable for the lease-expiry unit tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.PollWindow <= 0 {
+		c.PollWindow = 10 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.Service.Logf == nil {
+		c.Service.Logf = log.Printf
+	}
+	return c
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id         string
+	name       string
+	slots      int
+	registered time.Time
+	lastBeat   time.Time
+	lost       bool
+	completed  int64
+}
+
+// lease is one live grant of one job to one worker.
+type lease struct {
+	id       string
+	jobID    string
+	job      *service.Job
+	workerID string
+	// cancelled is set when a client cancels the job; delivered to the
+	// worker on its next progress report or heartbeat.
+	cancelled bool
+}
+
+// Coordinator owns the distributed control plane: the durable queue
+// and spool (through an externally-run service.Manager), the worker
+// registry and the lease table. Construct with New; always Stop it.
+type Coordinator struct {
+	cfg Config
+	m   *service.Manager
+	r   *service.Remote
+	now func() time.Time
+
+	mu        sync.Mutex
+	workers   map[string]*workerState
+	leases    map[string]*lease
+	workerSeq uint64
+	leaseSeq  uint64
+	// Counters for /metrics.
+	leasesGranted uint64
+	leaseExpiries uint64
+
+	stop     chan struct{}
+	scanDone chan struct{}
+}
+
+// New builds a coordinator: the embedded manager recovers the spool
+// (interrupted jobs go back to the runnable set exactly as a
+// standalone restart would), and the lease-expiry scanner starts.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Service.SpoolDir == "" {
+		return nil, errors.New("coordinator: Service.SpoolDir is required (checkpoints travel through the shared spool)")
+	}
+	cfg.Service.Role = "coordinator"
+	m, r, err := service.NewExternal(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		m:        m,
+		r:        r,
+		now:      cfg.now,
+		workers:  make(map[string]*workerState),
+		leases:   make(map[string]*lease),
+		stop:     make(chan struct{}),
+		scanDone: make(chan struct{}),
+	}
+	m.AddMetrics(c.writeMetrics)
+	go c.scanLoop()
+	return c, nil
+}
+
+// Manager exposes the embedded manager (the public API surface).
+func (c *Coordinator) Manager() *service.Manager { return c.m }
+
+// Stop shuts the coordinator down: the expiry scanner stops, then the
+// manager (which unblocks lease long-polls and SSE streams). Running
+// workers notice on their next heartbeat or report.
+func (c *Coordinator) Stop(ctx context.Context) error {
+	close(c.stop)
+	<-c.scanDone
+	return c.m.Stop(ctx)
+}
+
+// scanLoop expires leases of silent workers. The scan cadence is a
+// quarter of the TTL, so expiry lands at most TTL/4 late.
+func (c *Coordinator) scanLoop() {
+	defer close(c.scanDone)
+	t := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.expireScan()
+		}
+	}
+}
+
+// expireScan marks workers whose heartbeat aged past the TTL as lost
+// and requeues their leases. A heartbeat exactly at the deadline still
+// counts: a worker expires only when now is strictly after
+// lastBeat+TTL.
+func (c *Coordinator) expireScan() {
+	now := c.now()
+	var requeue []*lease
+	c.mu.Lock()
+	for _, w := range c.workers {
+		if w.lost || !now.After(w.lastBeat.Add(c.cfg.LeaseTTL)) {
+			continue
+		}
+		w.lost = true
+		for id, l := range c.leases {
+			if l.workerID != w.id {
+				continue
+			}
+			delete(c.leases, id)
+			c.leaseExpiries++
+			requeue = append(requeue, l)
+		}
+		c.logf("coordinator: worker %s (%s) lost: no heartbeat for %v", w.id, w.name, now.Sub(w.lastBeat))
+	}
+	c.mu.Unlock()
+	for _, l := range requeue {
+		c.logf("coordinator: lease %s expired, requeueing %s", l.id, l.jobID)
+		c.r.Requeue(l.job)
+	}
+}
+
+// grant creates a lease for job and claims it; false means the job was
+// cancelled while queued and the caller should poll for another.
+func (c *Coordinator) grant(job *service.Job, workerID string) (*lease, bool) {
+	c.mu.Lock()
+	c.leaseSeq++
+	l := &lease{
+		id:       fmt.Sprintf("lease-%08d", c.leaseSeq),
+		jobID:    job.ID(),
+		job:      job,
+		workerID: workerID,
+	}
+	// Registered before the claim so a cancellation arriving mid-grant
+	// finds the lease and flags it.
+	c.leases[l.id] = l
+	c.mu.Unlock()
+
+	leaseID := l.id
+	ok := c.r.Start(job, workerID, func() {
+		c.mu.Lock()
+		if held, live := c.leases[leaseID]; live {
+			held.cancelled = true
+		}
+		c.mu.Unlock()
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !ok {
+		delete(c.leases, leaseID)
+		return nil, false
+	}
+	c.leasesGranted++
+	return l, true
+}
+
+// lookupLease resolves a lease a worker is reporting under; nil means
+// the lease expired (or never existed, or belongs to someone else) and
+// the caller answers lease_expired.
+func (c *Coordinator) lookupLease(id, workerID string) *lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[id]
+	if !ok || l.workerID != workerID {
+		return nil
+	}
+	return l
+}
+
+// completeLease removes the lease and credits the worker.
+func (c *Coordinator) completeLease(l *lease) {
+	c.mu.Lock()
+	delete(c.leases, l.id)
+	if w, ok := c.workers[l.workerID]; ok {
+		w.completed++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Service.Logf != nil {
+		c.cfg.Service.Logf(format, args...)
+	}
+}

@@ -1,0 +1,412 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// fakeClock makes lease-expiry deterministic: the TTL arithmetic runs
+// on this clock while tickers (which only trigger scans) stay on real
+// time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newTestCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{t: time.Now()}
+	cfg.now = clock.Now
+	if cfg.Service.SpoolDir == "" {
+		cfg.Service.SpoolDir = t.TempDir()
+	}
+	if cfg.Service.Logf == nil {
+		cfg.Service.Logf = t.Logf
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := c.Stop(ctx); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	})
+	return c, srv, clock
+}
+
+// postJSON posts v and decodes the response into out (when non-nil),
+// returning the status code.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 && len(blob) > 0 {
+		if err := json.Unmarshal(blob, out); err != nil {
+			t.Fatalf("decoding %s: %v\nbody: %s", url, err, blob)
+		}
+	}
+	return resp.StatusCode
+}
+
+func errorCode(t *testing.T, url string, v any) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env api.ErrorEnvelope
+	json.NewDecoder(resp.Body).Decode(&env)
+	return resp.StatusCode, env.Code
+}
+
+func registerWorker(t *testing.T, url, name string) api.WorkerIdentity {
+	t.Helper()
+	var id api.WorkerIdentity
+	if status := postJSON(t, url+api.InternalPrefix+"/workers", api.WorkerRegistration{Name: name, Slots: 1}, &id); status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	return id
+}
+
+func submitJob(t *testing.T, url string, seed uint64) string {
+	t.Helper()
+	spec := api.JobSpec{
+		Scene:   &api.SceneSpec{W: 64, H: 64, Count: 3, MeanRadius: 6, Seed: 5},
+		Options: api.OptionsSpec{Strategy: "sequential", MeanRadius: 6, Iterations: 5000, Seed: seed},
+	}
+	var view api.JobStatus
+	if status := postJSON(t, url+"/v1/jobs", spec, &view); status != http.StatusCreated {
+		t.Fatalf("submit: status %d", status)
+	}
+	return view.ID
+}
+
+func leaseNext(t *testing.T, url, workerID string) (api.LeaseGrant, int) {
+	t.Helper()
+	var grant api.LeaseGrant
+	status := postJSON(t, url+api.InternalPrefix+"/leases", api.LeaseRequest{WorkerID: workerID}, &grant)
+	return grant, status
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHeartbeatExactlyAtDeadline pins the liveness boundary: a worker
+// whose heartbeat age equals the TTL exactly is still alive (expiry
+// requires strictly-after), and one nanosecond past it is lost, its
+// lease requeued.
+func TestHeartbeatExactlyAtDeadline(t *testing.T) {
+	ttl := 15 * time.Second
+	c, srv, clock := newTestCoordinator(t, Config{LeaseTTL: ttl, PollWindow: 2 * time.Second})
+	id := registerWorker(t, srv.URL, "edge")
+	jobID := submitJob(t, srv.URL, 31)
+	grant, status := leaseNext(t, srv.URL, id.ID)
+	if status != http.StatusOK || grant.Lease.JobID != jobID {
+		t.Fatalf("lease: status %d grant %+v", status, grant)
+	}
+
+	// Exactly at the deadline: not expired.
+	clock.Advance(ttl)
+	c.expireScan()
+	hbURL := srv.URL + api.InternalPrefix + "/workers/" + id.ID + "/heartbeat"
+	var ack api.HeartbeatAck
+	if status := postJSON(t, hbURL, struct{}{}, &ack); status != http.StatusOK {
+		t.Fatalf("heartbeat at deadline: status %d, want renewal", status)
+	}
+
+	// The beat renewed the lease: a full TTL may elapse again.
+	clock.Advance(ttl)
+	c.expireScan()
+	var nodes []api.NodeView
+	getJSON(t, srv.URL+"/v1/nodes", &nodes)
+	if len(nodes) != 1 || nodes[0].State != api.NodeAlive {
+		t.Fatalf("nodes after renewal = %+v", nodes)
+	}
+
+	// Strictly past the deadline: lost, lease expired, job requeued.
+	clock.Advance(time.Nanosecond)
+	c.expireScan()
+	var after []api.NodeView // fresh: Unmarshal merges into reused elements
+	getJSON(t, srv.URL+"/v1/nodes", &after)
+	if len(after) != 1 || after[0].State != api.NodeLost || len(after[0].Leases) != 0 {
+		t.Fatalf("nodes after expiry = %+v", after)
+	}
+	if status, code := errorCode(t, hbURL, struct{}{}); status != http.StatusNotFound || code != api.CodeUnknownWorker {
+		t.Fatalf("heartbeat after loss: %d %s, want 404 %s", status, code, api.CodeUnknownWorker)
+	}
+	var view api.JobStatus
+	getJSON(t, srv.URL+"/v1/jobs/"+jobID, &view)
+	if view.State != api.StatePending || view.Worker != "" {
+		t.Fatalf("job after expiry = %+v", view)
+	}
+}
+
+// TestDoubleLeaseRace fires many concurrent lease requests at a
+// single-job queue: exactly one may win, and a job must never be
+// leased twice at once.
+func TestDoubleLeaseRace(t *testing.T) {
+	_, srv, _ := newTestCoordinator(t, Config{LeaseTTL: time.Minute, PollWindow: 300 * time.Millisecond})
+	jobID := submitJob(t, srv.URL, 37)
+
+	const racers = 8
+	ids := make([]api.WorkerIdentity, racers)
+	for i := range ids {
+		ids[i] = registerWorker(t, srv.URL, fmt.Sprintf("racer-%d", i))
+	}
+	var wg sync.WaitGroup
+	grants := make(chan api.LeaseGrant, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			if grant, status := leaseNext(t, srv.URL, w); status == http.StatusOK {
+				grants <- grant
+			}
+		}(ids[i].ID)
+	}
+	wg.Wait()
+	close(grants)
+	var won []api.LeaseGrant
+	for g := range grants {
+		won = append(won, g)
+	}
+	if len(won) != 1 || won[0].Lease.JobID != jobID {
+		t.Fatalf("%d grants for one job: %+v", len(won), won)
+	}
+}
+
+// TestCompleteAfterExpiry rejects a dead worker's late completion with
+// lease_expired and lets the re-leased run finish normally — the
+// orphan can never overwrite the live lease's outcome.
+func TestCompleteAfterExpiry(t *testing.T) {
+	ttl := 10 * time.Second
+	c, srv, clock := newTestCoordinator(t, Config{LeaseTTL: ttl, PollWindow: 2 * time.Second})
+	w1 := registerWorker(t, srv.URL, "doomed")
+	jobID := submitJob(t, srv.URL, 41)
+	grant, _ := leaseNext(t, srv.URL, w1.ID)
+
+	clock.Advance(ttl + time.Millisecond)
+	c.expireScan()
+
+	// The orphan reports in: progress and completion both answer 410.
+	progURL := srv.URL + api.InternalPrefix + "/leases/" + grant.Lease.ID + "/progress"
+	if status, code := errorCode(t, progURL, api.ProgressReport{WorkerID: w1.ID, Progress: api.ProgressEvent{Iter: 100}}); status != http.StatusGone || code != api.CodeLeaseExpired {
+		t.Fatalf("orphan progress: %d %s", status, code)
+	}
+	doneURL := srv.URL + api.InternalPrefix + "/leases/" + grant.Lease.ID + "/complete"
+	if status, code := errorCode(t, doneURL, api.CompleteReport{WorkerID: w1.ID, Result: json.RawMessage(`{"iterations":1}`)}); status != http.StatusGone || code != api.CodeLeaseExpired {
+		t.Fatalf("orphan complete: %d %s", status, code)
+	}
+	var view api.JobStatus
+	getJSON(t, srv.URL+"/v1/jobs/"+jobID, &view)
+	if view.State != api.StatePending {
+		t.Fatalf("job state after orphan reports = %s, want pending", view.State)
+	}
+
+	// The replacement leases and completes.
+	w2 := registerWorker(t, srv.URL, "successor")
+	grant2, status := leaseNext(t, srv.URL, w2.ID)
+	if status != http.StatusOK || grant2.Lease.JobID != jobID {
+		t.Fatalf("re-lease: status %d grant %+v", status, grant2)
+	}
+	if grant2.Lease.ID == grant.Lease.ID {
+		t.Fatal("re-lease reused the expired lease ID")
+	}
+	done2 := srv.URL + api.InternalPrefix + "/leases/" + grant2.Lease.ID + "/complete"
+	if status := postJSON(t, done2, api.CompleteReport{WorkerID: w2.ID, Error: "synthetic"}, nil); status != http.StatusNoContent {
+		t.Fatalf("successor complete: status %d", status)
+	}
+	getJSON(t, srv.URL+"/v1/jobs/"+jobID, &view)
+	if view.State != api.StateFailed {
+		t.Fatalf("job state after successor = %s", view.State)
+	}
+}
+
+// TestCancelWhileLeased routes a client cancellation to the worker:
+// flagged on the next progress ack and heartbeat, terminal as
+// cancelled once the worker confirms.
+func TestCancelWhileLeased(t *testing.T) {
+	_, srv, _ := newTestCoordinator(t, Config{LeaseTTL: time.Minute, PollWindow: 2 * time.Second})
+	w1 := registerWorker(t, srv.URL, "cancellee")
+	jobID := submitJob(t, srv.URL, 43)
+	grant, _ := leaseNext(t, srv.URL, w1.ID)
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	progURL := srv.URL + api.InternalPrefix + "/leases/" + grant.Lease.ID + "/progress"
+	var ack api.ProgressAck
+	if status := postJSON(t, progURL, api.ProgressReport{WorkerID: w1.ID, Progress: api.ProgressEvent{Iter: 500}}, &ack); status != http.StatusOK || !ack.Cancel {
+		t.Fatalf("progress after cancel: status %d ack %+v", status, ack)
+	}
+	var hb api.HeartbeatAck
+	postJSON(t, srv.URL+api.InternalPrefix+"/workers/"+w1.ID+"/heartbeat", struct{}{}, &hb)
+	if len(hb.CancelledLeases) != 1 || hb.CancelledLeases[0] != grant.Lease.ID {
+		t.Fatalf("heartbeat ack = %+v", hb)
+	}
+
+	doneURL := srv.URL + api.InternalPrefix + "/leases/" + grant.Lease.ID + "/complete"
+	if status := postJSON(t, doneURL, api.CompleteReport{WorkerID: w1.ID, Error: "cancelled"}, nil); status != http.StatusNoContent {
+		t.Fatalf("complete: status %d", status)
+	}
+	var view api.JobStatus
+	getJSON(t, srv.URL+"/v1/jobs/"+jobID, &view)
+	if view.State != api.StateCancelled || view.Error != "cancelled" {
+		t.Fatalf("final = %+v", view)
+	}
+}
+
+// TestCancelWhileLeasedThenExpiry: a cancel-requested job whose worker
+// dies is terminated as cancelled, never re-leased.
+func TestCancelWhileLeasedThenExpiry(t *testing.T) {
+	ttl := 10 * time.Second
+	c, srv, clock := newTestCoordinator(t, Config{LeaseTTL: ttl, PollWindow: 2 * time.Second})
+	w1 := registerWorker(t, srv.URL, "cancellee")
+	jobID := submitJob(t, srv.URL, 47)
+	leaseNext(t, srv.URL, w1.ID)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+jobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	clock.Advance(ttl + time.Millisecond)
+	c.expireScan()
+
+	var view api.JobStatus
+	getJSON(t, srv.URL+"/v1/jobs/"+jobID, &view)
+	if view.State != api.StateCancelled || view.Error != "cancelled" {
+		t.Fatalf("final = %+v", view)
+	}
+}
+
+// TestLeaseRequiresRegistration: lease and heartbeat calls from
+// unknown workers answer typed unknown_worker.
+func TestLeaseRequiresRegistration(t *testing.T) {
+	_, srv, _ := newTestCoordinator(t, Config{LeaseTTL: time.Minute, PollWindow: 200 * time.Millisecond})
+	if status, code := errorCode(t, srv.URL+api.InternalPrefix+"/leases", api.LeaseRequest{WorkerID: "w-9999"}); status != http.StatusNotFound || code != api.CodeUnknownWorker {
+		t.Fatalf("lease unregistered: %d %s", status, code)
+	}
+}
+
+// TestEmptyQueueLongPoll: with nothing runnable the lease poll answers
+// 204 after the window.
+func TestEmptyQueueLongPoll(t *testing.T) {
+	_, srv, _ := newTestCoordinator(t, Config{LeaseTTL: time.Minute, PollWindow: 150 * time.Millisecond})
+	w1 := registerWorker(t, srv.URL, "idle")
+	if _, status := leaseNext(t, srv.URL, w1.ID); status != http.StatusNoContent {
+		t.Fatalf("empty poll: status %d, want 204", status)
+	}
+}
+
+// TestMetricsExposition: the coordinator's gauges ride on /metrics.
+func TestMetricsExposition(t *testing.T) {
+	c, srv, clock := newTestCoordinator(t, Config{LeaseTTL: 10 * time.Second, PollWindow: 2 * time.Second})
+	w1 := registerWorker(t, srv.URL, "metrics")
+	submitJob(t, srv.URL, 53)
+	leaseNext(t, srv.URL, w1.ID)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		"mcmcd_workers_connected 1",
+		"mcmcd_workers_lost 0",
+		"mcmcd_leases_active 1",
+		"mcmcd_leases_granted_total 1",
+		"mcmcd_lease_expiries_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	clock.Advance(10*time.Second + time.Millisecond)
+	c.expireScan()
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text = string(blob)
+	for _, want := range []string{
+		"mcmcd_workers_connected 0",
+		"mcmcd_workers_lost 1",
+		"mcmcd_leases_active 0",
+		"mcmcd_lease_expiries_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics after expiry missing %q", want)
+		}
+	}
+}

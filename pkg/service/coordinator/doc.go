@@ -1,0 +1,26 @@
+// Package coordinator is the control-plane half of distributed mcmcd
+// (cf. an operator vs per-node daemons): it owns the durable job
+// queue and spool through an externally-run pkg/service Manager,
+// serves the unchanged public /v1 API, and adds the internal worker
+// protocol under /internal/v1 — registration, heartbeats, lease
+// grants, streamed progress and completion (wire types in pkg/api).
+//
+// Liveness and re-lease: a worker's leases are covered by its
+// heartbeat. When the last heartbeat ages past the lease TTL the
+// worker is marked lost and each of its leases expires — the job goes
+// back to the runnable set via Remote.Requeue, resuming from its
+// latest spooled checkpoint (or from scratch with Restarted flagged).
+// Because checkpoints resume bit-identically and every checkpoint of
+// the same (options, seed) chain is a state of the same trajectory,
+// worker death never changes a result — and a not-actually-dead
+// "orphan" worker still writing checkpoints is harmless, because its
+// writes are atomic and describe the very trajectory the replacement
+// runs. Orphans learn to stop the moment they report: progress or
+// completion under an expired lease answers a typed lease_expired.
+//
+// The registry is in-memory: after a coordinator restart workers get
+// unknown_worker on their next heartbeat and re-register under fresh
+// IDs, while interrupted jobs are recovered from the spool exactly as
+// a standalone restart would. GET /v1/nodes exposes the registry
+// (`mcmcctl node ls`), and /metrics grows lease/worker gauges.
+package coordinator

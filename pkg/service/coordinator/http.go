@@ -1,0 +1,284 @@
+package coordinator
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/pkg/api"
+	"repro/pkg/service"
+)
+
+// Register mounts the full coordinator surface on mux: the unchanged
+// public /v1 API (via the embedded manager), the worker registry view
+// at /v1/nodes, and the internal worker protocol under /internal/v1.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	c.m.Register(mux)
+	mux.Handle(api.Prefix+"/nodes", service.Methods{http.MethodGet: c.nodes})
+	mux.Handle(api.InternalPrefix+"/workers", service.Methods{http.MethodPost: c.register})
+	mux.HandleFunc(api.InternalPrefix+"/workers/", c.workerSubtree)
+	mux.Handle(api.InternalPrefix+"/leases", service.Methods{http.MethodPost: c.leaseNext})
+	mux.HandleFunc(api.InternalPrefix+"/leases/", c.leaseSubtree)
+}
+
+// Handler returns a standalone handler serving the coordinator (a
+// fresh mux with Register applied) — what the in-process tests mount.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Register(mux)
+	return mux
+}
+
+// decodeInto strict-decodes a bounded JSON body.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
+	if err != nil {
+		service.WriteError(w, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			"body exceeds %d bytes", service.MaxBodyBytes)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		service.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding body: %v", err)
+		return false
+	}
+	return true
+}
+
+// register admits a worker into the registry and hands it its identity
+// plus the liveness contract.
+func (c *Coordinator) register(w http.ResponseWriter, r *http.Request) {
+	var req api.WorkerRegistration
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	now := c.now()
+	c.mu.Lock()
+	c.workerSeq++
+	ws := &workerState{
+		id:         fmt.Sprintf("w-%04d", c.workerSeq),
+		name:       req.Name,
+		slots:      req.Slots,
+		registered: now,
+		lastBeat:   now,
+	}
+	c.workers[ws.id] = ws
+	c.mu.Unlock()
+	c.logf("coordinator: worker %s registered (%s, %d slots)", ws.id, ws.name, ws.slots)
+	service.WriteJSON(w, http.StatusCreated, api.WorkerIdentity{
+		ID:               ws.id,
+		LeaseTTLSeconds:  c.cfg.LeaseTTL.Seconds(),
+		HeartbeatSeconds: (c.cfg.LeaseTTL / 3).Seconds(),
+	})
+}
+
+// workerSubtree routes /internal/v1/workers/{id}/heartbeat.
+func (c *Coordinator) workerSubtree(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, api.InternalPrefix+"/workers/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || sub != "heartbeat" {
+		service.WriteError(w, http.StatusNotFound, api.CodeNotFound, "no route %s", r.URL.Path)
+		return
+	}
+	service.Methods{http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+		c.heartbeat(w, id)
+	}}.ServeHTTP(w, r)
+}
+
+// heartbeat renews a worker's leases and delivers pending cancel
+// signals. Lost (or never-registered) workers get unknown_worker and
+// must re-register — their old leases are already expired or expiring.
+func (c *Coordinator) heartbeat(w http.ResponseWriter, id string) {
+	c.mu.Lock()
+	ws, ok := c.workers[id]
+	if !ok || ws.lost {
+		c.mu.Unlock()
+		service.WriteError(w, http.StatusNotFound, api.CodeUnknownWorker,
+			"unknown worker %q (re-register)", id)
+		return
+	}
+	ws.lastBeat = c.now()
+	var cancelled []string
+	for _, l := range c.leases {
+		if l.workerID == id && l.cancelled {
+			cancelled = append(cancelled, l.id)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(cancelled)
+	service.WriteJSON(w, http.StatusOK, api.HeartbeatAck{CancelledLeases: cancelled})
+}
+
+// leaseNext is the lease long-poll: it blocks until a runnable job
+// exists (grant, 200), the poll window elapses (204), or the
+// coordinator shuts down (503).
+func (c *Coordinator) leaseNext(w http.ResponseWriter, r *http.Request) {
+	var req api.LeaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[req.WorkerID]
+	lost := ok && ws.lost
+	c.mu.Unlock()
+	if !ok || lost {
+		service.WriteError(w, http.StatusNotFound, api.CodeUnknownWorker,
+			"unknown worker %q (re-register)", req.WorkerID)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.PollWindow)
+	defer cancel()
+	for {
+		job, err := c.r.Next(ctx)
+		switch {
+		case errors.Is(err, service.ErrStopped):
+			service.WriteError(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "%v", err)
+			return
+		case err != nil: // poll window elapsed or client gone
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		// Snapshot the grant payload before the claim publishes the
+		// running state.
+		rec, checkpoint, restarted := c.r.Describe(job)
+		l, ok := c.grant(job, req.WorkerID)
+		if !ok {
+			continue // cancelled while queued; poll for another
+		}
+		c.logf("coordinator: lease %s: %s -> %s", l.id, l.jobID, req.WorkerID)
+		service.WriteJSON(w, http.StatusOK, api.LeaseGrant{
+			Lease:           api.Lease{ID: l.id, JobID: l.jobID, WorkerID: req.WorkerID},
+			Record:          rec,
+			Checkpoint:      checkpoint,
+			Restarted:       restarted,
+			CheckpointEvery: c.m.CheckpointInterval(),
+		})
+		return
+	}
+}
+
+// leaseSubtree routes /internal/v1/leases/{id}/progress|complete.
+func (c *Coordinator) leaseSubtree(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, api.InternalPrefix+"/leases/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "progress" && sub != "complete") {
+		service.WriteError(w, http.StatusNotFound, api.CodeNotFound, "no route %s", r.URL.Path)
+		return
+	}
+	service.Methods{http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+		switch sub {
+		case "progress":
+			c.progress(w, r, id)
+		case "complete":
+			c.complete(w, r, id)
+		}
+	}}.ServeHTTP(w, r)
+}
+
+// progress feeds one worker-reported snapshot into the job's SSE
+// fan-out and counters, and tells the worker whether to cancel.
+func (c *Coordinator) progress(w http.ResponseWriter, r *http.Request, id string) {
+	var req api.ProgressReport
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	l := c.lookupLease(id, req.WorkerID)
+	if l == nil {
+		service.WriteError(w, http.StatusGone, api.CodeLeaseExpired,
+			"lease %q is not held by %q (expired or re-leased); abandon the run", id, req.WorkerID)
+		return
+	}
+	c.r.Observe(l.job, req.Progress)
+	c.mu.Lock()
+	cancelled := l.cancelled
+	c.mu.Unlock()
+	service.WriteJSON(w, http.StatusOK, api.ProgressAck{Cancel: cancelled})
+}
+
+// complete lands a worker-reported terminal outcome and releases the
+// lease.
+func (c *Coordinator) complete(w http.ResponseWriter, r *http.Request, id string) {
+	var req api.CompleteReport
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	l := c.lookupLease(id, req.WorkerID)
+	if l == nil {
+		service.WriteError(w, http.StatusGone, api.CodeLeaseExpired,
+			"lease %q is not held by %q (expired or re-leased); discard the result", id, req.WorkerID)
+		return
+	}
+	c.completeLease(l)
+	c.r.Complete(l.job, req.Result, req.Error)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// nodes serves GET /v1/nodes: the worker registry, sorted by ID.
+func (c *Coordinator) nodes(w http.ResponseWriter, r *http.Request) {
+	now := c.now()
+	c.mu.Lock()
+	views := make([]api.NodeView, 0, len(c.workers))
+	for _, ws := range c.workers {
+		v := api.NodeView{
+			ID:                      ws.id,
+			Name:                    ws.name,
+			State:                   api.NodeAlive,
+			Slots:                   ws.slots,
+			RegisteredAt:            ws.registered,
+			LastHeartbeatAgeSeconds: now.Sub(ws.lastBeat).Seconds(),
+			JobsCompleted:           ws.completed,
+		}
+		if ws.lost {
+			v.State = api.NodeLost
+		}
+		for _, l := range c.leases {
+			if l.workerID == ws.id {
+				v.Leases = append(v.Leases, l.jobID)
+			}
+		}
+		sort.Strings(v.Leases)
+		views = append(views, v)
+	}
+	c.mu.Unlock()
+	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	service.WriteJSON(w, http.StatusOK, views)
+}
+
+// writeMetrics appends the coordinator's gauges to /metrics (installed
+// via Manager.AddMetrics).
+func (c *Coordinator) writeMetrics(w io.Writer) {
+	c.mu.Lock()
+	var alive, lost int
+	for _, ws := range c.workers {
+		if ws.lost {
+			lost++
+		} else {
+			alive++
+		}
+	}
+	active := len(c.leases)
+	granted, expiries := c.leasesGranted, c.leaseExpiries
+	c.mu.Unlock()
+	fmt.Fprintf(w, "# HELP mcmcd_workers_connected Registered workers currently heartbeating.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_workers_connected gauge\n")
+	fmt.Fprintf(w, "mcmcd_workers_connected %d\n", alive)
+	fmt.Fprintf(w, "# HELP mcmcd_workers_lost Workers marked lost after missing heartbeats.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_workers_lost gauge\n")
+	fmt.Fprintf(w, "mcmcd_workers_lost %d\n", lost)
+	fmt.Fprintf(w, "# HELP mcmcd_leases_active Jobs currently leased to workers.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_leases_active gauge\n")
+	fmt.Fprintf(w, "mcmcd_leases_active %d\n", active)
+	fmt.Fprintf(w, "# HELP mcmcd_leases_granted_total Leases granted since start (re-leases included).\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_leases_granted_total counter\n")
+	fmt.Fprintf(w, "mcmcd_leases_granted_total %d\n", granted)
+	fmt.Fprintf(w, "# HELP mcmcd_lease_expiries_total Leases expired after their worker went silent.\n")
+	fmt.Fprintf(w, "# TYPE mcmcd_lease_expiries_total counter\n")
+	fmt.Fprintf(w, "mcmcd_lease_expiries_total %d\n", expiries)
+}

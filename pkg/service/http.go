@@ -81,6 +81,22 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	writeJSON(w, status, api.ErrorEnvelope{Code: code, Message: fmt.Sprintf(format, args...)})
 }
 
+// Exported handler plumbing for the coordinator sub-package, which
+// mounts the internal worker routes next to this package's public
+// ones and must answer in the identical wire style.
+
+// Methods dispatches one route by HTTP method; anything unlisted gets
+// a 405 envelope with a deterministic Allow header.
+type Methods = methods
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes the typed error envelope.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeError(w, status, code, format, args...)
+}
+
 func (s *server) notFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, api.CodeNotFound, "no route %s", r.URL.Path)
 }
@@ -94,6 +110,7 @@ func (s *server) version(w http.ResponseWriter, r *http.Request) {
 		API:       api.Version,
 		Service:   "mcmcd",
 		GoVersion: runtime.Version(),
+		Role:      s.m.cfg.Role,
 	}
 	for _, st := range strategies {
 		info.Strategies = append(info.Strategies, st.String())

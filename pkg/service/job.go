@@ -41,23 +41,29 @@ type Job struct {
 	pix   []float64
 	w, h  int
 
-	// resume, when non-nil, is the spooled checkpoint a recovered job
-	// continues from.
-	resume *parmcmc.Checkpoint
-
-	// restarted marks a recovered job that had no usable checkpoint:
-	// its pre-crash iterations are lost and the run starts over from
-	// zero. Exposed on the wire (JobStatus.Restarted) so streaming
-	// clients rewind their progress watermark instead of suppressing
-	// the whole re-run. Set before the job is published; immutable
-	// afterwards.
-	restarted bool
-
 	// spoolMu serializes this job's spool-record writes (Submit's
 	// pending record vs the worker's terminal record).
 	spoolMu sync.Mutex
 
-	mu              sync.Mutex
+	mu sync.Mutex
+	// resume, when non-nil, is the spooled checkpoint the job's next
+	// run continues from: set at recovery for interrupted jobs, and at
+	// re-lease (Remote.Requeue) for jobs whose worker died.
+	resume *parmcmc.Checkpoint
+	// resumeBlob is resume's encoded form, retained only under an
+	// external manager: lease grants ship the exact spooled bytes to
+	// the worker instead of re-encoding.
+	resumeBlob []byte
+	// restarted marks a job recovered or re-leased without a usable
+	// checkpoint: its prior iterations are lost and the run starts
+	// over from zero. Exposed on the wire (JobStatus.Restarted) so
+	// streaming clients rewind their progress watermark instead of
+	// suppressing the whole re-run.
+	restarted bool
+	// worker is the ID of the worker holding the job's lease
+	// (coordinator role only; empty standalone, while queued, and
+	// after a re-lease until the next grant).
+	worker          string
 	state           api.JobState
 	submitted       time.Time
 	started         time.Time
@@ -135,6 +141,12 @@ func (j *Job) releaseInput() {
 // cancelled while queued. On success it returns the time the job spent
 // queued (for the queue-wait histogram).
 func (j *Job) claim(cancel func()) (time.Duration, bool) {
+	return j.claimFor("", cancel)
+}
+
+// claimFor is claim with the leasing worker's identity attached (the
+// coordinator path; standalone claims pass "").
+func (j *Job) claimFor(worker string, cancel func()) (time.Duration, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != api.StatePending {
@@ -143,6 +155,7 @@ func (j *Job) claim(cancel func()) (time.Duration, bool) {
 	j.state = api.StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.worker = worker
 	j.publishLocked("state", j.statusLocked())
 	return j.started.Sub(j.submitted), true
 }
@@ -296,6 +309,7 @@ func (j *Job) statusLocked() api.JobStatus {
 		Result:    j.resultJSON,
 		Error:     j.errMsg,
 		Restarted: j.restarted,
+		Worker:    j.worker,
 	}
 	if !j.started.IsZero() {
 		t := j.started

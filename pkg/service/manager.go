@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sort"
 	"sync"
@@ -37,6 +38,10 @@ type Config struct {
 	CheckpointEvery int
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Role names the process role this manager serves under
+	// ("standalone" default, "coordinator"); surfaced in /v1/version so
+	// clients and operators can tell what they are talking to.
+	Role string
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.Role == "" {
+		c.Role = "standalone"
 	}
 	return c
 }
@@ -81,11 +89,20 @@ type Manager struct {
 	cancelRun    context.CancelFunc
 	dispatchDone chan struct{}
 
+	// external marks a manager whose jobs are run by external workers
+	// through a Remote (see NewExternal) instead of the in-process
+	// dispatcher; it changes only what recovery retains (checkpoint
+	// blobs for lease grants), never the job lifecycle.
+	external bool
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string
 	seq    uint64
 	closed bool
+
+	metricsMu    sync.Mutex
+	extraMetrics []func(io.Writer)
 
 	started    time.Time
 	itersTotal atomic.Int64
@@ -100,11 +117,36 @@ type Manager struct {
 // jobs are re-exposed read-only; interrupted ones are re-queued from
 // their latest checkpoint) and starts the dispatcher.
 func NewManager(cfg Config) (*Manager, error) {
+	m, err := newManager(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	go m.dispatch()
+	return m, nil
+}
+
+// NewExternal builds a manager whose jobs are executed by external
+// worker processes instead of the in-process pool: nothing dequeues
+// jobs except the returned Remote, which a coordinator drains to grant
+// leases. Everything else — the /v1 API, the spool, SSE fan-out,
+// recovery — behaves exactly as in NewManager.
+func NewExternal(cfg Config) (*Manager, *Remote, error) {
+	m, err := newManager(cfg, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	// No dispatcher: the Remote is the sole consumer of the queue.
+	close(m.dispatchDone)
+	return m, newRemote(m), nil
+}
+
+func newManager(cfg Config, external bool) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:          cfg,
 		pool:         sched.NewPool(cfg.Workers),
+		external:     external,
 		ctx:          ctx,
 		cancelRun:    cancel,
 		dispatchDone: make(chan struct{}),
@@ -124,8 +166,16 @@ func NewManager(cfg Config) (*Manager, error) {
 	for _, job := range recovered {
 		m.queue <- job
 	}
-	go m.dispatch()
 	return m, nil
+}
+
+// AddMetrics registers an extra exposition block appended to the
+// /metrics response — the coordinator adds its lease/worker gauges
+// through it without the metrics handler knowing about roles.
+func (m *Manager) AddMetrics(f func(io.Writer)) {
+	m.metricsMu.Lock()
+	m.extraMetrics = append(m.extraMetrics, f)
+	m.metricsMu.Unlock()
 }
 
 // Submit validates nothing (its jobSpec is already validated by the
@@ -266,10 +316,13 @@ func (m *Manager) run(job *Job) {
 	}
 
 	pix, w, h, err := job.pixels()
+	job.mu.Lock()
+	resume := job.resume
+	job.mu.Unlock()
 	var res *parmcmc.Result
 	if err == nil {
-		if job.resume != nil {
-			res, err = parmcmc.DetectResume(ctx, pix, w, h, opt, job.resume)
+		if resume != nil {
+			res, err = parmcmc.DetectResume(ctx, pix, w, h, opt, resume)
 		} else {
 			res, err = parmcmc.DetectContext(ctx, pix, w, h, opt)
 		}
@@ -345,6 +398,15 @@ func (m *Manager) stopping() <-chan struct{} { return m.ctx.Done() }
 
 // Uptime reports how long the manager has been running.
 func (m *Manager) Uptime() time.Duration { return time.Since(m.started) }
+
+// CheckpointInterval reports the resolved checkpoint cadence — lease
+// grants ship it so workers spool at the coordinator's configured
+// rate.
+func (m *Manager) CheckpointInterval() int { return m.cfg.CheckpointEvery }
+
+// SpoolDir reports the resolved spool directory ("" when durability is
+// off).
+func (m *Manager) SpoolDir() string { return m.cfg.SpoolDir }
 
 // QueueDepth returns (pending-in-queue, capacity).
 func (m *Manager) QueueDepth() (int, int) { return len(m.queue), cap(m.queue) }

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/pkg/api"
+	"repro/pkg/parmcmc"
+)
+
+// MaterializeRecord rebuilds a job's runnable inputs from its durable
+// record: the resolved (seeded) parmcmc options and the input pixels —
+// decoded from the spooled upload named by the record, or synthesized
+// from its scene spec. Both paths are deterministic, so a worker
+// materialising the same record always runs the same chain; this is
+// what a lease grant hands to pkg/service/worker.
+func MaterializeRecord(rec api.JobRecord, spoolDir string) (pix []float64, w, h int, opt parmcmc.Options, err error) {
+	spec := rec.Options
+	o, aerr := optionsFromSpec(&spec)
+	if aerr != nil {
+		return nil, 0, 0, parmcmc.Options{}, fmt.Errorf("service: record %s: invalid options: %v", rec.ID, aerr)
+	}
+	o.Seed = rec.Seed
+	switch {
+	case rec.Input != "":
+		raw, rerr := os.ReadFile(filepath.Join(spoolDir, rec.ID, filepath.Base(rec.Input)))
+		if rerr != nil {
+			return nil, 0, 0, parmcmc.Options{}, fmt.Errorf("service: record %s: %w", rec.ID, rerr)
+		}
+		var derr *apiError
+		pix, w, h, _, derr = decodeImageBytes("", raw)
+		if derr != nil {
+			return nil, 0, 0, parmcmc.Options{}, fmt.Errorf("service: record %s: decoding input: %v", rec.ID, derr)
+		}
+	case rec.Scene != nil:
+		ps, serr := rec.Scene.ToParmcmc()
+		if serr != nil {
+			return nil, 0, 0, parmcmc.Options{}, fmt.Errorf("service: record %s: %v", rec.ID, serr)
+		}
+		pix, _ = parmcmc.GenerateScene(ps)
+		w, h = rec.Scene.W, rec.Scene.H
+	default:
+		return nil, 0, 0, parmcmc.Options{}, errors.New("service: record " + rec.ID + " has no input")
+	}
+	return pix, w, h, o, nil
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/pkg/api"
@@ -79,4 +80,13 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		"Start-to-terminal wall clock of jobs in seconds.")
 	m.tel.iterLatency.write(w, "mcmcd_iteration_seconds",
 		"Seconds per chain iteration, observed per progress chunk.")
+
+	// Role-specific expositions registered via AddMetrics (the
+	// coordinator's lease/worker gauges).
+	m.metricsMu.Lock()
+	extra := append([]func(io.Writer){}, m.extraMetrics...)
+	m.metricsMu.Unlock()
+	for _, f := range extra {
+		f(w)
+	}
 }

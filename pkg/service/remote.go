@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Remote is the execution seam of an externally-run manager (see
+// NewExternal): the coordinator drains runnable jobs from it, reports
+// worker progress into it, and hands back terminal outcomes or expired
+// leases. It owns no policy — leases, heartbeats and expiry live in
+// the coordinator; Remote only keeps the Manager's job bookkeeping
+// (states, SSE fan-out, spool, metrics) exactly as an in-process run
+// would.
+type Remote struct {
+	m *Manager
+
+	mu sync.Mutex
+	// requeued holds jobs whose lease expired, consulted before the
+	// bounded submit queue: a re-leased job must never compete with new
+	// submissions for queue capacity (or be lost to backpressure).
+	requeued []*Job
+	wake     chan struct{} // closed and replaced whenever requeued grows
+	// track carries per-job iteration-latency state for the
+	// mcmcd_iteration_seconds histogram (what the in-process observer
+	// keeps in locals).
+	track map[*Job]*iterTrack
+}
+
+type iterTrack struct {
+	lastT time.Time
+	lastI int64
+}
+
+func newRemote(m *Manager) *Remote {
+	return &Remote{m: m, wake: make(chan struct{}), track: make(map[*Job]*iterTrack)}
+}
+
+// Next blocks for the next runnable job: an expired-lease requeue
+// first, else the submit queue. It returns ErrStopped once the manager
+// shuts down, or ctx.Err when the caller gives up (the long-poll
+// window).
+func (r *Remote) Next(ctx context.Context) (*Job, error) {
+	for {
+		r.mu.Lock()
+		if len(r.requeued) > 0 {
+			job := r.requeued[0]
+			r.requeued = r.requeued[1:]
+			r.mu.Unlock()
+			return job, nil
+		}
+		wake := r.wake
+		r.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-r.m.ctx.Done():
+			return nil, ErrStopped
+		case job := <-r.m.queue:
+			return job, nil
+		case <-wake:
+			// A requeue landed; loop to pick it up.
+		}
+	}
+}
+
+// Describe returns what a lease grant ships: the job's durable record,
+// the checkpoint bytes to resume from (nil = scratch) and whether this
+// run is a flagged scratch restart.
+func (r *Remote) Describe(job *Job) (rec api.JobRecord, checkpoint []byte, restarted bool) {
+	rec = recordOf(job)
+	job.mu.Lock()
+	checkpoint = job.resumeBlob
+	restarted = job.restarted
+	job.mu.Unlock()
+	return rec, checkpoint, restarted
+}
+
+// Start claims the job for a worker; false means the job is no longer
+// pending (cancelled while queued) and the caller should grant the
+// lease to another job instead.
+func (r *Remote) Start(job *Job, workerID string, cancel func()) bool {
+	wait, ok := job.claimFor(workerID, cancel)
+	if !ok {
+		return false
+	}
+	r.m.tel.queueWait.Observe(wait.Seconds())
+	return true
+}
+
+// Observe feeds one worker-reported progress snapshot into the job —
+// the same bookkeeping (SSE fan-out, convergence window, aggregate
+// iteration counters, per-iteration latency) a local run's Observer
+// performs.
+func (r *Remote) Observe(job *Job, ev api.ProgressEvent) {
+	p := ev.ToParmcmc()
+	r.mu.Lock()
+	t := r.track[job]
+	if t == nil {
+		t = &iterTrack{}
+		r.track[job] = t
+	}
+	now := time.Now()
+	if !t.lastT.IsZero() && p.Iter > t.lastI {
+		r.m.tel.iterLatency.Observe(now.Sub(t.lastT).Seconds() / float64(p.Iter-t.lastI))
+	}
+	t.lastT, t.lastI = now, p.Iter
+	r.mu.Unlock()
+	r.m.itersTotal.Add(job.observe(p))
+}
+
+// Complete lands a worker-reported terminal outcome. A successful
+// result arrives as the worker's already-encoded ResultView and is
+// stored byte-for-byte — the bit-identical contract extends across the
+// wire. An errMsg of "cancelled" (or any error after a client
+// cancellation) terminates the job as cancelled; other errors as
+// failed.
+func (r *Remote) Complete(job *Job, result json.RawMessage, errMsg string) {
+	r.dropTrack(job)
+	if errMsg != "" || len(result) == 0 {
+		state := api.StateFailed
+		if job.userCancelled() || errMsg == "cancelled" {
+			state, errMsg = api.StateCancelled, "cancelled"
+		} else if errMsg == "" {
+			errMsg = "worker reported no result"
+		}
+		r.m.terminate(job, state, errMsg)
+		return
+	}
+	// Account the final iteration count exactly like Manager.finish
+	// does from the in-process Result.
+	var v struct {
+		Iterations int64 `json:"iterations"`
+	}
+	if json.Unmarshal(result, &v) == nil {
+		r.m.itersTotal.Add(job.accountIters(v.Iterations))
+	}
+	ran, ok := job.finishTerminal(api.StateDone, result, "")
+	if !ok {
+		return
+	}
+	r.m.tel.jobDuration.Observe(ran.Seconds())
+	if err := r.m.spoolResult(job, result); err != nil {
+		r.m.cfg.Logf("service: spooling result of %s: %v", job.ID(), err)
+	}
+	job.releaseInput()
+	job.publish("state", job.Status())
+}
+
+// Requeue returns an expired lease's job to the runnable set, resuming
+// from its latest spooled checkpoint when one parses (the common case)
+// or from scratch with Restarted flagged (no checkpoint yet, or a
+// corrupt one). A job whose cancellation was requested while leased
+// terminates as cancelled instead — its client asked for it to stop,
+// not to run again. Safe against the dead worker's last checkpoint
+// write racing in: every checkpoint of the same (options, seed) chain
+// is a state of the same trajectory, so whichever version the read
+// sees resumes to the bit-identical result.
+func (r *Remote) Requeue(job *Job) {
+	r.dropTrack(job)
+	if job.userCancelled() {
+		r.m.terminate(job, api.StateCancelled, "cancelled")
+		return
+	}
+	cp, blob, ok := r.m.readCheckpoint(job.ID())
+	job.mu.Lock()
+	if job.state != api.StateRunning {
+		// Terminal (or never started) — nothing to re-lease.
+		job.mu.Unlock()
+		return
+	}
+	job.state = api.StatePending
+	job.started = time.Time{}
+	job.cancel = nil
+	job.worker = ""
+	// Reset the iteration watermark so the next run's first snapshot
+	// re-baselines (resume) or counts from zero (scratch).
+	job.lastIter = 0
+	if ok {
+		job.resume, job.resumeBlob, job.restarted = cp, blob, false
+	} else {
+		job.resume, job.resumeBlob, job.restarted = nil, nil, true
+	}
+	// Tell live SSE watchers: pending again, and — on a scratch
+	// restart — Restarted, so they rewind their progress watermark.
+	job.publishLocked("state", job.statusLocked())
+	job.mu.Unlock()
+
+	r.mu.Lock()
+	r.requeued = append(r.requeued, job)
+	close(r.wake)
+	r.wake = make(chan struct{})
+	r.mu.Unlock()
+}
+
+func (r *Remote) dropTrack(job *Job) {
+	r.mu.Lock()
+	delete(r.track, job)
+	r.mu.Unlock()
+}

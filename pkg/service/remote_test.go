@@ -1,0 +1,318 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/pkg/api"
+	"repro/pkg/parmcmc"
+)
+
+func newTestExternal(t *testing.T, cfg Config) (*Manager, *Remote) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = t.TempDir()
+	}
+	m, r, err := NewExternal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Stop(ctx); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	})
+	return m, r
+}
+
+// runLeased emulates one worker turn over the Remote seam: materialise
+// the granted record, run it through parmcmc (resuming from the
+// granted checkpoint when present), spool checkpoints like a real
+// worker would, and stop when ctx is cancelled. It returns the
+// encoded result, or nil if the run was interrupted.
+func runLeased(t *testing.T, ctx context.Context, m *Manager, r *Remote, job *Job) json.RawMessage {
+	t.Helper()
+	rec, blob, _ := r.Describe(job)
+	pix, w, h, opt, err := MaterializeRecord(rec, m.cfg.SpoolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.CheckpointEvery = m.cfg.CheckpointEvery
+	opt.OnCheckpoint = func(cp *parmcmc.Checkpoint) {
+		enc, err := cp.MarshalBinary()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		path := filepath.Join(m.cfg.SpoolDir, rec.ID, api.SpoolCheckpointFile)
+		if err := cliutil.WriteFileAtomic(path, enc, 0o644); err != nil {
+			t.Error(err)
+		}
+	}
+	opt.Observer = func(p parmcmc.Progress) {
+		r.Observe(job, *api.NewProgressEvent(p))
+	}
+	var res *parmcmc.Result
+	if len(blob) > 0 {
+		var cp parmcmc.Checkpoint
+		if err := cp.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		res, err = parmcmc.DetectResume(ctx, pix, w, h, opt, &cp)
+	} else {
+		res, err = parmcmc.DetectContext(ctx, pix, w, h, opt)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // interrupted mid-run, like a dying worker
+		}
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(api.NewResultView(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestExternalLifecycle drives a job through the Remote seam end to
+// end — submit over HTTP, lease, remote progress, remote completion —
+// and checks the result is stored byte-for-byte and the worker ID is
+// visible on the wire.
+func TestExternalLifecycle(t *testing.T) {
+	t.Parallel()
+	m, r := newTestExternal(t, Config{CheckpointEvery: 2000, Role: "coordinator"})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(7, 20000)})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID() != view.ID {
+		t.Fatalf("leased %s, submitted %s", job.ID(), view.ID)
+	}
+	if !r.Start(job, "w-0001", func() {}) {
+		t.Fatal("Start refused a pending job")
+	}
+	if got := getJob(t, srv.URL, view.ID); got.State != api.StateRunning || got.Worker != "w-0001" {
+		t.Fatalf("running status = %+v", got)
+	}
+
+	raw := runLeased(t, ctx, m, r, job)
+	r.Complete(job, raw, "")
+
+	final := getJob(t, srv.URL, view.ID)
+	if final.State != api.StateDone {
+		t.Fatalf("final state %s (error %q)", final.State, final.Error)
+	}
+	if string(final.Result) != string(raw) {
+		t.Fatal("stored result is not byte-identical to the worker's report")
+	}
+	want := expectedView(t, testScene, testOptions(7, 20000))
+	if got := normalizeResult(decodeResult(t, final)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("remote result differs from direct parmcmc run\ngot  %+v\nwant %+v", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(m.cfg.SpoolDir, view.ID, api.SpoolResultFile)); err != nil {
+		t.Fatalf("result not spooled: %v", err)
+	}
+}
+
+// TestExternalRequeueResumesBitIdentically kills the first "worker"
+// mid-run after a checkpoint exists, requeues the job, and checks the
+// second run resumes from the checkpoint (not flagged restarted, no
+// iteration double-counting) and lands the bit-identical result.
+func TestExternalRequeueResumesBitIdentically(t *testing.T) {
+	t.Parallel()
+	m, r := newTestExternal(t, Config{CheckpointEvery: 1000})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := testOptions(11, 60000)
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: spec})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	job, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start(job, "w-0001", func() {})
+
+	// First run: die once a checkpoint is on disk.
+	runCtx, die := context.WithCancel(ctx)
+	ckpt := filepath.Join(m.cfg.SpoolDir, view.ID, api.SpoolCheckpointFile)
+	go func() {
+		for runCtx.Err() == nil {
+			if _, err := os.Stat(ckpt); err == nil {
+				die()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	if raw := runLeased(t, runCtx, m, r, job); raw != nil {
+		t.Fatal("first run finished before it could be killed; lower CheckpointEvery")
+	}
+	die()
+
+	r.Requeue(job)
+	st := getJob(t, srv.URL, view.ID)
+	if st.State != api.StatePending || st.Restarted || st.Worker != "" {
+		t.Fatalf("requeued status = %+v", st)
+	}
+
+	// Second run: must come back out of Next ahead of new submissions
+	// and resume from the checkpoint.
+	job2, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2 != job {
+		t.Fatalf("requeue returned a different job: %s", job2.ID())
+	}
+	if _, blob, restarted := r.Describe(job2); len(blob) == 0 || restarted {
+		t.Fatalf("grant after requeue: checkpoint %d bytes, restarted %v", len(blob), restarted)
+	}
+	r.Start(job2, "w-0002", func() {})
+	raw := runLeased(t, ctx, m, r, job2)
+	if raw == nil {
+		t.Fatal("second run did not finish")
+	}
+	r.Complete(job2, raw, "")
+
+	want := expectedView(t, testScene, spec)
+	final := waitDone(t, srv.URL, view.ID)
+	if got := normalizeResult(decodeResult(t, final)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestExternalRequeueWithoutCheckpointFlagsRestart covers the scratch
+// path: a lease that dies before any checkpoint requeues with
+// Restarted set, and still lands the exact result.
+func TestExternalRequeueWithoutCheckpointFlagsRestart(t *testing.T) {
+	t.Parallel()
+	m, r := newTestExternal(t, Config{CheckpointEvery: 1 << 30})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := testOptions(13, 20000)
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: spec})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	job, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start(job, "w-0001", func() {})
+	// The worker dies instantly: no checkpoint was ever written.
+	r.Requeue(job)
+
+	st := getJob(t, srv.URL, view.ID)
+	if st.State != api.StatePending || !st.Restarted {
+		t.Fatalf("requeued status = %+v", st)
+	}
+
+	job2, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, blob, restarted := r.Describe(job2); len(blob) != 0 || !restarted {
+		t.Fatalf("grant after scratch requeue: checkpoint %d bytes, restarted %v", len(blob), restarted)
+	}
+	r.Start(job2, "w-0002", func() {})
+	raw := runLeased(t, ctx, m, r, job2)
+	r.Complete(job2, raw, "")
+
+	want := expectedView(t, testScene, spec)
+	if got := normalizeResult(decodeResult(t, waitDone(t, srv.URL, view.ID))); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restarted result differs from uninterrupted run\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestExternalRequeueOfCancelledJobTerminates checks that a job whose
+// client asked for cancellation while it was leased is not re-leased
+// when the lease expires — it terminates as cancelled with the same
+// wire contract the standalone path uses.
+func TestExternalRequeueOfCancelledJobTerminates(t *testing.T) {
+	t.Parallel()
+	m, r := newTestExternal(t, Config{})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(17, 50000)})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := false
+	r.Start(job, "w-0001", func() { cancelled = true })
+	if _, err := m.Cancel(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !cancelled {
+		t.Fatal("cancel did not reach the lease's cancel hook")
+	}
+	// The worker never acks; its lease expires and the coordinator
+	// requeues — which must terminate, not re-lease.
+	r.Requeue(job)
+	final := getJob(t, srv.URL, view.ID)
+	if final.State != api.StateCancelled || final.Error != "cancelled" {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+// TestExternalCompleteError maps worker-reported failures onto the
+// standalone terminal contract.
+func TestExternalCompleteError(t *testing.T) {
+	t.Parallel()
+	m, r := newTestExternal(t, Config{})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	view := submitJSON(t, srv.URL, api.JobSpec{Scene: &testScene, Options: testOptions(19, 10000)})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start(job, "w-0001", func() {})
+	r.Complete(job, nil, "chain diverged")
+	if final := getJob(t, srv.URL, view.ID); final.State != api.StateFailed || final.Error != "chain diverged" {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+// TestExternalNextHonorsStop checks Next unblocks with ErrStopped on
+// manager shutdown and with ctx.Err on a caller timeout (the lease
+// long-poll window).
+func TestExternalNextHonorsStop(t *testing.T) {
+	t.Parallel()
+	_, r := newTestExternal(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := r.Next(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Next on empty queue = %v, want deadline", err)
+	}
+}

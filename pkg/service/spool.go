@@ -49,11 +49,11 @@ func (m *Manager) spoolRecord(job *Job) error {
 	return m.spoolRecordLocked(job)
 }
 
-func (m *Manager) spoolRecordLocked(job *Job) error {
-	dir := m.jobDir(job.id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// recordOf builds the job's durable record — the spool's job.json and
+// the Record field of a lease grant. No I/O: the input file name is
+// derived from the upload's extension, which outlives the released
+// bytes.
+func recordOf(job *Job) api.JobRecord {
 	rec := api.JobRecord{
 		ID:        job.id,
 		Seed:      job.seed,
@@ -61,13 +61,26 @@ func (m *Manager) spoolRecordLocked(job *Job) error {
 		Options:   job.spec,
 		Scene:     job.scene,
 	}
+	if job.ext != "" {
+		rec.Input = "input." + job.ext
+	}
 	job.mu.Lock()
 	rec.State = job.state
 	rec.Error = job.errMsg
+	job.mu.Unlock()
+	return rec
+}
+
+func (m *Manager) spoolRecordLocked(job *Job) error {
+	dir := m.jobDir(job.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := recordOf(job)
+	job.mu.Lock()
 	input := job.input // may be released once the job is terminal
 	job.mu.Unlock()
 	if input != nil {
-		rec.Input = "input." + job.ext
 		path := filepath.Join(dir, rec.Input)
 		if _, err := os.Stat(path); os.IsNotExist(err) {
 			if err := cliutil.WriteFileAtomic(path, input, 0o644); err != nil {
@@ -223,10 +236,34 @@ func (m *Manager) recoverJob(name string) (*Job, bool, error) {
 			m.cfg.Logf("service: %s: unusable checkpoint (%v), restarting job from scratch", rec.ID, err)
 		} else {
 			job.resume = &cp
+			if m.external {
+				// Lease grants ship the exact spooled bytes.
+				job.resumeBlob = blob
+			}
 		}
 	}
 	job.restarted = job.resume == nil
 	return job, false, nil
+}
+
+// readCheckpoint loads and validates the job's latest spooled
+// checkpoint; ok is false when none exists or it does not parse — the
+// caller restarts the job from scratch, which still lands the
+// bit-identical result.
+func (m *Manager) readCheckpoint(jobID string) (*parmcmc.Checkpoint, []byte, bool) {
+	if !m.spooling() {
+		return nil, nil, false
+	}
+	blob, err := os.ReadFile(filepath.Join(m.jobDir(jobID), spoolCheckpointFile))
+	if err != nil {
+		return nil, nil, false
+	}
+	var cp parmcmc.Checkpoint
+	if err := cp.UnmarshalBinary(blob); err != nil {
+		m.cfg.Logf("service: %s: unusable checkpoint (%v), restarting job from scratch", jobID, err)
+		return nil, nil, false
+	}
+	return &cp, blob, true
 }
 
 // parseJobSeq extracts the numeric suffix of a "job-%08d" id. The

@@ -22,7 +22,7 @@ type e2eCase struct {
 
 // The registry is assembled from the per-area case files:
 // cases_load_test.go, cases_chaos_test.go, cases_checkpoint_test.go,
-// cases_input_test.go, cases_stream_test.go.
+// cases_input_test.go, cases_stream_test.go, cases_cluster_test.go.
 func allCases() []e2eCase {
 	var cases []e2eCase
 	cases = append(cases, loadCases...)
@@ -30,6 +30,7 @@ func allCases() []e2eCase {
 	cases = append(cases, checkpointCases...)
 	cases = append(cases, inputCases...)
 	cases = append(cases, streamCases...)
+	cases = append(cases, clusterCases...)
 	return cases
 }
 
